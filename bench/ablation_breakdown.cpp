@@ -1,0 +1,114 @@
+// E14 — Paper Sec. VI-E: breakdown of cuSZp2's throughput gains by
+// individually disabling each design: vectorized memory access and
+// decoupled-lookback latency hiding. (Inline PTX and loop unrolling
+// contribute <3% in the paper and are below this model's resolution.)
+//
+// Expected shape: memory optimization contributes the larger share
+// (paper: 56.23%) and latency hiding most of the rest (41.29%).
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+core::Config variant(bool vectorized, bool lookback) {
+  core::Config cfg;
+  cfg.mode = EncodingMode::Plain;  // isolate the throughput designs
+  cfg.vectorizedAccess = vectorized;
+  cfg.syncAlgorithm = lookback ? scan::Algorithm::DecoupledLookback
+                               : scan::Algorithm::ChainedScan;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E14 / Sec. VI-E",
+                "Ablation: -vectorization / -lookback / -both");
+
+  const usize elems = bench::fieldElems();
+  const u32 maxFields = bench::maxFieldsPerDataset();
+  const f64 rel = 1e-3;
+
+  struct Cfg {
+    const char* name;
+    bool vec;
+    bool lb;
+  };
+  const Cfg variants[] = {
+      {"full cuSZp2 (vec + lookback)", true, true},
+      {"- vectorized access", false, true},
+      {"- decoupled lookback", true, false},
+      {"- both (cuSZp v1)", false, false},
+  };
+
+  f64 gbps[4] = {0, 0, 0, 0};
+  u32 n = 0;
+  for (const auto& info : datagen::singlePrecisionDatasets()) {
+    for (u32 f = 0; f < std::min(info.numFields, maxFields); ++f) {
+      const auto data = datagen::generateF32(info.name, f, elems);
+      for (int v = 0; v < 4; ++v) {
+        baselines::Cuszp2Baseline compressor(
+            variants[v].name, variant(variants[v].vec, variants[v].lb));
+        gbps[v] += compressor.run(data, rel).compressGBps;
+      }
+      ++n;
+    }
+  }
+  for (auto& g : gbps) g /= n;
+
+  io::Table table({"variant", "avg compression", "vs full"});
+  for (int v = 0; v < 4; ++v) {
+    table.addRow({variants[v].name, io::Table::gbps(gbps[v]),
+                  io::Table::num(gbps[v] / gbps[0] * 100.0, 1) + "%"});
+  }
+  table.print();
+
+  // Contribution split, attributing the full-vs-none gain to each design
+  // by its solo removal cost (the paper's methodology).
+  const f64 totalGain = gbps[0] - gbps[3];
+  const f64 vecLoss = gbps[0] - gbps[1];
+  const f64 lbLoss = gbps[0] - gbps[2];
+  if (totalGain > 0 && vecLoss + lbLoss > 0) {
+    std::printf(
+        "\nContribution to the throughput gain over the unoptimized\n"
+        "baseline: memory optimization %.1f%%, latency hiding %.1f%%.\n",
+        vecLoss / (vecLoss + lbLoss) * 100.0,
+        lbLoss / (vecLoss + lbLoss) * 100.0);
+  }
+  std::printf(
+      "\nPaper reference: memory optimization 56.23%%, latency hiding\n"
+      "41.29%%; inline PTX + loop unrolling <3%% (Sec. VI-E).\n");
+
+  // Predictor ablation: a second-order difference cannot beat the paper's
+  // first-order design under the single-outlier block format (the r_1
+  // residual pins the fixed length either way) — structural evidence for
+  // the design choice.
+  std::printf("\n--- Predictor ablation (ratio, REL 1E-3) ---\n");
+  io::Table pred({"dataset", "first-order", "second-order", "2nd/1st"});
+  for (const char* name : {"cesm_atm", "hacc", "miranda", "qmcpack"}) {
+    const auto data = datagen::generateF32(name, 0, elems);
+    auto ratioFor = [&](Predictor p) {
+      core::Config cfg;
+      cfg.relErrorBound = rel;
+      cfg.predictor = p;
+      baselines::Cuszp2Baseline c("pred", cfg);
+      return c.run(data, rel).ratio;
+    };
+    const f64 r1 = ratioFor(Predictor::FirstOrder);
+    const f64 r2 = ratioFor(Predictor::SecondOrder);
+    pred.addRow({name, io::Table::num(r1, 2), io::Table::num(r2, 2),
+                 io::Table::num(r2 / r1, 2) + "x"});
+  }
+  pred.print();
+  std::printf(
+      "\nReading guide: deeper prediction lands at or below parity here\n"
+      "because the block format exempts only one residual from the fixed\n"
+      "length — first-order + Outlier-FLE is the right pairing.\n");
+  return 0;
+}

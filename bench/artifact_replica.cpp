@@ -1,0 +1,83 @@
+// Artifact-fidelity replica: emits the same output structure as the SC'24
+// artifact's `1-execution.py` wrapper (AD/AE appendix), so results can be
+// eyeballed against the appendix's reference transcript line for line —
+// per dataset: GSZ-P / GSZ-O compression & decompression throughput and
+// max/min/avg compression ratios at one REL bound.
+//
+// Usage: artifact_replica [1E-2|1E-3|1E-4]   (default 1E-3)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "metrics/ratio.hpp"
+
+using namespace cuszp2;
+
+int main(int argc, char** argv) {
+  f64 rel = 1e-3;
+  std::string relName = "1e-3";
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "1E-2") == 0 ||
+        std::strcmp(argv[1], "1e-2") == 0) {
+      rel = 1e-2;
+      relName = "1e-2";
+    } else if (std::strcmp(argv[1], "1E-4") == 0 ||
+               std::strcmp(argv[1], "1e-4") == 0) {
+      rel = 1e-4;
+      relName = "1e-4";
+    }
+  }
+
+  bench::banner("Artifact replica (AE appendix)",
+                "1-execution.py-format output at REL " + relName);
+
+  const usize elems = bench::fieldElems();
+  const u32 maxFields = bench::maxFieldsPerDataset();
+
+  for (const auto& info : datagen::singlePrecisionDatasets()) {
+    struct ModeStats {
+      f64 comp = 0.0;
+      f64 decomp = 0.0;
+      metrics::RatioCell ratios;
+    };
+    ModeStats p;
+    ModeStats o;
+    const u32 fields = std::min(info.numFields, maxFields);
+    for (u32 f = 0; f < fields; ++f) {
+      const auto data = datagen::generateF32(info.name, f, elems);
+      const auto rP =
+          baselines::Cuszp2Baseline::cuszp2Plain()->run(data, rel);
+      const auto rO =
+          baselines::Cuszp2Baseline::cuszp2Outlier()->run(data, rel);
+      p.comp += rP.compressGBps;
+      p.decomp += rP.decompressGBps;
+      p.ratios.add(rP.ratio);
+      o.comp += rO.compressGBps;
+      o.decomp += rO.decompressGBps;
+      o.ratios.add(rO.ratio);
+    }
+    std::printf("=====\n");
+    std::printf("Done with Execution GSZ-P and GSZ-O on %s under %s\n",
+                info.name.c_str(), relName.c_str());
+    std::printf("GSZ-P    compression throughput: %f GB/s\n",
+                p.comp / fields);
+    std::printf("GSZ-P    decompression throughput: %f GB/s\n",
+                p.decomp / fields);
+    std::printf("GSZ-P    max compression ratio: %f\n", p.ratios.max());
+    std::printf("GSZ-P    min compression ratio: %f\n", p.ratios.min());
+    std::printf("GSZ-P    avg compression ratio: %f\n", p.ratios.avg());
+    std::printf("\n");
+    std::printf("GSZ-O    compression throughput: %f GB/s\n",
+                o.comp / fields);
+    std::printf("GSZ-O    decompression throughput: %f GB/s\n",
+                o.decomp / fields);
+    std::printf("GSZ-O    max compression ratio: %f\n", o.ratios.max());
+    std::printf("GSZ-O    min compression ratio: %f\n", o.ratios.min());
+    std::printf("GSZ-O    avg compression ratio: %f\n", o.ratios.avg());
+    std::printf("=====\n");
+  }
+  return 0;
+}

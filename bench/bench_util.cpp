@@ -1,0 +1,30 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace cuszp2::bench {
+
+void banner(const std::string& experimentId, const std::string& title) {
+  std::printf("================================================================\n");
+  std::printf("cuSZp2 reproduction | %s\n", experimentId.c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("field elems: %zu | max fields/dataset: %u\n", fieldElems(),
+              maxFieldsPerDataset());
+  std::printf("(throughput numbers are modelled on the device's parameter\n"
+              " sheet from recorded memory/sync counters; see DESIGN.md)\n");
+  std::printf("================================================================\n");
+}
+
+std::string formatRel(f64 rel) {
+  char buf[32];
+  if (rel >= 1e-2) {
+    std::snprintf(buf, sizeof(buf), "1E-2");
+  } else if (rel >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "1E-3");
+  } else {
+    std::snprintf(buf, sizeof(buf), "1E-4");
+  }
+  return buf;
+}
+
+}  // namespace cuszp2::bench

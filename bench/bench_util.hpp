@@ -1,0 +1,50 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every binary regenerates one table or figure from the paper. Sizes are
+// scaled down from the paper's multi-GB fields so a full sweep finishes in
+// minutes on a laptop; the *shape* of each result (who wins, by what
+// factor) is what the harness reproduces, and throughput numbers come from
+// the gpusim timing model, not wall clock, so they are size-stable once
+// fields are large enough to amortize launch overheads.
+//
+// Environment knobs:
+//   CUSZP2_BENCH_ELEMS   elements per field        (default 2097152)
+//   CUSZP2_BENCH_FIELDS  max fields per dataset    (default 2)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::bench {
+
+inline usize fieldElems() {
+  if (const char* env = std::getenv("CUSZP2_BENCH_ELEMS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<usize>(v);
+  }
+  return usize{1} << 21;
+}
+
+inline u32 maxFieldsPerDataset() {
+  if (const char* env = std::getenv("CUSZP2_BENCH_FIELDS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<u32>(v);
+  }
+  return 2;
+}
+
+/// Prints the standard experiment banner.
+void banner(const std::string& experimentId, const std::string& title);
+
+/// The REL error bounds swept throughout the paper's evaluation.
+inline const std::vector<f64>& relBounds() {
+  static const std::vector<f64> kBounds = {1e-2, 1e-3, 1e-4};
+  return kBounds;
+}
+
+std::string formatRel(f64 rel);
+
+}  // namespace cuszp2::bench

@@ -1,0 +1,48 @@
+// Supplementary — dataset character report: the structural statistics of
+// every synthetic field next to the compression behaviour they induce.
+// This documents why each Table III cell comes out the way it does
+// (smoothness -> Outlier-FLE gain, sparsity -> zero blocks, roughness ->
+// ratio ceiling), making the substitution of real SDRBench data with
+// generators auditable.
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "datagen/stats.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("Supplementary", "Synthetic dataset character report");
+
+  const usize elems = bench::fieldElems();
+
+  io::Table table({"dataset", "field", "zero frac", "roughness",
+                   "outlier blocks", "P ratio", "O ratio", "O/P"});
+  for (const auto& info : datagen::singlePrecisionDatasets()) {
+    for (u32 f = 0; f < std::min(info.numFields, 2u); ++f) {
+      const auto data = datagen::generateF32(info.name, f, elems);
+      const auto stats = datagen::computeFieldStats<f32>(data);
+      const auto rP =
+          baselines::Cuszp2Baseline::cuszp2Plain()->run(data, 1e-3);
+      const auto rO =
+          baselines::Cuszp2Baseline::cuszp2Outlier()->run(data, 1e-3);
+      table.addRow({info.name, std::to_string(f),
+                    io::Table::num(stats.zeroFraction * 100.0, 1) + "%",
+                    io::Table::num(stats.roughness, 4),
+                    io::Table::num(stats.outlierBlockFraction * 100.0, 1) +
+                        "%",
+                    io::Table::num(rP.ratio, 2), io::Table::num(rO.ratio, 2),
+                    io::Table::num(rO.ratio / rP.ratio, 2) + "x"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: high outlier-block fractions (smooth data) drive\n"
+      "the O/P ratio gap (paper Sec. IV-A); high zero fractions drive the\n"
+      "huge sparse-dataset ratios and the memset decompression fast path;\n"
+      "high roughness caps the ratio regardless of mode.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Supplementary / Sec. IV-B + Fig. 10 — why cuSZp2 uses fixed-length
+// encoding: FLE treats every element uniformly (4 consecutive elements ->
+// one 128-bit instruction, no divergence), whereas Huffman emits a
+// data-dependent number of bits per symbol and RLE branches per run —
+// both serialize a GPU warp.
+//
+// This harness encodes the same quantization codes with all three codecs
+// (real encoders, real ratios) and models each one's GPU throughput:
+// FLE with vectorized instructions, Huffman/RLE with per-element serial
+// bit emission and warp-divergence penalties.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/block_codec.hpp"
+#include "core/quantizer.hpp"
+#include "datagen/fields.hpp"
+#include "entropy/huffman.hpp"
+#include "entropy/rle.hpp"
+#include "gpusim/timing.hpp"
+#include "io/table.hpp"
+#include "metrics/error_stats.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("Supplementary / Sec. IV-B",
+                "Encoding vectorizability: FLE vs Huffman vs RLE");
+
+  const auto data = datagen::generateF32("cesm_atm", 0, bench::fieldElems());
+  const f64 absEb =
+      core::Quantizer::absFromRel(1e-3, metrics::valueRange<f32>(data));
+  const core::Quantizer quantizer(absEb);
+  const u64 n = data.size();
+  const u64 rawBytes = n * sizeof(f32);
+
+  // Shared front end: quantize + first-order difference -> u16 codes.
+  std::vector<u16> codes(n);
+  {
+    i32 prev = 0;
+    for (usize i = 0; i < n; ++i) {
+      const i32 q = quantizer.quantize(data[i]);
+      i32 d = q - prev;
+      prev = q;
+      d = std::clamp(d, -32767, 32767);
+      codes[i] = static_cast<u16>(d + 32768);
+    }
+  }
+
+  const gpusim::TimingModel model(gpusim::a100_40gb());
+  io::Table table({"encoding", "ratio", "mem instr / elem",
+                   "modelled enc GB/s", "control flow"});
+
+  // ---- Fixed-length encoding (cuSZp2's choice) --------------------------
+  {
+    const core::BlockCodec codec(32);
+    usize bytes = 0;
+    std::vector<i32> quants(32);
+    for (usize blk = 0; blk * 32 + 32 <= n; ++blk) {
+      for (usize i = 0; i < 32; ++i) {
+        quants[i] = static_cast<i32>(codes[blk * 32 + i]) - 32768;
+      }
+      bytes += 1 + codec.planResiduals(quants, EncodingMode::Outlier)
+                       .payloadBytes;
+    }
+    gpusim::MemCounters mem;
+    mem.noteVectorRead(rawBytes, 32);
+    mem.noteVectorWrite(bytes, 32);
+    mem.noteOps(n * 8);
+    const auto t = model.kernel(mem, {});
+    table.addRow({"Fixed-length (cuSZp2)",
+                  io::Table::num(static_cast<f64>(rawBytes) / bytes, 2),
+                  "0.31 (128-bit)",
+                  io::Table::num(gpusim::gbps(rawBytes, t.totalSeconds), 1),
+                  "uniform, no divergence"});
+  }
+
+  // ---- Huffman ------------------------------------------------------------
+  {
+    const auto enc = entropy::HuffmanCodec::encode(codes, 65536);
+    // Variable-length emission: every output bit is a dependent shift+or;
+    // warp lanes emit different counts -> divergence serializes the warp.
+    const f64 avgBits =
+        static_cast<f64>(enc.payload.size()) * 8.0 / static_cast<f64>(n);
+    gpusim::MemCounters mem;
+    mem.noteVectorRead(rawBytes, 32);
+    mem.noteScalarWrite(enc.totalBytes(), 4, 32);
+    mem.noteOps(static_cast<u64>(static_cast<f64>(n) *
+                                 (8.0 + 6.0 * avgBits)));  // per-bit chain
+    const auto t = model.kernel(mem, {});
+    table.addRow({"Huffman (cuSZ-style)",
+                  io::Table::num(static_cast<f64>(rawBytes) /
+                                     enc.totalBytes(),
+                                 2),
+                  "per-bit serial",
+                  io::Table::num(gpusim::gbps(rawBytes, t.totalSeconds), 1),
+                  "variable-length emission"});
+  }
+
+  // ---- RLE ------------------------------------------------------------------
+  {
+    const auto enc = entropy::RleCodec::encode(codes);
+    const auto roundTrip = entropy::RleCodec::decode(enc);
+    if (roundTrip != codes) {
+      std::fprintf(stderr, "RLE round trip failed\n");
+      return 1;
+    }
+    // Run detection is a data-dependent branch per element; warp lanes
+    // disagree on run boundaries (modelled 4x divergence on the op chain).
+    gpusim::MemCounters mem;
+    mem.noteVectorRead(rawBytes, 32);
+    mem.noteScalarWrite(enc.totalBytes(), 4, 32);
+    mem.noteOps(n * 8 * 4);
+    const auto t = model.kernel(mem, {});
+    table.addRow({"Run-length",
+                  io::Table::num(static_cast<f64>(rawBytes) /
+                                     enc.totalBytes(),
+                                 2),
+                  "branch / elem",
+                  io::Table::num(gpusim::gbps(rawBytes, t.totalSeconds), 1),
+                  "data-dependent branches"});
+  }
+
+  table.print();
+  std::printf(
+      "\nReading guide: FLE's regularity is what makes the whole cuSZp2\n"
+      "pipeline vectorizable (paper Fig. 10); Huffman/RLE may compress\n"
+      "comparably but their control flow forfeits the throughput that is\n"
+      "the point of a GPU compressor (Sec. IV-B).\n");
+  return 0;
+}

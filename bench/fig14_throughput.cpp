@@ -1,0 +1,124 @@
+// E3 — Paper Fig. 14: end-to-end compression and decompression throughput
+// of CUSZP2-P, CUSZP2-O, cuSZp, FZ-GPU (REL 1e-2/1e-3/1e-4) and cuZFP
+// (rates 4/8/16) across the 9 single-precision datasets.
+//
+// Also prints the Table I design-matrix self-check (E15).
+//
+// Expected shape: both cuSZp2 modes lead every baseline at every setting;
+// sparse datasets (JetIn, RTM early snapshots) decompress fastest thanks
+// to the zero-block memset path; decompression beats compression (no
+// encoding-analysis loop). The paper averages: CUSZP2-P 334.91 / 538.27,
+// CUSZP2-O 329.94 / 597.29 GB/s; baselines 107-189 GB/s.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "baselines/zfp.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+struct Avg {
+  f64 comp = 0.0;
+  f64 decomp = 0.0;
+  u32 n = 0;
+  void add(f64 c, f64 d) {
+    comp += c;
+    decomp += d;
+    ++n;
+  }
+  f64 avgComp() const { return n == 0 ? 0.0 : comp / n; }
+  f64 avgDecomp() const { return n == 0 ? 0.0 : decomp / n; }
+};
+
+void printTableI() {
+  std::printf("\nTable I design-matrix self-check (from code structure):\n");
+  io::Table t({"compressor", "pure GPU?", "single kernel?",
+               "high MB utilization?", "latency control?"});
+  t.addRow({"cuSZ (hybrid)", "no", "no", "no", "-"});
+  t.addRow({"MGARD-GPU (hybrid)", "no", "no", "no", "-"});
+  t.addRow({"cuSZx (hybrid)", "no", "yes", "no", "-"});
+  t.addRow({"cuZFP", "yes", "yes", "no", "-"});
+  t.addRow({"FZ-GPU", "yes", "no (2 kernels)", "no", "no (atomics)"});
+  t.addRow({"cuSZp", "yes", "yes", "no (scalar/strided)",
+            "no (chained scan)"});
+  t.addRow({"CUSZP2", "yes", "yes", "yes (vectorized)",
+            "yes (decoupled lookback)"});
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3 / Figure 14",
+                "End-to-end throughput, 9 datasets x 3 error bounds");
+
+  const usize elems = bench::fieldElems();
+  const u32 maxFields = bench::maxFieldsPerDataset();
+
+  std::map<std::string, Avg> overall;  // compressor -> average over all runs
+
+  for (const f64 rel : bench::relBounds()) {
+    std::printf("\n--- REL %s (compression | decompression, GB/s) ---\n",
+                bench::formatRel(rel).c_str());
+    io::Table table({"dataset", "CUSZP2-P", "CUSZP2-O", "cuSZp", "FZ-GPU",
+                     "cuZFP(r8)"});
+    for (const auto& info : datagen::singlePrecisionDatasets()) {
+      const u32 fields = std::min(info.numFields, maxFields);
+      Avg p;
+      Avg o;
+      Avg v1;
+      Avg fz;
+      Avg zf;
+      for (u32 f = 0; f < fields; ++f) {
+        const auto data = datagen::generateF32(info.name, f, elems);
+        const auto rP = baselines::Cuszp2Baseline::cuszp2Plain()->run(data,
+                                                                      rel);
+        const auto rO =
+            baselines::Cuszp2Baseline::cuszp2Outlier()->run(data, rel);
+        const auto rV1 = baselines::Cuszp2Baseline::cuszpV1()->run(data, rel);
+        const auto rFz = baselines::FzGpuBaseline().run(data, rel);
+        const auto rZf = baselines::ZfpBaseline(8.0).run(data, 0.0);
+        p.add(rP.compressGBps, rP.decompressGBps);
+        o.add(rO.compressGBps, rO.decompressGBps);
+        v1.add(rV1.compressGBps, rV1.decompressGBps);
+        fz.add(rFz.compressGBps, rFz.decompressGBps);
+        zf.add(rZf.compressGBps, rZf.decompressGBps);
+      }
+      auto cell = [](const Avg& a) {
+        return io::Table::num(a.avgComp(), 1) + " | " +
+               io::Table::num(a.avgDecomp(), 1);
+      };
+      table.addRow({info.name, cell(p), cell(o), cell(v1), cell(fz),
+                    cell(zf)});
+      overall["CUSZP2-P"].add(p.avgComp(), p.avgDecomp());
+      overall["CUSZP2-O"].add(o.avgComp(), o.avgDecomp());
+      overall["cuSZp"].add(v1.avgComp(), v1.avgDecomp());
+      overall["FZ-GPU"].add(fz.avgComp(), fz.avgDecomp());
+      overall["cuZFP"].add(zf.avgComp(), zf.avgDecomp());
+    }
+    table.print();
+  }
+
+  std::printf("\n--- Overall averages (GB/s) ---\n");
+  io::Table summary({"compressor", "compression", "decompression"});
+  for (const auto& [name, avg] : overall) {
+    summary.addRow({name, io::Table::num(avg.avgComp(), 2),
+                    io::Table::num(avg.avgDecomp(), 2)});
+  }
+  summary.print();
+  std::printf(
+      "\nPaper reference (A100): CUSZP2-P 334.91/538.27, CUSZP2-O\n"
+      "329.94/597.29; baselines 107.10 (cuZFP comp) ~ 188.74 GB/s (cuSZp\n"
+      "decomp). JetIn decompression peaks above 1 TB/s at REL 1e-2.\n");
+
+  printTableI();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E8 — Paper Fig. 18: reconstruction quality of cuSZp2 vs cuZFP on the
+// three RTM fields at matched compression ratios (~64, ~30, ~3 in the
+// paper). The paper shows isosurface renderings; this harness substitutes
+// quantitative stand-ins: PSNR, SSIM, max error, and iso-crossing
+// fidelity at a representative isovalue (see DESIGN.md substitutions).
+//
+// Expected shape: at aggressive matched ratios (P1000/P2000) cuZFP's
+// fixed-rate truncation corrupts structure (low SSIM / iso fidelity)
+// while cuSZp2 stays error-bounded; at the mild P3000 ratio both are
+// high-quality.
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/zfp.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ssim.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("E8 / Figure 18",
+                "Quality at matched ratio: cuSZp2 vs cuZFP (RTM fields)");
+
+  const usize elems = bench::fieldElems();
+  // REL bound per field chosen so cuSZp2's ratio spans aggressive to mild,
+  // mirroring the paper's ~64 / ~30 / ~3 setups.
+  const f64 relForField[3] = {1e-2, 1e-3, 1e-4};
+
+  io::Table table({"field", "ratio", "compressor", "PSNR (dB)", "SSIM",
+                   "max err", "iso fidelity"});
+  for (u32 f = 0; f < 3; ++f) {
+    const auto data = datagen::generateF32("rtm", f, elems);
+    const auto rO = baselines::Cuszp2Baseline::cuszp2Outlier()->run(
+        data, relForField[f]);
+    const f64 matchedRate = 32.0 / rO.ratio;
+    const auto rZ =
+        baselines::ZfpBaseline(std::max(0.125, matchedRate)).run(data, 0.0);
+
+    const f64 iso = 100.0;  // representative wavefront isovalue
+    auto addRow = [&](const std::string& name,
+                      const baselines::RunResult& r) {
+      const auto fid =
+          metrics::isoCrossingFidelity<f32>(data, r.reconstructed, iso);
+      table.addRow({datagen::rtmFieldNames()[f], io::Table::num(r.ratio, 1),
+                    name, io::Table::num(r.error.psnrDb, 2),
+                    io::Table::num(metrics::ssim<f32>(data, r.reconstructed),
+                                   4),
+                    io::Table::num(r.error.maxAbsError, 4),
+                    io::Table::num(fid.matchRatio * 100.0, 1) + "%"});
+    };
+    addRow("CUSZP2 (ours)", rO);
+    addRow("cuZFP", rZ);
+  }
+  table.print();
+  std::printf(
+      "\nPaper reference: at ratios ~64 and ~30 cuZFP corrupts the RTM\n"
+      "isosurfaces while cuSZp2 preserves them via error control; at ~3\n"
+      "both look identical to the original (Fig. 18 renderings).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E12 — Paper Fig. 21: compatibility with lower-end NVIDIA GPUs — RTM
+// P3000 throughput on RTX 3090 and RTX 3080 device models, all
+// compressors, averaged over the three REL settings (cuZFP over its three
+// rates).
+//
+// Expected shape: absolute numbers scale down with each card's bandwidth,
+// but cuSZp2 keeps its ~2x lead over every baseline on every device
+// (paper: 232.45/405.09 GB/s on 3090, 180.94/329.62 on 3080).
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "baselines/zfp.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("E12 / Figure 21",
+                "RTM P3000 on RTX 3090 / RTX 3080 device models");
+
+  const auto data = datagen::generateF32("rtm", 2, bench::fieldElems());
+
+  for (const auto& device : {gpusim::rtx3090(), gpusim::rtx3080()}) {
+    std::printf("\n--- %s ---\n", device.name.c_str());
+    io::Table table({"compressor", "compression", "decompression"});
+
+    auto addErrorBounded = [&](std::unique_ptr<baselines::Cuszp2Baseline>
+                                   make) {
+      f64 c = 0.0;
+      f64 d = 0.0;
+      for (const f64 rel : bench::relBounds()) {
+        const auto r = make->run(data, rel);
+        c += r.compressGBps;
+        d += r.decompressGBps;
+      }
+      table.addRow({make->name(), io::Table::gbps(c / 3.0),
+                    io::Table::gbps(d / 3.0)});
+    };
+    addErrorBounded(baselines::Cuszp2Baseline::cuszp2Plain(device));
+    addErrorBounded(baselines::Cuszp2Baseline::cuszp2Outlier(device));
+    addErrorBounded(baselines::Cuszp2Baseline::cuszpV1(device));
+    {
+      baselines::FzGpuBaseline fz(device);
+      f64 c = 0.0;
+      f64 d = 0.0;
+      for (const f64 rel : bench::relBounds()) {
+        const auto r = fz.run(data, rel);
+        c += r.compressGBps;
+        d += r.decompressGBps;
+      }
+      table.addRow({fz.name(), io::Table::gbps(c / 3.0),
+                    io::Table::gbps(d / 3.0)});
+    }
+    {
+      f64 c = 0.0;
+      f64 d = 0.0;
+      for (const f64 rate : {4.0, 8.0, 16.0}) {
+        baselines::ZfpBaseline zfp(rate, device);
+        const auto r = zfp.run(data, 0.0);
+        c += r.compressGBps;
+        d += r.decompressGBps;
+      }
+      table.addRow({"cuZFP (rates 4/8/16)", io::Table::gbps(c / 3.0),
+                    io::Table::gbps(d / 3.0)});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nPaper reference: cuSZp2 reaches 232.45/405.09 GB/s on the 3090\n"
+      "and 180.94/329.62 GB/s on the 3080, keeping ~2x over all baselines\n"
+      "— the optimizations are generic across devices (Sec. VI-C).\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Google-benchmark microbenchmarks of the primitives behind the paper's
+// designs: quantization, block planning/encoding/decoding, bit-plane
+// packing, and the two device-level scan protocols. These measure real
+// host CPU time (unlike the figure harnesses, which report modelled device
+// time) and exist to catch performance regressions in the library itself.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "core/block_codec.hpp"
+#include "core/fle.hpp"
+#include "core/segmented.hpp"
+#include "core/compressor.hpp"
+#include "core/quantizer.hpp"
+#include "datagen/fields.hpp"
+#include "entropy/huffman.hpp"
+#include "entropy/rle.hpp"
+#include "metrics/ssim.hpp"
+#include "gpusim/launcher.hpp"
+#include "scan/device_scan.hpp"
+
+namespace {
+
+using namespace cuszp2;
+
+std::vector<f32> benchData(usize n) {
+  return datagen::generateF32("miranda", 0, n);
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const auto data = benchData(1 << 16);
+  const core::Quantizer q(1e-3);
+  for (auto _ : state) {
+    i32 acc = 0;
+    for (f32 v : data) acc += q.quantize(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(data.size() * 4));
+}
+BENCHMARK(BM_Quantize);
+
+void BM_BlockPlan(benchmark::State& state) {
+  const core::BlockCodec codec(32);
+  Rng rng(1);
+  std::vector<i32> quants(32);
+  i32 v = 1000;
+  for (auto& qv : quants) {
+    v += static_cast<i32>(rng.uniformInt(7)) - 3;
+    qv = v;
+  }
+  for (auto _ : state) {
+    auto plan = codec.plan(quants, EncodingMode::Outlier);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_BlockPlan);
+
+void BM_BlockEncodeDecode(benchmark::State& state) {
+  const core::BlockCodec codec(32);
+  Rng rng(2);
+  std::vector<i32> quants(32);
+  i32 v = 1000;
+  for (auto& qv : quants) {
+    v += static_cast<i32>(rng.uniformInt(31)) - 15;
+    qv = v;
+  }
+  const auto plan = codec.plan(quants, EncodingMode::Outlier);
+  std::vector<std::byte> payload(plan.payloadBytes);
+  std::vector<i32> rec(32);
+  for (auto _ : state) {
+    codec.encode(quants, plan, payload.data());
+    codec.decode(plan.header, payload.data(), rec);
+    benchmark::DoNotOptimize(rec.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 128);
+}
+BENCHMARK(BM_BlockEncodeDecode);
+
+void BM_PackPlanes(benchmark::State& state) {
+  const u32 fl = static_cast<u32>(state.range(0));
+  Rng rng(3);
+  std::vector<u32> vals(32);
+  for (auto& x : vals) {
+    x = static_cast<u32>(rng.next()) & ((1u << fl) - 1);
+  }
+  std::vector<std::byte> buf(fl * 4);
+  for (auto _ : state) {
+    core::packPlanes(vals, fl, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_PackPlanes)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(31);
+
+void BM_DeviceScan(benchmark::State& state) {
+  const auto algo = state.range(0) == 0 ? scan::Algorithm::ChainedScan
+                                        : scan::Algorithm::DecoupledLookback;
+  Rng rng(4);
+  std::vector<u64> values(1 << 16);
+  for (auto& v : values) v = rng.uniformInt(200);
+  gpusim::Launcher launcher;
+  for (auto _ : state) {
+    auto result = scan::deviceExclusiveScan(values, 128, algo, launcher);
+    benchmark::DoNotOptimize(result.exclusive.data());
+  }
+  state.SetLabel(scan::toString(algo));
+}
+BENCHMARK(BM_DeviceScan)->Arg(0)->Arg(1);
+
+void BM_EndToEndCompress(benchmark::State& state) {
+  const auto data = benchData(1 << 18);
+  core::Config cfg;
+  cfg.absErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  for (auto _ : state) {
+    auto c = comp.compress<f32>(data);
+    benchmark::DoNotOptimize(c.stream.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(data.size() * 4));
+}
+BENCHMARK(BM_EndToEndCompress);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::byte> data(1 << 20);
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<std::byte>(rng.uniformInt(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(data.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<u16> symbols(1 << 16);
+  for (auto& s : symbols) {
+    s = rng.uniform() < 0.9 ? 0 : static_cast<u16>(rng.uniformInt(512));
+  }
+  for (auto _ : state) {
+    auto enc = entropy::HuffmanCodec::encode(symbols, 512);
+    benchmark::DoNotOptimize(enc.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(symbols.size() * 2));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_RleEncode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<u16> symbols(1 << 16);
+  u16 current = 0;
+  for (auto& s : symbols) {
+    if (rng.uniform() < 0.05) current = static_cast<u16>(rng.uniformInt(64));
+    s = current;
+  }
+  for (auto _ : state) {
+    auto enc = entropy::RleCodec::encode(symbols);
+    benchmark::DoNotOptimize(enc.runs.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(symbols.size() * 2));
+}
+BENCHMARK(BM_RleEncode);
+
+void BM_SegmentedAppend(benchmark::State& state) {
+  const auto data = benchData(1 << 16);
+  core::Config cfg;
+  cfg.absErrorBound = 1e-3;
+  for (auto _ : state) {
+    core::SegmentedCompressor<f32> sc(cfg, 1 << 14);
+    sc.append(data);
+    auto container = sc.finish();
+    benchmark::DoNotOptimize(container.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(data.size() * 4));
+}
+BENCHMARK(BM_SegmentedAppend);
+
+void BM_Ssim(benchmark::State& state) {
+  const auto a = benchData(1 << 16);
+  auto b = a;
+  b[100] += 0.01f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::ssim<f32>(a, b));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(a.size() * 4));
+}
+BENCHMARK(BM_Ssim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

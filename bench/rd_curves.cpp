@@ -1,0 +1,62 @@
+// Supplementary — rate-distortion curves (paper Observation III states
+// cuSZp2 "exhibits the best rate-distortion curves among GPU error-bounded
+// lossy compressors"; Sec. V-D argues it from ratio dominance at equal
+// reconstruction). This harness prints PSNR-vs-bitrate series for
+// CUSZP2-O, cuSZp (plain FLE), FZ-GPU, and cuZFP on one field so the claim
+// is checkable numerically.
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "baselines/zfp.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("Supplementary / Sec. V-D",
+                "Rate-distortion curves (bits/value vs PSNR)");
+
+  const auto data = datagen::generateF32("cesm_atm", 0, bench::fieldElems());
+
+  io::Table table({"compressor", "setting", "bits/value", "PSNR (dB)"});
+  // Error-bounded compressors: sweep REL bounds; the same bound gives the
+  // same PSNR, so the curve separation comes from bitrate alone.
+  const f64 bounds[] = {3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4};
+  for (const f64 rel : bounds) {
+    char setting[32];
+    std::snprintf(setting, sizeof(setting), "REL %.0e", rel);
+    {
+      const auto r = baselines::Cuszp2Baseline::cuszp2Outlier()->run(data,
+                                                                     rel);
+      table.addRow({"CUSZP2-O", setting, io::Table::num(32.0 / r.ratio, 3),
+                    io::Table::num(r.error.psnrDb, 2)});
+    }
+    {
+      const auto r = baselines::Cuszp2Baseline::cuszpV1()->run(data, rel);
+      table.addRow({"cuSZp", setting, io::Table::num(32.0 / r.ratio, 3),
+                    io::Table::num(r.error.psnrDb, 2)});
+    }
+    {
+      const auto r = baselines::FzGpuBaseline().run(data, rel);
+      table.addRow({"FZ-GPU", setting, io::Table::num(32.0 / r.ratio, 3),
+                    io::Table::num(r.error.psnrDb, 2)});
+    }
+  }
+  for (const f64 rate : {1.0, 2.0, 4.0, 8.0}) {
+    char setting[32];
+    std::snprintf(setting, sizeof(setting), "rate %g", rate);
+    const auto r = baselines::ZfpBaseline(rate).run(data, 0.0);
+    table.addRow({"cuZFP", setting, io::Table::num(rate, 3),
+                  io::Table::num(r.error.psnrDb, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: at equal PSNR (same REL bound), CUSZP2-O spends\n"
+      "fewer bits/value than cuSZp and FZ-GPU => its R-D curve dominates\n"
+      "(Observation III). cuZFP trades along its own transform-coding\n"
+      "curve, strong at high rates, collapsing at low ones (Fig. 18).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E7 — Paper Table III: compression ratios of CUSZP2-O, FZ-GPU, and cuSZp
+// across the 9 single-precision datasets x 3 REL bounds, formatted as the
+// paper's "min~max (avg)" cells. CUSZP2-P is omitted exactly as in the
+// paper (its ratios match cuSZp to <0.01% by construction).
+//
+// Expected shape: CUSZP2-O posts the highest average in most cells,
+// especially on smooth datasets (CESM, HACC, Miranda) and sparse ones
+// (RTM, JetIn); FZ-GPU competes on some rough datasets.
+#include <cstdio>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "bench_util.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+#include "metrics/ratio.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("E7 / Table III",
+                "Compression ratios: CUSZP2-O vs FZ-GPU vs cuSZp");
+
+  const usize elems = bench::fieldElems();
+  const u32 maxFields = bench::maxFieldsPerDataset();
+
+  for (const f64 rel : bench::relBounds()) {
+    std::printf("\n--- REL %s ---\n", bench::formatRel(rel).c_str());
+    io::Table table({"dataset", "CUSZP2-O", "FZ-GPU", "cuSZp", "best"});
+    u32 winsO = 0;
+    u32 cells = 0;
+    for (const auto& info : datagen::singlePrecisionDatasets()) {
+      metrics::RatioCell o;
+      metrics::RatioCell fz;
+      metrics::RatioCell v1;
+      for (u32 f = 0; f < std::min(info.numFields, maxFields); ++f) {
+        const auto data = datagen::generateF32(info.name, f, elems);
+        o.add(baselines::Cuszp2Baseline::cuszp2Outlier()
+                  ->run(data, rel)
+                  .ratio);
+        fz.add(baselines::FzGpuBaseline().run(data, rel).ratio);
+        v1.add(baselines::Cuszp2Baseline::cuszpV1()->run(data, rel).ratio);
+      }
+      const bool oWins = o.avg() >= fz.avg() && o.avg() >= v1.avg();
+      winsO += oWins ? 1 : 0;
+      ++cells;
+      table.addRow({info.name, o.format(), fz.format(), v1.format(),
+                    oWins ? "CUSZP2-O"
+                          : (fz.avg() > v1.avg() ? "FZ-GPU" : "cuSZp")});
+    }
+    table.print();
+    std::printf("CUSZP2-O has the best average in %u/%u datasets at this "
+                "bound.\n",
+                winsO, cells);
+  }
+  std::printf(
+      "\nPaper reference: CUSZP2-O posts the highest averages in 24/27\n"
+      "cells; FZ-GPU wins NYX at loose bounds. (FZ-GPU's published binary\n"
+      "crashes on 4 datasets — our reimplementation runs them all, so\n"
+      "those cells have values instead of the paper's N.A.)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E10 — Paper Table V: compression ratios of CUSZP2-P and CUSZP2-O on the
+// double-precision datasets (NWChem, S3D) at REL 1e-2/1e-3/1e-4.
+//
+// Expected shape: NWChem compresses extremely well with P and O nearly
+// identical; on S3D (globally smooth) Outlier-FLE reaches up to ~3x
+// Plain-FLE at tight bounds (paper: 13.74 vs 37.48 at 1e-4... i.e. the
+// O/P gap grows as the bound tightens).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/compressor.hpp"
+#include "core/quantizer.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ratio.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+f64 ratioFor(std::span<const f64> data, f64 rel, EncodingMode mode) {
+  core::Config cfg;
+  cfg.mode = mode;
+  cfg.absErrorBound =
+      core::Quantizer::absFromRel(rel, metrics::valueRange<f64>(data));
+  return core::Compressor(cfg).compress<f64>(data).ratio;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10 / Table V", "Double-precision compression ratios");
+
+  const usize elems = bench::fieldElems();
+  const u32 maxFields = bench::maxFieldsPerDataset();
+
+  io::Table table({"dataset", "REL", "CUSZP2-P", "CUSZP2-O", "O/P"});
+  for (const auto& info : datagen::doublePrecisionDatasets()) {
+    for (const f64 rel : bench::relBounds()) {
+      metrics::RatioCell p;
+      metrics::RatioCell o;
+      for (u32 f = 0; f < std::min(info.numFields, maxFields); ++f) {
+        const auto data = datagen::generateF64(info.name, f, elems);
+        p.add(ratioFor(data, rel, EncodingMode::Plain));
+        o.add(ratioFor(data, rel, EncodingMode::Outlier));
+      }
+      table.addRow({info.name, bench::formatRel(rel), p.format(), o.format(),
+                    io::Table::num(o.avg() / p.avg(), 2) + "x"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPaper reference (Table V): NWChem ~82.5 at 1E-2 with P and O\n"
+      "nearly identical; S3D shows Outlier-FLE reaching ~3x Plain-FLE at\n"
+      "tight bounds thanks to global smoothness.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E13 — Paper Table VI: rationale for 1-D processing — compression ratios
+// of CUSZP2-1D/2D/3D (outlier encoding, 64-element blocks: 64 / 8x8 /
+// 4x4x4) on the three RTM fields at REL 1e-2/1e-3/1e-4.
+//
+// Expected shape: 2-D/3-D help on the sparse early snapshot at loose
+// bounds but the advantage shrinks to a few percent on the dense field at
+// tight bounds — not worth the >50% throughput cost of irregular access.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/lorenzo_nd.hpp"
+#include "datagen/fields.hpp"
+#include "io/table.hpp"
+
+using namespace cuszp2;
+
+int main() {
+  bench::banner("E13 / Table VI",
+                "1D vs 2D vs 3D cuSZp2 ratios on RTM fields");
+
+  // The ND compressor needs true 3-D geometry: derive a cube from the
+  // element budget (matching the generator's own internal dims).
+  const usize elems = bench::fieldElems();
+  const usize nx = static_cast<usize>(std::cbrt(static_cast<f64>(elems)));
+  const core::Dims3 grid{nx, nx, (elems + nx * nx - 1) / (nx * nx)};
+  const usize total = grid.count();
+
+  io::Table table({"variant", "REL", "P1000", "P2000", "P3000",
+                   "comp GB/s"});
+  for (const auto dims :
+       {core::LorenzoDims::D1, core::LorenzoDims::D2, core::LorenzoDims::D3}) {
+    for (const f64 rel : bench::relBounds()) {
+      std::vector<std::string> row = {
+          std::string("CUSZP2-") + core::toString(dims),
+          bench::formatRel(rel)};
+      f64 gbps = 0.0;
+      for (u32 f = 0; f < 3; ++f) {
+        auto data = datagen::generateF32("rtm", f, total);
+        core::NdConfig cfg;
+        cfg.dims = dims;
+        cfg.relErrorBound = rel;
+        const core::NdCompressor comp(cfg);
+        const auto c = comp.compress<f32>(data, grid);
+        row.push_back(io::Table::num(c.ratio, 2));
+        gbps += c.profile.endToEndGBps;
+      }
+      row.push_back(io::Table::num(gbps / 3.0, 1));
+      table.addRow(row);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPaper reference (Table VI): e.g. P3000 at 1E-3 is 11.19 (1D) vs\n"
+      "11.29 (2D) vs 10.96 (3D) — a wash; the gains concentrate in sparse\n"
+      "fields at loose bounds, while multi-dimensional access patterns\n"
+      "would cost >50%% throughput (Sec. VI-D). A 1-D design is also what\n"
+      "nvCOMP, the industry compressor, uses.\n");
+  return 0;
+}

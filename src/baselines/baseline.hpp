@@ -1,0 +1,60 @@
+// Uniform interface over all compressors (cuSZp2 itself and every baseline)
+// so the bench harness can sweep them identically.
+//
+// run() executes a full compress + decompress round trip on one field and
+// reports: real compressed ratio, reconstruction (for quality metrics), and
+// the modelled device timings (end-to-end and kernel-only, the distinction
+// the paper's Sec. II is about).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpusim/device_spec.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+
+struct RunResult {
+  std::string compressor;
+
+  f64 ratio = 0.0;
+
+  /// Modelled end-to-end throughput w.r.t. original bytes (paper's metric).
+  f64 compressGBps = 0.0;
+  f64 decompressGBps = 0.0;
+
+  /// Kernel-only throughput (excludes PCIe + CPU stages); for pure-GPU
+  /// compressors this is close to end-to-end, for hybrids it is wildly
+  /// optimistic — the gap of Fig. 2.
+  f64 compressKernelGBps = 0.0;
+  f64 decompressKernelGBps = 0.0;
+
+  /// Memory-pipeline throughput of the compression kernel (Figs. 9/16).
+  f64 memThroughputGBps = 0.0;
+
+  /// Reconstruction quality vs the original input.
+  metrics::ErrorStats error;
+
+  /// Reconstructed data (for Fig. 18-style quality comparisons).
+  std::vector<f32> reconstructed;
+};
+
+class IBaseline {
+ public:
+  virtual ~IBaseline() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True for error-bounded compressors (param = REL error bound); false
+  /// for fixed-rate (param = bits per value, cuZFP-style).
+  virtual bool errorBounded() const = 0;
+
+  /// Compress + decompress `data`; `param` is the REL bound or the rate.
+  virtual RunResult run(std::span<const f32> data, f64 param) = 0;
+};
+
+}  // namespace cuszp2::baselines

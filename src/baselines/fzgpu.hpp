@@ -1,0 +1,39 @@
+// FZ-GPU-like baseline (Zhang et al., HPDC'23): Lorenzo quantization +
+// zigzag + bitshuffle + zero-plane suppression.
+//
+// Faithful structural reproduction of the published pipeline:
+//   kernel 1: quantize, first-order difference per chunk, zigzag encode,
+//             write full-size codes back to global memory (the extra
+//             round trip a two-kernel design pays);
+//   kernel 2: per 256-element chunk, bitshuffle the 32-bit codes into 32
+//             bit planes, keep only nonzero planes behind a 32-bit mask,
+//             and reserve output space with a global atomicAdd (FZ-GPU's
+//             synchronization, charged at atomic throughput).
+// Decompression mirrors the two kernels in reverse.
+//
+// The coarse (per-chunk) fixed-length adaptivity and the zigzag sign bit
+// are what cuSZp2's per-32-element Outlier-FLE beats in ratio (Table III),
+// and the two-kernel + atomic structure is what it beats in throughput
+// (Figs. 14/16).
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace cuszp2::baselines {
+
+class FzGpuBaseline final : public IBaseline {
+ public:
+  explicit FzGpuBaseline(gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  std::string name() const override { return "FZ-GPU"; }
+  bool errorBounded() const override { return true; }
+  RunResult run(std::span<const f32> data, f64 relErrorBound) override;
+
+  /// Chunk length in elements (one bitshuffle unit).
+  static constexpr u32 kChunk = 256;
+
+ private:
+  gpusim::DeviceSpec device_;
+};
+
+}  // namespace cuszp2::baselines

@@ -1,0 +1,420 @@
+#include "baselines/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/block_codec.hpp"
+#include "core/quantizer.hpp"
+#include "entropy/huffman.hpp"
+#include "gpusim/launcher.hpp"
+#include "gpusim/timing.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+
+namespace {
+
+// Host-stage throughput constants (2x AMD EPYC 7742 class node, matching
+// the paper's Swing cluster platform). These convert real host work into
+// modelled seconds; they are deliberately optimistic — even so the hybrids
+// land orders of magnitude below pure-GPU end-to-end throughput.
+constexpr f64 kCpuHuffmanGBps = 1.0;   // tree build + encode/decode
+constexpr f64 kCpuCompactGBps = 2.5;   // prefix-sum + compaction pass
+constexpr f64 kCpuMgardGBps = 0.40;    // multilevel reorder + Huffman
+
+constexpr u16 kOutlierCode = 0;
+constexpr i32 kCodeOffset = 32768;
+
+struct QuantCodes {
+  std::vector<u16> codes;
+  std::vector<std::pair<u64, i32>> outliers;  // (index, diff) pairs
+
+  usize outlierBytes() const { return outliers.size() * 12; }
+};
+
+/// Lorenzo (first-order) quantization to u16 codes with an outlier list —
+/// the cuSZ front end.
+QuantCodes lorenzoQuantize(std::span<const f32> data,
+                           const core::Quantizer& quantizer) {
+  QuantCodes out;
+  out.codes.resize(data.size());
+  i32 prev = 0;
+  for (usize i = 0; i < data.size(); ++i) {
+    const i32 q = quantizer.quantize(data[i]);
+    const i32 d = q - prev;
+    prev = q;
+    if (d > -kCodeOffset + 1 && d < kCodeOffset) {
+      out.codes[i] = static_cast<u16>(d + kCodeOffset);
+    } else {
+      out.codes[i] = kOutlierCode;
+      out.outliers.emplace_back(i, d);
+    }
+  }
+  return out;
+}
+
+std::vector<f32> lorenzoDequantize(const QuantCodes& qc,
+                                   const core::Quantizer& quantizer) {
+  std::vector<f32> out(qc.codes.size());
+  usize nextOutlier = 0;
+  i32 acc = 0;
+  for (usize i = 0; i < qc.codes.size(); ++i) {
+    i32 d = 0;
+    if (qc.codes[i] == kOutlierCode) {
+      require(nextOutlier < qc.outliers.size() &&
+                  qc.outliers[nextOutlier].first == i,
+              "hybrid: outlier list out of sync");
+      d = qc.outliers[nextOutlier++].second;
+    } else {
+      d = static_cast<i32>(qc.codes[i]) - kCodeOffset;
+    }
+    acc += d;
+    out[i] = quantizer.dequantize<f32>(acc);
+  }
+  return out;
+}
+
+f64 secondsAt(u64 bytes, f64 gbps) {
+  return static_cast<f64>(bytes) / (gbps * 1e9);
+}
+
+}  // namespace
+
+HybridBaseline::HybridBaseline(Kind kind, gpusim::DeviceSpec device)
+    : kind_(kind), device_(std::move(device)) {}
+
+std::string HybridBaseline::name() const {
+  switch (kind_) {
+    case Kind::CuszLike: return "cuSZ (hybrid)";
+    case Kind::CuszxLike: return "cuSZx (hybrid)";
+    case Kind::MgardLike: return "MGARD-GPU (hybrid)";
+  }
+  return "?";
+}
+
+RunResult HybridBaseline::run(std::span<const f32> data, f64 relErrorBound) {
+  require(!data.empty(), "HybridBaseline: empty input");
+  const f64 absEb = core::Quantizer::absFromRel(
+      relErrorBound, metrics::valueRange(data));
+  switch (kind_) {
+    case Kind::CuszLike: return runCusz(data, absEb);
+    case Kind::CuszxLike: return runCuszx(data, absEb);
+    case Kind::MgardLike: return runMgard(data, absEb);
+  }
+  throw Error("HybridBaseline: unknown kind");
+}
+
+// ---- cuSZ-like ----------------------------------------------------------
+
+RunResult HybridBaseline::runCusz(std::span<const f32> data, f64 absEb) {
+  const core::Quantizer quantizer(absEb);
+  const gpusim::TimingModel timing(device_);
+  gpusim::Launcher launcher;
+  const u64 n = data.size();
+  const u64 originalBytes = n * sizeof(f32);
+
+  // GPU kernel: Lorenzo quantization (runs for real; counters recorded).
+  QuantCodes qc;
+  const u32 tiles = 256;
+  const auto launchQ = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    qc = lorenzoQuantize(data, quantizer);
+    ctx.mem.noteVectorRead(n * 4, device_.transactionBytes);
+    ctx.mem.noteScalarWrite(n * 2, 2, device_.transactionBytes);
+    ctx.mem.noteOps(n * 6);
+    ctx.sync.tiles = tiles;
+  });
+
+  // Host: canonical Huffman over the quant codes (real codec).
+  const auto enc = entropy::HuffmanCodec::encode(qc.codes, 65536);
+  const u64 compressedBytes = enc.totalBytes() + qc.outlierBytes();
+
+  // Time model: kernel + D2H codes + CPU Huffman + H2D compressed.
+  const auto kernelTiming = timing.kernel(launchQ.mem, launchQ.sync);
+  const f64 compSeconds = kernelTiming.totalSeconds +
+                          timing.pcieSeconds(n * 2 + qc.outlierBytes()) +
+                          secondsAt(n * 2, kCpuHuffmanGBps) +
+                          timing.pcieSeconds(compressedBytes);
+
+  // Decompression: D2H compressed -> CPU Huffman decode -> H2D codes ->
+  // GPU dequantization kernel.
+  const auto decodedCodes = entropy::HuffmanCodec::decode(enc);
+  require(decodedCodes == qc.codes, "cuSZ hybrid: Huffman round trip failed");
+  QuantCodes qcDec;
+  qcDec.codes = decodedCodes;
+  qcDec.outliers = qc.outliers;
+  std::vector<f32> reconstructed;
+  const auto launchD = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    reconstructed = lorenzoDequantize(qcDec, quantizer);
+    ctx.mem.noteScalarRead(n * 2, 2, device_.transactionBytes);
+    ctx.mem.noteVectorWrite(n * 4, device_.transactionBytes);
+    ctx.mem.noteOps(n * 5);
+  });
+  const auto decKernelTiming = timing.kernel(launchD.mem, launchD.sync);
+  const f64 decSeconds = timing.pcieSeconds(compressedBytes) +
+                         secondsAt(n * 2, kCpuHuffmanGBps) +
+                         timing.pcieSeconds(n * 2 + qc.outlierBytes()) +
+                         decKernelTiming.totalSeconds;
+
+  RunResult r;
+  r.compressor = name();
+  r.ratio = static_cast<f64>(originalBytes) /
+            static_cast<f64>(compressedBytes);
+  r.compressGBps = gpusim::gbps(originalBytes, compSeconds);
+  r.decompressGBps = gpusim::gbps(originalBytes, decSeconds);
+  r.compressKernelGBps =
+      gpusim::gbps(originalBytes, kernelTiming.totalSeconds);
+  r.decompressKernelGBps =
+      gpusim::gbps(originalBytes, decKernelTiming.totalSeconds);
+  r.memThroughputGBps = kernelTiming.memThroughputGBps;
+  r.error = metrics::computeErrorStats<f32>(data, reconstructed);
+  r.reconstructed = std::move(reconstructed);
+  return r;
+}
+
+// ---- cuSZx-like ----------------------------------------------------------
+
+RunResult HybridBaseline::runCuszx(std::span<const f32> data, f64 absEb) {
+  const core::Quantizer quantizer(absEb);
+  const gpusim::TimingModel timing(device_);
+  gpusim::Launcher launcher;
+  const u64 n = data.size();
+  const u64 originalBytes = n * sizeof(f32);
+
+  constexpr u32 kBlockSize = 64;
+  const core::BlockCodec codec(kBlockSize);
+  const u64 numBlocks = (n + kBlockSize - 1) / kBlockSize;
+
+  // GPU kernel (single kernel, like real cuSZx): quantize + plain-FLE
+  // encode each block into a worst-case slot.
+  std::vector<u8> offsetBytes(numBlocks, 0);
+  std::vector<std::byte> slots(numBlocks * core::maxPayloadSize(kBlockSize));
+  std::vector<u64> sizes(numBlocks, 0);
+  const auto launchC = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    std::vector<i32> q(kBlockSize);
+    u64 payload = 0;
+    for (u64 blk = 0; blk < numBlocks; ++blk) {
+      const u64 eFirst = blk * kBlockSize;
+      const u64 eLast = std::min<u64>(n, eFirst + kBlockSize);
+      for (u64 e = eFirst; e < eLast; ++e) {
+        q[e - eFirst] = quantizer.quantize(data[e]);
+      }
+      for (u64 e = eLast; e < eFirst + kBlockSize; ++e) {
+        q[e - eFirst] = q[eLast - eFirst == 0 ? 0 : eLast - eFirst - 1];
+      }
+      const auto plan = codec.plan(q, EncodingMode::Plain);
+      offsetBytes[blk] = plan.header.pack();
+      codec.encode(q, plan,
+                   slots.data() + blk * core::maxPayloadSize(kBlockSize));
+      sizes[blk] = plan.payloadBytes;
+      payload += plan.payloadBytes;
+    }
+    ctx.mem.noteScalarRead(n * 4, 4, device_.transactionBytes);
+    ctx.mem.noteScalarWrite(payload + numBlocks, 4,
+                            device_.transactionBytes);
+    ctx.mem.noteOps(n * 10);
+  });
+
+  u64 payloadBytes = 0;
+  for (u64 s : sizes) payloadBytes += s;
+  const u64 compressedBytes = numBlocks + payloadBytes;
+
+  // Host: device-level synchronization on the CPU — the worst-case slot
+  // array must cross PCIe because the device never learns the compacted
+  // layout, then the host prefix-sums and compacts and sends the unified
+  // array back. This is the "CPU computations to perform global
+  // synchronization" of Table I.
+  const u64 d2hBytes =
+      numBlocks + numBlocks * core::maxPayloadSize(kBlockSize);
+  const auto kernelTiming = timing.kernel(launchC.mem, launchC.sync);
+  const f64 compSeconds = kernelTiming.totalSeconds +
+                          timing.pcieSeconds(d2hBytes) +
+                          secondsAt(compressedBytes, kCpuCompactGBps) +
+                          timing.pcieSeconds(compressedBytes);
+
+  // Decompression: offsets derived on host, then a single GPU decode
+  // kernel.
+  std::vector<f32> reconstructed(n, 0.0f);
+  const auto launchD = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    std::vector<i32> q(kBlockSize);
+    for (u64 blk = 0; blk < numBlocks; ++blk) {
+      const auto h = core::BlockHeader::unpack(offsetBytes[blk]);
+      codec.decode(h, slots.data() + blk * core::maxPayloadSize(kBlockSize),
+                   q);
+      const u64 eFirst = blk * kBlockSize;
+      const u64 eLast = std::min<u64>(n, eFirst + kBlockSize);
+      for (u64 e = eFirst; e < eLast; ++e) {
+        reconstructed[e] = quantizer.dequantize<f32>(q[e - eFirst]);
+      }
+    }
+    ctx.mem.noteScalarRead(compressedBytes, 4, device_.transactionBytes);
+    ctx.mem.noteScalarWrite(n * 4, 4, device_.transactionBytes);
+    ctx.mem.noteOps(n * 8);
+  });
+  const auto decKernelTiming = timing.kernel(launchD.mem, launchD.sync);
+  const f64 decSeconds = timing.pcieSeconds(compressedBytes) +
+                         secondsAt(compressedBytes, kCpuCompactGBps) +
+                         timing.pcieSeconds(compressedBytes) +
+                         decKernelTiming.totalSeconds;
+
+  RunResult r;
+  r.compressor = name();
+  r.ratio = static_cast<f64>(originalBytes) /
+            static_cast<f64>(compressedBytes);
+  r.compressGBps = gpusim::gbps(originalBytes, compSeconds);
+  r.decompressGBps = gpusim::gbps(originalBytes, decSeconds);
+  r.compressKernelGBps =
+      gpusim::gbps(originalBytes, kernelTiming.totalSeconds);
+  r.decompressKernelGBps =
+      gpusim::gbps(originalBytes, decKernelTiming.totalSeconds);
+  r.memThroughputGBps = kernelTiming.memThroughputGBps;
+  r.error = metrics::computeErrorStats<f32>(data, reconstructed);
+  r.reconstructed = std::move(reconstructed);
+  return r;
+}
+
+// ---- MGARD-like -----------------------------------------------------------
+
+RunResult HybridBaseline::runMgard(std::span<const f32> data, f64 absEb) {
+  const gpusim::TimingModel timing(device_);
+  gpusim::Launcher launcher;
+  const u64 n = data.size();
+  const u64 originalBytes = n * sizeof(f32);
+
+  // Multilevel interpolation decomposition with closed-loop quantization:
+  // anchors at stride S are quantized directly; each finer level predicts
+  // the odd-stride nodes by linear interpolation of already-reconstructed
+  // neighbours and quantizes the residual. Error is bounded by eb at every
+  // node because prediction always uses reconstructed values.
+  u32 levels = 0;
+  while ((u64{1} << (levels + 1)) < n && levels < 12) ++levels;
+  const u64 S = u64{1} << levels;
+  const core::Quantizer quantizer(absEb);
+
+  std::vector<i32> q(n, 0);
+  std::vector<f64> vrec(n, 0.0);
+  gpusim::MemCounters decompMemModel;  // accumulated over per-level kernels
+  u32 kernelLaunches = 0;
+
+  // Anchor kernel.
+  const auto launchAnchor = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    u64 count = 0;
+    for (u64 i = 0; i < n; i += S) {
+      q[i] = quantizer.quantize(data[i]);
+      vrec[i] = quantizer.dequantize<f64>(q[i]);
+      ++count;
+    }
+    ctx.mem.noteStridedRead(count * 4, 4);
+    ctx.mem.noteStridedWrite(count * 4, 4);
+    ctx.mem.noteOps(count * 4);
+  });
+  gpusim::MemCounters compMem = launchAnchor.mem;
+  ++kernelLaunches;
+
+  // One kernel per level (the multi-kernel structure of MGARD-GPU).
+  for (u64 s = S / 2; s >= 1; s /= 2) {
+    const auto launchL = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+      u64 count = 0;
+      for (u64 i = s; i < n; i += 2 * s) {
+        const f64 left = vrec[i - s];
+        const f64 pred = (i + s < n) ? 0.5 * (left + vrec[i + s]) : left;
+        const f64 r = static_cast<f64>(data[i]) - pred;
+        const i64 qi = std::llround(r / (2.0 * absEb));
+        require(qi >= -core::kMaxQuant && qi <= core::kMaxQuant,
+                "MGARD hybrid: quantization overflow");
+        q[i] = static_cast<i32>(qi);
+        vrec[i] = pred + static_cast<f64>(q[i]) * 2.0 * absEb;
+        ++count;
+      }
+      ctx.mem.noteStridedRead(count * 12, 4);  // value + two neighbours
+      ctx.mem.noteStridedWrite(count * 8, 4);
+      ctx.mem.noteOps(count * 10);
+    });
+    compMem += launchL.mem;
+    decompMemModel += launchL.mem;
+    ++kernelLaunches;
+    if (s == 1) break;
+  }
+
+  // Host: Huffman over the multilevel coefficients (codes + outliers).
+  std::vector<u16> codes(n);
+  std::vector<std::pair<u64, i32>> outliers;
+  for (u64 i = 0; i < n; ++i) {
+    if (q[i] > -kCodeOffset + 1 && q[i] < kCodeOffset) {
+      codes[i] = static_cast<u16>(q[i] + kCodeOffset);
+    } else {
+      codes[i] = kOutlierCode;
+      outliers.emplace_back(i, q[i]);
+    }
+  }
+  const auto enc = entropy::HuffmanCodec::encode(codes, 65536);
+  const u64 compressedBytes = enc.totalBytes() + outliers.size() * 12;
+
+  gpusim::SyncStats noSync;
+  const auto kernelTiming = timing.kernel(compMem, noSync);
+  const f64 kernelSeconds = kernelTiming.totalSeconds +
+                            (kernelLaunches - 1) * timing.launchSeconds();
+  const f64 compSeconds = kernelSeconds + timing.pcieSeconds(n * 2) +
+                          secondsAt(n * 2, kCpuMgardGBps) +
+                          timing.pcieSeconds(compressedBytes);
+
+  // Decompression: Huffman decode on host, inverse cascade on device.
+  const auto decodedCodes = entropy::HuffmanCodec::decode(enc);
+  require(decodedCodes == codes, "MGARD hybrid: Huffman round trip failed");
+  std::vector<f32> reconstructed(n, 0.0f);
+  {
+    std::vector<f64> vr(n, 0.0);
+    usize nextOutlier = 0;
+    auto qAt = [&](u64 i) -> i32 {
+      if (decodedCodes[i] != kOutlierCode) {
+        return static_cast<i32>(decodedCodes[i]) - kCodeOffset;
+      }
+      while (nextOutlier < outliers.size() &&
+             outliers[nextOutlier].first < i) {
+        ++nextOutlier;
+      }
+      require(nextOutlier < outliers.size() &&
+                  outliers[nextOutlier].first == i,
+              "MGARD hybrid: outlier lookup failed");
+      return outliers[nextOutlier].second;
+    };
+    for (u64 i = 0; i < n; i += S) {
+      vr[i] = static_cast<f64>(qAt(i)) * 2.0 * absEb;
+    }
+    nextOutlier = 0;
+    for (u64 s = S / 2; s >= 1; s /= 2) {
+      nextOutlier = 0;
+      for (u64 i = s; i < n; i += 2 * s) {
+        const f64 left = vr[i - s];
+        const f64 pred = (i + s < n) ? 0.5 * (left + vr[i + s]) : left;
+        vr[i] = pred + static_cast<f64>(qAt(i)) * 2.0 * absEb;
+      }
+      if (s == 1) break;
+    }
+    for (u64 i = 0; i < n; ++i) reconstructed[i] = static_cast<f32>(vr[i]);
+  }
+  const auto decKernelTiming = timing.kernel(decompMemModel, noSync);
+  const f64 decSeconds = timing.pcieSeconds(compressedBytes) +
+                         secondsAt(n * 2, kCpuMgardGBps) +
+                         timing.pcieSeconds(n * 2) +
+                         decKernelTiming.totalSeconds +
+                         (kernelLaunches - 1) * timing.launchSeconds();
+
+  RunResult r;
+  r.compressor = name();
+  r.ratio = static_cast<f64>(originalBytes) /
+            static_cast<f64>(compressedBytes);
+  r.compressGBps = gpusim::gbps(originalBytes, compSeconds);
+  r.decompressGBps = gpusim::gbps(originalBytes, decSeconds);
+  r.compressKernelGBps = gpusim::gbps(originalBytes, kernelSeconds);
+  r.decompressKernelGBps =
+      gpusim::gbps(originalBytes, decKernelTiming.totalSeconds);
+  r.memThroughputGBps = kernelTiming.memThroughputGBps;
+  r.error = metrics::computeErrorStats<f32>(data, reconstructed);
+  r.reconstructed = std::move(reconstructed);
+  return r;
+}
+
+}  // namespace cuszp2::baselines

@@ -1,0 +1,45 @@
+// CPU-GPU hybrid compressor baselines (paper Fig. 2 and Table I):
+// cuSZ-like, cuSZx-like, and MGARD-GPU-like pipelines whose GPU kernels are
+// fast but whose end-to-end throughput collapses under PCIe transfers and
+// host-side stages.
+//
+//   cuSZ-like : GPU Lorenzo quantization kernel -> D2H quant codes ->
+//               host canonical Huffman (real codec) -> H2D compressed.
+//   cuSZx-like: GPU blockwise plain-FLE kernel (single kernel) -> D2H
+//               per-block chunks -> host prefix-sum + compaction -> H2D.
+//   MGARD-like: GPU multilevel interpolation decomposition (one kernel per
+//               level, closed-loop quantization, real algorithm) -> D2H ->
+//               host Huffman -> H2D.
+//
+// All three compute their real compression ratio and reconstruction (the
+// host stages actually run); only the *time* of GPU kernels, PCIe, and CPU
+// stages is modelled, with the constants documented in hybrid.cpp.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace cuszp2::baselines {
+
+class HybridBaseline final : public IBaseline {
+ public:
+  enum class Kind : u8 { CuszLike, CuszxLike, MgardLike };
+
+  explicit HybridBaseline(Kind kind,
+                          gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  std::string name() const override;
+  bool errorBounded() const override { return true; }
+  RunResult run(std::span<const f32> data, f64 relErrorBound) override;
+
+  Kind kind() const { return kind_; }
+
+ private:
+  RunResult runCusz(std::span<const f32> data, f64 absEb);
+  RunResult runCuszx(std::span<const f32> data, f64 absEb);
+  RunResult runMgard(std::span<const f32> data, f64 absEb);
+
+  Kind kind_;
+  gpusim::DeviceSpec device_;
+};
+
+}  // namespace cuszp2::baselines

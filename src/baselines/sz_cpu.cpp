@@ -1,0 +1,92 @@
+#include "baselines/sz_cpu.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/quantizer.hpp"
+#include "entropy/huffman.hpp"
+#include "gpusim/timing.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+
+namespace {
+
+constexpr u16 kOutlierCode = 0;
+constexpr i32 kCodeOffset = 32768;
+
+f64 secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+RunResult SzCpuBaseline::run(std::span<const f32> data, f64 relErrorBound) {
+  require(!data.empty(), "SzCpuBaseline: empty input");
+  const f64 absEb = core::Quantizer::absFromRel(
+      relErrorBound, metrics::valueRange(data));
+  const core::Quantizer quantizer(absEb);
+  const u64 originalBytes = data.size() * sizeof(f32);
+
+  // ---- Compression (measured) -------------------------------------------
+  const auto tC0 = std::chrono::steady_clock::now();
+  std::vector<u16> codes(data.size());
+  std::vector<std::pair<u64, i32>> outliers;
+  {
+    i32 prev = 0;
+    for (usize i = 0; i < data.size(); ++i) {
+      const i32 q = quantizer.quantize(data[i]);
+      const i32 d = q - prev;
+      prev = q;
+      if (d > -kCodeOffset + 1 && d < kCodeOffset) {
+        codes[i] = static_cast<u16>(d + kCodeOffset);
+      } else {
+        codes[i] = kOutlierCode;
+        outliers.emplace_back(i, d);
+      }
+    }
+  }
+  const auto enc = entropy::HuffmanCodec::encode(codes, 65536);
+  const f64 compSeconds = secondsSince(tC0);
+  const u64 compressedBytes = enc.totalBytes() + outliers.size() * 12;
+
+  // ---- Decompression (measured) -----------------------------------------
+  const auto tD0 = std::chrono::steady_clock::now();
+  const auto decoded = entropy::HuffmanCodec::decode(enc);
+  std::vector<f32> reconstructed(data.size());
+  {
+    usize nextOutlier = 0;
+    i32 acc = 0;
+    for (usize i = 0; i < decoded.size(); ++i) {
+      i32 d = 0;
+      if (decoded[i] == kOutlierCode) {
+        require(nextOutlier < outliers.size() &&
+                    outliers[nextOutlier].first == i,
+                "SzCpuBaseline: outlier list out of sync");
+        d = outliers[nextOutlier++].second;
+      } else {
+        d = static_cast<i32>(decoded[i]) - kCodeOffset;
+      }
+      acc += d;
+      reconstructed[i] = quantizer.dequantize<f32>(acc);
+    }
+  }
+  const f64 decSeconds = secondsSince(tD0);
+
+  RunResult r;
+  r.compressor = name();
+  r.ratio = static_cast<f64>(originalBytes) /
+            static_cast<f64>(compressedBytes);
+  r.compressGBps = gpusim::gbps(originalBytes, compSeconds);
+  r.decompressGBps = gpusim::gbps(originalBytes, decSeconds);
+  r.compressKernelGBps = r.compressGBps;  // no kernel/host split on a CPU
+  r.decompressKernelGBps = r.decompressGBps;
+  r.memThroughputGBps = 0.0;  // not meaningful for a host pipeline
+  r.error = metrics::computeErrorStats<f32>(data, reconstructed);
+  r.reconstructed = std::move(reconstructed);
+  return r;
+}
+
+}  // namespace cuszp2::baselines

@@ -1,0 +1,27 @@
+// SZ-style CPU compressor baseline (Di & Cappello, IPDPS'16 lineage):
+// 1-D Lorenzo prediction, linear-scale quantization, and canonical Huffman
+// over the quantization codes — the standard CPU error-bounded pipeline.
+//
+// Unlike every other baseline in this repository, this one reports *real
+// measured wall-clock* throughput of its host implementation, because its
+// whole purpose is the paper's Sec. I-A motivation: CPU compressors top
+// out orders of magnitude below the 250 GB/s acquisition rates that force
+// compression onto the GPU.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace cuszp2::baselines {
+
+class SzCpuBaseline final : public IBaseline {
+ public:
+  SzCpuBaseline() = default;
+
+  std::string name() const override { return "SZ (CPU, wall clock)"; }
+  bool errorBounded() const override { return true; }
+
+  /// compressGBps / decompressGBps are measured host wall-clock rates.
+  RunResult run(std::span<const f32> data, f64 relErrorBound) override;
+};
+
+}  // namespace cuszp2::baselines

@@ -1,0 +1,257 @@
+#include "baselines/zfp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+#include "entropy/bitstream.hpp"
+#include "gpusim/launcher.hpp"
+#include "gpusim/timing.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+
+namespace {
+
+constexpr u32 kBlock = ZfpBaseline::kBlock;
+
+/// Fraction bits of the block-floating-point representation. Two bits of
+/// headroom absorb the Haar lifting's coefficient growth.
+constexpr int kFracBits = 26;
+
+/// Header: 1 nonzero flag + 9-bit biased exponent + 6-bit top plane.
+constexpr u32 kExpBias = 160;
+
+/// One lifting step on a pair: a <- floor avg, b <- diff. Exactly
+/// invertible with arithmetic shifts.
+void fwdPair(i32& a, i32& b) {
+  b -= a;
+  a += b >> 1;
+}
+
+void invPair(i32& a, i32& b) {
+  a -= b >> 1;
+  b += a;
+}
+
+/// Modelled arithmetic cost per element of the embedded bit-plane coder:
+/// it advances one bit at a time per block, which is what keeps cuZFP's
+/// kernels well below memory bandwidth (paper Figs. 14/16).
+u64 coderOpsPerElement(f64 rate) {
+  return 25 + static_cast<u64>(5.0 * rate);
+}
+
+}  // namespace
+
+void ZfpBaseline::forwardLift(i32* x) {
+  // 4 Haar levels with subband reordering: after each level the averages
+  // occupy the front half of the active region, diffs the back half.
+  i32 tmp[kBlock];
+  for (u32 len = kBlock; len >= 2; len /= 2) {
+    for (u32 i = 0; i < len / 2; ++i) {
+      i32 a = x[2 * i];
+      i32 b = x[2 * i + 1];
+      fwdPair(a, b);
+      tmp[i] = a;
+      tmp[len / 2 + i] = b;
+    }
+    std::copy(tmp, tmp + len, x);
+  }
+}
+
+void ZfpBaseline::inverseLift(i32* x) {
+  i32 tmp[kBlock];
+  for (u32 len = 2; len <= kBlock; len *= 2) {
+    for (u32 i = 0; i < len / 2; ++i) {
+      i32 a = x[i];
+      i32 b = x[len / 2 + i];
+      invPair(a, b);
+      tmp[2 * i] = a;
+      tmp[2 * i + 1] = b;
+    }
+    std::copy(tmp, tmp + len, x);
+  }
+}
+
+u32 ZfpBaseline::int2uint(i32 v) {
+  constexpr u32 kMask = 0xAAAAAAAAu;
+  return (static_cast<u32>(v) + kMask) ^ kMask;
+}
+
+i32 ZfpBaseline::uint2int(u32 u) {
+  constexpr u32 kMask = 0xAAAAAAAAu;
+  return static_cast<i32>((u ^ kMask) - kMask);
+}
+
+ZfpBaseline::ZfpBaseline(f64 rateBitsPerValue, gpusim::DeviceSpec device)
+    : rate_(rateBitsPerValue), device_(std::move(device)) {
+  require(rate_ > 0.0 && rate_ <= 32.0,
+          "ZfpBaseline: rate must be in (0, 32]");
+}
+
+std::string ZfpBaseline::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "cuZFP(rate=%g)", rate_);
+  return buf;
+}
+
+RunResult ZfpBaseline::run(std::span<const f32> data, f64 /*param*/) {
+  require(!data.empty(), "ZfpBaseline: empty input");
+  const u64 n = data.size();
+  const u64 numBlocks = (n + kBlock - 1) / kBlock;
+  const u32 budget = std::max<u32>(
+      1, static_cast<u32>(std::llround(rate_ * kBlock)));
+
+  const gpusim::TimingModel timing(device_);
+  gpusim::Launcher launcher;
+  const u32 blocksPerTile = 512;
+  const u32 tiles = static_cast<u32>(
+      std::max<u64>(1, (numBlocks + blocksPerTile - 1) / blocksPerTile));
+
+  // ---- Compression ------------------------------------------------------
+  // Fixed rate => every block writes exactly `budget` bits at a known
+  // offset; no inter-block synchronization is needed (Table I: cuZFP is
+  // single-kernel but underutilizes bandwidth through its embedded coder).
+  std::vector<std::vector<std::byte>> tileStreams(tiles);
+  const auto launchC = launcher.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+    entropy::BitWriter writer;
+    const u64 bFirst = static_cast<u64>(ctx.blockIdx) * blocksPerTile;
+    const u64 bLast = std::min(numBlocks, bFirst + blocksPerTile);
+    u64 elems = 0;
+    for (u64 blk = bFirst; blk < bLast; ++blk) {
+      f32 vals[kBlock] = {};
+      const u64 eFirst = blk * kBlock;
+      const u64 eLast = std::min<u64>(n, eFirst + kBlock);
+      for (u64 e = eFirst; e < eLast; ++e) vals[e - eFirst] = data[e];
+      elems += eLast - eFirst;
+
+      f32 maxAbs = 0.0f;
+      for (f32 v : vals) maxAbs = std::max(maxAbs, std::abs(v));
+
+      u32 written = 0;
+      auto put = [&](u64 v, u32 bits) {
+        const u32 take = std::min(bits, budget - written);
+        writer.write(v, take);
+        written += take;
+      };
+
+      if (maxAbs == 0.0f) {
+        put(0, 1);  // zero-block flag
+      } else {
+        int e = 0;
+        std::frexp(maxAbs, &e);
+        put(1, 1);
+        put(static_cast<u32>(e + static_cast<int>(kExpBias)), 9);
+
+        i32 coeffs[kBlock];
+        const f64 scale = std::ldexp(1.0, kFracBits - e);
+        for (u32 i = 0; i < kBlock; ++i) {
+          coeffs[i] = static_cast<i32>(std::llround(
+              static_cast<f64>(vals[i]) * scale));
+        }
+        forwardLift(coeffs);
+        u32 ubits[kBlock];
+        for (u32 i = 0; i < kBlock; ++i) ubits[i] = int2uint(coeffs[i]);
+
+        // Group testing, cheaply: record the highest nonzero plane so the
+        // budget is not spent on leading zero planes (real zfp interleaves
+        // per-plane significance flags; a 6-bit top-plane field has the
+        // same effect at fixed rate).
+        u32 allBits = 0;
+        for (u32 i = 0; i < kBlock; ++i) allBits |= ubits[i];
+        const u32 topPlane = static_cast<u32>(std::bit_width(allBits));
+        put(topPlane, 6);
+
+        // Embedded coding: planes from the top significant plane down,
+        // truncated at the budget.
+        for (int plane = static_cast<int>(topPlane) - 1;
+             plane >= 0 && written < budget; --plane) {
+          for (u32 i = 0; i < kBlock && written < budget; ++i) {
+            put((ubits[i] >> plane) & 1u, 1);
+          }
+        }
+      }
+      while (written < budget) put(0, 1);  // pad to the exact fixed rate
+    }
+    tileStreams[ctx.blockIdx] = writer.take();
+
+    ctx.mem.noteScalarRead(elems * 4, 4, device_.transactionBytes);
+    ctx.mem.noteScalarWrite((bLast - bFirst) * budget / 8 + 1, 4,
+                            device_.transactionBytes);
+    ctx.mem.noteOps((bLast - bFirst) * kBlock * coderOpsPerElement(rate_));
+    ctx.mem.noteL1((bLast - bFirst) * kBlock * 8);
+  });
+
+  const u64 compressedBytes = (numBlocks * budget + 7) / 8;
+
+  // ---- Decompression ----------------------------------------------------
+  std::vector<f32> reconstructed(n, 0.0f);
+  const auto launchD = launcher.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+    const u64 bFirst = static_cast<u64>(ctx.blockIdx) * blocksPerTile;
+    const u64 bLast = std::min(numBlocks, bFirst + blocksPerTile);
+    entropy::BitReader reader(tileStreams[ctx.blockIdx]);
+    u64 elems = 0;
+    for (u64 blk = bFirst; blk < bLast; ++blk) {
+      u32 consumed = 0;
+      auto get = [&](u32 bits) -> u64 {
+        const u32 take = std::min(bits, budget - consumed);
+        consumed += take;
+        return take == 0 ? 0 : reader.read(take);
+      };
+      f32 vals[kBlock] = {};
+      if (get(1) != 0) {
+        const u32 biased = static_cast<u32>(get(9));
+        const int e = static_cast<int>(biased) - static_cast<int>(kExpBias);
+        const u32 topPlane = static_cast<u32>(get(6));
+        u32 ubits[kBlock] = {};
+        for (int plane = static_cast<int>(topPlane) - 1;
+             plane >= 0 && consumed < budget; --plane) {
+          for (u32 i = 0; i < kBlock && consumed < budget; ++i) {
+            ubits[i] |= static_cast<u32>(get(1)) << plane;
+          }
+        }
+        i32 coeffs[kBlock];
+        for (u32 i = 0; i < kBlock; ++i) coeffs[i] = uint2int(ubits[i]);
+        inverseLift(coeffs);
+        const f64 invScale = std::ldexp(1.0, e - kFracBits);
+        for (u32 i = 0; i < kBlock; ++i) {
+          vals[i] = static_cast<f32>(coeffs[i] * invScale);
+        }
+      }
+      while (consumed < budget) get(1);  // skip fixed-rate padding
+      const u64 eFirst = blk * kBlock;
+      const u64 eLast = std::min<u64>(n, eFirst + kBlock);
+      for (u64 e = eFirst; e < eLast; ++e) {
+        reconstructed[e] = vals[e - eFirst];
+      }
+      elems += eLast - eFirst;
+    }
+    ctx.mem.noteScalarRead((bLast - bFirst) * budget / 8 + 1, 4,
+                           device_.transactionBytes);
+    ctx.mem.noteScalarWrite(elems * 4, 4, device_.transactionBytes);
+    ctx.mem.noteOps((bLast - bFirst) * kBlock * coderOpsPerElement(rate_));
+  });
+
+  const u64 originalBytes = n * sizeof(f32);
+  gpusim::SyncStats noSync;
+  const auto compTiming = timing.kernel(launchC.mem, noSync);
+  const auto decTiming = timing.kernel(launchD.mem, noSync);
+
+  RunResult r;
+  r.compressor = name();
+  r.ratio = static_cast<f64>(originalBytes) /
+            static_cast<f64>(compressedBytes);
+  r.compressGBps = gpusim::gbps(originalBytes, compTiming.totalSeconds);
+  r.decompressGBps = gpusim::gbps(originalBytes, decTiming.totalSeconds);
+  r.compressKernelGBps = r.compressGBps;
+  r.decompressKernelGBps = r.decompressGBps;
+  r.memThroughputGBps = compTiming.memThroughputGBps;
+  r.error = metrics::computeErrorStats<f32>(data, reconstructed);
+  r.reconstructed = std::move(reconstructed);
+  return r;
+}
+
+}  // namespace cuszp2::baselines

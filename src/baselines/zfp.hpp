@@ -1,0 +1,51 @@
+// cuZFP-like fixed-rate transform baseline (Lindstrom, TVCG'14; cuda_zfp).
+//
+// A from-scratch 1-D ZFP-style codec over 16-element blocks:
+//   1. block-floating-point alignment to the block's maximum exponent,
+//   2. exact integer Haar lifting (4 levels) as the decorrelating
+//      transform,
+//   3. negabinary mapping so truncation errors are sign-balanced,
+//   4. embedded bit-plane coding truncated at a *fixed* per-block bit
+//      budget of rate * 16 bits.
+//
+// Fixed rate means the ratio is exactly 32/rate for f32 regardless of
+// content — and that aggressive rates silently destroy small-magnitude
+// structure, which is the corruption the paper's Fig. 18 shows for cuZFP
+// at ratio ~64/~30 while cuSZp2's error bound holds.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace cuszp2::baselines {
+
+class ZfpBaseline final : public IBaseline {
+ public:
+  /// `rateBitsPerValue` may be fractional (e.g. 0.5 for ratio 64).
+  explicit ZfpBaseline(f64 rateBitsPerValue,
+                       gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  std::string name() const override;
+  bool errorBounded() const override { return false; }
+
+  /// `param` is ignored (the rate is fixed at construction), matching the
+  /// paper's note that cuZFP only supports fixed-rate mode.
+  RunResult run(std::span<const f32> data, f64 param) override;
+
+  f64 rate() const { return rate_; }
+
+  static constexpr u32 kBlock = 16;
+
+  // Exposed for unit tests: exact integer Haar lifting pair.
+  static void forwardLift(i32* x);  // 16 values, in place
+  static void inverseLift(i32* x);
+
+  /// Negabinary mapping and its inverse (exposed for tests).
+  static u32 int2uint(i32 v);
+  static i32 uint2int(u32 u);
+
+ private:
+  f64 rate_;
+  gpusim::DeviceSpec device_;
+};
+
+}  // namespace cuszp2::baselines

@@ -1,0 +1,67 @@
+// Bit-manipulation utilities used by the fixed-length encoders and the
+// bitstream layer.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+/// Number of bits needed to represent `v` (0 for v == 0). This is the
+/// "fixed length" of the paper's FLE: effective-bit count of the largest
+/// absolute quantization difference in a block.
+constexpr u32 effectiveBits(u32 v) {
+  return static_cast<u32>(std::bit_width(v));
+}
+
+/// Number of whole bytes needed to represent `v` without loss (1..4 for
+/// nonzero v, 0 for v == 0). Used for adaptive outlier sizing (paper Fig. 8).
+constexpr u32 bytesFor(u32 v) {
+  if (v == 0) return 0;
+  if (v <= 0xFFu) return 1;
+  if (v <= 0xFFFFu) return 2;
+  if (v <= 0xFFFFFFu) return 3;
+  return 4;
+}
+
+/// Rounds `n` up to the next multiple of `m` (m > 0).
+constexpr usize roundUp(usize n, usize m) { return (n + m - 1) / m * m; }
+
+/// Ceil division.
+constexpr usize ceilDiv(usize n, usize d) { return (n + d - 1) / d; }
+
+/// Absolute value of a 32-bit integer as unsigned, defined for INT32_MIN.
+constexpr u32 absU32(i32 v) {
+  return v < 0 ? static_cast<u32>(0u) - static_cast<u32>(v)
+               : static_cast<u32>(v);
+}
+
+/// Load/store little-endian unsigned integers of runtime byte width (1..4)
+/// from raw byte buffers. The compressed stream is defined little-endian so
+/// files are portable across hosts.
+inline u32 loadLE(const std::byte* p, u32 nbytes) {
+  u32 v = 0;
+  for (u32 i = 0; i < nbytes; ++i) {
+    v |= static_cast<u32>(std::to_integer<u32>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline void storeLE(std::byte* p, u32 v, u32 nbytes) {
+  for (u32 i = 0; i < nbytes; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+/// Type-punning helpers (defined behaviour via memcpy).
+template <typename To, typename From>
+inline To bitCast(const From& from) {
+  static_assert(sizeof(To) == sizeof(From));
+  To to;
+  std::memcpy(&to, &from, sizeof(To));
+  return to;
+}
+
+}  // namespace cuszp2

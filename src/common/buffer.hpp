@@ -1,0 +1,87 @@
+// 64-byte-aligned owning buffer. Mirrors cudaMalloc'd device allocations in
+// the GPU execution model: alignment guarantees the vectorized (128-bit)
+// access helpers never straddle a transaction boundary at element 0.
+#pragma once
+
+#include <cstdlib>
+#include <new>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr usize kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(usize count) { resize(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocates to `count` elements; contents are not preserved.
+  void resize(usize count) {
+    release();
+    if (count == 0) return;
+    void* p = std::aligned_alloc(kAlignment, roundUpBytes(count * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<T*>(p);
+    size_ = count;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](usize i) { return data_[i]; }
+  const T& operator[](usize i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  static usize roundUpBytes(usize bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  usize size_ = 0;
+};
+
+}  // namespace cuszp2

@@ -1,0 +1,34 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace cuszp2 {
+
+namespace {
+
+constexpr u32 kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+std::array<u32, 256> makeTable() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(ConstByteSpan data, u32 seed) {
+  static const std::array<u32, 256> kTable = makeTable();
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ std::to_integer<u32>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cuszp2

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for stream integrity checks.
+// Compressed streams can carry a checksum over their offset + payload
+// regions so silent corruption (bit rot, truncated transfers) is caught at
+// decompression instead of producing quietly wrong science data.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+/// CRC-32 of `data`; chainable via `seed` (pass a previous result to
+/// continue over split buffers).
+u32 crc32(ConstByteSpan data, u32 seed = 0);
+
+}  // namespace cuszp2

@@ -1,0 +1,22 @@
+// Library-wide exception type and checking helpers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cuszp2 {
+
+/// Thrown on invalid arguments, corrupt streams, or internal invariant
+/// violations. All public entry points validate input and throw this type
+/// rather than exhibiting undefined behaviour.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Validates a user-facing precondition; throws cuszp2::Error on failure.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace cuszp2

@@ -1,0 +1,58 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cuszp2 {
+
+Rng::Rng(u64 seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+u64 Rng::next() {
+  const u64 result = std::rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+f64 Rng::uniform() {
+  // 53 high bits -> [0, 1).
+  return static_cast<f64>(next() >> 11) * 0x1.0p-53;
+}
+
+f64 Rng::uniform(f64 lo, f64 hi) { return lo + (hi - lo) * uniform(); }
+
+u64 Rng::uniformInt(u64 n) {
+  if (n == 0) return 0;
+  // Rejection-free for our purposes: modulo bias is negligible for n << 2^64
+  // and determinism matters more than perfect uniformity here.
+  return next() % n;
+}
+
+f64 Rng::normal() {
+  if (hasCached_) {
+    hasCached_ = false;
+    return cached_;
+  }
+  f64 u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const f64 u2 = uniform();
+  const f64 r = std::sqrt(-2.0 * std::log(u1));
+  const f64 theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_ = r * std::sin(theta);
+  hasCached_ = true;
+  return r * std::cos(theta);
+}
+
+f64 Rng::normal(f64 mean, f64 stddev) { return mean + stddev * normal(); }
+
+}  // namespace cuszp2

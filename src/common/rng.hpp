@@ -1,0 +1,55 @@
+// Deterministic random number generation for the synthetic dataset
+// generators and the property-based tests. SplitMix64 seeds Xoshiro256**;
+// both are tiny, fast, and fully reproducible across platforms.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform double in [0, 1).
+  f64 uniform();
+
+  /// Uniform double in [lo, hi).
+  f64 uniform(f64 lo, f64 hi);
+
+  /// Uniform integer in [0, n).
+  u64 uniformInt(u64 n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  f64 normal();
+
+  /// Normal with given mean / stddev.
+  f64 normal(f64 mean, f64 stddev);
+
+ private:
+  u64 s_[4];
+  bool hasCached_ = false;
+  f64 cached_ = 0.0;
+};
+
+}  // namespace cuszp2

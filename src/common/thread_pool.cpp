@@ -1,0 +1,62 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cuszp2 {
+
+ThreadPool::ThreadPool(usize workers) {
+  const usize n = std::max<usize>(1, workers);
+  threads_.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cvTask_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  cvTask_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cvDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+usize ThreadPool::defaultWorkers() {
+  const usize hw = std::thread::hardware_concurrency();
+  return std::clamp<usize>(hw, 2, 16);
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cvTask_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ must be true
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) cvDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace cuszp2

@@ -1,0 +1,55 @@
+// FIFO thread pool used by the GPU execution model's kernel launcher.
+//
+// FIFO ordering is load-bearing: the decoupled-lookback scan (paper Sec. IV-C)
+// requires that a thread block's predecessors were dispatched no later than
+// the block itself, so the lowest-indexed unfinished block is always running
+// and can make progress — the same forward-progress guarantee real GPU
+// hardware gives the algorithm.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` worker threads (>= 1 enforced).
+  explicit ThreadPool(usize workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks are started in submission order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  usize workerCount() const { return threads_.size(); }
+
+  /// Reasonable default worker count for this host: at least 2 so that
+  /// inter-block spin/wait protocols are exercised with real concurrency
+  /// even on single-core CI machines.
+  static usize defaultWorkers();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cvTask_;
+  std::condition_variable cvDone_;
+  usize inFlight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cuszp2

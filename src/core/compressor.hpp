@@ -1,0 +1,108 @@
+// cuSZp2 public API: single-kernel error-bounded lossy compression and
+// decompression under the GPU execution model (paper Secs. III and IV).
+//
+// compress():   Lossy Conversion -> Lossless Encoding -> Global Prefix-sum
+//               (decoupled lookback) -> Block Concatenation, all inside one
+//               simulated kernel launch.
+// decompress(): offset scan -> payload decode -> reconstruction, also one
+//               kernel; all-zero blocks are flushed via device memset.
+// decompressBlocks(): random access to a block range (paper Sec. VI-B):
+//               the offset array alone is scanned to locate the range, then
+//               only the requested blocks are decoded.
+//
+// Every call returns a KernelProfile with the recorded memory counters,
+// sync statistics, and the modelled device timing used by the bench
+// harness; wall-clock time of the host simulation is reported separately
+// and is never used for the figures.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/format.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launcher.hpp"
+#include "gpusim/timing.hpp"
+
+namespace cuszp2::core {
+
+struct KernelProfile {
+  gpusim::MemCounters mem;
+  gpusim::SyncStats sync;
+  gpusim::KernelTiming timing;
+
+  /// Modelled end-to-end time of the API call on the configured device:
+  /// the single kernel + launch overhead, plus (only when configured) the
+  /// REL-bound range reduction and the checksum pass. There is no PCIe or
+  /// CPU stage — that is the point of the paper.
+  f64 endToEndSeconds = 0.0;
+
+  /// End-to-end throughput w.r.t. the original data size, the paper's
+  /// headline metric (Sec. II).
+  f64 endToEndGBps = 0.0;
+
+  /// Host wall-clock seconds of the simulation run (diagnostic only).
+  f64 wallSeconds = 0.0;
+};
+
+struct Compressed {
+  std::vector<std::byte> stream;
+  KernelProfile profile;
+  u64 originalBytes = 0;
+  f64 ratio = 0.0;
+};
+
+template <FloatingPoint T>
+struct Decompressed {
+  std::vector<T> data;
+  KernelProfile profile;
+};
+
+template <FloatingPoint T>
+struct BlockRange {
+  /// Index of the first element covered by the decoded range.
+  u64 firstElement = 0;
+  std::vector<T> values;
+  KernelProfile profile;
+};
+
+class Compressor {
+ public:
+  explicit Compressor(Config config,
+                      gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  const Config& config() const { return config_; }
+  const gpusim::DeviceSpec& device() const { return timing_.spec(); }
+
+  /// Compresses `data`, producing a self-describing stream. When
+  /// Config::absErrorBound is unset, the value range is reduced on-device
+  /// first (and its modelled cost charged) to honour the REL bound.
+  template <FloatingPoint T>
+  Compressed compress(std::span<const T> data) const;
+
+  /// Decompresses a full stream produced by compress().
+  template <FloatingPoint T>
+  Decompressed<T> decompress(ConstByteSpan stream) const;
+
+  /// Random access: decodes blocks [firstBlock, firstBlock + blockCount).
+  template <FloatingPoint T>
+  BlockRange<T> decompressBlocks(ConstByteSpan stream, u64 firstBlock,
+                                 u64 blockCount) const;
+
+  /// Random-access write (paper Sec. VI-B mentions writes behave like
+  /// reads): re-encodes the blocks covering `values` — which replace the
+  /// elements starting at firstBlock * blockSize — under the stream's own
+  /// error bound and mode, and splices them into a new stream. `values`
+  /// must cover whole blocks (its size is a multiple of the block size, or
+  /// ends exactly at the stream's final element).
+  template <FloatingPoint T>
+  Compressed replaceBlocks(ConstByteSpan stream, u64 firstBlock,
+                           std::span<const T> values) const;
+
+ private:
+  Config config_;
+  gpusim::TimingModel timing_;
+  mutable gpusim::Launcher launcher_;
+};
+
+}  // namespace cuszp2::core

@@ -1,0 +1,75 @@
+// Fixed-length bit-plane packing (paper Figs. 7/8).
+//
+// A block of L absolute quantization differences is stored as `fl` bit
+// planes: plane b holds bit b of every element, packed 8 elements per byte.
+// The regularity of this layout — every element contributes exactly the
+// same number of bits — is what makes the whole pipeline vectorizable
+// (Sec. IV-B), in contrast to Huffman or RLE.
+#pragma once
+
+#include <span>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::core {
+
+/// Bytes one plane occupies for a block of `blockSize` elements.
+constexpr usize planeBytes(u32 blockSize) { return blockSize / 8; }
+
+/// Packs `fl` bit planes of `absVals` (size L, multiple of 8) into `out`,
+/// which must hold fl * L/8 bytes. Values must satisfy v < 2^fl.
+inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
+  const usize L = absVals.size();
+  const usize pb = planeBytes(static_cast<u32>(L));
+  for (u32 plane = 0; plane < fl; ++plane) {
+    std::byte* dst = out + static_cast<usize>(plane) * pb;
+    for (usize j = 0; j < pb; ++j) {
+      u32 byte = 0;
+      const usize base = j * 8;
+      for (u32 k = 0; k < 8; ++k) {
+        byte |= ((absVals[base + k] >> plane) & 1u) << k;
+      }
+      dst[j] = static_cast<std::byte>(byte);
+    }
+  }
+}
+
+/// Unpacks `fl` planes from `in` into `absVals` (zeroed first).
+inline void unpackPlanes(const std::byte* in, u32 fl,
+                         std::span<u32> absVals) {
+  const usize L = absVals.size();
+  const usize pb = planeBytes(static_cast<u32>(L));
+  for (auto& v : absVals) v = 0;
+  for (u32 plane = 0; plane < fl; ++plane) {
+    const std::byte* src = in + static_cast<usize>(plane) * pb;
+    for (usize j = 0; j < pb; ++j) {
+      const u32 byte = std::to_integer<u32>(src[j]);
+      const usize base = j * 8;
+      for (u32 k = 0; k < 8; ++k) {
+        absVals[base + k] |= ((byte >> k) & 1u) << plane;
+      }
+    }
+  }
+}
+
+/// Packs one sign bit per element (1 = negative) into L/8 bytes.
+inline void packSigns(std::span<const i32> diffs, std::byte* out) {
+  const usize L = diffs.size();
+  for (usize j = 0; j < L / 8; ++j) {
+    u32 byte = 0;
+    const usize base = j * 8;
+    for (u32 k = 0; k < 8; ++k) {
+      byte |= (diffs[base + k] < 0 ? 1u : 0u) << k;
+    }
+    out[j] = static_cast<std::byte>(byte);
+  }
+}
+
+/// Reads the sign bit of element `i` from a packed sign bitmap.
+inline bool signBit(const std::byte* signs, usize i) {
+  return (std::to_integer<u32>(signs[i / 8]) >> (i % 8)) & 1u;
+}
+
+}  // namespace cuszp2::core

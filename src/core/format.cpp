@@ -1,0 +1,72 @@
+#include "core/format.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace cuszp2::core {
+
+namespace {
+
+void put64(std::byte* p, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+u64 get64(const std::byte* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<u64>(std::to_integer<u64>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void StreamHeader::serialize(std::byte* out) const {
+  put64(out + 0, kMagic);
+  u64 meta = 0;
+  meta |= static_cast<u64>(kFormatVersion);
+  meta |= static_cast<u64>(static_cast<u8>(precision)) << 8;
+  meta |= static_cast<u64>(static_cast<u8>(mode)) << 16;
+  meta |= static_cast<u64>(static_cast<u8>(predictor)) << 24;
+  meta |= static_cast<u64>(blockSize) << 32;
+  put64(out + 8, meta);
+  put64(out + 16, numElements);
+  put64(out + 24, bitCast<u64>(absErrorBound));
+  put64(out + 32, static_cast<u64>(checksum));  // upper 4 bytes reserved
+}
+
+StreamHeader StreamHeader::parse(ConstByteSpan stream) {
+  require(stream.size() >= kBytes, "StreamHeader: truncated stream");
+  require(get64(stream.data()) == kMagic,
+          "StreamHeader: bad magic (not a cuSZp2 stream)");
+  const u64 meta = get64(stream.data() + 8);
+  require((meta & 0xFFu) == kFormatVersion,
+          "StreamHeader: unsupported format version");
+
+  StreamHeader h;
+  const u8 prec = static_cast<u8>((meta >> 8) & 0xFFu);
+  require(prec <= 1, "StreamHeader: invalid precision tag");
+  h.precision = static_cast<Precision>(prec);
+  const u8 mode = static_cast<u8>((meta >> 16) & 0xFFu);
+  require(mode <= 1, "StreamHeader: invalid mode tag");
+  h.mode = static_cast<EncodingMode>(mode);
+  const u8 predictor = static_cast<u8>((meta >> 24) & 0xFFu);
+  require(predictor <= 1, "StreamHeader: invalid predictor tag");
+  h.predictor = static_cast<Predictor>(predictor);
+  h.blockSize = static_cast<u32>(meta >> 32);
+  require(h.blockSize >= 8 && h.blockSize <= 256 && h.blockSize % 8 == 0,
+          "StreamHeader: invalid block size");
+  h.numElements = get64(stream.data() + 16);
+  h.absErrorBound = bitCast<f64>(get64(stream.data() + 24));
+  require(h.absErrorBound > 0.0, "StreamHeader: invalid error bound");
+  h.checksum = static_cast<u32>(get64(stream.data() + 32));
+  require(stream.size() >= h.payloadBegin(),
+          "StreamHeader: stream shorter than its offset array");
+  return h;
+}
+
+}  // namespace cuszp2::core

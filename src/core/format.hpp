@@ -1,0 +1,57 @@
+// Self-describing compressed stream layout.
+//
+//   [StreamHeader, 40 bytes, little-endian]
+//   [offset bytes: 1 per block]                 <- "Part 1" in paper Fig. 5
+//   [concatenated block payloads]               <- "Part 2"
+//
+// Block payload start positions are the exclusive prefix sum of the
+// per-block payload sizes, each derivable from its offset byte alone.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cuszp2::core {
+
+inline constexpr u64 kMagic = 0x325A5053'32505A43ull;  // "CZP2SPZ2"
+inline constexpr u32 kFormatVersion = 1;
+
+struct StreamHeader {
+  Precision precision = Precision::F32;
+  EncodingMode mode = EncodingMode::Outlier;
+  Predictor predictor = Predictor::FirstOrder;
+  u32 blockSize = 32;
+  u64 numElements = 0;
+  f64 absErrorBound = 0.0;
+
+  /// Optional CRC-32 over the offset + payload regions; 0 = no checksum
+  /// (Config::checksum enables it at compression time).
+  u32 checksum = 0;
+
+  static constexpr usize kBytes = 40;
+
+  u64 numBlocks() const {
+    return (numElements + blockSize - 1) / blockSize;
+  }
+
+  /// Original (uncompressed) size in bytes.
+  u64 originalBytes() const {
+    return numElements * byteWidth(precision);
+  }
+
+  /// Byte offset of the offset-byte array within the stream.
+  static constexpr usize offsetsBegin() { return kBytes; }
+
+  /// Byte offset of the payload region within the stream.
+  usize payloadBegin() const {
+    return kBytes + static_cast<usize>(numBlocks());
+  }
+
+  void serialize(std::byte* out) const;  // writes kBytes bytes
+
+  /// Parses and validates; throws cuszp2::Error on corrupt input.
+  static StreamHeader parse(ConstByteSpan stream);
+};
+
+}  // namespace cuszp2::core

@@ -1,0 +1,80 @@
+// Lossy conversion (paper step 1, Fig. 4/5): floating-point values become
+// quantization integers q = round(v / (2*eb)); reconstruction is q * 2*eb,
+// guaranteeing |v - v'| <= eb. This is the only lossy step; both single and
+// double precision funnel into the same integer pipeline, which is why
+// cuSZp2 processes f64 at ~2x the GB/s of f32 (Sec. VI-A).
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::core {
+
+/// Quantization integers are bounded so that first-order differences of two
+/// valid integers always fit in i32 (|q| < 2^30 => |q_i - q_{i-1}| < 2^31).
+inline constexpr i64 kMaxQuant = (i64{1} << 30) - 1;
+
+/// The paper's lossy conversion admits "a rounding (or ceiling)
+/// operation": Nearest gives |v - v'| <= eb; Ceiling gives a one-sided
+/// error in (-2eb, 0] (v' >= v never undershoots), which some consumers
+/// (e.g. conservative bounds in AMR refinement) prefer.
+enum class RoundingMode : u8 { Nearest = 0, Ceiling = 1 };
+
+class Quantizer {
+ public:
+  /// `absErrorBound` must be positive.
+  explicit Quantizer(f64 absErrorBound,
+                     RoundingMode rounding = RoundingMode::Nearest)
+      : eb_(absErrorBound), rounding_(rounding) {
+    require(absErrorBound > 0.0, "Quantizer: error bound must be positive");
+    recip_ = 1.0 / (2.0 * eb_);
+    twoEb_ = 2.0 * eb_;
+  }
+
+  f64 errorBound() const { return eb_; }
+  RoundingMode rounding() const { return rounding_; }
+
+  /// Quantizes one value; throws if the value is not finite (NaN/inf have
+  /// no error-bounded representation) or if the integer would exceed the
+  /// representable range (error bound too small for this data).
+  template <FloatingPoint T>
+  i32 quantize(T v) const {
+    const f64 scaled = static_cast<f64>(v) * recip_;
+    require(std::isfinite(scaled),
+            "Quantizer: non-finite value (NaN/inf) cannot be "
+            "error-bounded");
+    const i64 q = rounding_ == RoundingMode::Nearest
+                      ? std::llround(scaled)
+                      : static_cast<i64>(std::ceil(scaled));
+    require(q >= -kMaxQuant && q <= kMaxQuant,
+            "Quantizer: value/error-bound ratio exceeds the 2^30 "
+            "quantization range; use a larger error bound");
+    return static_cast<i32>(q);
+  }
+
+  /// Reconstructs a value from its quantization integer.
+  template <FloatingPoint T>
+  T dequantize(i32 q) const {
+    return static_cast<T>(static_cast<f64>(q) * twoEb_);
+  }
+
+  /// Derives the absolute bound from a value-range-relative bound
+  /// ("REL lambda" in the paper): abs = lambda * (max - min). A degenerate
+  /// (constant) field gets a tiny positive bound so compression remains
+  /// well-defined.
+  static f64 absFromRel(f64 rel, f64 valueRange) {
+    require(rel > 0.0, "Quantizer: REL bound must be positive");
+    const f64 abs = rel * valueRange;
+    return abs > 0.0 ? abs : rel;
+  }
+
+ private:
+  f64 eb_;
+  RoundingMode rounding_;
+  f64 recip_;
+  f64 twoEb_;
+};
+
+}  // namespace cuszp2::core

@@ -1,0 +1,150 @@
+#include "core/segmented.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cuszp2::core {
+
+namespace {
+
+constexpr u64 kSegMagic = 0x32505A43'47455301ull;  // "SEG..CZP2"
+constexpr u32 kSegVersion = 1;
+
+void put64(std::vector<std::byte>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+u64 get64(ConstByteSpan data, usize pos) {
+  require(pos + 8 <= data.size(), "Segmented: truncated container");
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<u64>(std::to_integer<u64>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+template <FloatingPoint T>
+SegmentedCompressor<T>::SegmentedCompressor(Config config, usize segmentElems,
+                                            gpusim::DeviceSpec device)
+    : compressor_(config, std::move(device)), segmentElems_(segmentElems) {
+  require(segmentElems > 0,
+          "SegmentedCompressor: segmentElems must be positive");
+  buffer_.reserve(segmentElems);
+}
+
+template <FloatingPoint T>
+void SegmentedCompressor<T>::append(std::span<const T> values) {
+  usize consumed = 0;
+  while (consumed < values.size()) {
+    const usize take = std::min(values.size() - consumed,
+                                segmentElems_ - buffer_.size());
+    buffer_.insert(buffer_.end(), values.begin() + consumed,
+                   values.begin() + consumed + take);
+    consumed += take;
+    totalElems_ += take;
+    if (buffer_.size() == segmentElems_) flushSegment();
+  }
+}
+
+template <FloatingPoint T>
+void SegmentedCompressor<T>::flushSegment() {
+  segments_.push_back(
+      compressor_.compress<T>(std::span<const T>(buffer_)).stream);
+  buffer_.clear();
+}
+
+template <FloatingPoint T>
+usize SegmentedCompressor<T>::compressedBytes() const {
+  usize total = 0;
+  for (const auto& s : segments_) total += s.size();
+  return total;
+}
+
+template <FloatingPoint T>
+std::vector<std::byte> SegmentedCompressor<T>::finish() {
+  if (!buffer_.empty()) flushSegment();
+
+  std::vector<std::byte> out;
+  put64(out, kSegMagic);
+  put64(out, kSegVersion);  // version u32 + reserved u32
+  put64(out, segmentElems_);
+  put64(out, segments_.size());
+  for (const auto& s : segments_) put64(out, s.size());
+  for (const auto& s : segments_) {
+    out.insert(out.end(), s.begin(), s.end());
+  }
+
+  segments_.clear();
+  totalElems_ = 0;
+  return out;
+}
+
+template <FloatingPoint T>
+SegmentedReader<T>::SegmentedReader(ConstByteSpan container,
+                                    gpusim::DeviceSpec device)
+    : container_(container),
+      compressor_(Config{.absErrorBound = 1.0}, std::move(device)) {
+  require(get64(container, 0) == kSegMagic,
+          "SegmentedReader: bad magic (not a segmented cuSZp2 container)");
+  require((get64(container, 8) & 0xFFFFFFFFu) == kSegVersion,
+          "SegmentedReader: unsupported container version");
+  const u64 numSegments = get64(container, 24);
+  require(numSegments <= 100'000'000,
+          "SegmentedReader: implausible segment count");
+
+  usize offset = 32 + static_cast<usize>(numSegments) * 8;
+  entries_.reserve(numSegments);
+  for (u64 i = 0; i < numSegments; ++i) {
+    Entry e;
+    e.length = get64(container, 32 + static_cast<usize>(i) * 8);
+    e.offset = offset;
+    require(offset + e.length >= offset && offset + e.length <=
+                container.size(),
+            "SegmentedReader: container shorter than its table of contents");
+    const auto header =
+        StreamHeader::parse(container.subspan(e.offset, e.length));
+    require(header.precision == precisionOf<T>(),
+            "SegmentedReader: segment precision mismatch");
+    e.elements = header.numElements;
+    totalElems_ += e.elements;
+    offset += e.length;
+    entries_.push_back(e);
+  }
+}
+
+template <FloatingPoint T>
+usize SegmentedReader<T>::segmentElements(usize index) const {
+  require(index < entries_.size(), "SegmentedReader: index out of range");
+  return static_cast<usize>(entries_[index].elements);
+}
+
+template <FloatingPoint T>
+std::vector<T> SegmentedReader<T>::segment(usize index) const {
+  require(index < entries_.size(), "SegmentedReader: index out of range");
+  const auto& e = entries_[index];
+  return compressor_.decompress<T>(container_.subspan(e.offset, e.length))
+      .data;
+}
+
+template <FloatingPoint T>
+std::vector<T> SegmentedReader<T>::all() const {
+  std::vector<T> out;
+  out.reserve(static_cast<usize>(totalElems_));
+  for (usize i = 0; i < entries_.size(); ++i) {
+    const auto seg = segment(i);
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
+  return out;
+}
+
+template class SegmentedCompressor<f32>;
+template class SegmentedCompressor<f64>;
+template class SegmentedReader<f32>;
+template class SegmentedReader<f64>;
+
+}  // namespace cuszp2::core

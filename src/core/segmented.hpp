@@ -1,0 +1,99 @@
+// Bounded-memory streaming compression.
+//
+// Inline-compression deployments (the paper's LCLS stream-reduction and
+// gradient-exchange scenarios) produce data continuously; holding a whole
+// field is often impossible. SegmentedCompressor buffers appended values
+// and flushes an independent cuSZp2 stream every `segmentElems` elements,
+// so peak memory is one segment and any segment can later be decoded on
+// its own (coarse-grained random access on top of the format's block-level
+// access). SegmentedReader walks the resulting container.
+//
+// Container layout (little-endian):
+//   [magic u64][version u32][reserved u32]
+//   [nominal segment elements u64][segment count u64]
+//   [stream byte length u64 per segment]
+//   concatenated cuSZp2 streams
+//
+// Note on REL bounds: with a value-range-relative bound, each segment is
+// bounded against its own range (the stream arrives incrementally, so no
+// global range exists). Configure absErrorBound for a uniform bound.
+#pragma once
+
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace cuszp2::core {
+
+template <FloatingPoint T>
+class SegmentedCompressor {
+ public:
+  /// `segmentElems` is the flush granularity (must be positive).
+  SegmentedCompressor(Config config, usize segmentElems,
+                      gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  /// Buffers values; compresses and stores a segment each time the buffer
+  /// reaches the segment size.
+  void append(std::span<const T> values);
+
+  /// Flushes any buffered remainder and serializes the container. The
+  /// compressor is reset and reusable afterwards.
+  std::vector<std::byte> finish();
+
+  /// Segments flushed so far (not counting the unflushed remainder).
+  usize segmentsFlushed() const { return segments_.size(); }
+
+  /// Elements appended so far.
+  u64 totalElements() const { return totalElems_; }
+
+  /// Sum of flushed compressed bytes so far.
+  usize compressedBytes() const;
+
+ private:
+  void flushSegment();
+
+  Compressor compressor_;
+  usize segmentElems_;
+  std::vector<T> buffer_;
+  std::vector<std::vector<std::byte>> segments_;
+  u64 totalElems_ = 0;
+};
+
+template <FloatingPoint T>
+class SegmentedReader {
+ public:
+  /// Parses the container's table of contents; the bytes must outlive the
+  /// reader.
+  explicit SegmentedReader(ConstByteSpan container,
+                           gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  usize segmentCount() const { return entries_.size(); }
+  u64 totalElements() const { return totalElems_; }
+
+  /// Elements stored in one segment.
+  usize segmentElements(usize index) const;
+
+  /// Decodes one segment.
+  std::vector<T> segment(usize index) const;
+
+  /// Decodes the full stream in order.
+  std::vector<T> all() const;
+
+ private:
+  struct Entry {
+    usize offset;
+    usize length;
+    u64 elements;
+  };
+  ConstByteSpan container_;
+  Compressor compressor_;
+  std::vector<Entry> entries_;
+  u64 totalElems_ = 0;
+};
+
+extern template class SegmentedCompressor<f32>;
+extern template class SegmentedCompressor<f64>;
+extern template class SegmentedReader<f32>;
+extern template class SegmentedReader<f64>;
+
+}  // namespace cuszp2::core

@@ -1,0 +1,57 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Tables II & IV).
+//
+// The real SDRBench / Open-SciVis downloads are not available in this
+// environment, so each dataset is replaced by a seeded generator engineered
+// to match its documented character — the properties cuSZp2's results
+// actually depend on:
+//   * smoothness        -> small first-order differences, outlier at block
+//                          heads (drives Outlier-FLE gains, Sec. IV-A)
+//   * sparsity          -> all-zero blocks (drives the memset fast path and
+//                          the huge JetIn/RTM ratios)
+//   * dynamic range     -> fixed-length growth across blocks
+//   * noise floor       -> ratio ceiling at small error bounds
+//
+// Generation is deterministic: (dataset, fieldIndex, elementCount) fully
+// determines the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::datagen {
+
+struct DatasetInfo {
+  std::string name;      // lowercase id, e.g. "cesm_atm"
+  std::string suite;     // "SDRBench" or "Open-SciVis"
+  u32 numFields = 1;     // matches the paper's Table II / IV
+  Precision precision = Precision::F32;
+  std::string character;  // one-line description of the synthetic model
+};
+
+/// All single-precision datasets of Table II, in paper order.
+const std::vector<DatasetInfo>& singlePrecisionDatasets();
+
+/// The double-precision datasets of Table IV (S3D, NWChem).
+const std::vector<DatasetInfo>& doublePrecisionDatasets();
+
+/// Looks up a dataset by name across both tables; throws if unknown.
+const DatasetInfo& datasetInfo(const std::string& name);
+
+/// Generates field `fieldIndex` (< numFields) of a dataset with `elems`
+/// elements. The f64 overload is only valid for double-precision datasets
+/// and vice versa.
+std::vector<f32> generateF32(const std::string& dataset, u32 fieldIndex,
+                             usize elems);
+std::vector<f64> generateF64(const std::string& dataset, u32 fieldIndex,
+                             usize elems);
+
+/// Names of the HACC particle fields, index-aligned with generateF32
+/// ("xx","yy","zz","vx","vy","vz") — used by the Fig. 15 harness.
+const std::vector<std::string>& haccFieldNames();
+
+/// Names of the RTM pressure snapshots ("P1000","P2000","P3000").
+const std::vector<std::string>& rtmFieldNames();
+
+}  // namespace cuszp2::datagen

@@ -1,0 +1,65 @@
+#include "datagen/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cuszp2::datagen {
+
+template <FloatingPoint T>
+FieldStats computeFieldStats(std::span<const T> data) {
+  require(!data.empty(), "computeFieldStats: empty field");
+  FieldStats s;
+  s.min = static_cast<f64>(data[0]);
+  s.max = static_cast<f64>(data[0]);
+
+  f64 sum = 0.0;
+  f64 sumSq = 0.0;
+  usize zeros = 0;
+  f64 diffSum = 0.0;
+  for (usize i = 0; i < data.size(); ++i) {
+    const f64 v = static_cast<f64>(data[i]);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    sumSq += v * v;
+    if (v == 0.0) ++zeros;
+    if (i > 0) diffSum += std::abs(v - static_cast<f64>(data[i - 1]));
+  }
+  const f64 n = static_cast<f64>(data.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sumSq / n - s.mean * s.mean));
+  s.zeroFraction = static_cast<f64>(zeros) / n;
+  if (data.size() > 1 && s.range() > 0.0) {
+    s.roughness = diffSum / static_cast<f64>(data.size() - 1) / s.range();
+  }
+
+  // Outlier-motif detection over 32-element blocks.
+  constexpr usize kBlock = 32;
+  usize outlierBlocks = 0;
+  usize blocks = 0;
+  for (usize start = 0; start + kBlock <= data.size(); start += kBlock) {
+    // The block head is differenced against 0 (block independence), so
+    // its magnitude is the candidate outlier.
+    const f64 head = std::abs(static_cast<f64>(data[start]));
+    f64 tailMax = 0.0;
+    for (usize i = start + 1; i < start + kBlock; ++i) {
+      tailMax = std::max(tailMax,
+                         std::abs(static_cast<f64>(data[i]) -
+                                  static_cast<f64>(data[i - 1])));
+    }
+    ++blocks;
+    if (head > 4.0 * tailMax && head > 0.0) ++outlierBlocks;
+  }
+  if (blocks > 0) {
+    s.outlierBlockFraction =
+        static_cast<f64>(outlierBlocks) / static_cast<f64>(blocks);
+  }
+  return s;
+}
+
+template FieldStats computeFieldStats<f32>(std::span<const f32>);
+template FieldStats computeFieldStats<f64>(std::span<const f64>);
+
+}  // namespace cuszp2::datagen

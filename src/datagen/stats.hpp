@@ -1,0 +1,40 @@
+// Field statistics: the structural properties that determine compression
+// behaviour (paper Sec. IV-A's smoothness argument). Used by the dataset
+// report harness and by tests that pin the synthetic generators to their
+// real-dataset characters.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cuszp2::datagen {
+
+struct FieldStats {
+  f64 min = 0.0;
+  f64 max = 0.0;
+  f64 mean = 0.0;
+  f64 stddev = 0.0;
+
+  /// Fraction of exactly-zero samples (drives zero-block fast paths).
+  f64 zeroFraction = 0.0;
+
+  /// Mean |first-order difference| / value range — the smoothness proxy:
+  /// low values mean few effective bits per FLE block.
+  f64 roughness = 0.0;
+
+  /// Fraction of 32-element blocks whose head |difference| dominates the
+  /// block (>= 4x the tail maximum) — the outlier motif Outlier-FLE
+  /// exploits (paper Fig. 6).
+  f64 outlierBlockFraction = 0.0;
+
+  f64 range() const { return max - min; }
+};
+
+template <FloatingPoint T>
+FieldStats computeFieldStats(std::span<const T> data);
+
+extern template FieldStats computeFieldStats<f32>(std::span<const f32>);
+extern template FieldStats computeFieldStats<f64>(std::span<const f64>);
+
+}  // namespace cuszp2::datagen

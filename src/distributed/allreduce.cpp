@@ -1,0 +1,132 @@
+#include "distributed/allreduce.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cuszp2::distributed {
+
+RingAllreduce::RingAllreduce(u32 devices, LinkSpec link)
+    : devices_(devices), link_(link) {
+  require(devices >= 2, "RingAllreduce: need at least 2 devices");
+}
+
+std::vector<f32> RingAllreduce::exactSum(
+    const std::vector<std::vector<f32>>& gradients) {
+  require(!gradients.empty(), "RingAllreduce: no gradients");
+  std::vector<f32> out(gradients[0].size(), 0.0f);
+  for (const auto& g : gradients) {
+    require(g.size() == out.size(), "RingAllreduce: length mismatch");
+    for (usize i = 0; i < out.size(); ++i) out[i] += g[i];
+  }
+  return out;
+}
+
+ExchangeCodec rawCodec() {
+  ExchangeCodec codec;
+  codec.name = "uncompressed";
+  codec.transform = [](std::span<const f32> values,
+                       std::vector<f32>& reconstructed, u64& wireBytes,
+                       f64& codecSeconds) {
+    reconstructed.assign(values.begin(), values.end());
+    wireBytes = values.size() * sizeof(f32);
+    codecSeconds = 0.0;
+  };
+  return codec;
+}
+
+AllreduceResult RingAllreduce::run(
+    const std::vector<std::vector<f32>>& gradients,
+    const ExchangeCodec& codec, f64 perHopErrorBound) const {
+  require(gradients.size() == devices_,
+          "RingAllreduce: gradient count must equal device count");
+  const usize n = gradients[0].size();
+  for (const auto& g : gradients) {
+    require(g.size() == n, "RingAllreduce: gradient length mismatch");
+  }
+  require(n % devices_ == 0,
+          "RingAllreduce: vector length must divide into device count");
+  require(static_cast<bool>(codec.transform),
+          "RingAllreduce: codec has no transform");
+
+  const usize chunk = n / devices_;
+  const u32 P = devices_;
+
+  // Working copy per device.
+  std::vector<std::vector<f32>> buf = gradients;
+
+  AllreduceResult result;
+  std::vector<f32> wire;  // reconstructed payload of one transfer
+
+  auto chunkSpan = [&](u32 device, u32 c) {
+    return std::span<f32>(buf[device].data() + static_cast<usize>(c) * chunk,
+                          chunk);
+  };
+
+  // ---- Reduce-scatter: P-1 steps ---------------------------------------
+  for (u32 step = 0; step < P - 1; ++step) {
+    f64 stepSeconds = 0.0;
+    // Compute all sends of this step before applying receives (devices
+    // run concurrently; the step is a synchronization point).
+    std::vector<std::vector<f32>> incoming(P);
+    for (u32 d = 0; d < P; ++d) {
+      const u32 sendChunk = (d + P - step) % P;
+      u64 bytes = 0;
+      f64 codecSeconds = 0.0;
+      codec.transform(chunkSpan(d, sendChunk), wire, bytes, codecSeconds);
+      incoming[(d + 1) % P] = wire;
+      result.wireBytes += bytes;
+      stepSeconds =
+          std::max(stepSeconds,
+                   codecSeconds + link_.transferSeconds(bytes));
+    }
+    for (u32 d = 0; d < P; ++d) {
+      const u32 recvChunk = (d + 2 * P - step - 1) % P;
+      auto dst = chunkSpan(d, recvChunk);
+      const auto& src = incoming[d];
+      require(src.size() == dst.size(), "RingAllreduce: bad wire size");
+      for (usize i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    }
+    result.seconds += stepSeconds;
+  }
+
+  // After reduce-scatter, device d owns fully reduced chunk (d+1) mod P.
+  // ---- All-gather: P-1 steps --------------------------------------------
+  for (u32 step = 0; step < P - 1; ++step) {
+    f64 stepSeconds = 0.0;
+    std::vector<std::vector<f32>> incoming(P);
+    std::vector<u32> incomingChunk(P);
+    for (u32 d = 0; d < P; ++d) {
+      const u32 sendChunk = (d + 1 + P - step) % P;
+      u64 bytes = 0;
+      f64 codecSeconds = 0.0;
+      codec.transform(chunkSpan(d, sendChunk), wire, bytes, codecSeconds);
+      incoming[(d + 1) % P] = wire;
+      incomingChunk[(d + 1) % P] = sendChunk;
+      result.wireBytes += bytes;
+      stepSeconds =
+          std::max(stepSeconds,
+                   codecSeconds + link_.transferSeconds(bytes));
+    }
+    for (u32 d = 0; d < P; ++d) {
+      auto dst = chunkSpan(d, incomingChunk[d]);
+      const auto& src = incoming[d];
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    result.seconds += stepSeconds;
+  }
+
+  // All devices now hold the full reduced vector; they agree up to the
+  // lossy exchanges. Report device 0's copy.
+  result.reduced = std::move(buf[0]);
+  const f64 idealBytes = 2.0 * (P - 1) / P * static_cast<f64>(n) * 4.0;
+  result.algbwGBps =
+      result.seconds > 0.0 ? idealBytes / result.seconds / 1e9 : 0.0;
+  // Each reduce-scatter hop adds one quantization error; the gather pass
+  // adds one more (re-quantization of already-quantized data is
+  // idempotent, so forwarding is lossless afterwards).
+  result.errorBound = perHopErrorBound * static_cast<f64>(P);
+  return result;
+}
+
+}  // namespace cuszp2::distributed

@@ -1,0 +1,77 @@
+// LSB-first bit writer/reader over a byte vector. Used by the Huffman codec
+// and the ZFP-style embedded coder.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::entropy {
+
+class BitWriter {
+ public:
+  /// Appends the `nbits` low bits of `value`, LSB first. nbits in [0, 64].
+  void write(u64 value, u32 nbits) {
+    require(nbits <= 64, "BitWriter: nbits > 64");
+    for (u32 i = 0; i < nbits; ++i) {
+      if (bitPos_ == 0) bytes_.push_back(std::byte{0});
+      if ((value >> i) & 1u) {
+        bytes_.back() |= static_cast<std::byte>(1u << bitPos_);
+      }
+      bitPos_ = (bitPos_ + 1) & 7;
+    }
+  }
+
+  void writeBit(bool bit) { write(bit ? 1 : 0, 1); }
+
+  /// Pads to a byte boundary with zero bits.
+  void alignToByte() { bitPos_ = 0; }
+
+  usize bitCount() const {
+    return bytes_.empty() ? 0
+                          : (bytes_.size() - 1) * 8 +
+                                (bitPos_ == 0 ? 8 : bitPos_);
+  }
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { bitPos_ = 0; return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+  u32 bitPos_ = 0;  // next free bit within bytes_.back(); 0 = byte full/none
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ConstByteSpan data) : data_(data) {}
+
+  /// Reads `nbits` bits, LSB first. Throws on overrun.
+  u64 read(u32 nbits) {
+    require(nbits <= 64, "BitReader: nbits > 64");
+    u64 v = 0;
+    for (u32 i = 0; i < nbits; ++i) {
+      v |= static_cast<u64>(readBit()) << i;
+    }
+    return v;
+  }
+
+  u32 readBit() {
+    require(pos_ < data_.size() * 8, "BitReader: read past end of stream");
+    const u32 bit =
+        (std::to_integer<u32>(data_[pos_ >> 3]) >> (pos_ & 7)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  void alignToByte() { pos_ = (pos_ + 7) & ~usize{7}; }
+
+  usize bitPosition() const { return pos_; }
+  usize bitsRemaining() const { return data_.size() * 8 - pos_; }
+
+ private:
+  ConstByteSpan data_;
+  usize pos_ = 0;
+};
+
+}  // namespace cuszp2::entropy

@@ -1,0 +1,178 @@
+#include "entropy/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace cuszp2::entropy {
+
+namespace {
+
+constexpr u32 kMaxCodeLength = 32;
+
+/// Computes code lengths via a standard Huffman tree build over the
+/// frequency histogram. Returns a per-symbol length (0 = unused symbol).
+std::vector<u8> buildCodeLengths(std::span<const u64> freq) {
+  const u32 n = static_cast<u32>(freq.size());
+  struct Node {
+    u64 weight;
+    i32 left;   // child node index or -1
+    i32 right;
+    i32 symbol; // >= 0 for leaves
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+
+  using Entry = std::pair<u64, i32>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (u32 s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back({freq[s], -1, -1, static_cast<i32>(s)});
+    heap.emplace(freq[s], static_cast<i32>(nodes.size() - 1));
+  }
+
+  std::vector<u8> lengths(n, 0);
+  if (heap.empty()) return lengths;
+  if (heap.size() == 1) {
+    // Single distinct symbol: 1-bit code by convention.
+    lengths[static_cast<usize>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, -1});
+    heap.emplace(wa + wb, static_cast<i32>(nodes.size() - 1));
+  }
+
+  // Depth-first traversal to assign depths as code lengths.
+  struct Frame {
+    i32 node;
+    u8 depth;
+  };
+  std::vector<Frame> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<usize>(f.node)];
+    if (node.symbol >= 0) {
+      lengths[static_cast<usize>(node.symbol)] = std::max<u8>(1, f.depth);
+      continue;
+    }
+    require(f.depth < kMaxCodeLength, "Huffman: code length overflow");
+    stack.push_back({node.left, static_cast<u8>(f.depth + 1)});
+    stack.push_back({node.right, static_cast<u8>(f.depth + 1)});
+  }
+  return lengths;
+}
+
+}  // namespace
+
+std::vector<u32> HuffmanCodec::canonicalCodes(std::span<const u8> lengths) {
+  // Kraft-ordered canonical assignment: codes sorted by (length, symbol).
+  std::vector<u32> codes(lengths.size(), 0);
+  u8 maxLen = 0;
+  for (u8 l : lengths) maxLen = std::max(maxLen, l);
+  if (maxLen == 0) return codes;
+
+  std::vector<u32> countPerLength(maxLen + 1, 0);
+  for (u8 l : lengths) {
+    if (l > 0) ++countPerLength[l];
+  }
+  std::vector<u32> nextCode(maxLen + 2, 0);
+  u32 code = 0;
+  for (u32 len = 1; len <= maxLen; ++len) {
+    code = (code + countPerLength[len - 1]) << 1;
+    nextCode[len] = code;
+  }
+  for (usize s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = nextCode[lengths[s]]++;
+  }
+  return codes;
+}
+
+HuffmanEncoded HuffmanCodec::encode(std::span<const u16> symbols,
+                                    u32 alphabetSize) {
+  require(alphabetSize > 0, "Huffman: empty alphabet");
+  std::vector<u64> freq(alphabetSize, 0);
+  for (u16 s : symbols) {
+    require(s < alphabetSize, "Huffman: symbol out of alphabet range");
+    ++freq[s];
+  }
+
+  HuffmanEncoded enc;
+  enc.alphabetSize = alphabetSize;
+  enc.symbolCount = symbols.size();
+  enc.codeLengths = buildCodeLengths(freq);
+  const auto codes = canonicalCodes(enc.codeLengths);
+
+  BitWriter writer;
+  for (u16 s : symbols) {
+    const u8 len = enc.codeLengths[s];
+    require(len > 0, "Huffman: encoding symbol with no code");
+    // Canonical codes are MSB-first by construction; emit MSB first so the
+    // decoder can walk lengths in increasing order.
+    for (i32 bit = len - 1; bit >= 0; --bit) {
+      writer.writeBit((codes[s] >> bit) & 1u);
+    }
+  }
+  enc.payload = writer.take();
+  return enc;
+}
+
+std::vector<u16> HuffmanCodec::decode(const HuffmanEncoded& enc) {
+  const auto codes = canonicalCodes(enc.codeLengths);
+
+  // Build (length -> first code, symbol list) canonical decode structures.
+  u8 maxLen = 0;
+  for (u8 l : enc.codeLengths) maxLen = std::max(maxLen, l);
+  require(enc.symbolCount == 0 || maxLen > 0,
+          "Huffman: empty table with nonzero symbol count");
+
+  // symbolsByLength[len] holds symbols in canonical order.
+  std::vector<std::vector<u16>> symbolsByLength(maxLen + 1);
+  std::vector<u32> firstCode(maxLen + 1, 0);
+  {
+    std::vector<u32> countPerLength(maxLen + 1, 0);
+    for (u8 l : enc.codeLengths) {
+      if (l > 0) ++countPerLength[l];
+    }
+    u32 code = 0;
+    for (u32 len = 1; len <= maxLen; ++len) {
+      code = (code + (len >= 2 ? countPerLength[len - 1] : 0)) << 1;
+      // Align with canonicalCodes(): nextCode[1] starts at (0 + count[0])<<1
+      // where count[0] == 0.
+      firstCode[len] = code;
+    }
+    for (usize s = 0; s < enc.codeLengths.size(); ++s) {
+      const u8 l = enc.codeLengths[s];
+      if (l > 0) symbolsByLength[l].push_back(static_cast<u16>(s));
+    }
+    for (auto& v : symbolsByLength) std::sort(v.begin(), v.end());
+  }
+
+  std::vector<u16> out;
+  out.reserve(enc.symbolCount);
+  BitReader reader(enc.payload);
+  for (usize i = 0; i < enc.symbolCount; ++i) {
+    u32 code = 0;
+    for (u32 len = 1; len <= maxLen; ++len) {
+      code = (code << 1) | reader.readBit();
+      const auto& syms = symbolsByLength[len];
+      if (!syms.empty() && code >= firstCode[len] &&
+          code < firstCode[len] + syms.size()) {
+        out.push_back(syms[code - firstCode[len]]);
+        code = 0;
+        break;
+      }
+      require(len < maxLen, "Huffman: invalid code in stream");
+    }
+  }
+  return out;
+}
+
+}  // namespace cuszp2::entropy

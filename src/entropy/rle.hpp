@@ -1,0 +1,31 @@
+// Run-length codec over 16-bit symbols.
+//
+// Exists for two reasons: (1) it is a real, tested codec usable on
+// quantization codes with long constant runs; (2) it is the counterexample
+// in the paper's vectorization argument (Sec. IV-B) — its data-dependent
+// control flow is what makes RLE (like Huffman) hostile to GPU warps,
+// while fixed-length encoding vectorizes trivially. The
+// encoding_vectorizability bench quantifies exactly that.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::entropy {
+
+struct RleEncoded {
+  /// (symbol, run length) pairs; run lengths are capped at 2^16 - 1.
+  std::vector<std::pair<u16, u16>> runs;
+  usize symbolCount = 0;
+
+  usize totalBytes() const { return runs.size() * 4 + 16; }
+};
+
+class RleCodec {
+ public:
+  static RleEncoded encode(std::span<const u16> symbols);
+  static std::vector<u16> decode(const RleEncoded& encoded);
+};
+
+}  // namespace cuszp2::entropy

@@ -1,0 +1,56 @@
+#include "gpusim/device_spec.hpp"
+
+namespace cuszp2::gpusim {
+
+DeviceSpec a100_40gb() {
+  DeviceSpec s;
+  s.name = "NVIDIA A100 (40 GB)";
+  s.smCount = 108;
+  s.memBandwidthGBps = 1555.0;
+  s.memInstrPerSec = 90e9;
+  s.opsPerSec = 2.0e12;
+  s.chainHopNs = 45.0;
+  s.lookbackHopNs = 45.0;
+  s.lookbackOverlap = 2.6;
+  s.launchOverheadUs = 6.0;
+  s.pcieGBps = 12.0;
+  s.atomicsPerSec = 1.2e9;
+  s.memsetGBps = 2000.0;
+  return s;
+}
+
+DeviceSpec rtx3090() {
+  DeviceSpec s;
+  s.name = "NVIDIA RTX 3090";
+  s.smCount = 82;
+  s.memBandwidthGBps = 936.0;
+  s.memInstrPerSec = 62e9;
+  s.opsPerSec = 1.5e12;
+  s.chainHopNs = 60.0;
+  s.lookbackHopNs = 60.0;
+  s.lookbackOverlap = 2.4;
+  s.launchOverheadUs = 7.0;
+  s.pcieGBps = 12.0;
+  s.atomicsPerSec = 0.9e9;
+  s.memsetGBps = 1200.0;
+  return s;
+}
+
+DeviceSpec rtx3080() {
+  DeviceSpec s;
+  s.name = "NVIDIA RTX 3080 (10 GB)";
+  s.smCount = 68;
+  s.memBandwidthGBps = 760.0;
+  s.memInstrPerSec = 52e9;
+  s.opsPerSec = 1.3e12;
+  s.chainHopNs = 70.0;
+  s.lookbackHopNs = 70.0;
+  s.lookbackOverlap = 2.3;
+  s.launchOverheadUs = 7.0;
+  s.pcieGBps = 12.0;
+  s.atomicsPerSec = 0.8e9;
+  s.memsetGBps = 1000.0;
+  return s;
+}
+
+}  // namespace cuszp2::gpusim

@@ -1,0 +1,82 @@
+// Device parameter sheets for the GPU execution model.
+//
+// The reproduction has no physical GPU, so kernel time is *modelled* from
+// first-principles quantities the kernels record while they run on the host:
+// bytes moved, memory instructions issued, arithmetic ops, and
+// synchronization hop statistics. A DeviceSpec holds the per-device constants
+// that convert those counts into seconds. Presets mirror the GPUs evaluated
+// in the paper (A100 40 GB, RTX 3090, RTX 3080).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cuszp2::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  /// Streaming multiprocessor count (A100: 108).
+  u32 smCount = 108;
+
+  /// Warp width. Fixed at 32 for all NVIDIA parts.
+  u32 warpSize = 32;
+
+  /// Peak DRAM bandwidth in GB/s (A100 40GB: 1555).
+  f64 memBandwidthGBps = 1555.0;
+
+  /// DRAM transaction (sector) size in bytes.
+  u32 transactionBytes = 32;
+
+  /// Aggregate memory-instruction issue rate across the device, in
+  /// instructions per second. A scalar 32-bit load and a 128-bit vector load
+  /// cost one instruction each, which is why vectorization pays (Fig. 10).
+  f64 memInstrPerSec = 90e9;
+
+  /// Effective arithmetic throughput for the codecs' integer pipelines,
+  /// in ops per second. Deliberately far below the device's peak FMA rate:
+  /// quantization/diff/bit-packing chains are serial integer ALU work with
+  /// little ILP, and this is the term that makes compression (two passes,
+  /// ~16 ops/elem) slower than decompression (~6 ops/elem) as the paper
+  /// observes in Sec. V-B.
+  f64 opsPerSec = 2.0e12;
+
+  /// Latency of one hop of the serial chained-scan dependency chain, in ns
+  /// (one thread block observing its predecessor's published prefix through
+  /// L2). Drives Fig. 17.
+  f64 chainHopNs = 45.0;
+
+  /// Latency of one decoupled-lookback inspection step, in ns. Lookback
+  /// reads run concurrently across all resident blocks, so only the measured
+  /// critical-path depth is charged (Sec. IV-C).
+  f64 lookbackHopNs = 45.0;
+
+  /// How many thread blocks are simultaneously resident and can overlap
+  /// their waiting with useful work under decoupled lookback.
+  f64 lookbackOverlap = 2.6;
+
+  /// Fixed kernel launch + driver overhead per kernel, in microseconds.
+  f64 launchOverheadUs = 6.0;
+
+  /// Host<->device PCIe bandwidth in GB/s (for hybrid-compressor modelling).
+  f64 pcieGBps = 12.0;
+
+  /// Aggregate throughput of global-memory atomic RMW operations,
+  /// in atomics per second (FZ-GPU's sync bottleneck, Fig. 16).
+  f64 atomicsPerSec = 1.2e9;
+
+  /// Device-side memset bandwidth (zero-block fast path uses cudaMemset).
+  f64 memsetGBps = 2000.0;
+};
+
+/// NVIDIA A100 (40 GB), the paper's primary platform (Sec. V-A).
+DeviceSpec a100_40gb();
+
+/// NVIDIA GeForce RTX 3090 (Sec. VI-C).
+DeviceSpec rtx3090();
+
+/// NVIDIA GeForce RTX 3080 10 GB (Sec. VI-C).
+DeviceSpec rtx3080();
+
+}  // namespace cuszp2::gpusim

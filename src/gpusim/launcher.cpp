@@ -1,0 +1,138 @@
+#include "gpusim/launcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cuszp2::gpusim {
+
+namespace {
+
+thread_local std::atomic<bool>* tCurrentAbortFlag = nullptr;
+
+/// Per-launch completion latch, so concurrent launches sharing one pool
+/// wait only on their own tasks (two streams compressing on the same
+/// device must not serialize on each other's completion).
+class Latch {
+ public:
+  explicit Latch(usize count) : remaining_(count) {}
+
+  void countDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  usize remaining_;
+};
+
+}  // namespace
+
+bool launchAborted() {
+  return tCurrentAbortFlag != nullptr &&
+         tCurrentAbortFlag->load(std::memory_order_acquire);
+}
+
+void throwIfLaunchAborted() {
+  if (launchAborted()) {
+    throw Error("gpusim: launch aborted by a failing thread block");
+  }
+}
+
+namespace detail {
+void setCurrentAbortFlag(std::atomic<bool>* flag) {
+  tCurrentAbortFlag = flag;
+}
+}  // namespace detail
+
+Launcher::Launcher() : pool_(new ThreadPool(ThreadPool::defaultWorkers())),
+                       ownsPool_(true) {}
+
+Launcher::Launcher(ThreadPool& pool) : pool_(&pool), ownsPool_(false) {}
+
+Launcher::~Launcher() {
+  if (ownsPool_) delete pool_;
+}
+
+LaunchResult Launcher::launch(u32 gridSize,
+                              const std::function<void(BlockCtx&)>& body,
+                              u32 blocksPerTask) {
+  LaunchResult result;
+  result.gridSize = gridSize;
+  if (gridSize == 0) return result;
+
+  if (blocksPerTask == 0) {
+    // Enough tasks to keep every worker busy several times over, but not so
+    // many that queue overhead dominates.
+    const u32 targetTasks =
+        static_cast<u32>(pool_->workerCount()) * 8;
+    blocksPerTask = std::max<u32>(1, gridSize / std::max<u32>(1, targetTasks));
+  }
+
+  // Per-task accumulation avoids false sharing on per-block counters.
+  const u32 numTasks = static_cast<u32>(
+      (static_cast<u64>(gridSize) + blocksPerTask - 1) / blocksPerTask);
+  std::vector<MemCounters> taskMem(numTasks);
+  std::vector<SyncStats> taskSync(numTasks);
+
+  std::atomic<bool> abortFlag{false};
+  std::mutex exceptionMutex;
+  std::exception_ptr firstException;
+  Latch done(numTasks);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (u32 task = 0; task < numTasks; ++task) {
+    const u32 first = task * blocksPerTask;
+    const u32 last = std::min(gridSize, first + blocksPerTask);
+    pool_->submit([&, task, first, last] {
+      detail::setCurrentAbortFlag(&abortFlag);
+      try {
+        for (u32 b = first; b < last; ++b) {
+          BlockCtx ctx;
+          ctx.blockIdx = b;
+          ctx.gridSize = gridSize;
+          body(ctx);
+          taskMem[task] += ctx.mem;
+          taskSync[task] += ctx.sync;
+        }
+      } catch (...) {
+        // Record the exception before raising the abort flag so that
+        // secondary "launch aborted" errors from spinning blocks never
+        // mask the root cause.
+        {
+          std::lock_guard<std::mutex> lock(exceptionMutex);
+          if (!firstException) firstException = std::current_exception();
+        }
+        abortFlag.store(true, std::memory_order_release);
+      }
+      detail::setCurrentAbortFlag(nullptr);
+      done.countDown();
+    });
+  }
+  done.wait();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (firstException) std::rethrow_exception(firstException);
+
+  for (u32 task = 0; task < numTasks; ++task) {
+    result.mem += taskMem[task];
+    result.sync += taskSync[task];
+  }
+  result.wallSeconds =
+      std::chrono::duration<f64>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace cuszp2::gpusim

@@ -1,0 +1,82 @@
+// Thread-block grid launcher: the execution engine of the GPU model.
+//
+// A "kernel" is a callable invoked once per thread block with a BlockCtx.
+// Blocks are dispatched FIFO onto the shared thread pool, giving the same
+// forward-progress guarantee GPU hardware gives the decoupled-lookback scan:
+// the lowest-indexed unfinished block is always running, so spinning on a
+// predecessor always terminates (see common/thread_pool.hpp).
+//
+// Each block records its memory traffic and sync behaviour into its own
+// counters; the launcher reduces them into one LaunchResult the TimingModel
+// can convert into modelled kernel seconds.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "gpusim/mem_counters.hpp"
+#include "gpusim/sync_stats.hpp"
+
+namespace cuszp2::gpusim {
+
+struct BlockCtx {
+  u32 blockIdx = 0;
+  u32 gridSize = 0;
+  MemCounters mem;
+  SyncStats sync;
+};
+
+struct LaunchResult {
+  u32 gridSize = 0;
+  MemCounters mem;
+  SyncStats sync;
+  /// Host wall-clock time of the simulated launch (diagnostic only; the
+  /// figures use modelled time, not this).
+  f64 wallSeconds = 0.0;
+};
+
+class Launcher {
+ public:
+  /// Uses an internally owned pool with ThreadPool::defaultWorkers() workers.
+  Launcher();
+
+  /// Uses an external pool (shared across launches).
+  explicit Launcher(ThreadPool& pool);
+
+  ~Launcher();
+
+  Launcher(const Launcher&) = delete;
+  Launcher& operator=(const Launcher&) = delete;
+
+  /// Runs `body` once per block index in [0, gridSize). Consecutive blocks
+  /// are batched into tasks of `blocksPerTask` (0 = choose automatically);
+  /// batching preserves dispatch order and hence lookback progress.
+  LaunchResult launch(u32 gridSize,
+                      const std::function<void(BlockCtx&)>& body,
+                      u32 blocksPerTask = 0);
+
+  usize workerCount() const { return pool_->workerCount(); }
+
+ private:
+  ThreadPool* pool_;
+  bool ownsPool_;
+};
+
+/// Abort propagation for in-flight launches. When a block throws, the
+/// launcher raises the current launch's abort flag so that other blocks
+/// spinning on inter-block state (decoupled lookback, chained scan) can
+/// unwind instead of waiting forever on a publish that will never come.
+/// The first exception is rethrown from launch() after all tasks drain.
+bool launchAborted();
+
+/// Raises Error if the current launch has been aborted; called from spin
+/// loops.
+void throwIfLaunchAborted();
+
+namespace detail {
+void setCurrentAbortFlag(std::atomic<bool>* flag);
+}
+
+}  // namespace cuszp2::gpusim

@@ -1,0 +1,131 @@
+// Per-kernel memory and compute accounting.
+//
+// Kernels running under the execution model record what a real GPU's memory
+// pipeline would see: how many load/store *instructions* issue (scalar 32-bit
+// vs vectorized 128-bit), how many DRAM transactions those instructions
+// generate (coalesced warps merge; strided warps do not), how many bytes move,
+// how many atomics fire, and roughly how many arithmetic ops execute. The
+// TimingModel turns these into kernel seconds; the bench harness turns them
+// into the memory-throughput figures (paper Figs. 9 and 16).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cuszp2::gpusim {
+
+struct MemCounters {
+  // Instruction counts (one per warp-lane issue in the scalar case; the
+  // model charges per-thread instructions, matching the SASS view of
+  // Fig. 10 where vectorization divides the count by 4).
+  u64 scalarLoadInstr = 0;
+  u64 vectorLoadInstr = 0;   // 128-bit LD.E.128
+  u64 scalarStoreInstr = 0;
+  u64 vectorStoreInstr = 0;  // 128-bit ST.E.128
+
+  // DRAM transaction counts.
+  u64 coalescedTransactions = 0;
+  u64 stridedTransactions = 0;
+
+  // Raw bytes through global memory.
+  u64 bytesRead = 0;
+  u64 bytesWritten = 0;
+
+  // Global-memory atomic RMW operations.
+  u64 atomicOps = 0;
+
+  // Approximate arithmetic operations (quantization, diffs, bit packing...).
+  u64 arithmeticOps = 0;
+
+  // Bytes moved through the on-chip hierarchy (shared memory / L1):
+  // staging scratch, bit-plane packing buffers, shuffle tiles. No DRAM
+  // time is charged for these, but Nsight's "memory throughput" counts
+  // them, so the Figs. 9/16 metric includes them too.
+  u64 l1Bytes = 0;
+
+  // Bytes flushed with device-side memset (the zero-block fast path: the
+  // paper flushes all-zero blocks with cudaMemset instead of running the
+  // decode path, which is why sparse datasets like JetIn decompress at
+  // >1 TB/s). Charged at memset bandwidth, no instruction-issue cost.
+  u64 memsetBytes = 0;
+
+  u64 totalMemInstr() const {
+    return scalarLoadInstr + vectorLoadInstr + scalarStoreInstr +
+           vectorStoreInstr;
+  }
+
+  u64 totalTransactions() const {
+    return coalescedTransactions + stridedTransactions;
+  }
+
+  u64 totalBytes() const { return bytesRead + bytesWritten + memsetBytes; }
+
+  MemCounters& operator+=(const MemCounters& o) {
+    scalarLoadInstr += o.scalarLoadInstr;
+    vectorLoadInstr += o.vectorLoadInstr;
+    scalarStoreInstr += o.scalarStoreInstr;
+    vectorStoreInstr += o.vectorStoreInstr;
+    coalescedTransactions += o.coalescedTransactions;
+    stridedTransactions += o.stridedTransactions;
+    bytesRead += o.bytesRead;
+    bytesWritten += o.bytesWritten;
+    atomicOps += o.atomicOps;
+    arithmeticOps += o.arithmeticOps;
+    l1Bytes += o.l1Bytes;
+    memsetBytes += o.memsetBytes;
+    return *this;
+  }
+
+  // ---- Bulk recording helpers used by kernels -------------------------
+  // `transactionBytes` is DeviceSpec::transactionBytes (32 on all presets).
+
+  /// Coalesced vectorized read of `bytes` bytes: one 128-bit instruction per
+  /// 16 bytes, transactions fully merged across the warp.
+  void noteVectorRead(u64 bytes, u32 transactionBytes) {
+    vectorLoadInstr += (bytes + 15) / 16;
+    coalescedTransactions += (bytes + transactionBytes - 1) / transactionBytes;
+    bytesRead += bytes;
+  }
+
+  void noteVectorWrite(u64 bytes, u32 transactionBytes) {
+    vectorStoreInstr += (bytes + 15) / 16;
+    coalescedTransactions += (bytes + transactionBytes - 1) / transactionBytes;
+    bytesWritten += bytes;
+  }
+
+  /// Coalesced scalar read: one instruction per `elemBytes` element, but the
+  /// warp's lanes still merge into full transactions.
+  void noteScalarRead(u64 bytes, u32 elemBytes, u32 transactionBytes) {
+    scalarLoadInstr += (bytes + elemBytes - 1) / elemBytes;
+    coalescedTransactions += (bytes + transactionBytes - 1) / transactionBytes;
+    bytesRead += bytes;
+  }
+
+  void noteScalarWrite(u64 bytes, u32 elemBytes, u32 transactionBytes) {
+    scalarStoreInstr += (bytes + elemBytes - 1) / elemBytes;
+    coalescedTransactions += (bytes + transactionBytes - 1) / transactionBytes;
+    bytesWritten += bytes;
+  }
+
+  /// Strided scalar read (the per-thread-contiguous-chunk pattern of
+  /// cuSZp v1, paper Fig. 11 left): the warp's lanes touch scattered
+  /// sectors, so only ~8 useful bytes land per 32-byte transaction (4x
+  /// bandwidth waste) and every element costs an instruction.
+  void noteStridedRead(u64 bytes, u32 elemBytes) {
+    scalarLoadInstr += (bytes + elemBytes - 1) / elemBytes;
+    stridedTransactions += (bytes + 7) / 8;
+    bytesRead += bytes;
+  }
+
+  void noteStridedWrite(u64 bytes, u32 elemBytes) {
+    scalarStoreInstr += (bytes + elemBytes - 1) / elemBytes;
+    stridedTransactions += (bytes + 7) / 8;
+    bytesWritten += bytes;
+  }
+
+  void noteAtomics(u64 n) { atomicOps += n; }
+  void noteL1(u64 bytes) { l1Bytes += bytes; }
+  void noteOps(u64 n) { arithmeticOps += n; }
+  void noteMemset(u64 bytes) { memsetBytes += bytes; }
+};
+
+}  // namespace cuszp2::gpusim

@@ -1,0 +1,145 @@
+#include "io/archive.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cuszp2::io {
+
+namespace {
+
+constexpr u64 kArchiveMagic = 0x32505A43'48435241ull;  // "ARCHCZP2"
+
+void put64(std::vector<std::byte>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put32(std::vector<std::byte>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(ConstByteSpan data) : data_(data) {}
+
+  u64 get64() {
+    require(pos_ + 8 <= data_.size(), "Archive: truncated header");
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<u64>(std::to_integer<u64>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  u32 get32() {
+    require(pos_ + 4 <= data_.size(), "Archive: truncated header");
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<u32>(std::to_integer<u32>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::string getString(usize len) {
+    require(pos_ + len <= data_.size(), "Archive: truncated field name");
+    std::string s(len, '\0');
+    for (usize i = 0; i < len; ++i) {
+      s[i] = static_cast<char>(std::to_integer<u8>(data_[pos_ + i]));
+    }
+    pos_ += len;
+    return s;
+  }
+
+  usize position() const { return pos_; }
+
+ private:
+  ConstByteSpan data_;
+  usize pos_ = 0;
+};
+
+}  // namespace
+
+void ArchiveWriter::addField(const std::string& name, ConstByteSpan stream) {
+  require(!name.empty(), "ArchiveWriter: field name must be non-empty");
+  require(name.size() <= 4096, "ArchiveWriter: field name too long");
+  require(!hasField(name), "ArchiveWriter: duplicate field " + name);
+  fields_.push_back(
+      {name, std::vector<std::byte>(stream.begin(), stream.end())});
+}
+
+bool ArchiveWriter::hasField(const std::string& name) const {
+  return std::any_of(fields_.begin(), fields_.end(),
+                     [&](const Field& f) { return f.name == name; });
+}
+
+std::vector<std::byte> ArchiveWriter::finalize() const {
+  std::vector<std::byte> out;
+  put64(out, kArchiveMagic);
+  put64(out, fields_.size());
+  for (const auto& f : fields_) {
+    put32(out, static_cast<u32>(f.name.size()));
+    for (char c : f.name) {
+      out.push_back(static_cast<std::byte>(static_cast<u8>(c)));
+    }
+    put64(out, f.stream.size());
+  }
+  for (const auto& f : fields_) {
+    out.insert(out.end(), f.stream.begin(), f.stream.end());
+  }
+  return out;
+}
+
+ArchiveReader::ArchiveReader(ConstByteSpan archive) : archive_(archive) {
+  Cursor cursor(archive);
+  require(cursor.get64() == kArchiveMagic,
+          "ArchiveReader: bad magic (not a cuSZp2 archive)");
+  const u64 count = cursor.get64();
+  require(count <= 1'000'000, "ArchiveReader: implausible field count");
+
+  std::vector<usize> lengths;
+  entries_.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    Entry e;
+    const u32 nameLen = cursor.get32();
+    require(nameLen > 0 && nameLen <= 4096,
+            "ArchiveReader: invalid field-name length");
+    e.name = cursor.getString(nameLen);
+    e.length = cursor.get64();
+    entries_.push_back(std::move(e));
+  }
+  usize offset = cursor.position();
+  for (auto& e : entries_) {
+    e.offset = offset;
+    require(offset + e.length >= offset, "ArchiveReader: length overflow");
+    offset += e.length;
+  }
+  require(offset <= archive.size(),
+          "ArchiveReader: archive shorter than its table of contents");
+}
+
+std::vector<std::string> ArchiveReader::fieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+bool ArchiveReader::hasField(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.name == name; });
+}
+
+ConstByteSpan ArchiveReader::field(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return archive_.subspan(e.offset, e.length);
+  }
+  throw Error("ArchiveReader: no field named " + name);
+}
+
+}  // namespace cuszp2::io

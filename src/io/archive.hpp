@@ -1,0 +1,64 @@
+// Multi-field archive container.
+//
+// HPC datasets are collections of named fields (CESM-ATM has 33, HACC 6,
+// ...). This container packs one compressed stream per field with a table
+// of contents so a whole dataset round-trips through a single file, and
+// individual fields can be located without touching the rest — the
+// file-level analogue of cuSZp2's block-level random access.
+//
+// Layout (little-endian):
+//   [magic u64][field count u64]
+//   per field: [name length u32][name bytes][stream length u64]
+//   concatenated streams
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::io {
+
+class ArchiveWriter {
+ public:
+  /// Adds a field; names must be unique and non-empty.
+  void addField(const std::string& name, ConstByteSpan stream);
+
+  bool hasField(const std::string& name) const;
+  usize fieldCount() const { return fields_.size(); }
+
+  /// Serializes the archive. The writer remains usable afterwards.
+  std::vector<std::byte> finalize() const;
+
+ private:
+  struct Field {
+    std::string name;
+    std::vector<std::byte> stream;
+  };
+  std::vector<Field> fields_;
+};
+
+class ArchiveReader {
+ public:
+  /// Parses and validates the table of contents; the archive bytes must
+  /// outlive the reader (field() returns views into them).
+  explicit ArchiveReader(ConstByteSpan archive);
+
+  usize fieldCount() const { return entries_.size(); }
+  std::vector<std::string> fieldNames() const;
+  bool hasField(const std::string& name) const;
+
+  /// Returns the compressed stream of a field; throws if absent.
+  ConstByteSpan field(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    usize offset;
+    usize length;
+  };
+  ConstByteSpan archive_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cuszp2::io

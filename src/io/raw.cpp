@@ -1,0 +1,83 @@
+#include "io/raw.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace cuszp2::io {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+usize fileSize(std::FILE* f) {
+  require(std::fseek(f, 0, SEEK_END) == 0, "io: fseek failed");
+  const long size = std::ftell(f);
+  require(size >= 0, "io: ftell failed");
+  require(std::fseek(f, 0, SEEK_SET) == 0, "io: fseek failed");
+  return static_cast<usize>(size);
+}
+
+}  // namespace
+
+template <FloatingPoint T>
+std::vector<T> readRaw(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  require(f != nullptr, "io: cannot open " + path);
+  const usize bytes = fileSize(f.get());
+  require(bytes % sizeof(T) == 0,
+          "io: file size is not a multiple of the element size: " + path);
+  std::vector<T> out(bytes / sizeof(T));
+  if (!out.empty()) {
+    require(std::fread(out.data(), sizeof(T), out.size(), f.get()) ==
+                out.size(),
+            "io: short read from " + path);
+  }
+  return out;
+}
+
+template <FloatingPoint T>
+void writeRaw(const std::string& path, std::span<const T> values) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  require(f != nullptr, "io: cannot open " + path + " for writing");
+  if (!values.empty()) {
+    require(std::fwrite(values.data(), sizeof(T), values.size(), f.get()) ==
+                values.size(),
+            "io: short write to " + path);
+  }
+}
+
+std::vector<std::byte> readBytes(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  require(f != nullptr, "io: cannot open " + path);
+  const usize bytes = fileSize(f.get());
+  std::vector<std::byte> out(bytes);
+  if (bytes > 0) {
+    require(std::fread(out.data(), 1, bytes, f.get()) == bytes,
+            "io: short read from " + path);
+  }
+  return out;
+}
+
+void writeBytes(const std::string& path, ConstByteSpan bytes) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  require(f != nullptr, "io: cannot open " + path + " for writing");
+  if (!bytes.empty()) {
+    require(std::fwrite(bytes.data(), 1, bytes.size(), f.get()) ==
+                bytes.size(),
+            "io: short write to " + path);
+  }
+}
+
+template std::vector<f32> readRaw<f32>(const std::string&);
+template std::vector<f64> readRaw<f64>(const std::string&);
+template void writeRaw<f32>(const std::string&, std::span<const f32>);
+template void writeRaw<f64>(const std::string&, std::span<const f64>);
+
+}  // namespace cuszp2::io

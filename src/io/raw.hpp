@@ -1,0 +1,30 @@
+// Raw binary field IO in the SDRBench convention (headerless little-endian
+// f32/f64 arrays, e.g. "vx.f32"). Lets users run the library on real
+// SDRBench downloads exactly like the paper's artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::io {
+
+/// Reads a whole file as raw little-endian T values.
+template <FloatingPoint T>
+std::vector<T> readRaw(const std::string& path);
+
+/// Writes values as raw little-endian bytes.
+template <FloatingPoint T>
+void writeRaw(const std::string& path, std::span<const T> values);
+
+/// Reads/writes arbitrary bytes (compressed streams).
+std::vector<std::byte> readBytes(const std::string& path);
+void writeBytes(const std::string& path, ConstByteSpan bytes);
+
+extern template std::vector<f32> readRaw<f32>(const std::string&);
+extern template std::vector<f64> readRaw<f64>(const std::string&);
+extern template void writeRaw<f32>(const std::string&, std::span<const f32>);
+extern template void writeRaw<f64>(const std::string&, std::span<const f64>);
+
+}  // namespace cuszp2::io

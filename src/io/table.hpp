@@ -1,0 +1,39 @@
+// Console table printer used by the bench harness to emit paper-style rows
+// (aligned columns, optional CSV dump for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a separator under the header.
+  std::string render() const;
+
+  /// Renders as CSV.
+  std::string csv() const;
+
+  /// Prints render() to stdout.
+  void print() const;
+
+  usize rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string num(f64 v, int precision = 2);
+  static std::string gbps(f64 v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cuszp2::io

@@ -1,0 +1,15 @@
+#include "metrics/ratio.hpp"
+
+#include <cstdio>
+
+namespace cuszp2::metrics {
+
+std::string RatioCell::format() const {
+  if (empty()) return "N.A.";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2f~%.2f (avg: %.2f)", min(), max(),
+                avg());
+  return buf;
+}
+
+}  // namespace cuszp2::metrics

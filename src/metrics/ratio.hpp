@@ -1,0 +1,50 @@
+// Compression-ratio bookkeeping: per-field ratios aggregated into the
+// "min~max (avg: X)" cells of the paper's Table III / Table V.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::metrics {
+
+/// Ratio of one field: originalBytes / compressedBytes.
+inline f64 compressionRatio(usize originalBytes, usize compressedBytes) {
+  return compressedBytes == 0
+             ? 0.0
+             : static_cast<f64>(originalBytes) /
+                   static_cast<f64>(compressedBytes);
+}
+
+/// Aggregates per-field ratios for one (compressor, dataset, eb) cell.
+class RatioCell {
+ public:
+  void add(f64 ratio) { ratios_.push_back(ratio); }
+
+  bool empty() const { return ratios_.empty(); }
+  usize count() const { return ratios_.size(); }
+
+  f64 min() const {
+    return empty() ? 0.0 : *std::min_element(ratios_.begin(), ratios_.end());
+  }
+  f64 max() const {
+    return empty() ? 0.0 : *std::max_element(ratios_.begin(), ratios_.end());
+  }
+  f64 avg() const {
+    if (empty()) return 0.0;
+    f64 s = 0.0;
+    for (f64 r : ratios_) s += r;
+    return s / static_cast<f64>(ratios_.size());
+  }
+
+  /// Formats as the paper's "min~max (avg: X)" cell.
+  std::string format() const;
+
+ private:
+  std::vector<f64> ratios_;
+};
+
+}  // namespace cuszp2::metrics

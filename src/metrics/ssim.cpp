@@ -1,0 +1,112 @@
+#include "metrics/ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::metrics {
+
+template <FloatingPoint T>
+f64 ssim(std::span<const T> original, std::span<const T> reconstructed,
+         usize windowSize) {
+  require(original.size() == reconstructed.size(), "ssim: size mismatch");
+  require(windowSize >= 2, "ssim: window too small");
+  if (original.size() < windowSize) windowSize = original.size();
+  if (original.empty()) return 1.0;
+
+  const f64 range = valueRange(original);
+  const f64 c1 = (0.01 * range) * (0.01 * range);
+  const f64 c2 = (0.03 * range) * (0.03 * range);
+
+  f64 total = 0.0;
+  usize windows = 0;
+  for (usize start = 0; start + windowSize <= original.size();
+       start += windowSize) {
+    f64 muX = 0.0;
+    f64 muY = 0.0;
+    for (usize i = start; i < start + windowSize; ++i) {
+      muX += static_cast<f64>(original[i]);
+      muY += static_cast<f64>(reconstructed[i]);
+    }
+    muX /= static_cast<f64>(windowSize);
+    muY /= static_cast<f64>(windowSize);
+
+    f64 varX = 0.0;
+    f64 varY = 0.0;
+    f64 cov = 0.0;
+    for (usize i = start; i < start + windowSize; ++i) {
+      const f64 dx = static_cast<f64>(original[i]) - muX;
+      const f64 dy = static_cast<f64>(reconstructed[i]) - muY;
+      varX += dx * dx;
+      varY += dy * dy;
+      cov += dx * dy;
+    }
+    varX /= static_cast<f64>(windowSize - 1);
+    varY /= static_cast<f64>(windowSize - 1);
+    cov /= static_cast<f64>(windowSize - 1);
+
+    const f64 num = (2.0 * muX * muY + c1) * (2.0 * cov + c2);
+    const f64 den = (muX * muX + muY * muY + c1) * (varX + varY + c2);
+    total += den == 0.0 ? 1.0 : num / den;
+    ++windows;
+  }
+  return windows == 0 ? 1.0 : total / static_cast<f64>(windows);
+}
+
+namespace {
+
+template <FloatingPoint T>
+std::vector<usize> crossings(std::span<const T> data, f64 iso) {
+  std::vector<usize> out;
+  for (usize i = 1; i < data.size(); ++i) {
+    const bool below = static_cast<f64>(data[i - 1]) < iso;
+    const bool above = static_cast<f64>(data[i]) >= iso;
+    if (below == above) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+template <FloatingPoint T>
+IsoFidelity isoCrossingFidelity(std::span<const T> original,
+                                std::span<const T> reconstructed,
+                                f64 isoValue) {
+  require(original.size() == reconstructed.size(),
+          "isoCrossingFidelity: size mismatch");
+  IsoFidelity fid;
+  const auto origX = crossings(original, isoValue);
+  const auto recoX = crossings(reconstructed, isoValue);
+  fid.originalCrossings = origX.size();
+
+  // Two-pointer match with a +-1 sample tolerance.
+  usize j = 0;
+  usize matchedReco = 0;
+  for (usize i = 0; i < origX.size(); ++i) {
+    while (j < recoX.size() && recoX[j] + 1 < origX[i]) ++j;
+    if (j < recoX.size() && recoX[j] <= origX[i] + 1) {
+      ++fid.matchedCrossings;
+      ++matchedReco;
+      ++j;
+    }
+  }
+  fid.spuriousCrossings = recoX.size() - matchedReco;
+  fid.matchRatio =
+      fid.originalCrossings == 0
+          ? 1.0
+          : static_cast<f64>(fid.matchedCrossings) /
+                static_cast<f64>(fid.originalCrossings);
+  return fid;
+}
+
+template f64 ssim<f32>(std::span<const f32>, std::span<const f32>, usize);
+template f64 ssim<f64>(std::span<const f64>, std::span<const f64>, usize);
+template IsoFidelity isoCrossingFidelity<f32>(std::span<const f32>,
+                                              std::span<const f32>, f64);
+template IsoFidelity isoCrossingFidelity<f64>(std::span<const f64>,
+                                              std::span<const f64>, f64);
+
+}  // namespace cuszp2::metrics

@@ -1,0 +1,44 @@
+// Structural similarity (SSIM) over sliding 1-D windows, plus an
+// iso-crossing fidelity metric that stands in for the paper's isosurface
+// visualisation (Fig. 18): it counts how often the reconstructed field
+// crosses a given isovalue at the same sample positions as the original.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cuszp2::metrics {
+
+/// Mean SSIM over non-overlapping windows of `windowSize` samples.
+/// Uses the standard constants C1=(0.01*range)^2, C2=(0.03*range)^2.
+template <FloatingPoint T>
+f64 ssim(std::span<const T> original, std::span<const T> reconstructed,
+         usize windowSize = 64);
+
+struct IsoFidelity {
+  usize originalCrossings = 0;
+  usize matchedCrossings = 0;   // crossings preserved within +-1 sample
+  usize spuriousCrossings = 0;  // reconstructed crossings with no original
+  /// matched / original (1.0 = isosurface topology fully preserved).
+  f64 matchRatio = 0.0;
+};
+
+/// Compares the iso-crossing structure of two fields at `isoValue`.
+template <FloatingPoint T>
+IsoFidelity isoCrossingFidelity(std::span<const T> original,
+                                std::span<const T> reconstructed,
+                                f64 isoValue);
+
+extern template f64 ssim<f32>(std::span<const f32>, std::span<const f32>,
+                              usize);
+extern template f64 ssim<f64>(std::span<const f64>, std::span<const f64>,
+                              usize);
+extern template IsoFidelity isoCrossingFidelity<f32>(std::span<const f32>,
+                                                     std::span<const f32>,
+                                                     f64);
+extern template IsoFidelity isoCrossingFidelity<f64>(std::span<const f64>,
+                                                     std::span<const f64>,
+                                                     f64);
+
+}  // namespace cuszp2::metrics

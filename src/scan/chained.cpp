@@ -1,0 +1,56 @@
+#include "scan/chained.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "gpusim/launcher.hpp"
+
+namespace cuszp2::scan {
+
+ChainedScanState::ChainedScanState(u32 numTiles)
+    : numTiles_(numTiles),
+      state_(std::make_unique<std::atomic<u64>[]>(numTiles)) {
+  require(numTiles > 0, "ChainedScanState: numTiles must be > 0");
+  reset();
+}
+
+void ChainedScanState::reset() {
+  for (u32 i = 0; i < numTiles_; ++i) {
+    state_[i].store(kFlagInvalid << 62, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+u64 ChainedScanState::processTile(u32 tile, u64 aggregate,
+                                  gpusim::SyncStats& sync,
+                                  gpusim::MemCounters& mem) {
+  require(tile < numTiles_, "ChainedScanState: tile out of range");
+  require((aggregate & ~kValueMask) == 0,
+          "ChainedScanState: aggregate exceeds 62-bit value field");
+
+  sync.method = gpusim::SyncMethod::ChainedScan;
+  sync.tiles += 1;
+
+  u64 exclusive = 0;
+  if (tile > 0) {
+    u64 spins = 0;
+    u64 packed = state_[tile - 1].load(std::memory_order_acquire);
+    while ((packed >> 62) != kFlagPrefix) {
+      gpusim::throwIfLaunchAborted();
+      ++spins;
+      std::this_thread::yield();
+      packed = state_[tile - 1].load(std::memory_order_acquire);
+    }
+    mem.noteScalarRead(8, 8, 32);
+    sync.waitSpins += spins;
+    exclusive = packed & kValueMask;
+  }
+
+  state_[tile].store((kFlagPrefix << 62) |
+                         ((exclusive + aggregate) & kValueMask),
+                     std::memory_order_release);
+  mem.noteScalarWrite(8, 8, 32);
+  return exclusive;
+}
+
+}  // namespace cuszp2::scan

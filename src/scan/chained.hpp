@@ -1,0 +1,41 @@
+// Plain chained-scan device-level prefix sum — the state-of-the-art
+// synchronization the paper benchmarks against (Fig. 12 left, Fig. 17;
+// used by cuSZp v1 and StreamScan-style compressors).
+//
+// Tile t spins until tile t-1 has published its inclusive prefix, adds its
+// own aggregate, and publishes. The dependency chain is fully serial, which
+// is exactly the latency problem decoupled lookback removes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/types.hpp"
+#include "gpusim/mem_counters.hpp"
+#include "gpusim/sync_stats.hpp"
+
+namespace cuszp2::scan {
+
+class ChainedScanState {
+ public:
+  static constexpr u64 kValueMask = (u64{1} << 62) - 1;
+  static constexpr u64 kFlagInvalid = 0;
+  static constexpr u64 kFlagPrefix = 2;
+
+  explicit ChainedScanState(u32 numTiles);
+
+  u32 numTiles() const { return numTiles_; }
+
+  /// Publishes this tile's inclusive prefix after waiting on the
+  /// predecessor; returns the exclusive prefix.
+  u64 processTile(u32 tile, u64 aggregate, gpusim::SyncStats& sync,
+                  gpusim::MemCounters& mem);
+
+  void reset();
+
+ private:
+  u32 numTiles_;
+  std::unique_ptr<std::atomic<u64>[]> state_;
+};
+
+}  // namespace cuszp2::scan

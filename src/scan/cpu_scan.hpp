@@ -1,0 +1,39 @@
+// Serial reference prefix sums used as ground truth by tests and by the
+// host-side (hybrid baseline) code paths.
+#pragma once
+
+#include <span>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::scan {
+
+/// out[i] = sum of in[0..i) (out[0] == 0). `out.size() == in.size()`.
+inline void exclusiveScan(std::span<const u64> in, std::span<u64> out) {
+  require(in.size() == out.size(), "exclusiveScan: size mismatch");
+  u64 acc = 0;
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+}
+
+/// out[i] = sum of in[0..i].
+inline void inclusiveScan(std::span<const u64> in, std::span<u64> out) {
+  require(in.size() == out.size(), "inclusiveScan: size mismatch");
+  u64 acc = 0;
+  for (usize i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+/// Total of all values.
+inline u64 reduce(std::span<const u64> in) {
+  u64 acc = 0;
+  for (u64 v : in) acc += v;
+  return acc;
+}
+
+}  // namespace cuszp2::scan

@@ -1,0 +1,121 @@
+#include "scan/device_scan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "scan/chained.hpp"
+#include "scan/lookback.hpp"
+
+namespace cuszp2::scan {
+
+namespace {
+
+/// The classic three-kernel strategy the single-pass designs replaced.
+DeviceScanResult reduceThenScan(std::span<const u64> values, u32 tileSize,
+                                u32 numTiles, gpusim::Launcher& launcher) {
+  DeviceScanResult result;
+  result.exclusive.assign(values.size(), 0);
+  auto* out = result.exclusive.data();
+
+  std::vector<u64> tileSums(numTiles, 0);
+  // Kernel 1: per-tile reduce.
+  auto launch1 = launcher.launch(numTiles, [&](gpusim::BlockCtx& ctx) {
+    const usize first = static_cast<usize>(ctx.blockIdx) * tileSize;
+    const usize last = std::min(values.size(), first + tileSize);
+    u64 sum = 0;
+    for (usize i = first; i < last; ++i) sum += values[i];
+    tileSums[ctx.blockIdx] = sum;
+    ctx.mem.noteVectorRead((last - first) * sizeof(u64), 32);
+    ctx.mem.noteScalarWrite(8, 8, 32);
+    ctx.mem.noteOps(last - first);
+  });
+
+  // Kernel 2: one block serially scans the tile sums.
+  std::vector<u64> tileBases(numTiles, 0);
+  auto launch2 = launcher.launch(1, [&](gpusim::BlockCtx& ctx) {
+    u64 acc = 0;
+    for (u32 t = 0; t < numTiles; ++t) {
+      tileBases[t] = acc;
+      acc += tileSums[t];
+    }
+    ctx.mem.noteScalarRead(numTiles * 8, 8, 32);
+    ctx.mem.noteScalarWrite(numTiles * 8, 8, 32);
+    ctx.mem.noteOps(numTiles);
+  });
+
+  // Kernel 3: distribute — every tile re-reads its values and writes the
+  // final prefixes (the round trip single-pass designs avoid).
+  auto launch3 = launcher.launch(numTiles, [&](gpusim::BlockCtx& ctx) {
+    const usize first = static_cast<usize>(ctx.blockIdx) * tileSize;
+    const usize last = std::min(values.size(), first + tileSize);
+    u64 acc = tileBases[ctx.blockIdx];
+    for (usize i = first; i < last; ++i) {
+      out[i] = acc;
+      acc += values[i];
+    }
+    ctx.mem.noteVectorRead((last - first) * sizeof(u64) + 8, 32);
+    ctx.mem.noteVectorWrite((last - first) * sizeof(u64), 32);
+    ctx.mem.noteOps(last - first);
+  });
+
+  result.launch = launch1;
+  result.launch.mem += launch2.mem;
+  result.launch.mem += launch3.mem;
+  result.launch.wallSeconds += launch2.wallSeconds + launch3.wallSeconds;
+  result.launch.sync.method = gpusim::SyncMethod::ReduceThenScan;
+  result.launch.sync.tiles = numTiles;
+  result.launch.sync.tileDataBytes = static_cast<u64>(tileSize) * sizeof(u64);
+  return result;
+}
+
+}  // namespace
+
+DeviceScanResult deviceExclusiveScan(std::span<const u64> values,
+                                     u32 tileSize, Algorithm algorithm,
+                                     gpusim::Launcher& launcher) {
+  require(tileSize > 0, "deviceExclusiveScan: tileSize must be > 0");
+  DeviceScanResult result;
+  result.exclusive.assign(values.size(), 0);
+  if (values.empty()) return result;
+
+  const u32 numTiles = static_cast<u32>(
+      (values.size() + tileSize - 1) / tileSize);
+
+  if (algorithm == Algorithm::ReduceThenScan) {
+    return reduceThenScan(values, tileSize, numTiles, launcher);
+  }
+
+  LookbackState lookback(algorithm == Algorithm::DecoupledLookback ? numTiles
+                                                                   : 1);
+  ChainedScanState chained(algorithm == Algorithm::ChainedScan ? numTiles : 1);
+
+  auto* out = result.exclusive.data();
+  result.launch = launcher.launch(numTiles, [&](gpusim::BlockCtx& ctx) {
+    const usize first = static_cast<usize>(ctx.blockIdx) * tileSize;
+    const usize last = std::min(values.size(), first + tileSize);
+
+    // Local reduce (each tile reads its values once; coalesced vector loads).
+    u64 aggregate = 0;
+    for (usize i = first; i < last; ++i) aggregate += values[i];
+    ctx.mem.noteVectorRead((last - first) * sizeof(u64), 32);
+    ctx.mem.noteOps(last - first);
+
+    // Device-level synchronization.
+    const u64 exclusiveBase =
+        algorithm == Algorithm::DecoupledLookback
+            ? lookback.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem)
+            : chained.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+
+    // Local scan distributing the base (paper's "Scan" step).
+    u64 acc = exclusiveBase;
+    for (usize i = first; i < last; ++i) {
+      out[i] = acc;
+      acc += values[i];
+    }
+    ctx.mem.noteVectorWrite((last - first) * sizeof(u64), 32);
+    ctx.mem.noteOps(last - first);
+  });
+  return result;
+}
+
+}  // namespace cuszp2::scan

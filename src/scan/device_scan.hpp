@@ -1,0 +1,51 @@
+// Device-level exclusive prefix sum over an array of tile values, executed
+// as one kernel under the GPU execution model. This is the standalone form
+// used by the Fig. 17 synchronization benchmark and by tests; the compressor
+// kernels embed the same per-tile protocol inline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "gpusim/sync_stats.hpp"
+
+namespace cuszp2::scan {
+
+enum class Algorithm : u8 {
+  ChainedScan = 0,
+  DecoupledLookback = 1,
+
+  /// Classic three-kernel strategy (paper Sec. IV-C): a reduce kernel
+  /// writes per-tile sums, a single-block kernel scans them, a third
+  /// kernel distributes the bases. Pays two extra kernel launches and a
+  /// full round trip of the tile sums through global memory — the
+  /// approach single-pass designs (chained scan, lookback) replaced.
+  /// Only available through deviceExclusiveScan: it cannot live inside a
+  /// single compression kernel, which is exactly why cuSZp2 does not use
+  /// it.
+  ReduceThenScan = 2,
+};
+
+constexpr const char* toString(Algorithm a) {
+  switch (a) {
+    case Algorithm::ChainedScan: return "chained-scan";
+    case Algorithm::DecoupledLookback: return "decoupled-lookback";
+    case Algorithm::ReduceThenScan: return "reduce-then-scan";
+  }
+  return "?";
+}
+
+struct DeviceScanResult {
+  /// Exclusive prefix for every input value.
+  std::vector<u64> exclusive;
+  gpusim::LaunchResult launch;
+};
+
+/// Computes the exclusive prefix sum of `values`, processing `tileSize`
+/// values per thread block with the selected device-level synchronization.
+DeviceScanResult deviceExclusiveScan(std::span<const u64> values,
+                                     u32 tileSize, Algorithm algorithm,
+                                     gpusim::Launcher& launcher);
+
+}  // namespace cuszp2::scan

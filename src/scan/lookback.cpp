@@ -1,0 +1,85 @@
+#include "scan/lookback.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+#include "gpusim/launcher.hpp"
+
+namespace cuszp2::scan {
+
+LookbackState::LookbackState(u32 numTiles)
+    : numTiles_(numTiles),
+      state_(std::make_unique<std::atomic<u64>[]>(numTiles)) {
+  require(numTiles > 0, "LookbackState: numTiles must be > 0");
+  reset();
+}
+
+void LookbackState::reset() {
+  for (u32 i = 0; i < numTiles_; ++i) {
+    state_[i].store(kFlagInvalid << 62, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void LookbackState::publish(u32 tile, u64 flag, u64 value) {
+  state_[tile].store((flag << 62) | (value & kValueMask),
+                     std::memory_order_release);
+}
+
+u64 LookbackState::processTile(u32 tile, u64 aggregate,
+                               gpusim::SyncStats& sync,
+                               gpusim::MemCounters& mem) {
+  require(tile < numTiles_, "LookbackState: tile out of range");
+  require((aggregate & ~kValueMask) == 0,
+          "LookbackState: aggregate exceeds 62-bit value field");
+
+  sync.method = gpusim::SyncMethod::DecoupledLookback;
+  sync.tiles += 1;
+
+  if (tile == 0) {
+    publish(0, kFlagPrefix, aggregate);
+    mem.noteScalarWrite(8, 8, 32);
+    return 0;
+  }
+
+  publish(tile, kFlagAggregate, aggregate);
+  mem.noteScalarWrite(8, 8, 32);
+
+  u64 exclusive = 0;
+  u64 depth = 0;
+  u64 spins = 0;
+  for (u32 look = tile; look-- > 0;) {
+    ++depth;
+    u64 packed = state_[look].load(std::memory_order_acquire);
+    while ((packed >> 62) == kFlagInvalid) {
+      gpusim::throwIfLaunchAborted();
+      ++spins;
+      std::this_thread::yield();
+      packed = state_[look].load(std::memory_order_acquire);
+    }
+    mem.noteScalarRead(8, 8, 32);
+    exclusive += packed & kValueMask;
+    if ((packed >> 62) == kFlagPrefix) break;
+  }
+
+  sync.lookbackSteps += depth;
+  sync.maxLookbackDepth = std::max(sync.maxLookbackDepth, depth);
+  sync.waitSpins += spins;
+
+  publish(tile, kFlagPrefix, (exclusive + aggregate) & kValueMask);
+  mem.noteScalarWrite(8, 8, 32);
+  return exclusive;
+}
+
+u64 LookbackState::waitInclusivePrefix(u32 tile) const {
+  require(tile < numTiles_, "LookbackState: tile out of range");
+  u64 packed = state_[tile].load(std::memory_order_acquire);
+  while ((packed >> 62) != kFlagPrefix) {
+    std::this_thread::yield();
+    packed = state_[tile].load(std::memory_order_acquire);
+  }
+  return packed & kValueMask;
+}
+
+}  // namespace cuszp2::scan

@@ -1,0 +1,142 @@
+// Tests for the multi-field archive container.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/compressor.hpp"
+#include "core/quantizer.hpp"
+#include "datagen/fields.hpp"
+#include "io/archive.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::io {
+namespace {
+
+std::vector<std::byte> bytesOf(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Archive, EmptyArchiveRoundTrips) {
+  ArchiveWriter w;
+  const auto bytes = w.finalize();
+  ArchiveReader r(bytes);
+  EXPECT_EQ(r.fieldCount(), 0u);
+  EXPECT_TRUE(r.fieldNames().empty());
+  EXPECT_FALSE(r.hasField("x"));
+}
+
+TEST(Archive, SingleFieldRoundTrips) {
+  ArchiveWriter w;
+  const auto payload = bytesOf({1, 2, 3, 4, 5});
+  w.addField("vx", payload);
+  const auto bytes = w.finalize();
+  ArchiveReader r(bytes);
+  ASSERT_TRUE(r.hasField("vx"));
+  const auto got = r.field("vx");
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+}
+
+TEST(Archive, ManyFieldsPreserveOrderAndContent) {
+  ArchiveWriter w;
+  std::vector<std::vector<std::byte>> payloads;
+  for (int f = 0; f < 20; ++f) {
+    std::vector<std::byte> p(static_cast<usize>(f * 13 + 1));
+    for (usize i = 0; i < p.size(); ++i) {
+      p[i] = static_cast<std::byte>((f * 31 + i) & 0xFF);
+    }
+    payloads.push_back(p);
+    w.addField("field_" + std::to_string(f), p);
+  }
+  const auto bytes = w.finalize();
+  ArchiveReader r(bytes);
+  EXPECT_EQ(r.fieldCount(), 20u);
+  const auto names = r.fieldNames();
+  for (int f = 0; f < 20; ++f) {
+    EXPECT_EQ(names[static_cast<usize>(f)], "field_" + std::to_string(f));
+    const auto got = r.field("field_" + std::to_string(f));
+    ASSERT_EQ(got.size(), payloads[static_cast<usize>(f)].size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           payloads[static_cast<usize>(f)].begin()));
+  }
+}
+
+TEST(Archive, EmptyFieldPayloadAllowed) {
+  ArchiveWriter w;
+  w.addField("empty", ConstByteSpan{});
+  w.addField("other", bytesOf({9}));
+  ArchiveReader r1(w.finalize());
+  // finalize() must be re-runnable and consistent.
+  const auto bytes = w.finalize();
+  ArchiveReader r(bytes);
+  EXPECT_EQ(r.field("empty").size(), 0u);
+  EXPECT_EQ(r.field("other").size(), 1u);
+}
+
+TEST(Archive, WriterValidation) {
+  ArchiveWriter w;
+  EXPECT_THROW(w.addField("", bytesOf({1})), Error);
+  w.addField("dup", bytesOf({1}));
+  EXPECT_THROW(w.addField("dup", bytesOf({2})), Error);
+}
+
+TEST(Archive, ReaderRejectsCorruption) {
+  ArchiveWriter w;
+  w.addField("a", bytesOf({1, 2, 3}));
+  auto bytes = w.finalize();
+
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] = std::byte{0};
+  EXPECT_THROW(ArchiveReader{bad}, Error);
+
+  // Truncated payload region.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 2);
+  EXPECT_THROW(ArchiveReader{truncated}, Error);
+
+  // Truncated header.
+  EXPECT_THROW(ArchiveReader(ConstByteSpan(bytes.data(), 4)), Error);
+}
+
+TEST(Archive, MissingFieldThrows) {
+  ArchiveWriter w;
+  w.addField("present", bytesOf({1}));
+  const auto bytes = w.finalize();
+  ArchiveReader r(bytes);
+  EXPECT_THROW(r.field("absent"), Error);
+}
+
+// End-to-end: a whole multi-field dataset archived and restored.
+TEST(Archive, CompressedDatasetRoundTrip) {
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor compressor(cfg);
+
+  ArchiveWriter w;
+  std::vector<std::vector<f32>> originals;
+  std::vector<std::vector<std::byte>> streams;
+  for (u32 f = 0; f < 4; ++f) {
+    originals.push_back(datagen::generateF32("hacc", f, 1 << 13));
+    streams.push_back(
+        compressor.compress<f32>(originals.back()).stream);
+    w.addField(datagen::haccFieldNames()[f], streams.back());
+  }
+  const auto archive = w.finalize();
+
+  ArchiveReader r(archive);
+  for (u32 f = 0; f < 4; ++f) {
+    const auto stream = r.field(datagen::haccFieldNames()[f]);
+    const auto header = core::StreamHeader::parse(stream);
+    const auto d = compressor.decompress<f32>(stream);
+    EXPECT_TRUE(metrics::computeErrorStats<f32>(originals[f], d.data)
+                    .withinBoundFp(header.absErrorBound, Precision::F32))
+        << "field " << f;
+  }
+}
+
+}  // namespace
+}  // namespace cuszp2::io

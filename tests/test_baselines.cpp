@@ -1,0 +1,174 @@
+// Tests for the pure-GPU baseline compressors (cuSZp v1 adapter, FZ-GPU,
+// cuZFP-like fixed rate) and the relationships the paper reports between
+// them and cuSZp2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "baselines/zfp.hpp"
+#include "common/rng.hpp"
+#include "datagen/fields.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+namespace {
+
+// ---- cuSZp2 adapter / cuSZp v1 --------------------------------------------
+
+TEST(Cuszp2Adapter, ErrorBoundHolds) {
+  const auto data = datagen::generateF32("cesm_atm", 0, 1 << 15);
+  auto compressor = Cuszp2Baseline::cuszp2Outlier();
+  const auto r = compressor->run(data, 1e-3);
+  const f64 absEb = 1e-3 * metrics::valueRange<f32>(data);
+  EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32));
+  EXPECT_GT(r.ratio, 1.0);
+  EXPECT_GT(r.compressGBps, 0.0);
+}
+
+TEST(Cuszp2Adapter, V1MatchesPlainRatio) {
+  // Paper Table III note: cuSZp and cuSZp2-P share plain-FLE, so ratios
+  // are identical.
+  const auto data = datagen::generateF32("scale", 1, 1 << 15);
+  const auto rP = Cuszp2Baseline::cuszp2Plain()->run(data, 1e-3);
+  const auto rV1 = Cuszp2Baseline::cuszpV1()->run(data, 1e-3);
+  EXPECT_DOUBLE_EQ(rP.ratio, rV1.ratio);
+}
+
+TEST(Cuszp2Adapter, Cuszp2BeatsV1Throughput) {
+  // The two throughput designs (vectorized access + lookback) are what
+  // separate cuSZp2-P from cuSZp v1 (paper Fig. 14: ~2x).
+  const auto data = datagen::generateF32("rtm", 2, 1 << 21);
+  const auto rP = Cuszp2Baseline::cuszp2Plain()->run(data, 1e-3);
+  const auto rV1 = Cuszp2Baseline::cuszpV1()->run(data, 1e-3);
+  EXPECT_GT(rP.compressGBps, rV1.compressGBps * 1.3);
+  EXPECT_GT(rP.memThroughputGBps, rV1.memThroughputGBps);
+}
+
+// ---- FZ-GPU -----------------------------------------------------------------
+
+class FzGpuTest : public ::testing::TestWithParam<f64> {};
+
+TEST_P(FzGpuTest, ErrorBoundHoldsAcrossDatasets) {
+  const f64 rel = GetParam();
+  for (const char* dataset : {"cesm_atm", "rtm", "nyx", "qmcpack"}) {
+    const auto data = datagen::generateF32(dataset, 0, 1 << 14);
+    FzGpuBaseline fz;
+    const auto r = fz.run(data, rel);
+    const f64 absEb = rel * metrics::valueRange<f32>(data);
+    EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32))
+        << dataset << " rel " << rel << " max " << r.error.maxAbsError;
+    EXPECT_GT(r.ratio, 1.0) << dataset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, FzGpuTest,
+                         ::testing::Values(1e-2, 1e-3, 1e-4));
+
+TEST(FzGpu, Cuszp2OBeatsItOnSmoothData) {
+  // Table III: CUSZP2-O wins on smooth datasets (CESM, RTM...).
+  const auto data = datagen::generateF32("cesm_atm", 0, 1 << 15);
+  const auto rFz = FzGpuBaseline().run(data, 1e-3);
+  const auto rO = Cuszp2Baseline::cuszp2Outlier()->run(data, 1e-3);
+  EXPECT_GT(rO.ratio, rFz.ratio);
+}
+
+TEST(FzGpu, LowerMemThroughputThanCuszp2) {
+  // Fig. 16: FZ-GPU ~134 GB/s vs cuSZp2 >1100 GB/s.
+  const auto data = datagen::generateF32("rtm", 2, 1 << 22);
+  const auto rFz = FzGpuBaseline().run(data, 1e-3);
+  const auto rP = Cuszp2Baseline::cuszp2Plain()->run(data, 1e-3);
+  EXPECT_GT(rP.memThroughputGBps, rFz.memThroughputGBps * 2.0);
+}
+
+TEST(FzGpu, SparseDataGetsHighRatio) {
+  const auto data = datagen::generateF32("jetin", 0, 1 << 16);
+  const auto r = FzGpuBaseline().run(data, 1e-2);
+  EXPECT_GT(r.ratio, 20.0);
+}
+
+// ---- cuZFP-like -------------------------------------------------------------
+
+TEST(Zfp, LiftingIsExactlyInvertible) {
+  Rng rng(10);
+  for (int trial = 0; trial < 2000; ++trial) {
+    i32 x[ZfpBaseline::kBlock];
+    i32 orig[ZfpBaseline::kBlock];
+    for (u32 i = 0; i < ZfpBaseline::kBlock; ++i) {
+      x[i] = static_cast<i32>(rng.uniformInt(1u << 28)) -
+             (1 << 27);
+      orig[i] = x[i];
+    }
+    ZfpBaseline::forwardLift(x);
+    ZfpBaseline::inverseLift(x);
+    for (u32 i = 0; i < ZfpBaseline::kBlock; ++i) {
+      ASSERT_EQ(x[i], orig[i]) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(Zfp, NegabinaryRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const i32 v = static_cast<i32>(rng.next());
+    ASSERT_EQ(ZfpBaseline::uint2int(ZfpBaseline::int2uint(v)), v);
+  }
+  EXPECT_EQ(ZfpBaseline::int2uint(0), 0u);
+}
+
+TEST(Zfp, NegabinaryOrdersByMagnitude) {
+  // Small magnitudes must use fewer high bits, so truncation hurts less.
+  EXPECT_LT(ZfpBaseline::int2uint(1), ZfpBaseline::int2uint(1 << 20));
+  EXPECT_LT(ZfpBaseline::int2uint(-1), ZfpBaseline::int2uint(1 << 20));
+}
+
+TEST(Zfp, RatioIsExactlyFixedRate) {
+  const auto data = datagen::generateF32("miranda", 0, 1 << 14);
+  for (f64 rate : {4.0, 8.0, 16.0}) {
+    ZfpBaseline zfp(rate);
+    const auto r = zfp.run(data, 0.0);
+    EXPECT_NEAR(r.ratio, 32.0 / rate, 0.02) << rate;
+  }
+}
+
+TEST(Zfp, QualityImprovesWithRate) {
+  const auto data = datagen::generateF32("rtm", 2, 1 << 14);
+  const auto r4 = ZfpBaseline(4.0).run(data, 0.0);
+  const auto r8 = ZfpBaseline(8.0).run(data, 0.0);
+  const auto r16 = ZfpBaseline(16.0).run(data, 0.0);
+  EXPECT_GT(r8.error.psnrDb, r4.error.psnrDb);
+  EXPECT_GT(r16.error.psnrDb, r8.error.psnrDb);
+}
+
+TEST(Zfp, HighRateIsNearLossless) {
+  const auto data = datagen::generateF32("cesm_atm", 0, 1 << 13);
+  const auto r = ZfpBaseline(24.0).run(data, 0.0);
+  EXPECT_GT(r.error.psnrDb, 90.0);
+}
+
+TEST(Zfp, AggressiveRateCorruptsStructure) {
+  // The Fig. 18 story: at ratio ~64 (rate 0.5) cuZFP destroys structure
+  // while cuSZp2's error bound would still hold.
+  const auto data = datagen::generateF32("rtm", 0, 1 << 14);
+  const auto r = ZfpBaseline(0.5).run(data, 0.0);
+  const auto rGood = ZfpBaseline(16.0).run(data, 0.0);
+  EXPECT_LT(r.error.psnrDb, rGood.error.psnrDb - 20.0);
+}
+
+TEST(Zfp, NotErrorBounded) {
+  ZfpBaseline zfp(8.0);
+  EXPECT_FALSE(zfp.errorBounded());
+  EXPECT_THROW(ZfpBaseline(-1.0), Error);
+  EXPECT_THROW(ZfpBaseline(33.0), Error);
+}
+
+TEST(Zfp, ZeroBlocksReconstructToZero) {
+  std::vector<f32> data(1 << 12, 0.0f);
+  const auto r = ZfpBaseline(8.0).run(data, 0.0);
+  for (f32 v : r.reconstructed) ASSERT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace cuszp2::baselines

@@ -1,0 +1,85 @@
+// Unit tests for common/bits.hpp.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace cuszp2 {
+namespace {
+
+TEST(Bits, EffectiveBitsZero) { EXPECT_EQ(effectiveBits(0u), 0u); }
+
+TEST(Bits, EffectiveBitsPowersOfTwo) {
+  for (u32 b = 0; b < 31; ++b) {
+    EXPECT_EQ(effectiveBits(1u << b), b + 1) << "bit " << b;
+    if (b > 0) {
+      EXPECT_EQ(effectiveBits((1u << b) - 1), b) << "bit " << b;
+    }
+  }
+}
+
+TEST(Bits, EffectiveBitsMax) {
+  EXPECT_EQ(effectiveBits(std::numeric_limits<u32>::max()), 32u);
+}
+
+TEST(Bits, BytesForBoundaries) {
+  EXPECT_EQ(bytesFor(0u), 0u);
+  EXPECT_EQ(bytesFor(1u), 1u);
+  EXPECT_EQ(bytesFor(0xFFu), 1u);
+  EXPECT_EQ(bytesFor(0x100u), 2u);
+  EXPECT_EQ(bytesFor(0xFFFFu), 2u);
+  EXPECT_EQ(bytesFor(0x10000u), 3u);
+  EXPECT_EQ(bytesFor(0xFFFFFFu), 3u);
+  EXPECT_EQ(bytesFor(0x1000000u), 4u);
+  EXPECT_EQ(bytesFor(0xFFFFFFFFu), 4u);
+}
+
+TEST(Bits, RoundUpAndCeilDiv) {
+  EXPECT_EQ(roundUp(0, 8), 0u);
+  EXPECT_EQ(roundUp(1, 8), 8u);
+  EXPECT_EQ(roundUp(8, 8), 8u);
+  EXPECT_EQ(roundUp(9, 8), 16u);
+  EXPECT_EQ(ceilDiv(0, 4), 0u);
+  EXPECT_EQ(ceilDiv(1, 4), 1u);
+  EXPECT_EQ(ceilDiv(4, 4), 1u);
+  EXPECT_EQ(ceilDiv(5, 4), 2u);
+}
+
+TEST(Bits, AbsU32HandlesIntMin) {
+  EXPECT_EQ(absU32(0), 0u);
+  EXPECT_EQ(absU32(5), 5u);
+  EXPECT_EQ(absU32(-5), 5u);
+  EXPECT_EQ(absU32(std::numeric_limits<i32>::min()), 0x80000000u);
+  EXPECT_EQ(absU32(std::numeric_limits<i32>::max()), 0x7FFFFFFFu);
+}
+
+TEST(Bits, LoadStoreLERoundTrip) {
+  std::byte buf[4];
+  for (u32 nbytes = 1; nbytes <= 4; ++nbytes) {
+    const u32 mask = nbytes == 4 ? 0xFFFFFFFFu : (1u << (8 * nbytes)) - 1;
+    for (u32 v : {0u, 1u, 0xABu, 0x1234u, 0xABCDEFu, 0xDEADBEEFu}) {
+      storeLE(buf, v & mask, nbytes);
+      EXPECT_EQ(loadLE(buf, nbytes), v & mask);
+    }
+  }
+}
+
+TEST(Bits, StoreLEIsLittleEndian) {
+  std::byte buf[4];
+  storeLE(buf, 0x0A0B0C0Du, 4);
+  EXPECT_EQ(std::to_integer<u32>(buf[0]), 0x0Du);
+  EXPECT_EQ(std::to_integer<u32>(buf[1]), 0x0Cu);
+  EXPECT_EQ(std::to_integer<u32>(buf[2]), 0x0Bu);
+  EXPECT_EQ(std::to_integer<u32>(buf[3]), 0x0Au);
+}
+
+TEST(Bits, BitCastRoundTrip) {
+  const f64 x = 3.14159;
+  EXPECT_EQ(bitCast<f64>(bitCast<u64>(x)), x);
+  const f32 y = -2.5f;
+  EXPECT_EQ(bitCast<f32>(bitCast<u32>(y)), y);
+}
+
+}  // namespace
+}  // namespace cuszp2

@@ -1,0 +1,104 @@
+// Tests for the LSB-first bit reader/writer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "entropy/bitstream.hpp"
+
+namespace cuszp2::entropy {
+namespace {
+
+TEST(BitStream, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.bitCount(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  w.writeBit(true);
+  w.writeBit(false);
+  w.writeBit(true);
+  EXPECT_EQ(w.bitCount(), 3u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.readBit(), 1u);
+  EXPECT_EQ(r.readBit(), 0u);
+  EXPECT_EQ(r.readBit(), 1u);
+}
+
+TEST(BitStream, LsbFirstWithinByte) {
+  BitWriter w;
+  w.write(0b1011, 4);  // bits 1,1,0,1 LSB first
+  const auto& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(std::to_integer<u32>(bytes[0]), 0b1011u);
+}
+
+TEST(BitStream, MultiByteValues) {
+  BitWriter w;
+  w.write(0xDEADBEEFu, 32);
+  w.write(0x123u, 12);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.read(12), 0x123u);
+}
+
+TEST(BitStream, ZeroWidthWrite) {
+  BitWriter w;
+  w.write(0xFF, 0);
+  EXPECT_EQ(w.bitCount(), 0u);
+}
+
+TEST(BitStream, SixtyFourBitValues) {
+  BitWriter w;
+  const u64 v = 0xFEDCBA9876543210ull;
+  w.write(v, 64);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  Rng rng(77);
+  std::vector<std::pair<u64, u32>> items;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const u32 bits = static_cast<u32>(rng.uniformInt(65));
+    const u64 value = rng.next() & (bits == 64 ? ~u64{0}
+                                               : ((u64{1} << bits) - 1));
+    items.emplace_back(value, bits);
+    w.write(value, bits);
+  }
+  BitReader r(w.bytes());
+  for (const auto& [value, bits] : items) {
+    ASSERT_EQ(r.read(bits), value);
+  }
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(0x5, 3);
+  BitReader r(w.bytes());
+  r.read(3);
+  // The stream is padded to a whole byte, so 5 more bits exist; 6+ do not.
+  r.read(5);
+  EXPECT_THROW(r.readBit(), Error);
+}
+
+TEST(BitStream, WriterRejectsOver64) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 65), Error);
+}
+
+TEST(BitStream, BitsRemaining) {
+  BitWriter w;
+  w.write(0xABCD, 16);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.bitsRemaining(), 16u);
+  r.read(5);
+  EXPECT_EQ(r.bitsRemaining(), 11u);
+  EXPECT_EQ(r.bitPosition(), 5u);
+}
+
+}  // namespace
+}  // namespace cuszp2::entropy

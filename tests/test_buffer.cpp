@@ -1,0 +1,79 @@
+// Unit tests for common/buffer.hpp (aligned owning buffer).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/buffer.hpp"
+
+namespace cuszp2 {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<f32> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  for (usize count : {1u, 3u, 64u, 1000u, 4097u}) {
+    AlignedBuffer<f32> b(count);
+    EXPECT_EQ(b.size(), count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) %
+                  AlignedBuffer<f32>::kAlignment,
+              0u)
+        << "count=" << count;
+  }
+}
+
+TEST(AlignedBuffer, ElementAccess) {
+  AlignedBuffer<i32> b(100);
+  for (usize i = 0; i < b.size(); ++i) b[i] = static_cast<i32>(i * 3);
+  for (usize i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], static_cast<i32>(i * 3));
+  }
+}
+
+TEST(AlignedBuffer, SpanCoversAll) {
+  AlignedBuffer<u8> b(17);
+  auto s = b.span();
+  EXPECT_EQ(s.size(), 17u);
+  EXPECT_EQ(s.data(), b.data());
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<i32> a(8);
+  a[0] = 42;
+  i32* ptr = a.data();
+  AlignedBuffer<i32> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<i32> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), ptr);
+  EXPECT_EQ(c[0], 42);
+}
+
+TEST(AlignedBuffer, ResizeDiscardsAndReallocates) {
+  AlignedBuffer<f64> b(4);
+  b.resize(16);
+  EXPECT_EQ(b.size(), 16u);
+  b.resize(0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBuffer, RangeForIterates) {
+  AlignedBuffer<i32> b(5);
+  i32 v = 0;
+  for (auto& x : b) x = v++;
+  v = 0;
+  for (const auto& x : std::as_const(b)) EXPECT_EQ(x, v++);
+  EXPECT_EQ(v, 5);
+}
+
+}  // namespace
+}  // namespace cuszp2

@@ -1,0 +1,126 @@
+// End-to-end tests of the cuszp2 command-line tool: real process
+// invocations over real files (the path is injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/raw.hpp"
+
+#ifndef CUSZP2_CLI_PATH
+#error "CUSZP2_CLI_PATH must be defined by the build"
+#endif
+
+namespace cuszp2 {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cuszp2_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    Rng rng(1);
+    data_.resize(10000);
+    f64 v = 0.0;
+    for (auto& x : data_) {
+      v += rng.uniform(-0.05, 0.05);
+      x = static_cast<f32>(v);
+    }
+    io::writeRaw<f32>(file("in.f32"), data_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  int run(const std::string& args) const {
+    const std::string cmd =
+        std::string(CUSZP2_CLI_PATH) + " " + args + " > " + file("log.txt") +
+        " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  }
+
+  std::string lastLog() const {
+    const auto bytes = io::readBytes(file("log.txt"));
+    return std::string(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size());
+  }
+
+  std::filesystem::path dir_;
+  std::vector<f32> data_;
+};
+
+TEST_F(CliTest, CompressDecompressVerifyPipeline) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("out.czp2") +
+                " --rel 1e-3 --mode outlier"),
+            0)
+      << lastLog();
+  EXPECT_NE(lastLog().find("ratio:"), std::string::npos);
+
+  ASSERT_EQ(run("info " + file("out.czp2")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("encoding mode:   outlier"), std::string::npos);
+
+  ASSERT_EQ(run("decompress " + file("out.czp2") + " " + file("rec.f32")),
+            0)
+      << lastLog();
+  const auto rec = io::readRaw<f32>(file("rec.f32"));
+  ASSERT_EQ(rec.size(), data_.size());
+
+  ASSERT_EQ(run("verify " + file("in.f32") + " " + file("out.czp2")), 0)
+      << lastLog();
+  EXPECT_NE(lastLog().find("Pass error check!"), std::string::npos);
+}
+
+TEST_F(CliTest, PlainModeAndAbsBound) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("p.czp2") +
+                " --abs 0.01 --mode plain --block 64"),
+            0)
+      << lastLog();
+  ASSERT_EQ(run("info " + file("p.czp2")), 0);
+  EXPECT_NE(lastLog().find("encoding mode:   plain"), std::string::npos);
+  EXPECT_NE(lastLog().find("block size:      64"), std::string::npos);
+  EXPECT_NE(lastLog().find("abs error bound: 0.01"), std::string::npos);
+}
+
+TEST_F(CliTest, DoublePrecisionFiles) {
+  std::vector<f64> d(data_.begin(), data_.end());
+  io::writeRaw<f64>(file("in.f64"), d);
+  ASSERT_EQ(run("compress " + file("in.f64") + " " + file("d.czp2") +
+                " --rel 1e-4 --precision f64"),
+            0)
+      << lastLog();
+  ASSERT_EQ(run("decompress " + file("d.czp2") + " " + file("rec.f64")), 0);
+  EXPECT_EQ(io::readRaw<f64>(file("rec.f64")).size(), d.size());
+  ASSERT_EQ(run("verify " + file("in.f64") + " " + file("d.czp2")), 0);
+}
+
+TEST_F(CliTest, VerifyFailsOnWrongOriginal) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("out.czp2")), 0);
+  // A different original with the same length: error check must fail.
+  std::vector<f32> other(data_.size(), 1234.5f);
+  io::writeRaw<f32>(file("other.f32"), other);
+  EXPECT_NE(run("verify " + file("other.f32") + " " + file("out.czp2")), 0);
+}
+
+TEST_F(CliTest, ErrorPaths) {
+  EXPECT_NE(run(""), 0);
+  EXPECT_NE(run("unknown-command x y"), 0);
+  EXPECT_NE(run("compress /nonexistent.f32 " + file("x.czp2")), 0);
+  EXPECT_NE(run("info /nonexistent.czp2"), 0);
+  EXPECT_NE(run("compress " + file("in.f32") + " " + file("x.czp2") +
+                " --mode bogus"),
+            0);
+  // info on a non-stream file.
+  EXPECT_NE(run("info " + file("in.f32")), 0);
+}
+
+}  // namespace
+}  // namespace cuszp2

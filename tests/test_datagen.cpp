@@ -1,0 +1,160 @@
+// Tests for the synthetic dataset generators: determinism, registry
+// consistency with the paper's tables, and per-dataset character (the
+// properties the compression results depend on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "datagen/fields.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::datagen {
+namespace {
+
+TEST(Datagen, RegistryMatchesPaperTables) {
+  const auto& sp = singlePrecisionDatasets();
+  ASSERT_EQ(sp.size(), 9u);  // Table II
+  EXPECT_EQ(datasetInfo("cesm_atm").numFields, 33u);
+  EXPECT_EQ(datasetInfo("hacc").numFields, 6u);
+  EXPECT_EQ(datasetInfo("rtm").numFields, 3u);
+  EXPECT_EQ(datasetInfo("scale").numFields, 12u);
+  EXPECT_EQ(datasetInfo("qmcpack").numFields, 2u);
+  EXPECT_EQ(datasetInfo("nyx").numFields, 6u);
+  EXPECT_EQ(datasetInfo("jetin").numFields, 1u);
+  EXPECT_EQ(datasetInfo("miranda").numFields, 1u);
+  EXPECT_EQ(datasetInfo("syntruss").numFields, 1u);
+
+  const auto& dp = doublePrecisionDatasets();
+  ASSERT_EQ(dp.size(), 2u);  // Table IV
+  EXPECT_EQ(datasetInfo("s3d").numFields, 5u);
+  EXPECT_EQ(datasetInfo("nwchem").numFields, 1u);
+  EXPECT_EQ(datasetInfo("s3d").precision, Precision::F64);
+  EXPECT_EQ(datasetInfo("jetin").suite, "Open-SciVis");
+  EXPECT_EQ(datasetInfo("nyx").suite, "SDRBench");
+}
+
+TEST(Datagen, UnknownDatasetThrows) {
+  EXPECT_THROW(datasetInfo("nope"), Error);
+  EXPECT_THROW(generateF32("nope", 0, 100), Error);
+}
+
+TEST(Datagen, FieldIndexValidated) {
+  EXPECT_THROW(generateF32("jetin", 1, 100), Error);
+  EXPECT_THROW(generateF32("hacc", 6, 100), Error);
+  EXPECT_NO_THROW(generateF32("hacc", 5, 100));
+}
+
+TEST(Datagen, PrecisionEnforced) {
+  EXPECT_THROW(generateF64("cesm_atm", 0, 100), Error);
+  EXPECT_THROW(generateF32("s3d", 0, 100), Error);
+}
+
+TEST(Datagen, Deterministic) {
+  for (const auto& info : singlePrecisionDatasets()) {
+    const auto a = generateF32(info.name, 0, 4096);
+    const auto b = generateF32(info.name, 0, 4096);
+    EXPECT_EQ(a, b) << info.name;
+  }
+  EXPECT_EQ(generateF64("nwchem", 0, 2048), generateF64("nwchem", 0, 2048));
+}
+
+TEST(Datagen, FieldsDiffer) {
+  const auto f0 = generateF32("cesm_atm", 0, 2048);
+  const auto f1 = generateF32("cesm_atm", 1, 2048);
+  EXPECT_NE(f0, f1);
+}
+
+TEST(Datagen, RequestedSizeHonoured) {
+  for (usize n : {1u, 31u, 1000u, 65536u}) {
+    EXPECT_EQ(generateF32("scale", 0, n).size(), n);
+  }
+  EXPECT_THROW(generateF32("scale", 0, 0), Error);
+}
+
+TEST(Datagen, AllFieldsFiniteAndNonDegenerate) {
+  for (const auto& info : singlePrecisionDatasets()) {
+    for (u32 f = 0; f < std::min<u32>(info.numFields, 4); ++f) {
+      const auto data = generateF32(info.name, f, 1 << 14);
+      f64 range = metrics::valueRange<f32>(data);
+      for (f32 v : data) ASSERT_TRUE(std::isfinite(v)) << info.name;
+      EXPECT_GT(range, 0.0) << info.name << " field " << f;
+    }
+  }
+}
+
+// Character assertions: the structural properties the paper's results rely
+// on, measured via mean absolute first-order difference relative to range
+// ("roughness") and zero fraction ("sparsity").
+
+f64 roughness(const std::vector<f32>& v) {
+  const f64 range = metrics::valueRange<f32>(v);
+  if (range == 0.0) return 0.0;
+  f64 sum = 0.0;
+  for (usize i = 1; i < v.size(); ++i) {
+    sum += std::abs(static_cast<f64>(v[i]) - static_cast<f64>(v[i - 1]));
+  }
+  return sum / static_cast<f64>(v.size() - 1) / range;
+}
+
+f64 zeroFraction(const std::vector<f32>& v) {
+  usize zeros = 0;
+  for (f32 x : v) {
+    if (x == 0.0f) ++zeros;
+  }
+  return static_cast<f64>(zeros) / static_cast<f64>(v.size());
+}
+
+TEST(Datagen, JetInIsHighlySparse) {
+  const auto data = generateF32("jetin", 0, 1 << 17);
+  EXPECT_GT(zeroFraction(data), 0.85);
+}
+
+TEST(Datagen, RtmSparsityDecreasesWithSnapshot) {
+  const auto p1000 = generateF32("rtm", 0, 1 << 17);
+  const auto p3000 = generateF32("rtm", 2, 1 << 17);
+  EXPECT_GT(zeroFraction(p1000), zeroFraction(p3000));
+  EXPECT_GT(zeroFraction(p1000), 0.5);
+}
+
+TEST(Datagen, HaccPositionsSmootherThanVelocities) {
+  const auto xx = generateF32("hacc", 0, 1 << 15);
+  const auto vx = generateF32("hacc", 3, 1 << 15);
+  EXPECT_LT(roughness(xx), roughness(vx));
+}
+
+TEST(Datagen, QmcpackRougherThanCesm) {
+  const auto qmc = generateF32("qmcpack", 0, 1 << 15);
+  const auto cesm = generateF32("cesm_atm", 0, 1 << 15);
+  EXPECT_GT(roughness(qmc), roughness(cesm));
+}
+
+TEST(Datagen, MirandaHasStrongMeanOffset) {
+  // Global smoothness with a large DC component — the regime where
+  // Outlier-FLE doubles Plain-FLE (paper Table III).
+  const auto data = generateF32("miranda", 0, 1 << 15);
+  f64 mean = 0.0;
+  for (f32 v : data) mean += v;
+  mean /= static_cast<f64>(data.size());
+  EXPECT_GT(std::abs(mean), metrics::valueRange<f32>(data) * 0.3);
+}
+
+TEST(Datagen, NwchemIsHeavyTailed) {
+  const auto data = generateF64("nwchem", 0, 1 << 15);
+  usize tiny = 0;
+  for (f64 v : data) {
+    if (std::abs(v) < 1e-5) ++tiny;
+  }
+  EXPECT_GT(static_cast<f64>(tiny) / static_cast<f64>(data.size()), 0.8);
+}
+
+TEST(Datagen, FieldNameHelpers) {
+  EXPECT_EQ(haccFieldNames().size(), 6u);
+  EXPECT_EQ(haccFieldNames()[3], "vx");
+  EXPECT_EQ(rtmFieldNames().size(), 3u);
+  EXPECT_EQ(rtmFieldNames()[0], "P1000");
+}
+
+}  // namespace
+}  // namespace cuszp2::datagen

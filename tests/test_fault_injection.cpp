@@ -1,0 +1,262 @@
+// Failure-path tests: exceptions inside simulated kernels must abort the
+// whole launch cleanly (no deadlock, no std::terminate, root cause
+// preserved), and corrupted compressed streams must be rejected or decoded
+// defensively — never crash or read out of bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/compressor.hpp"
+#include "core/lorenzo_nd.hpp"
+#include "core/quantizer.hpp"
+#include "core/segmented.hpp"
+#include "datagen/fields.hpp"
+#include "gpusim/launcher.hpp"
+#include "scan/lookback.hpp"
+
+namespace cuszp2 {
+namespace {
+
+// ---- Launcher abort propagation --------------------------------------------
+
+TEST(FaultInjection, ExceptionInBlockIsRethrown) {
+  gpusim::Launcher launcher;
+  EXPECT_THROW(launcher.launch(16,
+                               [](gpusim::BlockCtx& ctx) {
+                                 if (ctx.blockIdx == 7) {
+                                   throw Error("boom");
+                                 }
+                               }),
+               Error);
+}
+
+TEST(FaultInjection, RootCauseIsPreservedOverAbortErrors) {
+  gpusim::Launcher launcher;
+  try {
+    launcher.launch(8, [](gpusim::BlockCtx& ctx) {
+      if (ctx.blockIdx == 3) throw Error("root cause");
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "root cause");
+  }
+}
+
+// A block throws while a later block spin-waits on its lookback publish:
+// the abort flag must release the spinner (this deadlocks without abort
+// propagation).
+TEST(FaultInjection, LookbackSpinnersUnwindOnAbort) {
+  gpusim::Launcher launcher;
+  scan::LookbackState state(64);
+  EXPECT_THROW(
+      launcher.launch(
+          64,
+          [&](gpusim::BlockCtx& ctx) {
+            if (ctx.blockIdx == 10) {
+              throw Error("failing block");  // never publishes
+            }
+            state.processTile(ctx.blockIdx, 1, ctx.sync, ctx.mem);
+          },
+          1),
+      Error);
+}
+
+TEST(FaultInjection, LauncherIsReusableAfterAbort) {
+  gpusim::Launcher launcher;
+  EXPECT_THROW(
+      launcher.launch(4, [](gpusim::BlockCtx&) { throw Error("x"); }),
+      Error);
+  std::atomic<int> count{0};
+  launcher.launch(4, [&](gpusim::BlockCtx&) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(FaultInjection, QuantizerOverflowAbortsCompressionCleanly) {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-15;  // far too tight for the data range
+  const core::Compressor comp(cfg);
+  std::vector<f32> data(4096, 1.0e6f);
+  EXPECT_THROW(comp.compress<f32>(data), Error);
+}
+
+// ---- Stream corruption fuzzing ---------------------------------------------
+
+struct CorpusFixture {
+  std::vector<f32> data;
+  std::vector<std::byte> stream;
+
+  CorpusFixture() {
+    data = datagen::generateF32("scale", 2, 1 << 12);
+    core::Config cfg;
+    cfg.relErrorBound = 1e-3;
+    stream = core::Compressor(cfg).compress<f32>(data).stream;
+  }
+};
+
+// Any single-byte corruption of the offset array must either throw
+// cuszp2::Error or produce a (wrong, but bounded) decode — never crash,
+// hang, or read out of bounds.
+TEST(FaultInjection, FuzzOffsetBytes) {
+  const CorpusFixture fx;
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  const auto header = core::StreamHeader::parse(fx.stream);
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = fx.stream;
+    const usize pos = core::StreamHeader::offsetsBegin() +
+                      rng.uniformInt(header.numBlocks());
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    try {
+      const auto d = comp.decompress<f32>(corrupted);
+      EXPECT_EQ(d.data.size(), fx.data.size());
+    } catch (const Error&) {
+      // Rejection is an acceptable outcome.
+    }
+  }
+}
+
+// Same for payload bytes: corrupt values decode to wrong numbers, but the
+// decoder must stay in bounds.
+TEST(FaultInjection, FuzzPayloadBytes) {
+  const CorpusFixture fx;
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  const auto header = core::StreamHeader::parse(fx.stream);
+  Rng rng(43);
+  const usize payloadBegin = header.payloadBegin();
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = fx.stream;
+    const usize pos =
+        payloadBegin + rng.uniformInt(corrupted.size() - payloadBegin);
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    try {
+      const auto d = comp.decompress<f32>(corrupted);
+      EXPECT_EQ(d.data.size(), fx.data.size());
+    } catch (const Error&) {
+    }
+  }
+}
+
+// Random truncations anywhere in the stream.
+TEST(FaultInjection, FuzzTruncation) {
+  const CorpusFixture fx;
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto truncated = fx.stream;
+    truncated.resize(rng.uniformInt(truncated.size()));
+    try {
+      (void)comp.decompress<f32>(truncated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+// Header-field fuzzing: flipped header bytes must be rejected by parse or
+// decode, not trusted.
+TEST(FaultInjection, FuzzHeaderBytes) {
+  const CorpusFixture fx;
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  Rng rng(45);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = fx.stream;
+    const usize pos = rng.uniformInt(core::StreamHeader::kBytes);
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    try {
+      (void)comp.decompress<f32>(corrupted);
+    } catch (const Error&) {
+    }
+  }
+}
+
+// Pure random garbage must never crash the parser.
+TEST(FaultInjection, FuzzGarbageStreams) {
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::Compressor comp(cfg);
+  Rng rng(46);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::byte> junk(rng.uniformInt(512));
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.uniformInt(256));
+    }
+    EXPECT_THROW((void)comp.decompress<f32>(junk), Error) << trial;
+  }
+}
+
+// With checksums on, *every* corruption (not just structural ones) must be
+// detected.
+TEST(FaultInjection, ChecksumCatchesAllPayloadCorruption) {
+  const auto data = datagen::generateF32("scale", 2, 1 << 12);
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  cfg.checksum = true;
+  const core::Compressor comp(cfg);
+  const auto c = comp.compress<f32>(data);
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto corrupted = c.stream;
+    const usize pos =
+        core::StreamHeader::offsetsBegin() +
+        rng.uniformInt(corrupted.size() - core::StreamHeader::offsetsBegin());
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    EXPECT_THROW((void)comp.decompress<f32>(corrupted), Error) << trial;
+  }
+}
+
+// ND streams: corrupted headers/payloads must be rejected or decoded in
+// bounds, never crash.
+TEST(FaultInjection, FuzzNdStreams) {
+  const core::Dims3 grid{24, 12, 8};
+  const auto data = datagen::generateF32("rtm", 1, grid.count());
+  core::NdConfig cfg;
+  cfg.relErrorBound = 1e-3;
+  const core::NdCompressor comp(cfg);
+  const auto c = comp.compress<f32>(data, grid);
+  Rng rng(48);
+  for (int trial = 0; trial < 150; ++trial) {
+    auto corrupted = c.stream;
+    const usize pos = rng.uniformInt(corrupted.size());
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    try {
+      const auto rec = comp.decompress<f32>(corrupted);
+      EXPECT_EQ(rec.size(), data.size());
+    } catch (const Error&) {
+    }
+  }
+}
+
+// Segmented containers: corrupted tables of contents or segment bytes.
+TEST(FaultInjection, FuzzSegmentedContainers) {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-2;
+  core::SegmentedCompressor<f32> sc(cfg, 512);
+  sc.append(datagen::generateF32("scale", 0, 2000));
+  const auto container = sc.finish();
+  Rng rng(49);
+  for (int trial = 0; trial < 150; ++trial) {
+    auto corrupted = container;
+    const usize pos = rng.uniformInt(corrupted.size());
+    corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    try {
+      core::SegmentedReader<f32> reader(corrupted);
+      for (usize s = 0; s < reader.segmentCount(); ++s) {
+        (void)reader.segment(s);
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cuszp2

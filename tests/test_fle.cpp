@@ -1,0 +1,100 @@
+// Tests for bit-plane packing and the sign bitmap.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/fle.hpp"
+
+namespace cuszp2::core {
+namespace {
+
+TEST(Fle, PlaneBytes) {
+  EXPECT_EQ(planeBytes(8), 1u);
+  EXPECT_EQ(planeBytes(32), 4u);
+  EXPECT_EQ(planeBytes(64), 8u);
+}
+
+TEST(Fle, ZeroPlanesZeroesOutput) {
+  std::vector<u32> vals = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<u32> out(8, 99);
+  unpackPlanes(nullptr, 0, out);
+  for (u32 v : out) EXPECT_EQ(v, 0u);
+  (void)vals;
+}
+
+TEST(Fle, SingleBitPlane) {
+  const std::vector<u32> vals = {1, 0, 1, 0, 1, 1, 0, 0};
+  std::byte buf[1];
+  packPlanes(vals, 1, buf);
+  // LSB-first within the byte: bit k = element k.
+  EXPECT_EQ(std::to_integer<u32>(buf[0]), 0b00110101u);
+  std::vector<u32> rec(8);
+  unpackPlanes(buf, 1, rec);
+  EXPECT_EQ(rec, vals);
+}
+
+class FleRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(FleRoundTripTest, PackUnpackIdentity) {
+  const auto [blockSize, fl] = GetParam();
+  Rng rng(1000 + blockSize * 37 + fl);
+  std::vector<u32> vals(blockSize);
+  const u32 mask = fl == 32 ? ~0u : ((1u << fl) - 1);
+  for (auto& v : vals) v = static_cast<u32>(rng.next()) & mask;
+
+  std::vector<std::byte> buf(static_cast<usize>(fl) *
+                             planeBytes(blockSize));
+  packPlanes(vals, fl, buf.data());
+  std::vector<u32> rec(blockSize);
+  unpackPlanes(buf.data(), fl, rec);
+  EXPECT_EQ(rec, vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FleRoundTripTest,
+    ::testing::Combine(::testing::Values<u32>(8, 32, 64, 256),
+                       ::testing::Values<u32>(0, 1, 2, 5, 13, 31)));
+
+TEST(Fle, PackedSizeMatchesFixedLength) {
+  // The whole point of FLE: fl bits per element, exactly.
+  const u32 blockSize = 32;
+  for (u32 fl : {1u, 4u, 17u}) {
+    EXPECT_EQ(static_cast<usize>(fl) * planeBytes(blockSize),
+              fl * blockSize / 8);
+  }
+}
+
+TEST(Fle, SignsPackAndRead) {
+  const std::vector<i32> diffs = {-1, 2, 0, -3, 4, -5, 6, 7,
+                                  -8, 9, -10, 11, 12, -13, 14, -15};
+  std::vector<std::byte> buf(2);
+  packSigns(diffs, buf.data());
+  for (usize i = 0; i < diffs.size(); ++i) {
+    EXPECT_EQ(signBit(buf.data(), i), diffs[i] < 0) << "i=" << i;
+  }
+}
+
+TEST(Fle, SignOfZeroIsPositive) {
+  const std::vector<i32> diffs(8, 0);
+  std::byte buf[1];
+  packSigns(diffs, buf);
+  EXPECT_EQ(std::to_integer<u32>(buf[0]), 0u);
+}
+
+TEST(Fle, PaperExampleThreeBytes) {
+  // Paper Fig. 7: 8 diffs with outlier 8 at the head and |tail| <= 1:
+  // signs (1 B) + outlier (1 B) + 1 plane (1 B) = 3 bytes.
+  const std::vector<u32> absVals = {0 /*outlier removed*/, 1, 0, 1,
+                                    1, 0, 1, 0};
+  std::byte plane[1];
+  packPlanes(absVals, 1, plane);
+  std::vector<u32> rec(8);
+  unpackPlanes(plane, 1, rec);
+  EXPECT_EQ(rec, absVals);
+}
+
+}  // namespace
+}  // namespace cuszp2::core

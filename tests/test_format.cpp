@@ -1,0 +1,110 @@
+// Tests for the compressed stream header: serialization, validation, and
+// corruption detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/format.hpp"
+
+namespace cuszp2::core {
+namespace {
+
+StreamHeader sample() {
+  StreamHeader h;
+  h.precision = Precision::F64;
+  h.mode = EncodingMode::Outlier;
+  h.blockSize = 32;
+  h.numElements = 123456789;
+  h.absErrorBound = 1.25e-4;
+  return h;
+}
+
+std::vector<std::byte> serializeToStream(const StreamHeader& h) {
+  std::vector<std::byte> bytes(h.payloadBegin(), std::byte{0});
+  h.serialize(bytes.data());
+  return bytes;
+}
+
+TEST(StreamHeader, RoundTrip) {
+  const auto h = sample();
+  const auto bytes = serializeToStream(h);
+  const auto r = StreamHeader::parse(bytes);
+  EXPECT_EQ(r.precision, h.precision);
+  EXPECT_EQ(r.mode, h.mode);
+  EXPECT_EQ(r.blockSize, h.blockSize);
+  EXPECT_EQ(r.numElements, h.numElements);
+  EXPECT_DOUBLE_EQ(r.absErrorBound, h.absErrorBound);
+}
+
+TEST(StreamHeader, DerivedQuantities) {
+  StreamHeader h;
+  h.precision = Precision::F32;
+  h.blockSize = 32;
+  h.numElements = 100;
+  h.absErrorBound = 1.0;
+  EXPECT_EQ(h.numBlocks(), 4u);  // ceil(100/32)
+  EXPECT_EQ(h.originalBytes(), 400u);
+  EXPECT_EQ(h.payloadBegin(), StreamHeader::kBytes + 4u);
+  h.precision = Precision::F64;
+  EXPECT_EQ(h.originalBytes(), 800u);
+}
+
+TEST(StreamHeader, TruncatedStreamThrows) {
+  const auto bytes = serializeToStream(sample());
+  EXPECT_THROW(StreamHeader::parse(
+                   ConstByteSpan(bytes.data(), StreamHeader::kBytes - 1)),
+               Error);
+  EXPECT_THROW(StreamHeader::parse(ConstByteSpan(bytes.data(), 0)), Error);
+}
+
+TEST(StreamHeader, BadMagicThrows) {
+  auto bytes = serializeToStream(sample());
+  bytes[0] = std::byte{0x00};
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, BadVersionThrows) {
+  auto bytes = serializeToStream(sample());
+  bytes[8] = std::byte{0xFF};  // version lives in meta byte 0
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, BadPrecisionThrows) {
+  auto bytes = serializeToStream(sample());
+  bytes[9] = std::byte{7};  // precision tag
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, BadModeThrows) {
+  auto bytes = serializeToStream(sample());
+  bytes[10] = std::byte{9};  // mode tag
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, BadBlockSizeThrows) {
+  auto h = sample();
+  h.blockSize = 13;
+  auto bytes = serializeToStream(sample());
+  h.serialize(bytes.data());
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, NonPositiveErrorBoundThrows) {
+  auto h = sample();
+  h.absErrorBound = 0.0;
+  std::vector<std::byte> bytes(StreamHeader::kBytes + h.numBlocks(),
+                               std::byte{0});
+  h.serialize(bytes.data());
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+TEST(StreamHeader, StreamShorterThanOffsetsThrows) {
+  const auto h = sample();
+  std::vector<std::byte> bytes(StreamHeader::kBytes + 10, std::byte{0});
+  h.serialize(bytes.data());  // numBlocks >> 10
+  EXPECT_THROW(StreamHeader::parse(bytes), Error);
+}
+
+}  // namespace
+}  // namespace cuszp2::core

@@ -1,0 +1,129 @@
+// Tests for the canonical Huffman codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "entropy/huffman.hpp"
+
+namespace cuszp2::entropy {
+namespace {
+
+std::vector<u16> roundTrip(const std::vector<u16>& symbols, u32 alphabet) {
+  const auto enc = HuffmanCodec::encode(symbols, alphabet);
+  return HuffmanCodec::decode(enc);
+}
+
+TEST(Huffman, EmptyInput) {
+  const std::vector<u16> symbols;
+  EXPECT_EQ(roundTrip(symbols, 16), symbols);
+}
+
+TEST(Huffman, SingleSymbolRepeated) {
+  const std::vector<u16> symbols(100, 7);
+  EXPECT_EQ(roundTrip(symbols, 16), symbols);
+  const auto enc = HuffmanCodec::encode(symbols, 16);
+  // 1-bit codes -> about 100 bits of payload.
+  EXPECT_LE(enc.payload.size(), 14u);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<u16> symbols;
+  for (int i = 0; i < 50; ++i) {
+    symbols.push_back(static_cast<u16>(i % 2));
+  }
+  EXPECT_EQ(roundTrip(symbols, 2), symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  Rng rng(3);
+  std::vector<u16> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    // ~95% zeros.
+    symbols.push_back(rng.uniform() < 0.95
+                          ? 0
+                          : static_cast<u16>(rng.uniformInt(256)));
+  }
+  const auto enc = HuffmanCodec::encode(symbols, 256);
+  EXPECT_EQ(HuffmanCodec::decode(enc), symbols);
+  // Entropy ~0.3 bits + rare 8-bit symbols; far below 1 byte per symbol.
+  EXPECT_LT(enc.payload.size(), symbols.size() / 2);
+}
+
+TEST(Huffman, UniformDistributionRoundTrips) {
+  Rng rng(4);
+  std::vector<u16> symbols;
+  for (int i = 0; i < 10000; ++i) {
+    symbols.push_back(static_cast<u16>(rng.uniformInt(1000)));
+  }
+  EXPECT_EQ(roundTrip(symbols, 1000), symbols);
+}
+
+TEST(Huffman, FullU16AlphabetRoundTrips) {
+  Rng rng(5);
+  std::vector<u16> symbols;
+  for (int i = 0; i < 30000; ++i) {
+    symbols.push_back(static_cast<u16>(rng.uniformInt(65536)));
+  }
+  EXPECT_EQ(roundTrip(symbols, 65536), symbols);
+}
+
+TEST(Huffman, RejectsOutOfRangeSymbol) {
+  const std::vector<u16> symbols = {5};
+  EXPECT_THROW(HuffmanCodec::encode(symbols, 4), Error);
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  Rng rng(6);
+  std::vector<u16> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    symbols.push_back(static_cast<u16>(rng.uniformInt(64)));
+  }
+  const auto enc = HuffmanCodec::encode(symbols, 64);
+  const auto codes = HuffmanCodec::canonicalCodes(enc.codeLengths);
+  for (usize a = 0; a < codes.size(); ++a) {
+    if (enc.codeLengths[a] == 0) continue;
+    for (usize b = 0; b < codes.size(); ++b) {
+      if (a == b || enc.codeLengths[b] == 0) continue;
+      if (enc.codeLengths[a] > enc.codeLengths[b]) continue;
+      // code a must not be a prefix of code b.
+      const u32 shifted =
+          codes[b] >> (enc.codeLengths[b] - enc.codeLengths[a]);
+      EXPECT_FALSE(shifted == codes[a] &&
+                   enc.codeLengths[a] < enc.codeLengths[b])
+          << "symbol " << a << " is a prefix of symbol " << b;
+    }
+  }
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(8);
+  std::vector<u16> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    symbols.push_back(static_cast<u16>(rng.uniformInt(300)));
+  }
+  const auto enc = HuffmanCodec::encode(symbols, 300);
+  f64 kraft = 0.0;
+  for (u8 l : enc.codeLengths) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<f64>(l));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, SizeTracksEntropy) {
+  // Four symbols with probabilities 1/2, 1/4, 1/8, 1/8 -> entropy 1.75 bits.
+  std::vector<u16> symbols;
+  for (int i = 0; i < 8000; ++i) {
+    const int r = i % 8;
+    symbols.push_back(r < 4 ? 0 : (r < 6 ? 1 : (r < 7 ? 2 : 3)));
+  }
+  const auto enc = HuffmanCodec::encode(symbols, 4);
+  const f64 bitsPerSymbol =
+      static_cast<f64>(enc.payload.size()) * 8.0 / symbols.size();
+  EXPECT_NEAR(bitsPerSymbol, 1.75, 0.05);
+  EXPECT_EQ(HuffmanCodec::decode(enc), symbols);
+}
+
+}  // namespace
+}  // namespace cuszp2::entropy

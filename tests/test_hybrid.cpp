@@ -1,0 +1,98 @@
+// Tests for the CPU-GPU hybrid baselines (cuSZ/cuSZx/MGARD-like) and the
+// kernel-vs-end-to-end gap of paper Fig. 2.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/hybrid.hpp"
+#include "datagen/fields.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::baselines {
+namespace {
+
+class HybridKindTest
+    : public ::testing::TestWithParam<HybridBaseline::Kind> {};
+
+TEST_P(HybridKindTest, ErrorBoundHolds) {
+  const auto data = datagen::generateF32("cesm_atm", 0, 1 << 14);
+  HybridBaseline hybrid(GetParam());
+  const auto r = hybrid.run(data, 1e-3);
+  const f64 absEb = 1e-3 * metrics::valueRange<f32>(data);
+  EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32))
+      << r.compressor << " max " << r.error.maxAbsError;
+  EXPECT_GT(r.ratio, 1.0);
+}
+
+TEST_P(HybridKindTest, KernelThroughputDwarfsEndToEnd) {
+  // THE point of paper Fig. 2: kernel-only throughput is an overly
+  // optimistic metric for hybrid designs.
+  const auto data = datagen::generateF32("rtm", 2, 1 << 19);
+  HybridBaseline hybrid(GetParam());
+  const auto r = hybrid.run(data, 1e-3);
+  EXPECT_GT(r.compressKernelGBps, r.compressGBps * 5.0)
+      << r.compressor;
+  EXPECT_LT(r.compressGBps, 5.0) << r.compressor;  // single-digit GB/s
+  EXPECT_GT(r.compressKernelGBps, 10.0) << r.compressor;
+}
+
+TEST_P(HybridKindTest, SweepOverBounds) {
+  const auto data = datagen::generateF32("scale", 0, 1 << 13);
+  HybridBaseline hybrid(GetParam());
+  f64 prevRatio = 1e30;
+  for (f64 rel : {1e-2, 1e-3, 1e-4}) {
+    const auto r = hybrid.run(data, rel);
+    const f64 absEb = rel * metrics::valueRange<f32>(data);
+    EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32)) << r.compressor << " " << rel;
+    // Tighter bounds compress less (or equal).
+    EXPECT_LE(r.ratio, prevRatio * 1.05);
+    prevRatio = r.ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, HybridKindTest,
+                         ::testing::Values(HybridBaseline::Kind::CuszLike,
+                                           HybridBaseline::Kind::CuszxLike,
+                                           HybridBaseline::Kind::MgardLike));
+
+TEST(Hybrid, Names) {
+  EXPECT_EQ(HybridBaseline(HybridBaseline::Kind::CuszLike).name(),
+            "cuSZ (hybrid)");
+  EXPECT_EQ(HybridBaseline(HybridBaseline::Kind::CuszxLike).name(),
+            "cuSZx (hybrid)");
+  EXPECT_EQ(HybridBaseline(HybridBaseline::Kind::MgardLike).name(),
+            "MGARD-GPU (hybrid)");
+}
+
+TEST(Hybrid, PureGpuBeatsHybridsEndToEnd) {
+  // Paper Observation I: ~200x of hybrids. Require at least 20x here.
+  const auto data = datagen::generateF32("nyx", 0, 1 << 20);
+  const auto pure = Cuszp2Baseline::cuszp2Plain()->run(data, 1e-3);
+  for (auto kind : {HybridBaseline::Kind::CuszLike,
+                    HybridBaseline::Kind::CuszxLike,
+                    HybridBaseline::Kind::MgardLike}) {
+    const auto hyb = HybridBaseline(kind).run(data, 1e-3);
+    EXPECT_GT(pure.compressGBps, hyb.compressGBps * 20.0)
+        << hyb.compressor;
+  }
+}
+
+TEST(Hybrid, CuszHuffmanActuallyCompressesSmoothData) {
+  const auto data = datagen::generateF32("cesm_atm", 2, 1 << 14);
+  const auto r = HybridBaseline(HybridBaseline::Kind::CuszLike).run(
+      data, 1e-2);
+  EXPECT_GT(r.ratio, 3.0);
+}
+
+TEST(Hybrid, MgardMultilevelIsErrorBoundedOnRoughData) {
+  // The interpolation cascade must stay bounded even on low-smoothness
+  // input (closed-loop quantization).
+  const auto data = datagen::generateF32("qmcpack", 0, 1 << 13);
+  const auto r = HybridBaseline(HybridBaseline::Kind::MgardLike).run(
+      data, 1e-3);
+  const f64 absEb = 1e-3 * metrics::valueRange<f32>(data);
+  EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32)) << r.error.maxAbsError;
+}
+
+}  // namespace
+}  // namespace cuszp2::baselines

@@ -1,0 +1,115 @@
+// Tests for raw binary IO and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/raw.hpp"
+#include "io/table.hpp"
+
+namespace cuszp2::io {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cuszp2_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(RawIo, F32RoundTrip) {
+  TempDir tmp;
+  const std::vector<f32> data = {1.5f, -2.25f, 0.0f, 3.14159f};
+  writeRaw<f32>(tmp.file("a.f32"), data);
+  EXPECT_EQ(readRaw<f32>(tmp.file("a.f32")), data);
+}
+
+TEST(RawIo, F64RoundTrip) {
+  TempDir tmp;
+  const std::vector<f64> data = {1e-300, 2.5, -7.125};
+  writeRaw<f64>(tmp.file("a.f64"), data);
+  EXPECT_EQ(readRaw<f64>(tmp.file("a.f64")), data);
+}
+
+TEST(RawIo, EmptyFile) {
+  TempDir tmp;
+  writeRaw<f32>(tmp.file("empty.f32"), std::vector<f32>{});
+  EXPECT_TRUE(readRaw<f32>(tmp.file("empty.f32")).empty());
+}
+
+TEST(RawIo, MissingFileThrows) {
+  EXPECT_THROW(readRaw<f32>("/nonexistent/path/x.f32"), Error);
+  EXPECT_THROW(readBytes("/nonexistent/path/x.bin"), Error);
+}
+
+TEST(RawIo, MisalignedSizeThrows) {
+  TempDir tmp;
+  const std::vector<std::byte> junk(7, std::byte{1});
+  writeBytes(tmp.file("junk.bin"), junk);
+  EXPECT_THROW(readRaw<f32>(tmp.file("junk.bin")), Error);
+  EXPECT_THROW(readRaw<f64>(tmp.file("junk.bin")), Error);
+}
+
+TEST(RawIo, BytesRoundTrip) {
+  TempDir tmp;
+  std::vector<std::byte> data(1000);
+  for (usize i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  writeBytes(tmp.file("b.bin"), data);
+  EXPECT_EQ(readBytes(tmp.file("b.bin")), data);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.addRow({"short", "1"});
+  t.addRow({"a-much-longer-name", "23.5"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Every (non-empty) line has the same width; the render ends with '\n'.
+  usize width = 0;
+  usize lineStart = 0;
+  for (usize i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      const usize len = i - lineStart;
+      if (width == 0) width = len;
+      EXPECT_EQ(len, width);
+      lineStart = i + 1;
+    }
+  }
+  EXPECT_EQ(lineStart, s.size());  // terminated by a final newline
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::gbps(123.456), "123.46 GB/s");
+}
+
+}  // namespace
+}  // namespace cuszp2::io

@@ -1,0 +1,160 @@
+// Tests for the multi-dimensional (2-D/3-D Lorenzo) cuSZp2 variant
+// (paper Sec. VI-D, Table VI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/lorenzo_nd.hpp"
+#include "core/quantizer.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2::core {
+namespace {
+
+std::vector<f32> smooth3d(Dims3 dims, u64 seed) {
+  Rng rng(seed);
+  std::vector<f32> out(dims.count());
+  const f64 fx = rng.uniform(0.02, 0.1);
+  const f64 fy = rng.uniform(0.02, 0.1);
+  const f64 fz = rng.uniform(0.02, 0.1);
+  for (u64 z = 0; z < dims.nz; ++z) {
+    for (u64 y = 0; y < dims.ny; ++y) {
+      for (u64 x = 0; x < dims.nx; ++x) {
+        out[(z * dims.ny + y) * dims.nx + x] = static_cast<f32>(
+            100.0 + 10.0 * std::sin(fx * static_cast<f64>(x)) *
+                        std::cos(fy * static_cast<f64>(y)) *
+                        std::sin(fz * static_cast<f64>(z)));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(NdCompressor, BlockShapesMatchPaperTableVI) {
+  u64 bx = 0;
+  u64 by = 0;
+  u64 bz = 0;
+  NdCompressor({.dims = LorenzoDims::D1}).blockShape(bx, by, bz);
+  EXPECT_EQ(bx * by * bz, 64u);
+  EXPECT_EQ(bx, 64u);
+  NdCompressor({.dims = LorenzoDims::D2}).blockShape(bx, by, bz);
+  EXPECT_EQ(bx, 8u);
+  EXPECT_EQ(by, 8u);
+  EXPECT_EQ(bz, 1u);
+  NdCompressor({.dims = LorenzoDims::D3}).blockShape(bx, by, bz);
+  EXPECT_EQ(bx, 4u);
+  EXPECT_EQ(by, 4u);
+  EXPECT_EQ(bz, 4u);
+}
+
+class NdRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<LorenzoDims, f64>> {};
+
+TEST_P(NdRoundTripTest, ErrorBoundHolds) {
+  const auto [dims, rel] = GetParam();
+  const Dims3 grid{40, 24, 12};
+  const auto data = smooth3d(grid, 99);
+  NdConfig cfg;
+  cfg.dims = dims;
+  cfg.relErrorBound = rel;
+  const NdCompressor comp(cfg);
+  const auto c = comp.compress<f32>(data, grid);
+  const auto rec = comp.decompress<f32>(c.stream);
+  ASSERT_EQ(rec.size(), data.size());
+  const f64 absEb =
+      Quantizer::absFromRel(rel, metrics::valueRange<f32>(data));
+  const auto stats = metrics::computeErrorStats<f32>(data, rec);
+  EXPECT_TRUE(stats.withinBoundFp(absEb, Precision::F32)) << "max " << stats.maxAbsError;
+  EXPECT_GT(c.ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NdRoundTripTest,
+    ::testing::Combine(::testing::Values(LorenzoDims::D1, LorenzoDims::D2,
+                                         LorenzoDims::D3),
+                       ::testing::Values(1e-2, 1e-3, 1e-4)));
+
+TEST(NdCompressor, NonDivisibleDimensions) {
+  // Partial blocks at every boundary.
+  const Dims3 grid{13, 9, 5};
+  const auto data = smooth3d(grid, 3);
+  for (auto d : {LorenzoDims::D1, LorenzoDims::D2, LorenzoDims::D3}) {
+    NdConfig cfg;
+    cfg.dims = d;
+    cfg.relErrorBound = 1e-3;
+    const NdCompressor comp(cfg);
+    const auto c = comp.compress<f32>(data, grid);
+    const auto rec = comp.decompress<f32>(c.stream);
+    const f64 absEb =
+        Quantizer::absFromRel(1e-3, metrics::valueRange<f32>(data));
+    EXPECT_TRUE(
+        metrics::computeErrorStats<f32>(data, rec).withinBoundFp(absEb, Precision::F32))
+        << toString(d);
+  }
+}
+
+TEST(NdCompressor, HigherDimsImproveRatioOnSmooth3dData) {
+  // On spatially smooth 3-D data, 2-D/3-D Lorenzo should beat 1-D — the
+  // effect Table VI quantifies (and 1-D stays close at tight bounds).
+  const Dims3 grid{32, 32, 32};
+  const auto data = smooth3d(grid, 12);
+  auto ratioFor = [&](LorenzoDims d) {
+    NdConfig cfg;
+    cfg.dims = d;
+    cfg.relErrorBound = 1e-2;
+    return NdCompressor(cfg).compress<f32>(data, grid).ratio;
+  };
+  const f64 r1 = ratioFor(LorenzoDims::D1);
+  const f64 r2 = ratioFor(LorenzoDims::D2);
+  const f64 r3 = ratioFor(LorenzoDims::D3);
+  EXPECT_GT(r2, r1 * 0.95);
+  EXPECT_GT(r3, r1 * 0.95);
+}
+
+TEST(NdCompressor, SizeMismatchThrows) {
+  const NdCompressor comp({});
+  const std::vector<f32> data(10);
+  EXPECT_THROW(comp.compress<f32>(data, Dims3{100, 1, 1}), Error);
+}
+
+TEST(NdCompressor, BadStreamRejected) {
+  const NdCompressor comp({});
+  std::vector<std::byte> junk(128, std::byte{0x5A});
+  EXPECT_THROW(comp.decompress<f32>(junk), Error);
+}
+
+TEST(NdCompressor, PrecisionMismatchThrows) {
+  const Dims3 grid{16, 4, 1};
+  const auto data = smooth3d(grid, 8);
+  NdConfig cfg;
+  cfg.relErrorBound = 1e-3;
+  const NdCompressor comp(cfg);
+  const auto c = comp.compress<f32>(data, grid);
+  EXPECT_THROW(comp.decompress<f64>(c.stream), Error);
+}
+
+TEST(NdCompressor, DoublePrecisionRoundTrip) {
+  const Dims3 grid{20, 10, 4};
+  std::vector<f64> data(grid.count());
+  Rng rng(5);
+  f64 v = 0.0;
+  for (auto& x : data) {
+    v += rng.uniform(-0.05, 0.05);
+    x = v;
+  }
+  NdConfig cfg;
+  cfg.dims = LorenzoDims::D3;
+  cfg.relErrorBound = 1e-3;
+  const NdCompressor comp(cfg);
+  const auto c = comp.compress<f64>(data, grid);
+  const auto rec = comp.decompress<f64>(c.stream);
+  const f64 absEb =
+      Quantizer::absFromRel(1e-3, metrics::valueRange<f64>(data));
+  EXPECT_TRUE(metrics::computeErrorStats<f64>(data, rec).withinBoundFp(absEb, Precision::F64));
+}
+
+}  // namespace
+}  // namespace cuszp2::core

@@ -1,0 +1,153 @@
+// Tests for PSNR / SSIM / iso-crossing / ratio metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ratio.hpp"
+#include "metrics/ssim.hpp"
+
+namespace cuszp2::metrics {
+namespace {
+
+TEST(ErrorStats, IdenticalDataIsPerfect) {
+  const std::vector<f32> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto s = computeErrorStats<f32>(a, a);
+  EXPECT_EQ(s.maxAbsError, 0.0);
+  EXPECT_EQ(s.mse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnrDb));
+  EXPECT_TRUE(s.withinBound(0.0));
+}
+
+TEST(ErrorStats, KnownValues) {
+  const std::vector<f32> a = {0.0f, 1.0f, 2.0f, 3.0f};
+  const std::vector<f32> b = {0.5f, 1.0f, 2.0f, 3.0f};
+  const auto s = computeErrorStats<f32>(a, b);
+  EXPECT_DOUBLE_EQ(s.maxAbsError, 0.5);
+  EXPECT_DOUBLE_EQ(s.mse, 0.25 / 4.0);
+  EXPECT_DOUBLE_EQ(s.valueRange, 3.0);
+  // PSNR = 20 log10(3) - 10 log10(0.0625)
+  EXPECT_NEAR(s.psnrDb, 20.0 * std::log10(3.0) - 10.0 * std::log10(0.0625),
+              1e-9);
+  EXPECT_TRUE(s.withinBound(0.5));
+  EXPECT_FALSE(s.withinBound(0.49));
+}
+
+TEST(ErrorStats, SizeMismatchThrows) {
+  const std::vector<f32> a(4, 0.0f);
+  const std::vector<f32> b(5, 0.0f);
+  EXPECT_THROW(computeErrorStats<f32>(a, b), Error);
+}
+
+TEST(ErrorStats, ValueRange) {
+  const std::vector<f64> v = {-2.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(valueRange<f64>(v), 7.0);
+  EXPECT_DOUBLE_EQ(valueRange<f64>(std::vector<f64>{}), 0.0);
+  EXPECT_DOUBLE_EQ(valueRange<f64>(std::vector<f64>{3.0}), 0.0);
+}
+
+TEST(ErrorStats, PsnrDecreasesWithNoise) {
+  Rng rng(1);
+  std::vector<f32> orig(10000);
+  for (auto& v : orig) v = static_cast<f32>(rng.uniform(0.0, 100.0));
+  auto addNoise = [&](f64 sigma) {
+    Rng nz(2);
+    std::vector<f32> out = orig;
+    for (auto& v : out) v += static_cast<f32>(nz.normal(0.0, sigma));
+    return computeErrorStats<f32>(orig, out).psnrDb;
+  };
+  EXPECT_GT(addNoise(0.01), addNoise(0.1));
+  EXPECT_GT(addNoise(0.1), addNoise(1.0));
+}
+
+TEST(Ssim, PerfectForIdentical) {
+  std::vector<f32> v(1024);
+  Rng rng(3);
+  for (auto& x : v) x = static_cast<f32>(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(ssim<f32>(v, v), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithDistortion) {
+  std::vector<f32> v(4096);
+  for (usize i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.01 * static_cast<f64>(i)));
+  }
+  Rng rng(4);
+  std::vector<f32> mild = v;
+  std::vector<f32> heavy = v;
+  for (usize i = 0; i < v.size(); ++i) {
+    mild[i] += static_cast<f32>(rng.normal(0.0, 0.01));
+    heavy[i] += static_cast<f32>(rng.normal(0.0, 0.5));
+  }
+  const f64 sMild = ssim<f32>(v, mild);
+  const f64 sHeavy = ssim<f32>(v, heavy);
+  EXPECT_GT(sMild, sHeavy);
+  EXPECT_GT(sMild, 0.9);
+  EXPECT_LT(sHeavy, 0.8);
+}
+
+TEST(Ssim, ValidatesArguments) {
+  const std::vector<f32> a(10, 0.0f);
+  const std::vector<f32> b(11, 0.0f);
+  EXPECT_THROW(ssim<f32>(a, b), Error);
+  EXPECT_THROW(ssim<f32>(a, a, 1), Error);
+}
+
+TEST(IsoCrossing, PerfectMatch) {
+  std::vector<f32> v(1000);
+  for (usize i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.1 * static_cast<f64>(i)));
+  }
+  const auto fid = isoCrossingFidelity<f32>(v, v, 0.0);
+  EXPECT_GT(fid.originalCrossings, 10u);
+  EXPECT_EQ(fid.matchedCrossings, fid.originalCrossings);
+  EXPECT_EQ(fid.spuriousCrossings, 0u);
+  EXPECT_DOUBLE_EQ(fid.matchRatio, 1.0);
+}
+
+TEST(IsoCrossing, DetectsDestroyedStructure) {
+  std::vector<f32> v(1000);
+  for (usize i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.1 * static_cast<f64>(i)));
+  }
+  const std::vector<f32> flat(1000, 0.5f);  // all structure gone
+  const auto fid = isoCrossingFidelity<f32>(v, flat, 0.0);
+  EXPECT_EQ(fid.matchedCrossings, 0u);
+  EXPECT_DOUBLE_EQ(fid.matchRatio, 0.0);
+}
+
+TEST(IsoCrossing, ToleratesOneSampleShift) {
+  std::vector<f32> v(200);
+  for (usize i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<f32>(std::sin(0.2 * static_cast<f64>(i)));
+  }
+  std::vector<f32> shifted(v.size());
+  shifted[0] = v[0];
+  for (usize i = 1; i < v.size(); ++i) shifted[i] = v[i - 1];
+  const auto fid = isoCrossingFidelity<f32>(v, shifted, 0.0);
+  EXPECT_GT(fid.matchRatio, 0.9);
+}
+
+TEST(Ratio, CellAggregation) {
+  RatioCell cell;
+  EXPECT_TRUE(cell.empty());
+  EXPECT_EQ(cell.format(), "N.A.");
+  cell.add(2.0);
+  cell.add(8.0);
+  cell.add(5.0);
+  EXPECT_DOUBLE_EQ(cell.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cell.max(), 8.0);
+  EXPECT_DOUBLE_EQ(cell.avg(), 5.0);
+  EXPECT_EQ(cell.format(), "2.00~8.00 (avg: 5.00)");
+}
+
+TEST(Ratio, CompressionRatioHelper) {
+  EXPECT_DOUBLE_EQ(compressionRatio(100, 25), 4.0);
+  EXPECT_DOUBLE_EQ(compressionRatio(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace cuszp2::metrics

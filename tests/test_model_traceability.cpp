@@ -1,0 +1,112 @@
+// Traceability tests: the worked equations documented in docs/MODEL.md
+// must match what TimingModel actually computes, term by term. If the
+// model changes, either these tests or the document must change with it.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/timing.hpp"
+
+namespace cuszp2::gpusim {
+namespace {
+
+TEST(ModelTraceability, BandwidthTerm) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.coalescedTransactions = 1'000'000;
+  SyncStats sync;
+  const auto t = model.kernel(mem, sync);
+  // t_bandwidth = transactions * 32 B / 1555 GB/s
+  EXPECT_NEAR(t.bandwidthSeconds, 1e6 * 32.0 / 1555e9, 1e-12);
+}
+
+TEST(ModelTraceability, IssueTerm) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.scalarLoadInstr = 90'000'000;  // one millisecond at 90 G/s
+  SyncStats sync;
+  EXPECT_NEAR(model.kernel(mem, sync).issueSeconds, 1e-3, 1e-9);
+}
+
+TEST(ModelTraceability, ComputeTerm) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.arithmeticOps = 2'000'000'000;  // one millisecond at 2 T/s
+  SyncStats sync;
+  EXPECT_NEAR(model.kernel(mem, sync).computeSeconds, 1e-3, 1e-9);
+}
+
+TEST(ModelTraceability, OverlappingTermsTakeTheMax) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.coalescedTransactions = 1'000'000;   // ~20.6 us
+  mem.vectorLoadInstr = 90'000;            // 1 us
+  mem.arithmeticOps = 2'000'000;           // 1 us
+  SyncStats sync;
+  const auto t = model.kernel(mem, sync);
+  EXPECT_DOUBLE_EQ(t.totalSeconds,
+                   t.bandwidthSeconds + t.launchSeconds);  // bw dominates
+}
+
+TEST(ModelTraceability, SerializingTermsAdd) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.atomicOps = 1'200'000;   // 1 ms at 1.2 G/s
+  mem.memsetBytes = 2'000'000; // 1 us at 2000 GB/s
+  SyncStats sync;
+  sync.method = SyncMethod::ChainedScan;
+  sync.tiles = 1000;           // 45 us at 45 ns/hop
+  const auto t = model.kernel(mem, sync);
+  EXPECT_NEAR(t.totalSeconds,
+              t.atomicSeconds + t.memsetSeconds + t.syncSeconds +
+                  t.launchSeconds,
+              1e-12);
+  EXPECT_NEAR(t.atomicSeconds, 1e-3, 1e-9);
+  EXPECT_NEAR(t.syncSeconds, 1000 * 45e-9, 1e-12);
+}
+
+TEST(ModelTraceability, LookbackEquation) {
+  const TimingModel model(a100_40gb());
+  SyncStats sync;
+  sync.method = SyncMethod::DecoupledLookback;
+  sync.tiles = 2600;
+  sync.maxLookbackDepth = 10;
+  // tiles * 45 ns / 2.6 + 10 * 45 ns
+  EXPECT_NEAR(model.syncSeconds(sync), 2600 * 45e-9 / 2.6 + 10 * 45e-9,
+              1e-12);
+}
+
+TEST(ModelTraceability, ReduceThenScanEquation) {
+  const TimingModel model(a100_40gb());
+  SyncStats sync;
+  sync.method = SyncMethod::ReduceThenScan;
+  sync.tiles = 1000;
+  sync.tileDataBytes = 16384;
+  // 2 launches + tiles * bytes * 2 / BW + tiles * 2 ns
+  EXPECT_NEAR(model.syncSeconds(sync),
+              2 * 6e-6 + 1000.0 * 16384 * 2 / 1555e9 + 1000 * 2e-9, 1e-12);
+}
+
+TEST(ModelTraceability, CalibrationAnchors) {
+  // The MODEL.md anchor claims, verified numerically.
+  const auto spec = a100_40gb();
+  EXPECT_EQ(spec.memBandwidthGBps, 1555.0);  // A100 datasheet
+  // Chained-scan sync throughput of a 16 KiB tile at 45 ns/hop ~ 364 GB/s.
+  EXPECT_NEAR(16384.0 / (spec.chainHopNs * 1e-9) / 1e9, 364.1, 0.5);
+  // Lookback overlap reproduces the ~2.4-2.6x Fig. 17 speedup regime.
+  EXPECT_GE(spec.lookbackOverlap, 2.4);
+  EXPECT_LE(spec.lookbackOverlap, 2.8);
+}
+
+TEST(ModelTraceability, MemThroughputIncludesHierarchyBytes) {
+  const TimingModel model(a100_40gb());
+  MemCounters mem;
+  mem.noteVectorRead(1'000'000, 32);
+  mem.noteL1(3'000'000);
+  SyncStats sync;
+  const auto t = model.kernel(mem, sync);
+  EXPECT_NEAR(t.memThroughputGBps,
+              4'000'000 / t.totalSeconds / 1e9, 1e-6);
+}
+
+}  // namespace
+}  // namespace cuszp2::gpusim

@@ -1,0 +1,77 @@
+// Model-regression guardrails: the calibrated timing model must keep the
+// reproduction's headline numbers inside their paper-shaped bands. These
+// are deliberately wide (the claims are about regimes, not digits), but
+// any accidental perturbation of the model constants, the counter
+// recording, or the kernels' traffic shape trips them.
+#include <gtest/gtest.h>
+
+#include "baselines/cuszp2_adapter.hpp"
+#include "baselines/fzgpu.hpp"
+#include "baselines/zfp.hpp"
+#include "common/error.hpp"
+#include "datagen/fields.hpp"
+
+namespace cuszp2 {
+namespace {
+
+constexpr usize kElems = 1 << 21;  // the bench harness default
+
+struct Corpus {
+  std::vector<f32> rtm = datagen::generateF32("rtm", 2, kElems);
+  baselines::RunResult p =
+      baselines::Cuszp2Baseline::cuszp2Plain()->run(rtm, 1e-3);
+  baselines::RunResult o =
+      baselines::Cuszp2Baseline::cuszp2Outlier()->run(rtm, 1e-3);
+  baselines::RunResult v1 =
+      baselines::Cuszp2Baseline::cuszpV1()->run(rtm, 1e-3);
+};
+
+const Corpus& corpus() {
+  static const Corpus kCorpus;
+  return kCorpus;
+}
+
+TEST(RegressionBands, Cuszp2EndToEndThroughput) {
+  // Paper regime: ~330 comp / ~520 decomp GB/s; at 8 MB fields the model
+  // sits somewhat below its asymptote.
+  EXPECT_GT(corpus().p.compressGBps, 180.0);
+  EXPECT_LT(corpus().p.compressGBps, 450.0);
+  EXPECT_GT(corpus().p.decompressGBps, 280.0);
+  EXPECT_LT(corpus().p.decompressGBps, 700.0);
+}
+
+TEST(RegressionBands, DecompressionBeatsCompression) {
+  EXPECT_GT(corpus().p.decompressGBps, corpus().p.compressGBps * 1.15);
+}
+
+TEST(RegressionBands, MemoryPipelineNearPeak) {
+  // Fig. 16 regime: >60% of the A100's 1555 GB/s.
+  EXPECT_GT(corpus().p.memThroughputGBps, 950.0);
+  EXPECT_LT(corpus().p.memThroughputGBps, 1555.0);
+}
+
+TEST(RegressionBands, Cuszp2LeadsCuszpByAboutTwo) {
+  const f64 lead = corpus().p.compressGBps / corpus().v1.compressGBps;
+  EXPECT_GT(lead, 1.4);
+  EXPECT_LT(lead, 3.5);
+}
+
+TEST(RegressionBands, BaselinesStayInTheirRegimes) {
+  const auto& rtm = corpus().rtm;
+  const auto fz = baselines::FzGpuBaseline().run(rtm, 1e-3);
+  EXPECT_GT(fz.compressGBps, 30.0);
+  EXPECT_LT(fz.compressGBps, corpus().p.compressGBps);
+
+  const auto zfp = baselines::ZfpBaseline(8.0).run(rtm, 0.0);
+  EXPECT_GT(zfp.compressGBps, 60.0);
+  EXPECT_LT(zfp.compressGBps, 250.0);
+}
+
+TEST(RegressionBands, OutlierModeNeverLosesRatio) {
+  EXPECT_GE(corpus().o.ratio, corpus().p.ratio * 0.999);
+  // And cuSZp v1's ratio is bit-identical to plain mode.
+  EXPECT_DOUBLE_EQ(corpus().v1.ratio, corpus().p.ratio);
+}
+
+}  // namespace
+}  // namespace cuszp2

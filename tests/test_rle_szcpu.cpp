@@ -1,0 +1,106 @@
+// Tests for the RLE codec and the wall-clock SZ CPU baseline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/sz_cpu.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "datagen/fields.hpp"
+#include "entropy/rle.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace cuszp2 {
+namespace {
+
+using entropy::RleCodec;
+
+TEST(Rle, EmptyInput) {
+  const std::vector<u16> symbols;
+  const auto enc = RleCodec::encode(symbols);
+  EXPECT_TRUE(enc.runs.empty());
+  EXPECT_EQ(RleCodec::decode(enc), symbols);
+}
+
+TEST(Rle, SingleRun) {
+  const std::vector<u16> symbols(1000, 7);
+  const auto enc = RleCodec::encode(symbols);
+  ASSERT_EQ(enc.runs.size(), 1u);
+  EXPECT_EQ(enc.runs[0], (std::pair<u16, u16>{7, 1000}));
+  EXPECT_EQ(RleCodec::decode(enc), symbols);
+}
+
+TEST(Rle, AlternatingWorstCase) {
+  std::vector<u16> symbols;
+  for (int i = 0; i < 500; ++i) {
+    symbols.push_back(static_cast<u16>(i % 2));
+  }
+  const auto enc = RleCodec::encode(symbols);
+  EXPECT_EQ(enc.runs.size(), 500u);  // no compression, still correct
+  EXPECT_EQ(RleCodec::decode(enc), symbols);
+}
+
+TEST(Rle, RunsSplitAtMaxLength) {
+  const std::vector<u16> symbols(70000, 9);  // > 2^16 - 1
+  const auto enc = RleCodec::encode(symbols);
+  ASSERT_EQ(enc.runs.size(), 2u);
+  EXPECT_EQ(enc.runs[0].second, 65535u);
+  EXPECT_EQ(enc.runs[1].second, 70000u - 65535u);
+  EXPECT_EQ(RleCodec::decode(enc), symbols);
+}
+
+TEST(Rle, RandomRoundTrips) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u16> symbols(1 + rng.uniformInt(5000));
+    u16 current = 0;
+    for (auto& s : symbols) {
+      if (rng.uniform() < 0.2) {
+        current = static_cast<u16>(rng.uniformInt(100));
+      }
+      s = current;
+    }
+    const auto enc = RleCodec::encode(symbols);
+    ASSERT_EQ(RleCodec::decode(enc), symbols) << trial;
+  }
+}
+
+TEST(Rle, CompressesLongRuns) {
+  std::vector<u16> symbols;
+  for (int block = 0; block < 10; ++block) {
+    symbols.insert(symbols.end(), 1000, static_cast<u16>(block));
+  }
+  const auto enc = RleCodec::encode(symbols);
+  EXPECT_LT(enc.totalBytes(), symbols.size());  // << 2 bytes/symbol
+}
+
+TEST(SzCpu, ErrorBoundHolds) {
+  const auto data = datagen::generateF32("cesm_atm", 0, 1 << 14);
+  baselines::SzCpuBaseline sz;
+  const auto r = sz.run(data, 1e-3);
+  const f64 absEb = 1e-3 * metrics::valueRange<f32>(data);
+  EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32))
+      << r.error.maxAbsError;
+  EXPECT_GT(r.ratio, 1.0);
+}
+
+TEST(SzCpu, MeasuredThroughputIsRealisticallyCpuBound) {
+  const auto data = datagen::generateF32("miranda", 0, 1 << 16);
+  baselines::SzCpuBaseline sz;
+  const auto r = sz.run(data, 1e-3);
+  EXPECT_GT(r.compressGBps, 0.0);
+  // No host on earth Huffman-encodes at GPU rates; this also guards
+  // against accidentally reporting modelled time as measured.
+  EXPECT_LT(r.compressGBps, 50.0);
+}
+
+TEST(SzCpu, RoughDataStillBounded) {
+  const auto data = datagen::generateF32("qmcpack", 0, 1 << 13);
+  baselines::SzCpuBaseline sz;
+  const auto r = sz.run(data, 1e-4);
+  const f64 absEb = 1e-4 * metrics::valueRange<f32>(data);
+  EXPECT_TRUE(r.error.withinBoundFp(absEb, Precision::F32));
+}
+
+}  // namespace
+}  // namespace cuszp2

@@ -1,0 +1,98 @@
+// Unit tests for common/rng.hpp: determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace cuszp2 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const f64 u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const f64 u = rng.uniform(-3.5, 9.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(99);
+  f64 sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(5);
+  for (u64 n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniformInt(n), n);
+    }
+  }
+  EXPECT_EQ(rng.uniformInt(0), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(2024);
+  const int n = 200000;
+  f64 sum = 0.0;
+  f64 sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const f64 x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  const f64 mean = sum / n;
+  const f64 var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  f64 sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const u64 first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace cuszp2

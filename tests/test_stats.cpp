@@ -1,0 +1,86 @@
+// Tests for the field-statistics module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "datagen/fields.hpp"
+#include "datagen/stats.hpp"
+
+namespace cuszp2::datagen {
+namespace {
+
+TEST(FieldStats, ConstantField) {
+  const std::vector<f32> v(256, 5.0f);
+  const auto s = computeFieldStats<f32>(v);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.zeroFraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.roughness, 0.0);
+  // Constant nonzero blocks are the canonical outlier motif: head |5|,
+  // tail diffs all zero.
+  EXPECT_DOUBLE_EQ(s.outlierBlockFraction, 1.0);
+}
+
+TEST(FieldStats, ZeroField) {
+  const std::vector<f32> v(128, 0.0f);
+  const auto s = computeFieldStats<f32>(v);
+  EXPECT_DOUBLE_EQ(s.zeroFraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.outlierBlockFraction, 0.0);  // head is 0, not outlier
+}
+
+TEST(FieldStats, KnownMoments) {
+  const std::vector<f64> v = {1.0, 2.0, 3.0, 4.0};
+  const auto s = computeFieldStats<f64>(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.range(), 3.0);
+  // Mean |diff| = 1, range 3.
+  EXPECT_NEAR(s.roughness, 1.0 / 3.0, 1e-12);
+}
+
+TEST(FieldStats, ZeroFractionCounts) {
+  std::vector<f32> v(100, 1.0f);
+  for (usize i = 0; i < 25; ++i) v[i * 4] = 0.0f;
+  EXPECT_DOUBLE_EQ(computeFieldStats<f32>(v).zeroFraction, 0.25);
+}
+
+TEST(FieldStats, RoughnessOrdersNoiseLevels) {
+  Rng rng(9);
+  std::vector<f32> smooth(4096);
+  std::vector<f32> rough(4096);
+  for (usize i = 0; i < smooth.size(); ++i) {
+    smooth[i] = static_cast<f32>(std::sin(0.01 * static_cast<f64>(i)));
+    rough[i] = static_cast<f32>(rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_LT(computeFieldStats<f32>(smooth).roughness,
+            computeFieldStats<f32>(rough).roughness);
+}
+
+TEST(FieldStats, EmptyFieldThrows) {
+  EXPECT_THROW(computeFieldStats<f32>(std::vector<f32>{}), Error);
+}
+
+TEST(FieldStats, SyntheticDatasetCharactersHold) {
+  // The generators must keep the characters that drive the paper's
+  // results (cross-checked against the compression tests).
+  const auto jetin = computeFieldStats<f32>(generateF32("jetin", 0, 1 << 16));
+  EXPECT_GT(jetin.zeroFraction, 0.8);
+
+  const auto miranda =
+      computeFieldStats<f32>(generateF32("miranda", 0, 1 << 16));
+  EXPECT_GT(miranda.outlierBlockFraction, 0.5);  // smooth + DC offset
+
+  const auto qmcpack =
+      computeFieldStats<f32>(generateF32("qmcpack", 0, 1 << 16));
+  EXPECT_LT(qmcpack.outlierBlockFraction, 0.3);  // oscillatory
+}
+
+}  // namespace
+}  // namespace cuszp2::datagen

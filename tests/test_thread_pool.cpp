@@ -1,0 +1,108 @@
+// Unit tests for the FIFO thread pool, including the start-order guarantee
+// the decoupled-lookback scan depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace cuszp2 {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.workerCount(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran = 1; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { ++count; });
+  pool.submit([&] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+// Tasks must *start* in submission order: a later task may not begin before
+// an earlier one has begun. (Completion order is unconstrained.)
+TEST(ThreadPool, FifoStartOrder) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<int> startOrder;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&, i] {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        startOrder.push_back(i);
+      }
+    });
+  }
+  pool.wait();
+  ASSERT_EQ(startOrder.size(), 64u);
+  // With 3 workers, task i can start at most 2 positions early.
+  for (usize pos = 0; pos < startOrder.size(); ++pos) {
+    EXPECT_LE(static_cast<usize>(startOrder[pos]), pos + 3)
+        << "task started far out of order";
+  }
+}
+
+// A later-submitted task must be able to run while an earlier one blocks on
+// it (the forward-progress property lookback needs).
+TEST(ThreadPool, LaterTaskRunsWhileEarlierSpins) {
+  ThreadPool pool(2);
+  std::atomic<bool> flag{false};
+  std::atomic<bool> sawFlag{false};
+  pool.submit([&] {
+    while (!flag.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    sawFlag = true;
+  });
+  pool.submit([&] { flag.store(true, std::memory_order_release); });
+  pool.wait();
+  EXPECT_TRUE(sawFlag.load());
+}
+
+TEST(ThreadPool, DefaultWorkersAtLeastTwo) {
+  EXPECT_GE(ThreadPool::defaultWorkers(), 2u);
+  EXPECT_LE(ThreadPool::defaultWorkers(), 16u);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { ++count; });
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace cuszp2

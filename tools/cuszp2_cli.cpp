@@ -1,0 +1,279 @@
+// cuszp2 — command-line front end, mirroring the paper artifact's gsz_p /
+// gsz_o binaries plus inspection utilities.
+//
+//   cuszp2 compress   <in.f32|in.f64> <out.czp2> [--rel 1e-3|--abs X]
+//                     [--mode outlier|plain] [--precision f32|f64]
+//                     [--block 32]
+//   cuszp2 decompress <in.czp2> <out.raw>
+//   cuszp2 info       <in.czp2>
+//   cuszp2 verify     <original.raw> <in.czp2>
+//
+// Exit code 0 on success (verify: error bound holds), nonzero otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "core/quantizer.hpp"
+#include "io/raw.hpp"
+#include "metrics/error_stats.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+struct Options {
+  f64 rel = 1e-3;
+  f64 abs = 0.0;
+  EncodingMode mode = EncodingMode::Outlier;
+  Precision precision = Precision::F32;
+  u32 blockSize = 32;
+  Predictor predictor = Predictor::FirstOrder;
+  bool checksum = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cuszp2 compress   <in.raw> <out.czp2> [--rel X|--abs X]\n"
+      "                    [--mode outlier|plain] [--precision f32|f64]\n"
+      "                    [--block N] [--predictor first|second]\n"
+      "                    [--checksum]\n"
+      "  cuszp2 decompress <in.czp2> <out.raw>\n"
+      "  cuszp2 info       <in.czp2>\n"
+      "  cuszp2 verify     <original.raw> <in.czp2>\n"
+      "  cuszp2 profile    <in.raw> [compress options]\n");
+  std::exit(2);
+}
+
+Options parseOptions(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--rel") {
+      opt.rel = std::stod(next());
+      opt.abs = 0.0;
+    } else if (arg == "--abs") {
+      opt.abs = std::stod(next());
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "outlier") {
+        opt.mode = EncodingMode::Outlier;
+      } else if (m == "plain") {
+        opt.mode = EncodingMode::Plain;
+      } else {
+        usage();
+      }
+    } else if (arg == "--precision") {
+      const std::string p = next();
+      if (p == "f32") {
+        opt.precision = Precision::F32;
+      } else if (p == "f64") {
+        opt.precision = Precision::F64;
+      } else {
+        usage();
+      }
+    } else if (arg == "--block") {
+      opt.blockSize = static_cast<u32>(std::stoul(next()));
+    } else if (arg == "--predictor") {
+      const std::string p = next();
+      if (p == "first") {
+        opt.predictor = Predictor::FirstOrder;
+      } else if (p == "second") {
+        opt.predictor = Predictor::SecondOrder;
+      } else {
+        usage();
+      }
+    } else if (arg == "--checksum") {
+      opt.checksum = true;
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+template <FloatingPoint T>
+int doCompress(const std::string& in, const std::string& out,
+               const Options& opt) {
+  const auto data = io::readRaw<T>(in);
+  core::Config cfg;
+  cfg.mode = opt.mode;
+  cfg.blockSize = opt.blockSize;
+  cfg.predictor = opt.predictor;
+  cfg.checksum = opt.checksum;
+  cfg.absErrorBound =
+      opt.abs > 0.0 ? opt.abs
+                    : core::Quantizer::absFromRel(
+                          opt.rel, metrics::valueRange<T>(data));
+  const core::Compressor compressor(cfg);
+  const auto c = compressor.compress<T>(std::span<const T>(data));
+  io::writeBytes(out, c.stream);
+  std::printf("compressed %zu values (%zu bytes) -> %zu bytes\n",
+              data.size(), data.size() * sizeof(T), c.stream.size());
+  std::printf("ratio: %.4f | mode: %s | abs error bound: %g\n", c.ratio,
+              toString(cfg.mode), cfg.absErrorBound);
+  std::printf("modelled end-to-end: %.2f GB/s on %s\n",
+              c.profile.endToEndGBps, compressor.device().name.c_str());
+  return 0;
+}
+
+int doDecompress(const std::string& in, const std::string& out) {
+  const auto stream = io::readBytes(in);
+  const auto header = core::StreamHeader::parse(stream);
+  const core::Compressor compressor({.absErrorBound = header.absErrorBound});
+  if (header.precision == Precision::F32) {
+    const auto d = compressor.decompress<f32>(stream);
+    io::writeRaw<f32>(out, d.data);
+    std::printf("decompressed %zu f32 values (%.2f GB/s modelled)\n",
+                d.data.size(), d.profile.endToEndGBps);
+  } else {
+    const auto d = compressor.decompress<f64>(stream);
+    io::writeRaw<f64>(out, d.data);
+    std::printf("decompressed %zu f64 values (%.2f GB/s modelled)\n",
+                d.data.size(), d.profile.endToEndGBps);
+  }
+  return 0;
+}
+
+int doInfo(const std::string& in) {
+  const auto stream = io::readBytes(in);
+  const auto header = core::StreamHeader::parse(stream);
+  std::printf("cuSZp2 stream: %s\n", in.c_str());
+  std::printf("  precision:       %s\n", toString(header.precision));
+  std::printf("  encoding mode:   %s\n", toString(header.mode));
+  std::printf("  predictor:       %s\n", toString(header.predictor));
+  std::printf("  checksum:        %s\n",
+              header.checksum != 0 ? "yes" : "no");
+  std::printf("  block size:      %u\n", header.blockSize);
+  std::printf("  elements:        %llu\n",
+              static_cast<unsigned long long>(header.numElements));
+  std::printf("  blocks:          %llu\n",
+              static_cast<unsigned long long>(header.numBlocks()));
+  std::printf("  abs error bound: %g\n", header.absErrorBound);
+  std::printf("  stream bytes:    %zu\n", stream.size());
+  std::printf("  ratio:           %.4f\n",
+              static_cast<f64>(header.originalBytes()) /
+                  static_cast<f64>(stream.size()));
+  return 0;
+}
+
+template <FloatingPoint T>
+int doVerifyTyped(const std::string& original, ConstByteSpan stream,
+                  const core::StreamHeader& header) {
+  const auto data = io::readRaw<T>(original);
+  require(data.size() == header.numElements,
+          "verify: original size does not match the stream");
+  const core::Compressor compressor({.absErrorBound = header.absErrorBound});
+  const auto d = compressor.decompress<T>(stream);
+  const auto stats = metrics::computeErrorStats<T>(
+      std::span<const T>(data), std::span<const T>(d.data));
+  std::printf("max abs error: %g (bound %g)\n", stats.maxAbsError,
+              header.absErrorBound);
+  std::printf("PSNR: %.2f dB\n", stats.psnrDb);
+  const bool ok = stats.withinBoundFp(header.absErrorBound,
+                                      header.precision);
+  std::printf("%s\n", ok ? "Pass error check!" : "ERROR CHECK FAILED");
+  return ok ? 0 : 1;
+}
+
+/// Compresses in memory and prints the modelled timing-term breakdown —
+/// the observability view of docs/MODEL.md.
+template <FloatingPoint T>
+int doProfileTyped(const std::string& in, const Options& opt) {
+  const auto data = io::readRaw<T>(in);
+  core::Config cfg;
+  cfg.mode = opt.mode;
+  cfg.blockSize = opt.blockSize;
+  cfg.predictor = opt.predictor;
+  cfg.absErrorBound =
+      opt.abs > 0.0 ? opt.abs
+                    : core::Quantizer::absFromRel(
+                          opt.rel, metrics::valueRange<T>(data));
+  const core::Compressor compressor(cfg);
+  const auto c = compressor.compress<T>(std::span<const T>(data));
+  const auto d = compressor.decompress<T>(c.stream);
+
+  auto show = [](const char* phase, const core::KernelProfile& p) {
+    std::printf("%s kernel (modelled):\n", phase);
+    std::printf("  bandwidth  %10.2f us\n", p.timing.bandwidthSeconds * 1e6);
+    std::printf("  issue      %10.2f us\n", p.timing.issueSeconds * 1e6);
+    std::printf("  compute    %10.2f us\n", p.timing.computeSeconds * 1e6);
+    std::printf("  memset     %10.2f us\n", p.timing.memsetSeconds * 1e6);
+    std::printf("  sync       %10.2f us (%s, %llu tiles, depth %llu)\n",
+                p.timing.syncSeconds * 1e6,
+                p.sync.method == gpusim::SyncMethod::DecoupledLookback
+                    ? "decoupled lookback"
+                    : "other",
+                static_cast<unsigned long long>(p.sync.tiles),
+                static_cast<unsigned long long>(p.sync.maxLookbackDepth));
+    std::printf("  launch     %10.2f us\n", p.timing.launchSeconds * 1e6);
+    std::printf("  total      %10.2f us -> %.2f GB/s end-to-end\n",
+                p.endToEndSeconds * 1e6, p.endToEndGBps);
+    std::printf("  traffic    %.2f MB read, %.2f MB written, %.2f MB "
+                "on-chip\n",
+                p.mem.bytesRead / 1e6, p.mem.bytesWritten / 1e6,
+                p.mem.l1Bytes / 1e6);
+    std::printf("  mem pipeline throughput %.2f GB/s\n",
+                p.timing.memThroughputGBps);
+  };
+  std::printf("device: %s | ratio: %.4f\n\n",
+              compressor.device().name.c_str(), c.ratio);
+  show("compression", c.profile);
+  std::printf("\n");
+  show("decompression", d.profile);
+  return 0;
+}
+
+int doVerify(const std::string& original, const std::string& in) {
+  const auto stream = io::readBytes(in);
+  const auto header = core::StreamHeader::parse(stream);
+  return header.precision == Precision::F32
+             ? doVerifyTyped<f32>(original, stream, header)
+             : doVerifyTyped<f64>(original, stream, header);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compress") {
+      if (argc < 4) usage();
+      const Options opt = parseOptions(argc, argv, 4);
+      return opt.precision == Precision::F32
+                 ? doCompress<f32>(argv[2], argv[3], opt)
+                 : doCompress<f64>(argv[2], argv[3], opt);
+    }
+    if (cmd == "decompress") {
+      if (argc != 4) usage();
+      return doDecompress(argv[2], argv[3]);
+    }
+    if (cmd == "info") {
+      if (argc != 3) usage();
+      return doInfo(argv[2]);
+    }
+    if (cmd == "verify") {
+      if (argc != 4) usage();
+      return doVerify(argv[2], argv[3]);
+    }
+    if (cmd == "profile") {
+      if (argc < 3) usage();
+      const Options opt = parseOptions(argc, argv, 3);
+      return opt.precision == Precision::F32
+                 ? doProfileTyped<f32>(argv[2], opt)
+                 : doProfileTyped<f64>(argv[2], opt);
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,5 +1,7 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace cuszp2::bench {
@@ -25,6 +27,59 @@ std::string formatRel(f64 rel) {
     std::snprintf(buf, sizeof(buf), "1E-4");
   }
   return buf;
+}
+
+RepeatStats measureRepeated(u32 reps, const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  if (reps == 0) reps = 1;
+  fn();  // warm-up: arenas grown, pages faulted in, pool started
+  std::vector<f64> samples;
+  samples.reserve(reps);
+  for (u32 r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    samples.push_back(std::chrono::duration<f64>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  RepeatStats stats;
+  stats.reps = reps;
+  stats.minSeconds = samples.front();
+  stats.maxSeconds = samples.back();
+  stats.medianSeconds = reps % 2 == 1
+                            ? samples[reps / 2]
+                            : 0.5 * (samples[reps / 2 - 1] + samples[reps / 2]);
+  return stats;
+}
+
+void JsonReport::addRow(const std::string& name, const RepeatStats& stats,
+                        f64 bytesPerRep) {
+  rows_.push_back({name, stats, bytesPerRep});
+}
+
+bool JsonReport::write(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (usize i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    const f64 gbps = r.bytesPerRep > 0.0 && r.stats.medianSeconds > 0.0
+                         ? r.bytesPerRep / r.stats.medianSeconds / 1e9
+                         : 0.0;
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"reps\": %u, \"min_ms\": %.6f, "
+                 "\"median_ms\": %.6f, \"max_ms\": %.6f, "
+                 "\"gbps_median\": %.4f}%s\n",
+                 r.name.c_str(), r.stats.reps, r.stats.minSeconds * 1e3,
+                 r.stats.medianSeconds * 1e3, r.stats.maxSeconds * 1e3, gbps,
+                 i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace cuszp2::bench

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,5 +47,44 @@ inline const std::vector<f64>& relBounds() {
 }
 
 std::string formatRel(f64 rel);
+
+/// Wall-clock statistics over N warm repetitions of one operation.
+/// Median (not mean) is the headline: it is robust to one-off scheduler
+/// hiccups, and min gives the best-case floor.
+struct RepeatStats {
+  f64 minSeconds = 0.0;
+  f64 medianSeconds = 0.0;
+  f64 maxSeconds = 0.0;
+  u32 reps = 0;
+};
+
+/// Runs `fn` once untimed (warm-up: populates scratch arenas, page-faults
+/// buffers in, spins up the shared worker pool), then times `reps`
+/// repetitions and returns min/median/max.
+RepeatStats measureRepeated(u32 reps, const std::function<void()>& fn);
+
+/// Machine-readable microbenchmark report. Rows accumulate via addRow and
+/// serialize as a JSON array of objects:
+///   [{"name": "...", "reps": N, "min_ms": ..., "median_ms": ...,
+///     "max_ms": ..., "gbps_median": ...}, ...]
+/// gbps_median is bytesPerRep / median (omitted as 0 when bytesPerRep is
+/// unset). CI consumes this file to track hot-path regressions.
+class JsonReport {
+ public:
+  void addRow(const std::string& name, const RepeatStats& stats,
+              f64 bytesPerRep = 0.0);
+
+  /// Writes the array to `path` (truncating). Returns false (and prints a
+  /// warning) if the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string name;
+    RepeatStats stats;
+    f64 bytesPerRep;
+  };
+  std::vector<Row> rows_;
+};
 
 }  // namespace cuszp2::bench

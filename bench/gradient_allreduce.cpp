@@ -36,24 +36,6 @@ std::vector<std::vector<f32>> makeGradients(u32 devices, usize n) {
   return grads;
 }
 
-ExchangeCodec cuszp2Codec(f64 absEb) {
-  ExchangeCodec codec;
-  codec.name = "cuSZp2-O";
-  codec.transform = [absEb](std::span<const f32> values,
-                            std::vector<f32>& reconstructed, u64& wireBytes,
-                            f64& codecSeconds) {
-    core::Config cfg;
-    cfg.absErrorBound = absEb;
-    const core::Compressor comp(cfg);
-    const auto c = comp.compress<f32>(values);
-    auto d = comp.decompress<f32>(c.stream);
-    wireBytes = c.stream.size();
-    codecSeconds = c.profile.endToEndSeconds + d.profile.endToEndSeconds;
-    reconstructed = std::move(d.data);
-  };
-  return codec;
-}
-
 ExchangeCodec hybridCodec(f64 relEb) {
   ExchangeCodec codec;
   codec.name = "cuSZ (hybrid)";
@@ -96,8 +78,11 @@ int main() {
     spec.bandwidthGBps = link.gbps;
     const RingAllreduce ring(devices, spec);
 
+    // The stream codec holds one warm CompressorStream across all hops and
+    // compresses each ring step's P sends through a single batched launch.
     const auto raw = ring.run(grads, distributed::rawCodec());
-    const auto ours = ring.run(grads, cuszp2Codec(absEb), absEb);
+    const auto ours = ring.run(grads, distributed::cuszp2StreamCodec(absEb),
+                               absEb);
     const auto hybrid = ring.run(grads, hybridCodec(1e-4), absEb);
 
     auto addRow = [&](const char* codecName,

@@ -1,12 +1,20 @@
-// Google-benchmark microbenchmarks of the primitives behind the paper's
-// designs: quantization, block planning/encoding/decoding, bit-plane
-// packing, and the two device-level scan protocols. These measure real
-// host CPU time (unlike the figure harnesses, which report modelled device
-// time) and exist to catch performance regressions in the library itself.
+// Microbenchmarks of the primitives behind the paper's designs:
+// quantization, block planning/encoding/decoding, bit-plane packing, and
+// the two device-level scan protocols. These measure real host CPU time
+// (unlike the figure harnesses, which report modelled device time) and
+// exist to catch performance regressions in the library itself.
+//
+// The binary first prints a hot-path table — median-of-N wall times for
+// repeated compress/decompress of a large field plus before/after rows
+// for the fused quantize+diff and branch-free bit-plane kernels — and
+// writes it to BENCH_micro.json for CI. The google-benchmark suite runs
+// afterwards (normal --benchmark_* flags apply).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "core/block_codec.hpp"
@@ -14,9 +22,11 @@
 #include "core/segmented.hpp"
 #include "core/compressor.hpp"
 #include "core/quantizer.hpp"
+#include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "entropy/huffman.hpp"
 #include "entropy/rle.hpp"
+#include "io/table.hpp"
 #include "metrics/ssim.hpp"
 #include "gpusim/launcher.hpp"
 #include "scan/device_scan.hpp"
@@ -194,6 +204,132 @@ void BM_Ssim(benchmark::State& state) {
 }
 BENCHMARK(BM_Ssim);
 
+// ---- Hot-path table -------------------------------------------------------
+// Median-of-N wall times of the end-to-end hot path and the two tightened
+// inner kernels, each next to its pre-optimization counterpart. The rows
+// land in BENCH_micro.json so CI can diff medians across commits.
+
+void runHotPath() {
+  // ~16 MB of f32 unless the user overrides the field size.
+  const usize n = std::getenv("CUSZP2_BENCH_ELEMS") != nullptr
+                      ? bench::fieldElems()
+                      : usize{1} << 22;
+  u32 reps = 9;
+  if (const char* env = std::getenv("CUSZP2_BENCH_REPS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) reps = static_cast<u32>(v);
+  }
+  const auto data = benchData(n);
+  const f64 fieldBytes = static_cast<f64>(n) * sizeof(f32);
+  core::Config cfg;
+  cfg.absErrorBound = 1e-3;
+
+  bench::JsonReport report;
+  io::Table table({"hot path", "min", "median", "max", "median GB/s"});
+  auto ms = [](f64 s) { return io::Table::num(s * 1e3, 2) + " ms"; };
+  auto add = [&](const std::string& name, f64 bytesPerRep,
+                 const std::function<void()>& fn) {
+    const auto stats = bench::measureRepeated(reps, fn);
+    report.addRow(name, stats, bytesPerRep);
+    table.addRow({name, ms(stats.minSeconds), ms(stats.medianSeconds),
+                  ms(stats.maxSeconds),
+                  io::Table::gbps(bytesPerRep / stats.medianSeconds / 1e9)});
+  };
+
+  // End-to-end: the one-shot wrapper (thread-local stream) and an
+  // explicitly held stream; both hit the zero-allocation steady state
+  // after the warm-up rep.
+  const core::Compressor oneshot(cfg);
+  add("oneshot_roundtrip", 2.0 * fieldBytes, [&] {
+    const auto c = oneshot.compress<f32>(data);
+    const auto d = oneshot.decompress<f32>(c.stream);
+    benchmark::DoNotOptimize(d.data.data());
+  });
+  core::CompressorStream stream(cfg);
+  add("stream_roundtrip", 2.0 * fieldBytes, [&] {
+    const auto c = stream.compress<f32>(std::span<const f32>(data));
+    const auto d = stream.decompress<f32>(c.stream);
+    benchmark::DoNotOptimize(d.data.data());
+  });
+  add("stream_compress", fieldBytes, [&] {
+    const auto c = stream.compress<f32>(std::span<const f32>(data));
+    benchmark::DoNotOptimize(c.stream.data());
+  });
+  const auto compressed = stream.compress<f32>(std::span<const f32>(data));
+  add("stream_decompress", fieldBytes, [&] {
+    const auto d = stream.decompress<f32>(compressed.stream);
+    benchmark::DoNotOptimize(d.data.data());
+  });
+
+  // Fused quantize+diff vs the pre-optimization two-pass form (quantize
+  // into scratch, then a separate differencing sweep).
+  const core::Quantizer quantizer(1e-3);
+  std::vector<i32> residuals(n);
+  std::vector<i32> scratch(n);
+  add("quantize_diff_two_pass(before)", fieldBytes, [&] {
+    for (usize i = 0; i < n; ++i) scratch[i] = quantizer.quantize(data[i]);
+    i32 prev = 0;
+    for (usize i = 0; i < n; ++i) {
+      residuals[i] = scratch[i] - prev;
+      prev = scratch[i];
+    }
+    benchmark::DoNotOptimize(residuals.data());
+  });
+  add("quantize_diff_fused(after)", fieldBytes, [&] {
+    core::quantizeDiffBlock<f32>(quantizer, data, residuals);
+    benchmark::DoNotOptimize(residuals.data());
+  });
+
+  // Branch-free bit-plane pack/unpack vs the reference bit-at-a-time
+  // loops, amortized over many 32-value blocks at a mid-range bit width.
+  constexpr u32 kFl = 16;
+  constexpr usize kBlocks = 1u << 14;
+  Rng rng(42);
+  std::vector<u32> vals(32);
+  for (auto& v : vals) v = static_cast<u32>(rng.next()) & ((1u << kFl) - 1);
+  std::vector<std::byte> planes(kFl * core::planeBytes(32));
+  std::vector<u32> unpacked(32);
+  const f64 packBytes = static_cast<f64>(kBlocks) * 32 * sizeof(u32);
+  add("pack_planes_reference(before)", packBytes, [&] {
+    for (usize b = 0; b < kBlocks; ++b) {
+      core::packPlanesReference(vals, kFl, planes.data());
+    }
+    benchmark::DoNotOptimize(planes.data());
+  });
+  add("pack_planes_branch_free(after)", packBytes, [&] {
+    for (usize b = 0; b < kBlocks; ++b) {
+      core::packPlanes(vals, kFl, planes.data());
+    }
+    benchmark::DoNotOptimize(planes.data());
+  });
+  add("unpack_planes_reference(before)", packBytes, [&] {
+    for (usize b = 0; b < kBlocks; ++b) {
+      core::unpackPlanesReference(planes.data(), kFl, unpacked);
+    }
+    benchmark::DoNotOptimize(unpacked.data());
+  });
+  add("unpack_planes_branch_free(after)", packBytes, [&] {
+    for (usize b = 0; b < kBlocks; ++b) {
+      core::unpackPlanes(planes.data(), kFl, unpacked);
+    }
+    benchmark::DoNotOptimize(unpacked.data());
+  });
+
+  std::printf("Hot path, %zu elements, median of %u warm reps "
+              "(host wall time):\n", n, reps);
+  table.print();
+  if (report.write("BENCH_micro.json")) {
+    std::printf("\nwrote BENCH_micro.json\n\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  runHotPath();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

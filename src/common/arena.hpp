@@ -1,0 +1,132 @@
+// Bump-pointer scratch arena backing the compressor's transient buffers.
+//
+// The hot path (compress/decompress) needs several short-lived buffers per
+// call: quantized residuals, per-block plans, tile prefix sums, scan flag
+// arrays, and the payload staging area. Allocating them from the general
+// heap on every call costs malloc/free traffic and page faults; the arena
+// instead carves them out of a small list of 64-byte-aligned slabs that are
+// rewound (not freed) between calls. After warm-up the arena settles on a
+// single slab sized to the high-water mark, so steady-state calls perform
+// zero heap allocations — `stats().slabAllocations` stays constant, which
+// tests/test_stream_reuse.cpp asserts.
+//
+// Not thread-safe: a stream allocates all scratch before launching kernels
+// and pool workers only touch spans handed to them.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+class Arena {
+ public:
+  /// Every allocation is aligned to this (cache line / AVX-512 friendly).
+  static constexpr usize kAlignment = 64;
+  /// Smallest slab the arena will reserve; avoids slab churn for tiny uses.
+  static constexpr usize kMinSlabBytes = usize{1} << 20;  // 1 MiB
+
+  struct Stats {
+    u64 slabAllocations = 0;  ///< heap slabs ever requested (monotonic)
+    u64 resets = 0;           ///< reset() calls (monotonic)
+    usize bytesReserved = 0;  ///< currently reserved slab capacity
+    usize highWater = 0;      ///< max bytes in use observed so far
+  };
+
+  Arena() = default;
+  ~Arena() { release(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of kAlignment-aligned storage valid until reset().
+  /// Contents are indeterminate (no zero fill).
+  void* allocate(usize bytes) {
+    const usize need = alignUp(bytes);
+    if (slabs_.empty() || slabs_.back().used + need > slabs_.back().capacity) {
+      addSlab(need);
+    }
+    Slab& slab = slabs_.back();
+    void* p = slab.data + slab.used;
+    slab.used += need;
+    inUse_ += need;
+    if (inUse_ > stats_.highWater) stats_.highWater = inUse_;
+    return p;
+  }
+
+  /// Typed span of `count` default-initialized elements. T must be
+  /// trivially destructible (the arena never runs destructors).
+  template <typename T>
+  std::span<T> allocSpan(usize count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kAlignment);
+    if (count == 0) return {};
+    T* p = static_cast<T*>(allocate(count * sizeof(T)));
+    // Default-init (not value-init): trivial types stay uninitialized and
+    // the loop compiles away; non-trivial ctors (e.g. std::atomic) run.
+    for (usize i = 0; i < count; ++i) new (p + i) T;
+    return {p, count};
+  }
+
+  /// Rewinds the arena: all previously returned memory becomes invalid and
+  /// the space is reused by subsequent allocations. When the last cycle
+  /// spilled into multiple slabs they are coalesced into a single slab
+  /// sized to the high-water mark, so a workload with stable peak usage
+  /// reaches a zero-allocation steady state after one warm-up call.
+  void reset() {
+    ++stats_.resets;
+    if (slabs_.size() > 1) {
+      release();
+      addSlab(stats_.highWater);
+    }
+    if (!slabs_.empty()) slabs_.back().used = 0;
+    inUse_ = 0;
+  }
+
+  /// Frees every slab (stats_ counters are retained).
+  void release() {
+    for (Slab& s : slabs_) std::free(s.data);
+    slabs_.clear();
+    stats_.bytesReserved = 0;
+    inUse_ = 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+  usize bytesInUse() const { return inUse_; }
+
+ private:
+  struct Slab {
+    std::byte* data = nullptr;
+    usize capacity = 0;
+    usize used = 0;
+  };
+
+  static usize alignUp(usize bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void addSlab(usize atLeast) {
+    // Geometric growth over total reserved keeps the slab count (and thus
+    // the number of coalescing cycles) logarithmic in the peak size.
+    usize cap = std::max({alignUp(atLeast), kMinSlabBytes,
+                          stats_.bytesReserved});
+    void* p = std::aligned_alloc(kAlignment, cap);
+    require(p != nullptr, "Arena: slab allocation failed");
+    slabs_.push_back(Slab{static_cast<std::byte*>(p), cap, 0});
+    stats_.bytesReserved += cap;
+    ++stats_.slabAllocations;
+  }
+
+  std::vector<Slab> slabs_;
+  usize inUse_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cuszp2

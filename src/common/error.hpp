@@ -15,6 +15,14 @@ class Error : public std::runtime_error {
 };
 
 /// Validates a user-facing precondition; throws cuszp2::Error on failure.
+/// The message is a C string so the success path constructs nothing — the
+/// std::string materializes only when the check fails. (With the previous
+/// `const std::string&` signature every call heap-allocated its message
+/// before testing the condition, which dominated the quantization loop.)
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw Error(msg);
 }

@@ -1,14 +1,24 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace cuszp2 {
+
+namespace {
+thread_local usize tWorkerIndex = ThreadPool::kNotAWorker;
+thread_local ThreadPool* tOwnerPool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(usize workers) {
   const usize n = std::max<usize>(1, workers);
   threads_.reserve(n);
   for (usize i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { workerLoop(); });
+    threads_.emplace_back([this, i] {
+      tWorkerIndex = i;
+      tOwnerPool = this;
+      workerLoop();
+    });
   }
 }
 
@@ -36,9 +46,17 @@ void ThreadPool::wait() {
 }
 
 usize ThreadPool::defaultWorkers() {
+  if (const char* env = std::getenv("CUSZP2_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return std::clamp<usize>(static_cast<usize>(v), 2, 64);
+  }
   const usize hw = std::thread::hardware_concurrency();
   return std::clamp<usize>(hw, 2, 16);
 }
+
+usize ThreadPool::currentWorkerIndex() { return tWorkerIndex; }
+
+ThreadPool* ThreadPool::currentPool() { return tOwnerPool; }
 
 void ThreadPool::workerLoop() {
   for (;;) {

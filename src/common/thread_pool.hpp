@@ -37,8 +37,22 @@ class ThreadPool {
 
   /// Reasonable default worker count for this host: at least 2 so that
   /// inter-block spin/wait protocols are exercised with real concurrency
-  /// even on single-core CI machines.
+  /// even on single-core CI machines. A `CUSZP2_WORKERS` environment
+  /// variable overrides the hardware-derived value (clamped to [2, 64];
+  /// the lower bound preserves the forward-progress guarantee).
   static usize defaultWorkers();
+
+  /// Sentinel returned by currentWorkerIndex() on non-pool threads.
+  static constexpr usize kNotAWorker = static_cast<usize>(-1);
+
+  /// Index of the calling thread within the pool that owns it, or
+  /// kNotAWorker when called from a thread no pool owns. Lets per-call
+  /// scratch be pre-partitioned into one slot per worker.
+  static usize currentWorkerIndex();
+
+  /// The pool that owns the calling thread, or nullptr. Used by the
+  /// launcher to detect nested launches onto the caller's own pool.
+  static ThreadPool* currentPool();
 
  private:
   void workerLoop();

@@ -1,583 +1,43 @@
 #include "core/compressor.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <limits>
-
-#include "common/crc32.hpp"
-#include "common/error.hpp"
-#include "core/block_codec.hpp"
-#include "core/quantizer.hpp"
-#include "metrics/error_stats.hpp"
-#include "scan/chained.hpp"
-#include "scan/lookback.hpp"
-
 namespace cuszp2::core {
 
-namespace {
-
-/// Unified per-tile synchronization over either protocol, so the kernels
-/// are written once (ablations switch the algorithm, Sec. VI-E).
-class TileSync {
- public:
-  TileSync(scan::Algorithm algo, u32 tiles)
-      : algo_(algo),
-        lookback_(algo == scan::Algorithm::DecoupledLookback ? tiles : 1),
-        chained_(algo == scan::Algorithm::ChainedScan ? tiles : 1) {}
-
-  u64 processTile(u32 tile, u64 aggregate, gpusim::SyncStats& sync,
-                  gpusim::MemCounters& mem) {
-    return algo_ == scan::Algorithm::DecoupledLookback
-               ? lookback_.processTile(tile, aggregate, sync, mem)
-               : chained_.processTile(tile, aggregate, sync, mem);
-  }
-
- private:
-  scan::Algorithm algo_;
-  scan::LookbackState lookback_;
-  scan::ChainedScanState chained_;
-};
-
-/// Records the traffic of the kernel's input/output streams under the
-/// configured access pattern (vectorized + coalesced vs scalar strided,
-/// Sec. IV-B).
-struct AccessRecorder {
-  bool vectorized;
-  u32 transactionBytes;
-
-  void read(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
-    if (vectorized) {
-      mem.noteVectorRead(bytes, transactionBytes);
-    } else {
-      mem.noteStridedRead(bytes, elemBytes);
-    }
-  }
-
-  void write(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
-    if (vectorized) {
-      mem.noteVectorWrite(bytes, transactionBytes);
-    } else {
-      mem.noteStridedWrite(bytes, elemBytes);
-    }
-  }
-};
-
-/// Pads a partial final block by repeating the last quantization integer
-/// (difference 0, so padding is free to encode).
-void padQuants(std::span<i32> quants, usize validCount) {
-  if (validCount == 0) {
-    std::fill(quants.begin(), quants.end(), 0);
-    return;
-  }
-  const i32 fill = quants[validCount - 1];
-  std::fill(quants.begin() + validCount, quants.end(), fill);
-}
-
-/// Applies the configured in-block prediction: first-order differences
-/// (the paper's pipeline), optionally differenced a second time. The
-/// first element is always predicted from 0, keeping blocks independent.
-void quantsToResiduals(std::span<const i32> quants, std::span<i32> res,
-                       Predictor predictor) {
-  i32 prev = 0;
-  for (usize i = 0; i < quants.size(); ++i) {
-    const i32 cur = quants[i];  // read before write: res may alias quants
-    res[i] = cur - prev;
-    prev = cur;
-  }
-  if (predictor == Predictor::SecondOrder) {
-    // Difference the differences, but leave the block head out of the
-    // chain: d_0 = q_0 is the (often huge) block-independence outlier and
-    // chaining d_1 against it would poison every second-order block.
-    i32 prevD = 0;
-    for (usize i = 1; i < res.size(); ++i) {
-      const i32 d = res[i];
-      const i64 r2 = static_cast<i64>(d) - static_cast<i64>(prevD);
-      require(r2 >= std::numeric_limits<i32>::min() &&
-                  r2 <= std::numeric_limits<i32>::max(),
-              "Compressor: error bound too small for the second-order "
-              "predictor's residual range");
-      res[i] = static_cast<i32>(r2);
-      prevD = d;
-    }
-  }
-}
-
-/// Inverse of quantsToResiduals (prefix sums, once or twice).
-void residualsToQuants(std::span<const i32> res, std::span<i32> quants,
-                       Predictor predictor) {
-  if (predictor == Predictor::SecondOrder) {
-    if (res.empty()) return;
-    quants[0] = res[0];
-    i32 d = 0;
-    i32 q = res[0];
-    for (usize i = 1; i < res.size(); ++i) {
-      d += res[i];
-      q += d;
-      quants[i] = q;
-    }
-  } else {
-    i32 q = 0;
-    for (usize i = 0; i < res.size(); ++i) {
-      q += res[i];
-      quants[i] = q;
-    }
-  }
-}
-
-KernelProfile makeProfile(const gpusim::LaunchResult& launch,
-                          const gpusim::TimingModel& timing,
-                          u64 originalBytes, f64 extraSeconds = 0.0) {
-  KernelProfile p;
-  p.mem = launch.mem;
-  p.sync = launch.sync;
-  p.timing = timing.kernel(launch.mem, launch.sync);
-  p.endToEndSeconds = p.timing.totalSeconds + extraSeconds;
-  p.endToEndGBps = gpusim::gbps(originalBytes, p.endToEndSeconds);
-  p.wallSeconds = launch.wallSeconds;
-  return p;
-}
-
-}  // namespace
-
 Compressor::Compressor(Config config, gpusim::DeviceSpec device)
-    : config_(config), timing_(std::move(device)), launcher_() {
+    : config_(config), device_(std::move(device)) {
   config_.validate();
+}
+
+CompressorStream& Compressor::threadStream() const {
+  // One warm stream per host thread: concurrent one-shot calls from
+  // different threads never share scratch, while repeated calls from the
+  // same thread hit the zero-allocation steady state. reconfigure() is
+  // cheap (POD config copy + in-place spec assignment).
+  static thread_local CompressorStream stream;
+  stream.reconfigure(config_, device_);
+  return stream;
 }
 
 template <FloatingPoint T>
 Compressed Compressor::compress(std::span<const T> data) const {
-  const u32 L = config_.blockSize;
-  const u32 bpt = config_.blocksPerTile;
-  const u64 n = data.size();
-  const u64 originalBytes = n * sizeof(T);
-
-  // Resolve the error bound. If only a REL bound is configured, reduce the
-  // value range on-device first (one bandwidth-limited read of the input).
-  f64 rangeSeconds = 0.0;
-  f64 absEb = config_.absErrorBound;
-  if (absEb <= 0.0) {
-    const f64 range = metrics::valueRange(data);
-    absEb = Quantizer::absFromRel(config_.relErrorBound, range);
-    rangeSeconds = static_cast<f64>(originalBytes) /
-                       (timing_.spec().memBandwidthGBps * 1e9) +
-                   timing_.launchSeconds();
-  }
-  const Quantizer quantizer(absEb, config_.roundingMode);
-
-  StreamHeader header;
-  header.precision = precisionOf<T>();
-  header.mode = config_.mode;
-  header.predictor = config_.predictor;
-  header.blockSize = L;
-  header.numElements = n;
-  header.absErrorBound = absEb;
-
-  const u64 numBlocks = header.numBlocks();
-  const u32 tiles = static_cast<u32>(
-      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
-
-  Compressed out;
-  out.originalBytes = originalBytes;
-  out.stream.assign(header.payloadBegin() +
-                        static_cast<usize>(numBlocks) * maxPayloadSize(L),
-                    std::byte{0});
-  header.serialize(out.stream.data());
-  if (n == 0) {
-    out.stream.resize(StreamHeader::kBytes);
-    out.ratio = 0.0;
-    out.profile.endToEndSeconds = timing_.launchSeconds();
-    return out;
-  }
-
-  std::byte* offsetBytes = out.stream.data() + StreamHeader::offsetsBegin();
-  std::byte* payloadOut = out.stream.data() + header.payloadBegin();
-
-  const BlockCodec codec(L);
-  TileSync syncState(config_.syncAlgorithm, tiles);
-  std::vector<u64> tileInclusive(tiles, 0);
-  const AccessRecorder access{config_.vectorizedAccess,
-                              timing_.spec().transactionBytes};
-
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
-    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
-    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
-    const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
-
-    // Tile-local scratch: quantization integers (GPU shared memory) and
-    // per-block plans.
-    std::vector<i32> quants(static_cast<usize>(blocksHere) * L);
-    std::vector<BlockPlan> plans(blocksHere);
-
-    // Pass 1 — lossy conversion + encoding analysis (the "extra loop" that
-    // makes compression slower than decompression, Sec. V-B).
-    u64 aggregate = 0;
-    u64 elemsRead = 0;
-    for (u32 b = 0; b < blocksHere; ++b) {
-      const u64 blockIdx = firstBlock + b;
-      const u64 eFirst = blockIdx * L;
-      const u64 eLast = std::min<u64>(n, eFirst + L);
-      std::span<i32> q(quants.data() + static_cast<usize>(b) * L, L);
-      for (u64 e = eFirst; e < eLast; ++e) {
-        q[e - eFirst] = quantizer.quantize(data[e]);
-      }
-      padQuants(q, static_cast<usize>(eLast - eFirst));
-      elemsRead += eLast - eFirst;
-
-      // Prediction happens in place: the scratch now holds residuals.
-      quantsToResiduals(q, q, config_.predictor);
-      plans[b] = codec.planResiduals(q, config_.mode);
-      offsetBytes[blockIdx] = static_cast<std::byte>(plans[b].header.pack());
-      aggregate += plans[b].payloadBytes;
-    }
-    access.read(ctx.mem, elemsRead * sizeof(T), sizeof(T));
-    access.write(ctx.mem, blocksHere, 1);
-    // Pass-1 analysis: quantize + diff + selection scan, ~12 integer ops
-    // per element regardless of content. Quantization scratch lives in
-    // shared memory.
-    ctx.mem.noteOps(static_cast<u64>(blocksHere) * L * 12);
-    ctx.mem.noteL1(static_cast<u64>(blocksHere) * L * 8);
-
-    // Global prefix sum over tile aggregates (step 3).
-    const u64 base =
-        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
-    tileInclusive[ctx.blockIdx] = base + aggregate;
-
-    // Pass 2 — encode payloads and concatenate (step 4).
-    u64 cursor = base;
-    for (u32 b = 0; b < blocksHere; ++b) {
-      std::span<const i32> r(quants.data() + static_cast<usize>(b) * L, L);
-      codec.encodeResiduals(r, plans[b], payloadOut + cursor);
-      cursor += plans[b].payloadBytes;
-    }
-    access.write(ctx.mem, aggregate, 4);
-    // Pass-2 encoding cost scales with the bytes actually packed: zero
-    // blocks are skipped outright and well-compressed blocks pack fewer
-    // planes, which is why sparse/smooth data compresses *faster* and why
-    // CUSZP2-O can outrun CUSZP2-P when its ratio advantage is large
-    // (paper Fig. 15 and Sec. V-B).
-    ctx.mem.noteOps(aggregate * 6);
-    ctx.mem.noteL1(static_cast<u64>(blocksHere) * L * 4);
-  });
-
-  const u64 totalPayload = tileInclusive[tiles - 1];
-  out.stream.resize(header.payloadBegin() + totalPayload);
-
-  // Optional integrity stamp: CRC-32 over offsets + payload (one extra
-  // bandwidth pass over the compressed bytes).
-  f64 checksumSeconds = 0.0;
-  if (config_.checksum) {
-    header.checksum = crc32(ConstByteSpan(
-        out.stream.data() + StreamHeader::offsetsBegin(),
-        out.stream.size() - StreamHeader::offsetsBegin()));
-    if (header.checksum == 0) header.checksum = 1;  // 0 means "absent"
-    header.serialize(out.stream.data());
-    checksumSeconds =
-        static_cast<f64>(out.stream.size()) /
-            (timing_.spec().memBandwidthGBps * 1e9) +
-        timing_.launchSeconds();
-  }
-
-  out.ratio = static_cast<f64>(originalBytes) /
-              static_cast<f64>(out.stream.size());
-  out.profile = makeProfile(launch, timing_, originalBytes,
-                            rangeSeconds + checksumSeconds);
-  return out;
+  return threadStream().compress(data);
 }
 
 template <FloatingPoint T>
 Decompressed<T> Compressor::decompress(ConstByteSpan stream) const {
-  const StreamHeader header = StreamHeader::parse(stream);
-  require(header.precision == precisionOf<T>(),
-          "decompress: stream precision does not match the requested type");
-
-  // Integrity check when the stream carries a checksum.
-  f64 checksumSeconds = 0.0;
-  if (header.checksum != 0) {
-    u32 crc = crc32(ConstByteSpan(
-        stream.data() + StreamHeader::offsetsBegin(),
-        stream.size() - StreamHeader::offsetsBegin()));
-    if (crc == 0) crc = 1;
-    require(crc == header.checksum,
-            "decompress: checksum mismatch — the stream is corrupted");
-    checksumSeconds = static_cast<f64>(stream.size()) /
-                          (timing_.spec().memBandwidthGBps * 1e9) +
-                      timing_.launchSeconds();
-  }
-  const u32 L = header.blockSize;
-  const u32 bpt = config_.blocksPerTile;
-  const u64 n = header.numElements;
-  const u64 numBlocks = header.numBlocks();
-
-  Decompressed<T> out;
-  out.data.assign(n, T{});
-  if (n == 0) {
-    out.profile.endToEndSeconds = timing_.launchSeconds();
-    return out;
-  }
-
-  const u32 tiles = static_cast<u32>(
-      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
-  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
-  const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
-
-  const Quantizer quantizer(header.absErrorBound);
-  const BlockCodec codec(L);
-  TileSync syncState(config_.syncAlgorithm, tiles);
-  const AccessRecorder access{config_.vectorizedAccess,
-                              timing_.spec().transactionBytes};
-
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
-    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
-    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
-    const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
-
-    // Read offset bytes; lengths fall out of the headers directly — no
-    // second analysis loop, which is why decompression is faster (Sec. V-B).
-    u64 aggregate = 0;
-    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
-      const auto h = BlockHeader::unpack(
-          std::to_integer<u8>(offsetBytes[blk]));
-      aggregate += payloadSize(h, L);
-    }
-    access.read(ctx.mem, blocksHere, 1);
-    ctx.mem.noteOps(blocksHere * 2);
-
-    const u64 base =
-        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
-
-    u64 cursor = base;
-    i32 quantsArr[256];
-    u64 zeroBytes = 0;
-    u64 decodedElems = 0;
-    u64 payloadBytesRead = 0;
-    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
-      const auto h = BlockHeader::unpack(
-          std::to_integer<u8>(offsetBytes[blk]));
-      const usize size = payloadSize(h, L);
-      const u64 eFirst = blk * L;
-      const u64 eLast = std::min<u64>(n, eFirst + L);
-
-      if (!h.outlierMode && h.fixedLength == 0) {
-        // Zero block: flush with device memset (paper Sec. V-B, JetIn).
-        for (u64 e = eFirst; e < eLast; ++e) out.data[e] = T{};
-        zeroBytes += (eLast - eFirst) * sizeof(T);
-        continue;
-      }
-
-      require(cursor + size <= payloadAvail,
-              "decompress: truncated payload region");
-      std::span<i32> q(quantsArr, L);
-      codec.decodeResiduals(h, payload + cursor, q);
-      residualsToQuants(q, q, header.predictor);
-      cursor += size;
-      payloadBytesRead += size;
-      for (u64 e = eFirst; e < eLast; ++e) {
-        out.data[e] = quantizer.dequantize<T>(q[e - eFirst]);
-      }
-      decodedElems += eLast - eFirst;
-    }
-    access.read(ctx.mem, payloadBytesRead, 4);
-    access.write(ctx.mem, decodedElems * sizeof(T), sizeof(T));
-    ctx.mem.noteMemset(zeroBytes);
-    ctx.mem.noteOps(decodedElems * 6);
-    ctx.mem.noteL1(decodedElems * 8);
-  });
-
-  out.profile =
-      makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);
-  return out;
+  return threadStream().decompress<T>(stream);
 }
 
 template <FloatingPoint T>
 BlockRange<T> Compressor::decompressBlocks(ConstByteSpan stream,
                                            u64 firstBlock,
                                            u64 blockCount) const {
-  const StreamHeader header = StreamHeader::parse(stream);
-  require(header.precision == precisionOf<T>(),
-          "decompressBlocks: stream precision mismatch");
-  const u64 numBlocks = header.numBlocks();
-  require(firstBlock < numBlocks && blockCount > 0 &&
-              firstBlock + blockCount <= numBlocks,
-          "decompressBlocks: block range out of bounds");
-
-  const u32 L = header.blockSize;
-  const u32 bpt = config_.blocksPerTile;
-  const u64 n = header.numElements;
-  const u32 tiles = static_cast<u32>(
-      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
-
-  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
-  const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
-
-  const Quantizer quantizer(header.absErrorBound);
-  const BlockCodec codec(L);
-  TileSync syncState(config_.syncAlgorithm, tiles);
-  const AccessRecorder access{config_.vectorizedAccess,
-                              timing_.spec().transactionBytes};
-
-  BlockRange<T> out;
-  out.firstElement = firstBlock * L;
-  const u64 lastElement = std::min<u64>(n, (firstBlock + blockCount) * L);
-  out.values.assign(lastElement - out.firstElement, T{});
-
-  // The offset array alone is scanned (1 byte per block) to locate the
-  // range; only the requested blocks run the decode path. This is why
-  // random access reaches TB-level throughput relative to the original
-  // data size (paper Fig. 20).
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
-    const u64 tFirst = static_cast<u64>(ctx.blockIdx) * bpt;
-    const u64 tLast = std::min(numBlocks, tFirst + bpt);
-
-    u64 aggregate = 0;
-    for (u64 blk = tFirst; blk < tLast; ++blk) {
-      aggregate += payloadSize(
-          BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk])), L);
-    }
-    access.read(ctx.mem, tLast - tFirst, 1);
-    ctx.mem.noteOps((tLast - tFirst) * 2);
-
-    const u64 base =
-        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
-
-    if (tLast <= firstBlock || tFirst >= firstBlock + blockCount) return;
-
-    u64 cursor = base;
-    i32 quantsArr[256];
-    for (u64 blk = tFirst; blk < tLast; ++blk) {
-      const auto h = BlockHeader::unpack(
-          std::to_integer<u8>(offsetBytes[blk]));
-      const usize size = payloadSize(h, L);
-      if (blk >= firstBlock && blk < firstBlock + blockCount) {
-        require(cursor + size <= payloadAvail,
-                "decompressBlocks: truncated payload region");
-        std::span<i32> q(quantsArr, L);
-        codec.decodeResiduals(h, payload + cursor, q);
-        residualsToQuants(q, q, header.predictor);
-        const u64 eFirst = blk * L;
-        const u64 eLast = std::min<u64>(n, eFirst + L);
-        for (u64 e = eFirst; e < eLast; ++e) {
-          out.values[e - out.firstElement] = quantizer.dequantize<T>(
-              q[e - eFirst]);
-        }
-        access.read(ctx.mem, size, 4);
-        access.write(ctx.mem, (eLast - eFirst) * sizeof(T), sizeof(T));
-        ctx.mem.noteOps((eLast - eFirst) * 6);
-      }
-      cursor += size;
-    }
-  });
-
-  out.profile = makeProfile(launch, timing_, header.originalBytes());
-  return out;
+  return threadStream().decompressBlocks<T>(stream, firstBlock, blockCount);
 }
 
 template <FloatingPoint T>
 Compressed Compressor::replaceBlocks(ConstByteSpan stream, u64 firstBlock,
                                      std::span<const T> values) const {
-  const StreamHeader header = StreamHeader::parse(stream);
-  require(header.precision == precisionOf<T>(),
-          "replaceBlocks: stream precision mismatch");
-  require(!values.empty(), "replaceBlocks: values must be non-empty");
-
-  const u32 L = header.blockSize;
-  const u64 n = header.numElements;
-  const u64 numBlocks = header.numBlocks();
-  const u64 blockCount = (values.size() + L - 1) / L;
-  require(firstBlock < numBlocks && firstBlock + blockCount <= numBlocks,
-          "replaceBlocks: block range out of bounds");
-  const u64 eFirst = firstBlock * L;
-  const u64 eLast = std::min<u64>(n, (firstBlock + blockCount) * L);
-  require(values.size() == eLast - eFirst,
-          "replaceBlocks: values must cover whole blocks (size must be "
-          "a multiple of the block size or end at the stream tail)");
-
-  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
-  const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
-
-  // Locate the byte range of the replaced blocks and the payload total
-  // (host-side scan; on the device this is the same offset-array pass the
-  // random-access read performs).
-  u64 rangeStart = 0;
-  u64 rangeEnd = 0;
-  u64 totalPayload = 0;
-  for (u64 blk = 0; blk < numBlocks; ++blk) {
-    const usize size = payloadSize(
-        BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk])), L);
-    if (blk == firstBlock) rangeStart = totalPayload;
-    totalPayload += size;
-    if (blk == firstBlock + blockCount - 1) rangeEnd = totalPayload;
-  }
-  require(totalPayload <= payloadAvail, "replaceBlocks: truncated payload");
-
-  // Re-encode the replacement blocks under the stream's bound and mode
-  // (one small kernel).
-  const Quantizer quantizer(header.absErrorBound, config_.roundingMode);
-  const BlockCodec codec(L);
-  std::vector<std::byte> newOffsets(blockCount);
-  std::vector<std::byte> newPayload(blockCount * maxPayloadSize(L));
-  std::vector<u64> newSizes(blockCount, 0);
-  const auto launch = launcher_.launch(1, [&](gpusim::BlockCtx& ctx) {
-    std::vector<i32> q(L);
-    u64 cursor = 0;
-    for (u64 b = 0; b < blockCount; ++b) {
-      const u64 vFirst = b * L;
-      const u64 vLast = std::min<u64>(values.size(), vFirst + L);
-      for (u64 v = vFirst; v < vLast; ++v) {
-        q[v - vFirst] = quantizer.quantize(values[v]);
-      }
-      padQuants(q, static_cast<usize>(vLast - vFirst));
-      quantsToResiduals(q, q, header.predictor);
-      const auto plan = codec.planResiduals(q, header.mode);
-      newOffsets[b] = static_cast<std::byte>(plan.header.pack());
-      codec.encodeResiduals(q, plan, newPayload.data() + cursor);
-      newSizes[b] = plan.payloadBytes;
-      cursor += plan.payloadBytes;
-    }
-    ctx.mem.noteVectorRead(values.size() * sizeof(T), 32);
-    ctx.mem.noteScalarRead(numBlocks, 1, 32);  // offset-array scan
-    ctx.mem.noteVectorWrite(cursor + blockCount, 32);
-    ctx.mem.noteOps(values.size() * 16);
-  });
-  u64 newRangeBytes = 0;
-  for (u64 s : newSizes) newRangeBytes += s;
-
-  // Splice: header | offsets (patched) | payload prefix | new | suffix.
-  Compressed out;
-  out.originalBytes = header.originalBytes();
-  out.stream.reserve(header.payloadBegin() + totalPayload - (rangeEnd -
-                     rangeStart) + newRangeBytes);
-  out.stream.insert(out.stream.end(), stream.begin(),
-                    stream.begin() + static_cast<usize>(
-                        StreamHeader::offsetsBegin()));
-  out.stream.insert(out.stream.end(), offsetBytes,
-                    offsetBytes + firstBlock);
-  out.stream.insert(out.stream.end(), newOffsets.begin(), newOffsets.end());
-  out.stream.insert(out.stream.end(), offsetBytes + firstBlock + blockCount,
-                    offsetBytes + numBlocks);
-  out.stream.insert(out.stream.end(), payload, payload + rangeStart);
-  out.stream.insert(out.stream.end(), newPayload.begin(),
-                    newPayload.begin() + newRangeBytes);
-  out.stream.insert(out.stream.end(), payload + rangeEnd,
-                    payload + totalPayload);
-
-  // Keep the integrity stamp valid after the splice.
-  if (header.checksum != 0) {
-    StreamHeader patched = header;
-    patched.checksum = crc32(ConstByteSpan(
-        out.stream.data() + StreamHeader::offsetsBegin(),
-        out.stream.size() - StreamHeader::offsetsBegin()));
-    if (patched.checksum == 0) patched.checksum = 1;
-    patched.serialize(out.stream.data());
-  }
-
-  out.ratio = static_cast<f64>(out.originalBytes) /
-              static_cast<f64>(out.stream.size());
-  out.profile = makeProfile(launch, timing_, (eLast - eFirst) * sizeof(T));
-  return out;
+  return threadStream().replaceBlocks(stream, firstBlock, values);
 }
 
 // Explicit instantiations of the public surface.

@@ -14,57 +14,17 @@
 // sync statistics, and the modelled device timing used by the bench
 // harness; wall-clock time of the host simulation is reported separately
 // and is never used for the figures.
+//
+// Compressor is a thin convenience wrapper: each call runs on a
+// thread-local core::CompressorStream (see stream.hpp), so repeated
+// one-shot calls already reuse warm scratch and the shared worker pool.
+// Layers with a long-lived compression loop should hold a
+// CompressorStream directly.
 #pragma once
 
-#include <vector>
-
-#include "core/config.hpp"
-#include "core/format.hpp"
-#include "gpusim/device_spec.hpp"
-#include "gpusim/launcher.hpp"
-#include "gpusim/timing.hpp"
+#include "core/stream.hpp"
 
 namespace cuszp2::core {
-
-struct KernelProfile {
-  gpusim::MemCounters mem;
-  gpusim::SyncStats sync;
-  gpusim::KernelTiming timing;
-
-  /// Modelled end-to-end time of the API call on the configured device:
-  /// the single kernel + launch overhead, plus (only when configured) the
-  /// REL-bound range reduction and the checksum pass. There is no PCIe or
-  /// CPU stage — that is the point of the paper.
-  f64 endToEndSeconds = 0.0;
-
-  /// End-to-end throughput w.r.t. the original data size, the paper's
-  /// headline metric (Sec. II).
-  f64 endToEndGBps = 0.0;
-
-  /// Host wall-clock seconds of the simulation run (diagnostic only).
-  f64 wallSeconds = 0.0;
-};
-
-struct Compressed {
-  std::vector<std::byte> stream;
-  KernelProfile profile;
-  u64 originalBytes = 0;
-  f64 ratio = 0.0;
-};
-
-template <FloatingPoint T>
-struct Decompressed {
-  std::vector<T> data;
-  KernelProfile profile;
-};
-
-template <FloatingPoint T>
-struct BlockRange {
-  /// Index of the first element covered by the decoded range.
-  u64 firstElement = 0;
-  std::vector<T> values;
-  KernelProfile profile;
-};
 
 class Compressor {
  public:
@@ -72,7 +32,7 @@ class Compressor {
                       gpusim::DeviceSpec device = gpusim::a100_40gb());
 
   const Config& config() const { return config_; }
-  const gpusim::DeviceSpec& device() const { return timing_.spec(); }
+  const gpusim::DeviceSpec& device() const { return device_; }
 
   /// Compresses `data`, producing a self-describing stream. When
   /// Config::absErrorBound is unset, the value range is reduced on-device
@@ -100,9 +60,12 @@ class Compressor {
                            std::span<const T> values) const;
 
  private:
+  /// The calling thread's stream, re-targeted to this compressor's
+  /// configuration and device.
+  CompressorStream& threadStream() const;
+
   Config config_;
-  gpusim::TimingModel timing_;
-  mutable gpusim::Launcher launcher_;
+  gpusim::DeviceSpec device_;
 };
 
 }  // namespace cuszp2::core

@@ -18,9 +18,11 @@ namespace cuszp2::core {
 /// Bytes one plane occupies for a block of `blockSize` elements.
 constexpr usize planeBytes(u32 blockSize) { return blockSize / 8; }
 
-/// Packs `fl` bit planes of `absVals` (size L, multiple of 8) into `out`,
-/// which must hold fl * L/8 bytes. Values must satisfy v < 2^fl.
-inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
+/// Reference (scalar, plane-outer) packer. Kept as the baseline for
+/// bench/micro_primitives before/after rows and for equivalence tests of
+/// the tightened kernel below; not used on the hot path.
+inline void packPlanesReference(std::span<const u32> absVals, u32 fl,
+                                std::byte* out) {
   const usize L = absVals.size();
   const usize pb = planeBytes(static_cast<u32>(L));
   for (u32 plane = 0; plane < fl; ++plane) {
@@ -36,9 +38,9 @@ inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
   }
 }
 
-/// Unpacks `fl` planes from `in` into `absVals` (zeroed first).
-inline void unpackPlanes(const std::byte* in, u32 fl,
-                         std::span<u32> absVals) {
+/// Reference (scalar, plane-outer) unpacker; see packPlanesReference.
+inline void unpackPlanesReference(const std::byte* in, u32 fl,
+                                  std::span<u32> absVals) {
   const usize L = absVals.size();
   const usize pb = planeBytes(static_cast<u32>(L));
   for (auto& v : absVals) v = 0;
@@ -51,6 +53,69 @@ inline void unpackPlanes(const std::byte* in, u32 fl,
         absVals[base + k] |= ((byte >> k) & 1u) << plane;
       }
     }
+  }
+}
+
+/// Packs `fl` bit planes of `absVals` (size L, multiple of 8) into `out`,
+/// which must hold fl * L/8 bytes. Values must satisfy v < 2^fl.
+///
+/// Byte-group-outer ordering: the 8 values feeding one output byte column
+/// are loaded into registers once and all fl planes are extracted from
+/// them branch-free, instead of re-reading every value once per plane as
+/// the reference kernel does (fl x fewer loads; the byte assembly is a
+/// fixed unrolled or-tree the compiler vectorizes).
+inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
+  const usize L = absVals.size();
+  const usize pb = planeBytes(static_cast<u32>(L));
+  for (usize j = 0; j < pb; ++j) {
+    const u32* v = absVals.data() + j * 8;
+    const u32 v0 = v[0], v1 = v[1], v2 = v[2], v3 = v[3];
+    const u32 v4 = v[4], v5 = v[5], v6 = v[6], v7 = v[7];
+    std::byte* dst = out + j;
+    for (u32 plane = 0; plane < fl; ++plane) {
+      const u32 byte = ((v0 >> plane) & 1u) | (((v1 >> plane) & 1u) << 1) |
+                       (((v2 >> plane) & 1u) << 2) |
+                       (((v3 >> plane) & 1u) << 3) |
+                       (((v4 >> plane) & 1u) << 4) |
+                       (((v5 >> plane) & 1u) << 5) |
+                       (((v6 >> plane) & 1u) << 6) |
+                       (((v7 >> plane) & 1u) << 7);
+      dst[static_cast<usize>(plane) * pb] = static_cast<std::byte>(byte);
+    }
+  }
+}
+
+/// Unpacks `fl` planes from `in` into `absVals`. Byte-group-outer like
+/// packPlanes: the 8 output values of one column accumulate in registers
+/// across all fl plane bytes, with a single store (and no zero-fill pass)
+/// at the end.
+inline void unpackPlanes(const std::byte* in, u32 fl,
+                         std::span<u32> absVals) {
+  const usize L = absVals.size();
+  const usize pb = planeBytes(static_cast<u32>(L));
+  for (usize j = 0; j < pb; ++j) {
+    u32 v0 = 0, v1 = 0, v2 = 0, v3 = 0, v4 = 0, v5 = 0, v6 = 0, v7 = 0;
+    const std::byte* src = in + j;
+    for (u32 plane = 0; plane < fl; ++plane) {
+      const u32 byte = std::to_integer<u32>(src[static_cast<usize>(plane) * pb]);
+      v0 |= (byte & 1u) << plane;
+      v1 |= ((byte >> 1) & 1u) << plane;
+      v2 |= ((byte >> 2) & 1u) << plane;
+      v3 |= ((byte >> 3) & 1u) << plane;
+      v4 |= ((byte >> 4) & 1u) << plane;
+      v5 |= ((byte >> 5) & 1u) << plane;
+      v6 |= ((byte >> 6) & 1u) << plane;
+      v7 |= ((byte >> 7) & 1u) << plane;
+    }
+    u32* dst = absVals.data() + j * 8;
+    dst[0] = v0;
+    dst[1] = v1;
+    dst[2] = v2;
+    dst[3] = v3;
+    dst[4] = v4;
+    dst[5] = v5;
+    dst[6] = v6;
+    dst[7] = v7;
   }
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
@@ -46,12 +47,30 @@ class Quantizer {
             "Quantizer: non-finite value (NaN/inf) cannot be "
             "error-bounded");
     const i64 q = rounding_ == RoundingMode::Nearest
-                      ? std::llround(scaled)
+                      ? roundHalfAway(scaled)
                       : static_cast<i64>(std::ceil(scaled));
     require(q >= -kMaxQuant && q <= kMaxQuant,
             "Quantizer: value/error-bound ratio exceeds the 2^30 "
             "quantization range; use a larger error bound");
     return static_cast<i32>(q);
+  }
+
+  /// llround semantics (round half away from zero) without the libm call,
+  /// which dominates the compress hot loop. `scaled - trunc(scaled)` is
+  /// exact in IEEE arithmetic, so the half-way comparison matches llround
+  /// bit-for-bit — including edge cases like 0.49999999999999994, which a
+  /// naive `(i64)(x + 0.5)` rounds wrongly. trunc compiles to a single
+  /// rounding instruction on every targeted ISA.
+  static i64 roundHalfAway(f64 scaled) {
+    // Magnitudes beyond the quantization range cannot pass the kMaxQuant
+    // check anyway; saturate before the float->int cast to keep the cast
+    // defined (the caller's range `require` then fires as before).
+    if (scaled > 2.0e9) return kMaxQuant + 1;
+    if (scaled < -2.0e9) return -(kMaxQuant + 1);
+    const f64 t = std::trunc(scaled);
+    const f64 frac = scaled - t;
+    return static_cast<i64>(t) + (frac >= 0.5 ? i64{1} : i64{0}) -
+           (frac <= -0.5 ? i64{1} : i64{0});
   }
 
   /// Reconstructs a value from its quantization integer.
@@ -76,5 +95,24 @@ class Quantizer {
   f64 recip_;
   f64 twoEb_;
 };
+
+/// Fused lossy conversion + first-order prediction over one block: a single
+/// pass computes r_i = q_i - q_{i-1} (q_{-1} = 0) instead of materializing
+/// the quantization integers and differencing them in a second sweep. The
+/// tail [values.size(), residuals.size()) is zero-filled, matching the
+/// padded-then-differenced layout of the unfused pipeline (padding repeats
+/// the last value, so its differences are zero).
+template <FloatingPoint T>
+inline void quantizeDiffBlock(const Quantizer& quantizer,
+                              std::span<const T> values,
+                              std::span<i32> residuals) {
+  i32 prev = 0;
+  for (usize i = 0; i < values.size(); ++i) {
+    const i32 cur = quantizer.quantize(values[i]);
+    residuals[i] = cur - prev;
+    prev = cur;
+  }
+  for (usize i = values.size(); i < residuals.size(); ++i) residuals[i] = 0;
+}
 
 }  // namespace cuszp2::core

@@ -31,7 +31,7 @@ u64 get64(ConstByteSpan data, usize pos) {
 template <FloatingPoint T>
 SegmentedCompressor<T>::SegmentedCompressor(Config config, usize segmentElems,
                                             gpusim::DeviceSpec device)
-    : compressor_(config, std::move(device)), segmentElems_(segmentElems) {
+    : stream_(config, std::move(device)), segmentElems_(segmentElems) {
   require(segmentElems > 0,
           "SegmentedCompressor: segmentElems must be positive");
   buffer_.reserve(segmentElems);
@@ -54,7 +54,7 @@ void SegmentedCompressor<T>::append(std::span<const T> values) {
 template <FloatingPoint T>
 void SegmentedCompressor<T>::flushSegment() {
   segments_.push_back(
-      compressor_.compress<T>(std::span<const T>(buffer_)).stream);
+      stream_.compress<T>(std::span<const T>(buffer_)).stream);
   buffer_.clear();
 }
 
@@ -88,7 +88,7 @@ template <FloatingPoint T>
 SegmentedReader<T>::SegmentedReader(ConstByteSpan container,
                                     gpusim::DeviceSpec device)
     : container_(container),
-      compressor_(Config{.absErrorBound = 1.0}, std::move(device)) {
+      stream_(Config{.absErrorBound = 1.0}, std::move(device)) {
   require(get64(container, 0) == kSegMagic,
           "SegmentedReader: bad magic (not a segmented cuSZp2 container)");
   require((get64(container, 8) & 0xFFFFFFFFu) == kSegVersion,
@@ -127,8 +127,7 @@ template <FloatingPoint T>
 std::vector<T> SegmentedReader<T>::segment(usize index) const {
   require(index < entries_.size(), "SegmentedReader: index out of range");
   const auto& e = entries_[index];
-  return compressor_.decompress<T>(container_.subspan(e.offset, e.length))
-      .data;
+  return stream_.decompress<T>(container_.subspan(e.offset, e.length)).data;
 }
 
 template <FloatingPoint T>

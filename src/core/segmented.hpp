@@ -21,7 +21,7 @@
 
 #include <vector>
 
-#include "core/compressor.hpp"
+#include "core/stream.hpp"
 
 namespace cuszp2::core {
 
@@ -52,7 +52,9 @@ class SegmentedCompressor {
  private:
   void flushSegment();
 
-  Compressor compressor_;
+  // A long-lived stream: every flushed segment reuses the same scratch
+  // arena and the shared worker pool instead of paying per-flush setup.
+  CompressorStream stream_;
   usize segmentElems_;
   std::vector<T> buffer_;
   std::vector<std::vector<std::byte>> segments_;
@@ -86,7 +88,8 @@ class SegmentedReader {
     u64 elements;
   };
   ConstByteSpan container_;
-  Compressor compressor_;
+  // mutable: segment() is logically const but reuses the stream's scratch.
+  mutable CompressorStream stream_;
   std::vector<Entry> entries_;
   u64 totalElems_ = 0;
 };

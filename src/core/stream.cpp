@@ -1,0 +1,716 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <optional>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/block_codec.hpp"
+#include "core/quantizer.hpp"
+#include "metrics/error_stats.hpp"
+#include "scan/chained.hpp"
+#include "scan/lookback.hpp"
+
+namespace cuszp2::core {
+
+namespace {
+
+/// Unified per-tile synchronization over either protocol, so the kernels
+/// are written once (ablations switch the algorithm, Sec. VI-E). The flag
+/// words live in the stream's arena: repeated scans allocate nothing.
+class TileSync {
+ public:
+  TileSync(scan::Algorithm algo, u32 tiles, Arena& arena)
+      : algo_(algo),
+        lookback_(tilesFor(algo, scan::Algorithm::DecoupledLookback, tiles),
+                  arena.allocSpan<std::atomic<u64>>(
+                      tilesFor(algo, scan::Algorithm::DecoupledLookback,
+                               tiles))),
+        chained_(tilesFor(algo, scan::Algorithm::ChainedScan, tiles),
+                 arena.allocSpan<std::atomic<u64>>(
+                     tilesFor(algo, scan::Algorithm::ChainedScan, tiles))) {}
+
+  u64 processTile(u32 tile, u64 aggregate, gpusim::SyncStats& sync,
+                  gpusim::MemCounters& mem) {
+    return algo_ == scan::Algorithm::DecoupledLookback
+               ? lookback_.processTile(tile, aggregate, sync, mem)
+               : chained_.processTile(tile, aggregate, sync, mem);
+  }
+
+ private:
+  static u32 tilesFor(scan::Algorithm algo, scan::Algorithm wanted,
+                      u32 tiles) {
+    return algo == wanted ? tiles : 1;
+  }
+
+  scan::Algorithm algo_;
+  scan::LookbackState lookback_;
+  scan::ChainedScanState chained_;
+};
+
+/// Records the traffic of the kernel's input/output streams under the
+/// configured access pattern (vectorized + coalesced vs scalar strided,
+/// Sec. IV-B).
+struct AccessRecorder {
+  bool vectorized;
+  u32 transactionBytes;
+
+  void read(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
+    if (vectorized) {
+      mem.noteVectorRead(bytes, transactionBytes);
+    } else {
+      mem.noteStridedRead(bytes, elemBytes);
+    }
+  }
+
+  void write(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
+    if (vectorized) {
+      mem.noteVectorWrite(bytes, transactionBytes);
+    } else {
+      mem.noteStridedWrite(bytes, elemBytes);
+    }
+  }
+};
+
+/// Second-difference pass of the SecondOrder predictor, applied on top of
+/// first-order residuals. The block head stays out of the chain: d_0 = q_0
+/// is the (often huge) block-independence outlier and chaining d_1 against
+/// it would poison every second-order block.
+void secondOrderDiff(std::span<i32> res) {
+  i32 prevD = 0;
+  for (usize i = 1; i < res.size(); ++i) {
+    const i32 d = res[i];
+    const i64 r2 = static_cast<i64>(d) - static_cast<i64>(prevD);
+    require(r2 >= std::numeric_limits<i32>::min() &&
+                r2 <= std::numeric_limits<i32>::max(),
+            "Compressor: error bound too small for the second-order "
+            "predictor's residual range");
+    res[i] = static_cast<i32>(r2);
+    prevD = d;
+  }
+}
+
+/// Inverse of the prediction (prefix sums, once or twice).
+void residualsToQuants(std::span<const i32> res, std::span<i32> quants,
+                       Predictor predictor) {
+  if (predictor == Predictor::SecondOrder) {
+    if (res.empty()) return;
+    quants[0] = res[0];
+    i32 d = 0;
+    i32 q = res[0];
+    for (usize i = 1; i < res.size(); ++i) {
+      d += res[i];
+      q += d;
+      quants[i] = q;
+    }
+  } else {
+    i32 q = 0;
+    for (usize i = 0; i < res.size(); ++i) {
+      q += res[i];
+      quants[i] = q;
+    }
+  }
+}
+
+KernelProfile makeProfile(const gpusim::LaunchResult& launch,
+                          const gpusim::TimingModel& timing,
+                          u64 originalBytes, f64 extraSeconds = 0.0) {
+  KernelProfile p;
+  p.mem = launch.mem;
+  p.sync = launch.sync;
+  p.timing = timing.kernel(launch.mem, launch.sync);
+  p.endToEndSeconds = p.timing.totalSeconds + extraSeconds;
+  p.endToEndGBps = gpusim::gbps(originalBytes, p.endToEndSeconds);
+  p.wallSeconds = launch.wallSeconds;
+  return p;
+}
+
+/// Tile-local compression scratch, pre-partitioned into one slot per pool
+/// worker. A worker runs exactly one task at a time and each kernel-body
+/// invocation fully re-initializes its slot, so slots never alias even
+/// when several batched kernels interleave on the pool.
+struct WorkerScratch {
+  std::span<i32> quants;
+  std::span<BlockPlan> plans;
+  usize quantsPerWorker = 0;
+  usize plansPerWorker = 0;
+};
+
+WorkerScratch makeWorkerScratch(Arena& arena, usize workers, u32 bpt,
+                                u32 L) {
+  WorkerScratch s;
+  s.quantsPerWorker = static_cast<usize>(bpt) * L;
+  s.plansPerWorker = bpt;
+  s.quants = arena.allocSpan<i32>(workers * s.quantsPerWorker);
+  s.plans = arena.allocSpan<BlockPlan>(workers * s.plansPerWorker);
+  return s;
+}
+
+/// Everything one compress needs between preparation and finalization.
+/// Prepared on the host, referenced by the (possibly batched) kernel body.
+struct FieldJob {
+  StreamHeader header;
+  u64 n = 0;
+  u64 originalBytes = 0;
+  u32 tiles = 0;
+  f64 rangeSeconds = 0.0;
+  std::byte* staging = nullptr;  // header | offsets | payload, in the arena
+  std::span<u64> tileInclusive;
+  std::optional<TileSync> sync;
+  gpusim::KernelDesc desc;
+};
+
+/// Host-side setup of one field's compression: error-bound resolution,
+/// header, arena staging, scan state, and the kernel body. Mirrors the
+/// seed one-shot pipeline exactly so the staged bytes are identical.
+template <FloatingPoint T>
+void prepareField(const Config& config, const gpusim::TimingModel& timing,
+                  Arena& arena, const WorkerScratch& scratch, usize workers,
+                  std::span<const T> data, FieldJob& job) {
+  const u32 L = config.blockSize;
+  const u32 bpt = config.blocksPerTile;
+  const u64 n = data.size();
+  job.n = n;
+  job.originalBytes = n * sizeof(T);
+
+  // Resolve the error bound. If only a REL bound is configured, reduce the
+  // value range on-device first (one bandwidth-limited read of the input).
+  f64 absEb = config.absErrorBound;
+  if (absEb <= 0.0) {
+    const f64 range = metrics::valueRange(data);
+    absEb = Quantizer::absFromRel(config.relErrorBound, range);
+    job.rangeSeconds = static_cast<f64>(job.originalBytes) /
+                           (timing.spec().memBandwidthGBps * 1e9) +
+                       timing.launchSeconds();
+  }
+  const Quantizer quantizer(absEb, config.roundingMode);
+
+  job.header.precision = precisionOf<T>();
+  job.header.mode = config.mode;
+  job.header.predictor = config.predictor;
+  job.header.blockSize = L;
+  job.header.numElements = n;
+  job.header.absErrorBound = absEb;
+
+  const u64 numBlocks = job.header.numBlocks();
+  job.tiles =
+      static_cast<u32>(std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
+
+  const usize stagingBytes =
+      job.header.payloadBegin() +
+      static_cast<usize>(numBlocks) * maxPayloadSize(L);
+  job.staging = static_cast<std::byte*>(arena.allocate(stagingBytes));
+  job.header.serialize(job.staging);
+  if (n == 0) return;  // desc.gridSize stays 0: nothing to launch
+
+  std::byte* offsetBytes = job.staging + StreamHeader::offsetsBegin();
+  std::byte* payloadOut = job.staging + job.header.payloadBegin();
+
+  job.tileInclusive = arena.allocSpan<u64>(job.tiles);
+  job.sync.emplace(config.syncAlgorithm, job.tiles, arena);
+
+  const BlockCodec codec(L);
+  const AccessRecorder access{config.vectorizedAccess,
+                              timing.spec().transactionBytes};
+  const Predictor predictor = config.predictor;
+  const EncodingMode mode = config.mode;
+  const T* values = data.data();
+  TileSync* sync = &*job.sync;
+  const std::span<u64> tileInclusive = job.tileInclusive;
+  const std::span<i32> scratchQuants = scratch.quants;
+  const std::span<BlockPlan> scratchPlans = scratch.plans;
+  const usize quantsPerWorker = scratch.quantsPerWorker;
+  const usize plansPerWorker = scratch.plansPerWorker;
+
+  job.desc.gridSize = job.tiles;
+  job.desc.body = [=](gpusim::BlockCtx& ctx) {
+    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
+    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
+    const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
+
+    // Tile-local scratch slot (GPU shared-memory analogue): quantization
+    // integers and per-block plans for this worker.
+    const usize w = ThreadPool::currentWorkerIndex();
+    require(w < workers, "CompressorStream: kernel body ran outside its "
+                         "worker pool");
+    const std::span<i32> quants =
+        scratchQuants.subspan(w * quantsPerWorker, quantsPerWorker);
+    const std::span<BlockPlan> plans =
+        scratchPlans.subspan(w * plansPerWorker, plansPerWorker);
+
+    // Pass 1 — fused lossy conversion + prediction + encoding analysis
+    // (the "extra loop" that makes compression slower than decompression,
+    // Sec. V-B).
+    u64 aggregate = 0;
+    u64 elemsRead = 0;
+    for (u32 b = 0; b < blocksHere; ++b) {
+      const u64 blockIdx = firstBlock + b;
+      const u64 eFirst = blockIdx * L;
+      const u64 eLast = std::min<u64>(n, eFirst + L);
+      std::span<i32> q(quants.data() + static_cast<usize>(b) * L, L);
+      quantizeDiffBlock(quantizer,
+                        std::span<const T>(values + eFirst, eLast - eFirst),
+                        q);
+      if (predictor == Predictor::SecondOrder) secondOrderDiff(q);
+      elemsRead += eLast - eFirst;
+
+      plans[b] = codec.planResiduals(q, mode);
+      offsetBytes[blockIdx] = static_cast<std::byte>(plans[b].header.pack());
+      aggregate += plans[b].payloadBytes;
+    }
+    access.read(ctx.mem, elemsRead * sizeof(T), sizeof(T));
+    access.write(ctx.mem, blocksHere, 1);
+    // Pass-1 analysis: quantize + diff + selection scan, ~12 integer ops
+    // per element regardless of content. Quantization scratch lives in
+    // shared memory.
+    ctx.mem.noteOps(static_cast<u64>(blocksHere) * L * 12);
+    ctx.mem.noteL1(static_cast<u64>(blocksHere) * L * 8);
+
+    // Global prefix sum over tile aggregates (step 3).
+    const u64 base =
+        sync->processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+    tileInclusive[ctx.blockIdx] = base + aggregate;
+
+    // Pass 2 — encode payloads and concatenate (step 4).
+    u64 cursor = base;
+    for (u32 b = 0; b < blocksHere; ++b) {
+      std::span<const i32> r(quants.data() + static_cast<usize>(b) * L, L);
+      codec.encodeResiduals(r, plans[b], payloadOut + cursor);
+      cursor += plans[b].payloadBytes;
+    }
+    access.write(ctx.mem, aggregate, 4);
+    // Pass-2 encoding cost scales with the bytes actually packed: zero
+    // blocks are skipped outright and well-compressed blocks pack fewer
+    // planes, which is why sparse/smooth data compresses *faster* and why
+    // CUSZP2-O can outrun CUSZP2-P when its ratio advantage is large
+    // (paper Fig. 15 and Sec. V-B).
+    ctx.mem.noteOps(aggregate * 6);
+    ctx.mem.noteL1(static_cast<u64>(blocksHere) * L * 4);
+  };
+}
+
+/// Turns a prepared + launched field into the public Compressed result:
+/// checksum stamp, exact-size copy out of the staging area, profile.
+Compressed finishField(const Config& config,
+                       const gpusim::TimingModel& timing, FieldJob& job,
+                       const gpusim::LaunchResult& launch) {
+  Compressed out;
+  out.originalBytes = job.originalBytes;
+  if (job.n == 0) {
+    out.stream.assign(job.staging, job.staging + StreamHeader::kBytes);
+    out.ratio = 0.0;
+    out.profile.endToEndSeconds = timing.launchSeconds();
+    return out;
+  }
+
+  const u64 totalPayload = job.tileInclusive[job.tiles - 1];
+  const usize finalBytes =
+      job.header.payloadBegin() + static_cast<usize>(totalPayload);
+
+  // Optional integrity stamp: CRC-32 over offsets + payload (one extra
+  // bandwidth pass over the compressed bytes).
+  f64 checksumSeconds = 0.0;
+  if (config.checksum) {
+    job.header.checksum = crc32(
+        ConstByteSpan(job.staging + StreamHeader::offsetsBegin(),
+                      finalBytes - StreamHeader::offsetsBegin()));
+    if (job.header.checksum == 0) job.header.checksum = 1;  // 0 = "absent"
+    job.header.serialize(job.staging);
+    checksumSeconds = static_cast<f64>(finalBytes) /
+                          (timing.spec().memBandwidthGBps * 1e9) +
+                      timing.launchSeconds();
+  }
+
+  out.stream.assign(job.staging, job.staging + finalBytes);
+  out.ratio = static_cast<f64>(out.originalBytes) /
+              static_cast<f64>(out.stream.size());
+  out.profile = makeProfile(launch, timing, out.originalBytes,
+                            job.rangeSeconds + checksumSeconds);
+  return out;
+}
+
+}  // namespace
+
+CompressorStream::CompressorStream(Config config, gpusim::DeviceSpec device)
+    : config_(config), timing_(std::move(device)), launcher_() {
+  config_.validate();
+}
+
+void CompressorStream::reconfigure(const Config& config) {
+  config.validate();
+  config_ = config;
+}
+
+void CompressorStream::reconfigure(const Config& config,
+                                   const gpusim::DeviceSpec& device) {
+  reconfigure(config);
+  timing_.setSpec(device);
+}
+
+template <FloatingPoint T>
+Compressed CompressorStream::compress(std::span<const T> data) {
+  arena_.reset();
+  const usize workers = launcher_.workerCount();
+  const WorkerScratch scratch = makeWorkerScratch(
+      arena_, workers, config_.blocksPerTile, config_.blockSize);
+  FieldJob job;
+  prepareField(config_, timing_, arena_, scratch, workers, data, job);
+  gpusim::LaunchResult launch;
+  if (job.desc.gridSize > 0) {
+    launch = launcher_.launch(job.desc.gridSize, job.desc.body);
+  }
+  return finishField(config_, timing_, job, launch);
+}
+
+template <FloatingPoint T>
+std::vector<Compressed> CompressorStream::compressBatch(
+    std::span<const std::span<const T>> fields) {
+  arena_.reset();
+  const usize workers = launcher_.workerCount();
+  // One scratch shared by every kernel of the batch: slots are per worker,
+  // and a worker runs one task at a time regardless of which kernel the
+  // task belongs to.
+  const WorkerScratch scratch = makeWorkerScratch(
+      arena_, workers, config_.blocksPerTile, config_.blockSize);
+
+  std::vector<FieldJob> jobs(fields.size());
+  for (usize i = 0; i < fields.size(); ++i) {
+    prepareField(config_, timing_, arena_, scratch, workers, fields[i],
+                 jobs[i]);
+  }
+
+  std::vector<gpusim::KernelDesc> descs;
+  descs.reserve(jobs.size());
+  for (FieldJob& job : jobs) descs.push_back(std::move(job.desc));
+  const auto launches = launcher_.launchBatch(descs);
+
+  std::vector<Compressed> out;
+  out.reserve(jobs.size());
+  for (usize i = 0; i < jobs.size(); ++i) {
+    out.push_back(finishField(config_, timing_, jobs[i], launches[i]));
+  }
+  return out;
+}
+
+template <FloatingPoint T>
+Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
+  arena_.reset();
+  const StreamHeader header = StreamHeader::parse(stream);
+  require(header.precision == precisionOf<T>(),
+          "decompress: stream precision does not match the requested type");
+
+  // Integrity check when the stream carries a checksum.
+  f64 checksumSeconds = 0.0;
+  if (header.checksum != 0) {
+    u32 crc = crc32(ConstByteSpan(
+        stream.data() + StreamHeader::offsetsBegin(),
+        stream.size() - StreamHeader::offsetsBegin()));
+    if (crc == 0) crc = 1;
+    require(crc == header.checksum,
+            "decompress: checksum mismatch — the stream is corrupted");
+    checksumSeconds = static_cast<f64>(stream.size()) /
+                          (timing_.spec().memBandwidthGBps * 1e9) +
+                      timing_.launchSeconds();
+  }
+  const u32 L = header.blockSize;
+  const u32 bpt = config_.blocksPerTile;
+  const u64 n = header.numElements;
+  const u64 numBlocks = header.numBlocks();
+
+  Decompressed<T> out;
+  out.data.assign(n, T{});
+  if (n == 0) {
+    out.profile.endToEndSeconds = timing_.launchSeconds();
+    return out;
+  }
+
+  const u32 tiles = static_cast<u32>(
+      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
+  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
+  const std::byte* payload = stream.data() + header.payloadBegin();
+  const usize payloadAvail = stream.size() - header.payloadBegin();
+
+  const Quantizer quantizer(header.absErrorBound);
+  const BlockCodec codec(L);
+  TileSync syncState(config_.syncAlgorithm, tiles, arena_);
+  const AccessRecorder access{config_.vectorizedAccess,
+                              timing_.spec().transactionBytes};
+
+  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
+    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
+    const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
+
+    // Read offset bytes; lengths fall out of the headers directly — no
+    // second analysis loop, which is why decompression is faster (Sec. V-B).
+    u64 aggregate = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      const auto h = BlockHeader::unpack(
+          std::to_integer<u8>(offsetBytes[blk]));
+      aggregate += payloadSize(h, L);
+    }
+    access.read(ctx.mem, blocksHere, 1);
+    ctx.mem.noteOps(blocksHere * 2);
+
+    const u64 base =
+        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+
+    u64 cursor = base;
+    i32 quantsArr[256];
+    u64 zeroBytes = 0;
+    u64 decodedElems = 0;
+    u64 payloadBytesRead = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      const auto h = BlockHeader::unpack(
+          std::to_integer<u8>(offsetBytes[blk]));
+      const usize size = payloadSize(h, L);
+      const u64 eFirst = blk * L;
+      const u64 eLast = std::min<u64>(n, eFirst + L);
+
+      if (!h.outlierMode && h.fixedLength == 0) {
+        // Zero block: flush with device memset (paper Sec. V-B, JetIn).
+        for (u64 e = eFirst; e < eLast; ++e) out.data[e] = T{};
+        zeroBytes += (eLast - eFirst) * sizeof(T);
+        continue;
+      }
+
+      require(cursor + size <= payloadAvail,
+              "decompress: truncated payload region");
+      std::span<i32> q(quantsArr, L);
+      codec.decodeResiduals(h, payload + cursor, q);
+      residualsToQuants(q, q, header.predictor);
+      cursor += size;
+      payloadBytesRead += size;
+      for (u64 e = eFirst; e < eLast; ++e) {
+        out.data[e] = quantizer.dequantize<T>(q[e - eFirst]);
+      }
+      decodedElems += eLast - eFirst;
+    }
+    access.read(ctx.mem, payloadBytesRead, 4);
+    access.write(ctx.mem, decodedElems * sizeof(T), sizeof(T));
+    ctx.mem.noteMemset(zeroBytes);
+    ctx.mem.noteOps(decodedElems * 6);
+    ctx.mem.noteL1(decodedElems * 8);
+  });
+
+  out.profile =
+      makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);
+  return out;
+}
+
+template <FloatingPoint T>
+BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
+                                                 u64 firstBlock,
+                                                 u64 blockCount) {
+  arena_.reset();
+  const StreamHeader header = StreamHeader::parse(stream);
+  require(header.precision == precisionOf<T>(),
+          "decompressBlocks: stream precision mismatch");
+  const u64 numBlocks = header.numBlocks();
+  require(firstBlock < numBlocks && blockCount > 0 &&
+              firstBlock + blockCount <= numBlocks,
+          "decompressBlocks: block range out of bounds");
+
+  const u32 L = header.blockSize;
+  const u32 bpt = config_.blocksPerTile;
+  const u64 n = header.numElements;
+  const u32 tiles = static_cast<u32>(
+      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
+
+  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
+  const std::byte* payload = stream.data() + header.payloadBegin();
+  const usize payloadAvail = stream.size() - header.payloadBegin();
+
+  const Quantizer quantizer(header.absErrorBound);
+  const BlockCodec codec(L);
+  TileSync syncState(config_.syncAlgorithm, tiles, arena_);
+  const AccessRecorder access{config_.vectorizedAccess,
+                              timing_.spec().transactionBytes};
+
+  BlockRange<T> out;
+  out.firstElement = firstBlock * L;
+  const u64 lastElement = std::min<u64>(n, (firstBlock + blockCount) * L);
+  out.values.assign(lastElement - out.firstElement, T{});
+
+  // The offset array alone is scanned (1 byte per block) to locate the
+  // range; only the requested blocks run the decode path. This is why
+  // random access reaches TB-level throughput relative to the original
+  // data size (paper Fig. 20).
+  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+    const u64 tFirst = static_cast<u64>(ctx.blockIdx) * bpt;
+    const u64 tLast = std::min(numBlocks, tFirst + bpt);
+
+    u64 aggregate = 0;
+    for (u64 blk = tFirst; blk < tLast; ++blk) {
+      aggregate += payloadSize(
+          BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk])), L);
+    }
+    access.read(ctx.mem, tLast - tFirst, 1);
+    ctx.mem.noteOps((tLast - tFirst) * 2);
+
+    const u64 base =
+        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+
+    if (tLast <= firstBlock || tFirst >= firstBlock + blockCount) return;
+
+    u64 cursor = base;
+    i32 quantsArr[256];
+    for (u64 blk = tFirst; blk < tLast; ++blk) {
+      const auto h = BlockHeader::unpack(
+          std::to_integer<u8>(offsetBytes[blk]));
+      const usize size = payloadSize(h, L);
+      if (blk >= firstBlock && blk < firstBlock + blockCount) {
+        require(cursor + size <= payloadAvail,
+                "decompressBlocks: truncated payload region");
+        std::span<i32> q(quantsArr, L);
+        codec.decodeResiduals(h, payload + cursor, q);
+        residualsToQuants(q, q, header.predictor);
+        const u64 eFirst = blk * L;
+        const u64 eLast = std::min<u64>(n, eFirst + L);
+        for (u64 e = eFirst; e < eLast; ++e) {
+          out.values[e - out.firstElement] = quantizer.dequantize<T>(
+              q[e - eFirst]);
+        }
+        access.read(ctx.mem, size, 4);
+        access.write(ctx.mem, (eLast - eFirst) * sizeof(T), sizeof(T));
+        ctx.mem.noteOps((eLast - eFirst) * 6);
+      }
+      cursor += size;
+    }
+  });
+
+  out.profile = makeProfile(launch, timing_, header.originalBytes());
+  return out;
+}
+
+template <FloatingPoint T>
+Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
+                                           u64 firstBlock,
+                                           std::span<const T> values) {
+  arena_.reset();
+  const StreamHeader header = StreamHeader::parse(stream);
+  require(header.precision == precisionOf<T>(),
+          "replaceBlocks: stream precision mismatch");
+  require(!values.empty(), "replaceBlocks: values must be non-empty");
+
+  const u32 L = header.blockSize;
+  const u64 n = header.numElements;
+  const u64 numBlocks = header.numBlocks();
+  const u64 blockCount = (values.size() + L - 1) / L;
+  require(firstBlock < numBlocks && firstBlock + blockCount <= numBlocks,
+          "replaceBlocks: block range out of bounds");
+  const u64 eFirst = firstBlock * L;
+  const u64 eLast = std::min<u64>(n, (firstBlock + blockCount) * L);
+  require(values.size() == eLast - eFirst,
+          "replaceBlocks: values must cover whole blocks (size must be "
+          "a multiple of the block size or end at the stream tail)");
+
+  const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
+  const std::byte* payload = stream.data() + header.payloadBegin();
+  const usize payloadAvail = stream.size() - header.payloadBegin();
+
+  // Locate the byte range of the replaced blocks and the payload total
+  // (host-side scan; on the device this is the same offset-array pass the
+  // random-access read performs).
+  u64 rangeStart = 0;
+  u64 rangeEnd = 0;
+  u64 totalPayload = 0;
+  for (u64 blk = 0; blk < numBlocks; ++blk) {
+    const usize size = payloadSize(
+        BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk])), L);
+    if (blk == firstBlock) rangeStart = totalPayload;
+    totalPayload += size;
+    if (blk == firstBlock + blockCount - 1) rangeEnd = totalPayload;
+  }
+  require(totalPayload <= payloadAvail, "replaceBlocks: truncated payload");
+
+  // Re-encode the replacement blocks under the stream's bound and mode
+  // (one small kernel).
+  const Quantizer quantizer(header.absErrorBound, config_.roundingMode);
+  const BlockCodec codec(L);
+  const std::span<std::byte> newOffsets =
+      arena_.allocSpan<std::byte>(blockCount);
+  const std::span<std::byte> newPayload =
+      arena_.allocSpan<std::byte>(blockCount * maxPayloadSize(L));
+  const std::span<u64> newSizes = arena_.allocSpan<u64>(blockCount);
+  const std::span<i32> blockScratch = arena_.allocSpan<i32>(L);
+  const auto launch = launcher_.launch(1, [&](gpusim::BlockCtx& ctx) {
+    std::span<i32> q = blockScratch;
+    u64 cursor = 0;
+    for (u64 b = 0; b < blockCount; ++b) {
+      const u64 vFirst = b * L;
+      const u64 vLast = std::min<u64>(values.size(), vFirst + L);
+      quantizeDiffBlock(quantizer, values.subspan(vFirst, vLast - vFirst),
+                        q);
+      if (header.predictor == Predictor::SecondOrder) secondOrderDiff(q);
+      const auto plan = codec.planResiduals(q, header.mode);
+      newOffsets[b] = static_cast<std::byte>(plan.header.pack());
+      codec.encodeResiduals(q, plan, newPayload.data() + cursor);
+      newSizes[b] = plan.payloadBytes;
+      cursor += plan.payloadBytes;
+    }
+    ctx.mem.noteVectorRead(values.size() * sizeof(T), 32);
+    ctx.mem.noteScalarRead(numBlocks, 1, 32);  // offset-array scan
+    ctx.mem.noteVectorWrite(cursor + blockCount, 32);
+    ctx.mem.noteOps(values.size() * 16);
+  });
+  u64 newRangeBytes = 0;
+  for (const u64 s : newSizes) newRangeBytes += s;
+
+  // Splice: header | offsets (patched) | payload prefix | new | suffix.
+  Compressed out;
+  out.originalBytes = header.originalBytes();
+  out.stream.reserve(header.payloadBegin() + totalPayload - (rangeEnd -
+                     rangeStart) + newRangeBytes);
+  out.stream.insert(out.stream.end(), stream.begin(),
+                    stream.begin() + static_cast<usize>(
+                        StreamHeader::offsetsBegin()));
+  out.stream.insert(out.stream.end(), offsetBytes,
+                    offsetBytes + firstBlock);
+  out.stream.insert(out.stream.end(), newOffsets.begin(), newOffsets.end());
+  out.stream.insert(out.stream.end(), offsetBytes + firstBlock + blockCount,
+                    offsetBytes + numBlocks);
+  out.stream.insert(out.stream.end(), payload, payload + rangeStart);
+  out.stream.insert(out.stream.end(), newPayload.begin(),
+                    newPayload.begin() + newRangeBytes);
+  out.stream.insert(out.stream.end(), payload + rangeEnd,
+                    payload + totalPayload);
+
+  // Keep the integrity stamp valid after the splice.
+  if (header.checksum != 0) {
+    StreamHeader patched = header;
+    patched.checksum = crc32(ConstByteSpan(
+        out.stream.data() + StreamHeader::offsetsBegin(),
+        out.stream.size() - StreamHeader::offsetsBegin()));
+    if (patched.checksum == 0) patched.checksum = 1;
+    patched.serialize(out.stream.data());
+  }
+
+  out.ratio = static_cast<f64>(out.originalBytes) /
+              static_cast<f64>(out.stream.size());
+  out.profile = makeProfile(launch, timing_, (eLast - eFirst) * sizeof(T));
+  return out;
+}
+
+// Explicit instantiations of the public surface.
+template Compressed CompressorStream::compress<f32>(std::span<const f32>);
+template Compressed CompressorStream::compress<f64>(std::span<const f64>);
+template std::vector<Compressed> CompressorStream::compressBatch<f32>(
+    std::span<const std::span<const f32>>);
+template std::vector<Compressed> CompressorStream::compressBatch<f64>(
+    std::span<const std::span<const f64>>);
+template Decompressed<f32> CompressorStream::decompress<f32>(ConstByteSpan);
+template Decompressed<f64> CompressorStream::decompress<f64>(ConstByteSpan);
+template BlockRange<f32> CompressorStream::decompressBlocks<f32>(
+    ConstByteSpan, u64, u64);
+template BlockRange<f64> CompressorStream::decompressBlocks<f64>(
+    ConstByteSpan, u64, u64);
+template Compressed CompressorStream::replaceBlocks<f32>(
+    ConstByteSpan, u64, std::span<const f32>);
+template Compressed CompressorStream::replaceBlocks<f64>(
+    ConstByteSpan, u64, std::span<const f64>);
+
+}  // namespace cuszp2::core

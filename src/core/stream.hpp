@@ -1,0 +1,123 @@
+// Reusable compression stream: the zero-allocation hot path.
+//
+// A CompressorStream owns every piece of per-call state the pipeline needs
+// — a scratch arena backing quantization scratch, per-block plans, scan
+// flag arrays, tile prefix sums and the payload staging area, plus a
+// launcher on the process-shared worker pool — so repeated compress() /
+// decompress() calls reuse warm buffers instead of paying malloc/free and
+// pool startup per invocation. After one warm-up call at the peak input
+// size the arena performs no further heap allocations
+// (arenaStats().slabAllocations stays constant; asserted in
+// tests/test_stream_reuse.cpp).
+//
+// The one-shot core::Compressor API is a thin wrapper over a thread-local
+// stream (see compressor.hpp); long-lived layers (segmented streaming, the
+// archive writer, the allreduce codec, the CLI) hold a stream explicitly.
+// Output bytes are identical to the one-shot API in all configurations.
+#pragma once
+
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/config.hpp"
+#include "core/format.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launcher.hpp"
+#include "gpusim/timing.hpp"
+
+namespace cuszp2::core {
+
+struct KernelProfile {
+  gpusim::MemCounters mem;
+  gpusim::SyncStats sync;
+  gpusim::KernelTiming timing;
+
+  /// Modelled end-to-end time of the API call on the configured device:
+  /// the single kernel + launch overhead, plus (only when configured) the
+  /// REL-bound range reduction and the checksum pass. There is no PCIe or
+  /// CPU stage — that is the point of the paper.
+  f64 endToEndSeconds = 0.0;
+
+  /// End-to-end throughput w.r.t. the original data size, the paper's
+  /// headline metric (Sec. II).
+  f64 endToEndGBps = 0.0;
+
+  /// Host wall-clock seconds of the simulation run (diagnostic only).
+  f64 wallSeconds = 0.0;
+};
+
+struct Compressed {
+  std::vector<std::byte> stream;
+  KernelProfile profile;
+  u64 originalBytes = 0;
+  f64 ratio = 0.0;
+};
+
+template <FloatingPoint T>
+struct Decompressed {
+  std::vector<T> data;
+  KernelProfile profile;
+};
+
+template <FloatingPoint T>
+struct BlockRange {
+  /// Index of the first element covered by the decoded range.
+  u64 firstElement = 0;
+  std::vector<T> values;
+  KernelProfile profile;
+};
+
+class CompressorStream {
+ public:
+  explicit CompressorStream(Config config = {},
+                            gpusim::DeviceSpec device = gpusim::a100_40gb());
+
+  /// Re-targets the stream without touching its warm scratch. Cheap enough
+  /// to call before every operation (the one-shot wrapper does).
+  void reconfigure(const Config& config);
+  void reconfigure(const Config& config, const gpusim::DeviceSpec& device);
+
+  const Config& config() const { return config_; }
+  const gpusim::DeviceSpec& device() const { return timing_.spec(); }
+
+  /// Scratch-arena counters; slabAllocations is constant across calls once
+  /// the stream is warm (the zero-allocation steady state).
+  const Arena::Stats& arenaStats() const { return arena_.stats(); }
+
+  /// Drops the warm scratch (it is re-grown on the next call). For hosts
+  /// that keep many idle streams around.
+  void releaseScratch() { arena_.release(); }
+
+  /// Semantics identical to Compressor::compress (byte-identical output).
+  template <FloatingPoint T>
+  Compressed compress(std::span<const T> data);
+
+  /// Compresses several independent fields through one batched launch
+  /// (one latch, one task-submission pass — see Launcher::launchBatch).
+  /// Element i of the result is byte-identical to compress(fields[i]).
+  template <FloatingPoint T>
+  std::vector<Compressed> compressBatch(
+      std::span<const std::span<const T>> fields);
+
+  /// Semantics identical to Compressor::decompress.
+  template <FloatingPoint T>
+  Decompressed<T> decompress(ConstByteSpan stream);
+
+  /// Semantics identical to Compressor::decompressBlocks.
+  template <FloatingPoint T>
+  BlockRange<T> decompressBlocks(ConstByteSpan stream, u64 firstBlock,
+                                 u64 blockCount);
+
+  /// Semantics identical to Compressor::replaceBlocks.
+  template <FloatingPoint T>
+  Compressed replaceBlocks(ConstByteSpan stream, u64 firstBlock,
+                           std::span<const T> values);
+
+ private:
+  Config config_;
+  gpusim::TimingModel timing_;
+  gpusim::Launcher launcher_;
+  Arena arena_;
+};
+
+}  // namespace cuszp2::core

@@ -1,8 +1,10 @@
 #include "distributed/allreduce.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
+#include "core/stream.hpp"
 
 namespace cuszp2::distributed {
 
@@ -35,6 +37,43 @@ ExchangeCodec rawCodec() {
   return codec;
 }
 
+ExchangeCodec cuszp2StreamCodec(f64 absErrorBound, gpusim::DeviceSpec device) {
+  core::Config cfg;
+  cfg.absErrorBound = absErrorBound;
+  auto stream =
+      std::make_shared<core::CompressorStream>(cfg, std::move(device));
+
+  ExchangeCodec codec;
+  codec.name = "cuSZp2-O";
+  codec.transform = [stream](std::span<const f32> values,
+                             std::vector<f32>& reconstructed, u64& wireBytes,
+                             f64& codecSeconds) {
+    const auto c = stream->compress<f32>(values);
+    auto d = stream->decompress<f32>(c.stream);
+    wireBytes = c.stream.size();
+    codecSeconds = c.profile.endToEndSeconds + d.profile.endToEndSeconds;
+    reconstructed = std::move(d.data);
+  };
+  codec.batchTransform = [stream](
+                             std::span<const std::span<const f32>> chunks,
+                             std::vector<std::vector<f32>>& reconstructed,
+                             std::vector<u64>& wireBytes,
+                             std::vector<f64>& codecSeconds) {
+    const auto compressed = stream->compressBatch(chunks);
+    reconstructed.resize(chunks.size());
+    wireBytes.resize(chunks.size());
+    codecSeconds.resize(chunks.size());
+    for (usize i = 0; i < chunks.size(); ++i) {
+      auto d = stream->decompress<f32>(compressed[i].stream);
+      wireBytes[i] = compressed[i].stream.size();
+      codecSeconds[i] =
+          compressed[i].profile.endToEndSeconds + d.profile.endToEndSeconds;
+      reconstructed[i] = std::move(d.data);
+    }
+  };
+  return codec;
+}
+
 AllreduceResult RingAllreduce::run(
     const std::vector<std::vector<f32>>& gradients,
     const ExchangeCodec& codec, f64 perHopErrorBound) const {
@@ -46,7 +85,8 @@ AllreduceResult RingAllreduce::run(
   }
   require(n % devices_ == 0,
           "RingAllreduce: vector length must divide into device count");
-  require(static_cast<bool>(codec.transform),
+  require(static_cast<bool>(codec.transform) ||
+              static_cast<bool>(codec.batchTransform),
           "RingAllreduce: codec has no transform");
 
   const usize chunk = n / devices_;
@@ -63,23 +103,53 @@ AllreduceResult RingAllreduce::run(
                           chunk);
   };
 
+  // Runs one ring step's P concurrent sends: device d ships chunk
+  // sendChunkOf(d) to its right neighbour. Fills `incoming[d]` with what
+  // device d receives, accumulates wire bytes, and returns the step's
+  // critical-path time (slowest codec + link pair; the step is a
+  // synchronization point). A codec with batchTransform compresses all P
+  // sends through one batched launch.
+  auto exchangeStep = [&](auto sendChunkOf,
+                          std::vector<std::vector<f32>>& incoming) -> f64 {
+    f64 stepSeconds = 0.0;
+    if (codec.batchTransform) {
+      std::vector<std::span<const f32>> sends(P);
+      for (u32 d = 0; d < P; ++d) sends[d] = chunkSpan(d, sendChunkOf(d));
+      std::vector<std::vector<f32>> recon;
+      std::vector<u64> bytes;
+      std::vector<f64> codecSeconds;
+      codec.batchTransform(sends, recon, bytes, codecSeconds);
+      require(recon.size() == P && bytes.size() == P &&
+                  codecSeconds.size() == P,
+              "RingAllreduce: batchTransform output size mismatch");
+      for (u32 d = 0; d < P; ++d) {
+        incoming[(d + 1) % P] = std::move(recon[d]);
+        result.wireBytes += bytes[d];
+        stepSeconds = std::max(
+            stepSeconds, codecSeconds[d] + link_.transferSeconds(bytes[d]));
+      }
+    } else {
+      for (u32 d = 0; d < P; ++d) {
+        u64 bytes = 0;
+        f64 codecSeconds = 0.0;
+        codec.transform(chunkSpan(d, sendChunkOf(d)), wire, bytes,
+                        codecSeconds);
+        incoming[(d + 1) % P] = wire;
+        result.wireBytes += bytes;
+        stepSeconds = std::max(stepSeconds,
+                               codecSeconds + link_.transferSeconds(bytes));
+      }
+    }
+    return stepSeconds;
+  };
+
   // ---- Reduce-scatter: P-1 steps ---------------------------------------
   for (u32 step = 0; step < P - 1; ++step) {
-    f64 stepSeconds = 0.0;
     // Compute all sends of this step before applying receives (devices
     // run concurrently; the step is a synchronization point).
     std::vector<std::vector<f32>> incoming(P);
-    for (u32 d = 0; d < P; ++d) {
-      const u32 sendChunk = (d + P - step) % P;
-      u64 bytes = 0;
-      f64 codecSeconds = 0.0;
-      codec.transform(chunkSpan(d, sendChunk), wire, bytes, codecSeconds);
-      incoming[(d + 1) % P] = wire;
-      result.wireBytes += bytes;
-      stepSeconds =
-          std::max(stepSeconds,
-                   codecSeconds + link_.transferSeconds(bytes));
-    }
+    const f64 stepSeconds = exchangeStep(
+        [&](u32 d) { return (d + P - step) % P; }, incoming);
     for (u32 d = 0; d < P; ++d) {
       const u32 recvChunk = (d + 2 * P - step - 1) % P;
       auto dst = chunkSpan(d, recvChunk);
@@ -93,24 +163,17 @@ AllreduceResult RingAllreduce::run(
   // After reduce-scatter, device d owns fully reduced chunk (d+1) mod P.
   // ---- All-gather: P-1 steps --------------------------------------------
   for (u32 step = 0; step < P - 1; ++step) {
-    f64 stepSeconds = 0.0;
     std::vector<std::vector<f32>> incoming(P);
-    std::vector<u32> incomingChunk(P);
+    const f64 stepSeconds = exchangeStep(
+        [&](u32 d) { return (d + 1 + P - step) % P; }, incoming);
     for (u32 d = 0; d < P; ++d) {
-      const u32 sendChunk = (d + 1 + P - step) % P;
-      u64 bytes = 0;
-      f64 codecSeconds = 0.0;
-      codec.transform(chunkSpan(d, sendChunk), wire, bytes, codecSeconds);
-      incoming[(d + 1) % P] = wire;
-      incomingChunk[(d + 1) % P] = sendChunk;
-      result.wireBytes += bytes;
-      stepSeconds =
-          std::max(stepSeconds,
-                   codecSeconds + link_.transferSeconds(bytes));
-    }
-    for (u32 d = 0; d < P; ++d) {
-      auto dst = chunkSpan(d, incomingChunk[d]);
+      // The sender was device (d - 1 + P) % P; reconstruct which chunk it
+      // shipped so the receive lands in place.
+      const u32 sender = (d + P - 1) % P;
+      const u32 recvChunk = (sender + 1 + P - step) % P;
+      auto dst = chunkSpan(d, recvChunk);
       const auto& src = incoming[d];
+      require(src.size() == dst.size(), "RingAllreduce: bad wire size");
       std::copy(src.begin(), src.end(), dst.begin());
     }
     result.seconds += stepSeconds;

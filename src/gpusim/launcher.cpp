@@ -57,82 +57,151 @@ void setCurrentAbortFlag(std::atomic<bool>* flag) {
 }
 }  // namespace detail
 
-Launcher::Launcher() : pool_(new ThreadPool(ThreadPool::defaultWorkers())),
-                       ownsPool_(true) {}
+Launcher::Launcher() : pool_(&shared()) {}
 
-Launcher::Launcher(ThreadPool& pool) : pool_(&pool), ownsPool_(false) {}
+Launcher::Launcher(ThreadPool& pool) : pool_(&pool) {}
 
-Launcher::~Launcher() {
-  if (ownsPool_) delete pool_;
+ThreadPool& Launcher::shared() {
+  static ThreadPool pool(ThreadPool::defaultWorkers());
+  return pool;
 }
 
 LaunchResult Launcher::launch(u32 gridSize,
                               const std::function<void(BlockCtx&)>& body,
                               u32 blocksPerTask) {
-  LaunchResult result;
-  result.gridSize = gridSize;
-  if (gridSize == 0) return result;
+  const KernelRef ref{gridSize, &body, blocksPerTask};
+  return runKernels({&ref, 1})[0];
+}
 
-  if (blocksPerTask == 0) {
-    // Enough tasks to keep every worker busy several times over, but not so
-    // many that queue overhead dominates.
-    const u32 targetTasks =
-        static_cast<u32>(pool_->workerCount()) * 8;
-    blocksPerTask = std::max<u32>(1, gridSize / std::max<u32>(1, targetTasks));
+std::vector<LaunchResult> Launcher::launchBatch(
+    std::span<const KernelDesc> kernels) {
+  std::vector<KernelRef> refs;
+  refs.reserve(kernels.size());
+  for (const KernelDesc& k : kernels) {
+    refs.push_back(KernelRef{k.gridSize, &k.body, k.blocksPerTask});
   }
+  return runKernels(refs);
+}
+
+/// Fallback for launches issued from inside a kernel body running on this
+/// launcher's own pool (the host-model analogue of CUDA dynamic
+/// parallelism). Submitting to the pool could deadlock — every worker might
+/// be blocked waiting for a nested launch — so the blocks run sequentially
+/// on the calling thread. Ascending block order trivially satisfies the
+/// forward-progress requirement of the scan protocols.
+std::vector<LaunchResult> Launcher::runKernelsInline(
+    std::span<const KernelRef> kernels) {
+  std::vector<LaunchResult> results(kernels.size());
+  for (usize k = 0; k < kernels.size(); ++k) {
+    const KernelRef& kernel = kernels[k];
+    results[k].gridSize = kernel.gridSize;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (u32 b = 0; b < kernel.gridSize; ++b) {
+      BlockCtx ctx;
+      ctx.blockIdx = b;
+      ctx.gridSize = kernel.gridSize;
+      (*kernel.body)(ctx);
+      results[k].mem += ctx.mem;
+      results[k].sync += ctx.sync;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    results[k].wallSeconds = std::chrono::duration<f64>(t1 - t0).count();
+  }
+  return results;
+}
+
+std::vector<LaunchResult> Launcher::runKernels(
+    std::span<const KernelRef> kernels) {
+  if (ThreadPool::currentPool() == pool_) return runKernelsInline(kernels);
+
+  std::vector<LaunchResult> results(kernels.size());
+
+  // Resolve per-kernel task partitions and the flattened task count so one
+  // latch can cover the whole batch.
+  struct Partition {
+    u32 blocksPerTask = 0;
+    u32 numTasks = 0;
+    u32 taskBase = 0;  // offset into the flattened per-task counter arrays
+  };
+  std::vector<Partition> parts(kernels.size());
+  u32 totalTasks = 0;
+  for (usize k = 0; k < kernels.size(); ++k) {
+    const u32 gridSize = kernels[k].gridSize;
+    results[k].gridSize = gridSize;
+    if (gridSize == 0) continue;
+    u32 blocksPerTask = kernels[k].blocksPerTask;
+    if (blocksPerTask == 0) {
+      // Enough tasks to keep every worker busy several times over, but not
+      // so many that queue overhead dominates.
+      const u32 targetTasks = static_cast<u32>(pool_->workerCount()) * 8;
+      blocksPerTask =
+          std::max<u32>(1, gridSize / std::max<u32>(1, targetTasks));
+    }
+    parts[k].blocksPerTask = blocksPerTask;
+    parts[k].numTasks = static_cast<u32>(
+        (static_cast<u64>(gridSize) + blocksPerTask - 1) / blocksPerTask);
+    parts[k].taskBase = totalTasks;
+    totalTasks += parts[k].numTasks;
+  }
+  if (totalTasks == 0) return results;
 
   // Per-task accumulation avoids false sharing on per-block counters.
-  const u32 numTasks = static_cast<u32>(
-      (static_cast<u64>(gridSize) + blocksPerTask - 1) / blocksPerTask);
-  std::vector<MemCounters> taskMem(numTasks);
-  std::vector<SyncStats> taskSync(numTasks);
+  std::vector<MemCounters> taskMem(totalTasks);
+  std::vector<SyncStats> taskSync(totalTasks);
 
   std::atomic<bool> abortFlag{false};
   std::mutex exceptionMutex;
   std::exception_ptr firstException;
-  Latch done(numTasks);
+  Latch done(totalTasks);
 
   const auto t0 = std::chrono::steady_clock::now();
-  for (u32 task = 0; task < numTasks; ++task) {
-    const u32 first = task * blocksPerTask;
-    const u32 last = std::min(gridSize, first + blocksPerTask);
-    pool_->submit([&, task, first, last] {
-      detail::setCurrentAbortFlag(&abortFlag);
-      try {
-        for (u32 b = first; b < last; ++b) {
-          BlockCtx ctx;
-          ctx.blockIdx = b;
-          ctx.gridSize = gridSize;
-          body(ctx);
-          taskMem[task] += ctx.mem;
-          taskSync[task] += ctx.sync;
+  for (usize k = 0; k < kernels.size(); ++k) {
+    const u32 gridSize = kernels[k].gridSize;
+    const std::function<void(BlockCtx&)>* body = kernels[k].body;
+    for (u32 task = 0; task < parts[k].numTasks; ++task) {
+      const u32 first = task * parts[k].blocksPerTask;
+      const u32 last = std::min(gridSize, first + parts[k].blocksPerTask);
+      const u32 slot = parts[k].taskBase + task;
+      pool_->submit([&, gridSize, body, slot, first, last] {
+        detail::setCurrentAbortFlag(&abortFlag);
+        try {
+          for (u32 b = first; b < last; ++b) {
+            BlockCtx ctx;
+            ctx.blockIdx = b;
+            ctx.gridSize = gridSize;
+            (*body)(ctx);
+            taskMem[slot] += ctx.mem;
+            taskSync[slot] += ctx.sync;
+          }
+        } catch (...) {
+          // Record the exception before raising the abort flag so that
+          // secondary "launch aborted" errors from spinning blocks never
+          // mask the root cause.
+          {
+            std::lock_guard<std::mutex> lock(exceptionMutex);
+            if (!firstException) firstException = std::current_exception();
+          }
+          abortFlag.store(true, std::memory_order_release);
         }
-      } catch (...) {
-        // Record the exception before raising the abort flag so that
-        // secondary "launch aborted" errors from spinning blocks never
-        // mask the root cause.
-        {
-          std::lock_guard<std::mutex> lock(exceptionMutex);
-          if (!firstException) firstException = std::current_exception();
-        }
-        abortFlag.store(true, std::memory_order_release);
-      }
-      detail::setCurrentAbortFlag(nullptr);
-      done.countDown();
-    });
+        detail::setCurrentAbortFlag(nullptr);
+        done.countDown();
+      });
+    }
   }
   done.wait();
   const auto t1 = std::chrono::steady_clock::now();
 
   if (firstException) std::rethrow_exception(firstException);
 
-  for (u32 task = 0; task < numTasks; ++task) {
-    result.mem += taskMem[task];
-    result.sync += taskSync[task];
+  const f64 wall = std::chrono::duration<f64>(t1 - t0).count();
+  for (usize k = 0; k < kernels.size(); ++k) {
+    for (u32 task = 0; task < parts[k].numTasks; ++task) {
+      results[k].mem += taskMem[parts[k].taskBase + task];
+      results[k].sync += taskSync[parts[k].taskBase + task];
+    }
+    results[k].wallSeconds = wall;
   }
-  result.wallSeconds =
-      std::chrono::duration<f64>(t1 - t0).count();
-  return result;
+  return results;
 }
 
 }  // namespace cuszp2::gpusim

@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -37,18 +39,30 @@ struct LaunchResult {
   f64 wallSeconds = 0.0;
 };
 
+/// One independent grid of a batched launch (see Launcher::launchBatch).
+struct KernelDesc {
+  u32 gridSize = 0;
+  std::function<void(BlockCtx&)> body;
+  u32 blocksPerTask = 0;  ///< 0 = choose automatically
+};
+
 class Launcher {
  public:
-  /// Uses an internally owned pool with ThreadPool::defaultWorkers() workers.
+  /// Uses the process-shared worker pool (see shared()). Creating launchers
+  /// is therefore cheap: no threads are spawned per instance.
   Launcher();
 
   /// Uses an external pool (shared across launches).
   explicit Launcher(ThreadPool& pool);
 
-  ~Launcher();
-
   Launcher(const Launcher&) = delete;
   Launcher& operator=(const Launcher&) = delete;
+
+  /// Lazily-created process-wide worker pool sized by
+  /// ThreadPool::defaultWorkers(). All default-constructed launchers
+  /// dispatch onto it, so repeated compressor construction pays no pool
+  /// startup cost.
+  static ThreadPool& shared();
 
   /// Runs `body` once per block index in [0, gridSize). Consecutive blocks
   /// are batched into tasks of `blocksPerTask` (0 = choose automatically);
@@ -57,11 +71,28 @@ class Launcher {
                       const std::function<void(BlockCtx&)>& body,
                       u32 blocksPerTask = 0);
 
+  /// Dispatches several independent grids through one completion latch and
+  /// one task-submission pass, amortizing dispatch overhead the way CUDA
+  /// streams amortize kernel launches. Counters are reduced per kernel;
+  /// wallSeconds of every result is the whole batch's wall time (the
+  /// kernels run interleaved, so per-kernel wall time is not observable).
+  /// A failing block aborts the whole batch; the first exception is
+  /// rethrown after all tasks drain.
+  std::vector<LaunchResult> launchBatch(std::span<const KernelDesc> kernels);
+
   usize workerCount() const { return pool_->workerCount(); }
 
  private:
+  struct KernelRef {
+    u32 gridSize = 0;
+    const std::function<void(BlockCtx&)>* body = nullptr;
+    u32 blocksPerTask = 0;
+  };
+
+  std::vector<LaunchResult> runKernels(std::span<const KernelRef> kernels);
+  std::vector<LaunchResult> runKernelsInline(std::span<const KernelRef> kernels);
+
   ThreadPool* pool_;
-  bool ownsPool_;
 };
 
 /// Abort propagation for in-flight launches. When a block throws, the

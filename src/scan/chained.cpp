@@ -9,8 +9,18 @@ namespace cuszp2::scan {
 
 ChainedScanState::ChainedScanState(u32 numTiles)
     : numTiles_(numTiles),
-      state_(std::make_unique<std::atomic<u64>[]>(numTiles)) {
+      owned_(std::make_unique<std::atomic<u64>[]>(numTiles)),
+      state_(owned_.get()) {
   require(numTiles > 0, "ChainedScanState: numTiles must be > 0");
+  reset();
+}
+
+ChainedScanState::ChainedScanState(u32 numTiles,
+                                   std::span<std::atomic<u64>> storage)
+    : numTiles_(numTiles), state_(storage.data()) {
+  require(numTiles > 0, "ChainedScanState: numTiles must be > 0");
+  require(storage.size() >= numTiles,
+          "ChainedScanState: external storage too small");
   reset();
 }
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 
 #include "common/types.hpp"
 #include "gpusim/mem_counters.hpp"
@@ -24,6 +25,9 @@ class ChainedScanState {
 
   explicit ChainedScanState(u32 numTiles);
 
+  /// Non-owning variant over caller-provided state words (>= numTiles).
+  ChainedScanState(u32 numTiles, std::span<std::atomic<u64>> storage);
+
   u32 numTiles() const { return numTiles_; }
 
   /// Publishes this tile's inclusive prefix after waiting on the
@@ -35,7 +39,8 @@ class ChainedScanState {
 
  private:
   u32 numTiles_;
-  std::unique_ptr<std::atomic<u64>[]> state_;
+  std::unique_ptr<std::atomic<u64>[]> owned_;
+  std::atomic<u64>* state_;
 };
 
 }  // namespace cuszp2::scan

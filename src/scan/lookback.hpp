@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 
 #include "common/types.hpp"
 #include "gpusim/mem_counters.hpp"
@@ -26,6 +27,10 @@ class LookbackState {
   static constexpr u64 kFlagPrefix = 2;
 
   explicit LookbackState(u32 numTiles);
+
+  /// Non-owning variant over caller-provided state words (>= numTiles),
+  /// e.g. carved from a scratch arena so repeated scans allocate nothing.
+  LookbackState(u32 numTiles, std::span<std::atomic<u64>> storage);
 
   u32 numTiles() const { return numTiles_; }
 
@@ -49,7 +54,8 @@ class LookbackState {
   void publish(u32 tile, u64 flag, u64 value);
 
   u32 numTiles_;
-  std::unique_ptr<std::atomic<u64>[]> state_;
+  std::unique_ptr<std::atomic<u64>[]> owned_;
+  std::atomic<u64>* state_;
 };
 
 }  // namespace cuszp2::scan

@@ -1,0 +1,252 @@
+// Tests for the zero-allocation hot path: the scratch arena, reusable
+// CompressorStream (growing/shrinking inputs, precision alternation,
+// exception recovery, steady-state allocation behaviour, batched
+// launches), and the worker-pool environment override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/compressor.hpp"
+#include "core/stream.hpp"
+#include "datagen/fields.hpp"
+#include "gpusim/launcher.hpp"
+
+namespace cuszp2::core {
+namespace {
+
+// ---- Arena ----------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndBumped) {
+  Arena arena;
+  void* a = arena.allocate(1);
+  void* b = arena.allocate(100);
+  void* c = arena.allocate(64);
+  for (void* p : {a, b, c}) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u);
+  }
+  // Small allocations come from one slab, bump-style.
+  EXPECT_EQ(arena.stats().slabAllocations, 1u);
+  EXPECT_EQ(static_cast<std::byte*>(b) - static_cast<std::byte*>(a), 64);
+  EXPECT_EQ(arena.bytesInUse(), 64u + 128u + 64u);
+}
+
+TEST(Arena, ResetCoalescesIntoOneSlab) {
+  Arena arena;
+  // Force several slabs: each allocation exceeds what remains in the last.
+  arena.allocate(Arena::kMinSlabBytes);
+  arena.allocate(Arena::kMinSlabBytes + 1);
+  arena.allocate(3 * Arena::kMinSlabBytes);
+  const u64 grownSlabs = arena.stats().slabAllocations;
+  EXPECT_GT(grownSlabs, 1u);
+  const usize peak = arena.stats().highWater;
+
+  // Coalescing reset: one more slab sized to the high-water mark...
+  arena.reset();
+  EXPECT_EQ(arena.stats().slabAllocations, grownSlabs + 1);
+  EXPECT_GE(arena.stats().bytesReserved, peak);
+  EXPECT_EQ(arena.bytesInUse(), 0u);
+
+  // ...after which the same peak usage allocates nothing new.
+  arena.allocate(peak);
+  arena.reset();
+  arena.allocate(peak);
+  EXPECT_EQ(arena.stats().slabAllocations, grownSlabs + 1);
+}
+
+TEST(Arena, AllocSpanIsUsableAndEmptyOnZero) {
+  Arena arena;
+  auto span = arena.allocSpan<i32>(1000);
+  ASSERT_EQ(span.size(), 1000u);
+  for (usize i = 0; i < span.size(); ++i) span[i] = static_cast<i32>(i);
+  EXPECT_EQ(span[999], 999);
+  EXPECT_TRUE(arena.allocSpan<i32>(0).empty());
+  // std::atomic is not trivially constructible: allocSpan must run ctors.
+  auto atomics = arena.allocSpan<std::atomic<u64>>(8);
+  atomics[0].store(7);
+  EXPECT_EQ(atomics[0].load(), 7u);
+}
+
+// ---- CompressorStream reuse ----------------------------------------------
+
+Config testConfig() {
+  Config cfg;
+  cfg.absErrorBound = 1e-3;
+  return cfg;
+}
+
+template <FloatingPoint T>
+void expectRoundTripMatchesOneShot(CompressorStream& stream,
+                                   std::span<const T> data) {
+  const Compressor oneShot(stream.config());
+  const auto expected = oneShot.compress<T>(data);
+  const auto actual = stream.compress<T>(data);
+  ASSERT_EQ(actual.stream, expected.stream);
+  const auto decoded = stream.decompress<T>(actual.stream);
+  const auto expectedDecoded = oneShot.decompress<T>(expected.stream);
+  ASSERT_EQ(decoded.data, expectedDecoded.data);
+}
+
+TEST(StreamReuse, GrowingAndShrinkingSizesMatchOneShot) {
+  CompressorStream stream(testConfig());
+  // Grow, shrink, regrow — including empty and non-block-multiple sizes.
+  for (usize n : {usize{64}, usize{100000}, usize{31}, usize{0}, usize{4097},
+                  usize{257}, usize{100000}}) {
+    const auto data = datagen::generateF32("miranda", 0, std::max<usize>(n, 1));
+    expectRoundTripMatchesOneShot<f32>(
+        stream, std::span<const f32>(data.data(), n));
+  }
+}
+
+TEST(StreamReuse, AlternatingPrecisionsMatchOneShot) {
+  CompressorStream stream(testConfig());
+  const auto data32 = datagen::generateF32("miranda", 0, 5000);
+  const auto data64 = datagen::generateF64("s3d", 0, 3000);
+  for (int round = 0; round < 3; ++round) {
+    expectRoundTripMatchesOneShot<f32>(stream, data32);
+    expectRoundTripMatchesOneShot<f64>(stream, data64);
+  }
+}
+
+TEST(StreamReuse, ExceptionLeavesStreamReusable) {
+  Config cfg;
+  cfg.absErrorBound = 1e-12;  // quantizing ~1e0 values overflows i32 range
+  CompressorStream stream(cfg);
+  const auto data = datagen::generateF32("miranda", 0, 10000);
+  EXPECT_THROW(stream.compress<f32>(std::span<const f32>(data)), Error);
+
+  // The stream recovers: next calls succeed and stay byte-identical.
+  stream.reconfigure(testConfig());
+  expectRoundTripMatchesOneShot<f32>(stream, std::span<const f32>(data));
+}
+
+TEST(StreamReuse, SteadyStatePerformsNoArenaAllocations) {
+  CompressorStream stream(testConfig());
+  const auto big = datagen::generateF32("miranda", 0, 1 << 16);
+  const auto small = datagen::generateF32("nyx", 0, 1 << 12);
+
+  // Warm-up at the peak size: one compress grows the arena, the following
+  // reset coalesces it into a single high-water slab.
+  auto compressed = stream.compress<f32>(std::span<const f32>(big));
+  stream.decompress<f32>(compressed.stream);
+  const u64 warmSlabs = stream.arenaStats().slabAllocations;
+
+  for (int round = 0; round < 5; ++round) {
+    auto c = stream.compress<f32>(std::span<const f32>(big));
+    stream.decompress<f32>(c.stream);
+    stream.decompressBlocks<f32>(c.stream, 3, 17);
+    stream.compress<f32>(std::span<const f32>(small));
+  }
+  // Zero heap allocations in steady state: the slab counter is unchanged
+  // while resets keep ticking.
+  EXPECT_EQ(stream.arenaStats().slabAllocations, warmSlabs);
+  EXPECT_GT(stream.arenaStats().resets, 5u);
+}
+
+TEST(StreamReuse, ReleaseScratchRegrows) {
+  CompressorStream stream(testConfig());
+  const auto data = datagen::generateF32("miranda", 0, 1 << 14);
+  const auto expected = stream.compress<f32>(std::span<const f32>(data));
+  stream.releaseScratch();
+  const auto again = stream.compress<f32>(std::span<const f32>(data));
+  EXPECT_EQ(again.stream, expected.stream);
+}
+
+TEST(StreamReuse, BatchMatchesPerFieldCompression) {
+  CompressorStream stream(testConfig());
+  std::vector<std::vector<f32>> fields;
+  fields.push_back(datagen::generateF32("miranda", 0, 7000));
+  fields.push_back(datagen::generateF32("hacc", 1, 333));
+  fields.push_back({});  // empty field inside a batch
+  fields.push_back(datagen::generateF32("cesm_atm", 0, 12000));
+
+  std::vector<std::span<const f32>> views;
+  for (const auto& f : fields) views.emplace_back(f);
+  const auto batch = stream.compressBatch<f32>(views);
+  ASSERT_EQ(batch.size(), fields.size());
+
+  const Compressor oneShot(stream.config());
+  for (usize i = 0; i < fields.size(); ++i) {
+    const auto expected = oneShot.compress<f32>(views[i]);
+    EXPECT_EQ(batch[i].stream, expected.stream) << "field " << i;
+    EXPECT_EQ(batch[i].originalBytes, expected.originalBytes);
+  }
+}
+
+// ---- Batched launches and the shared pool --------------------------------
+
+TEST(LaunchBatch, CountersMatchSeparateLaunches) {
+  gpusim::Launcher launcher;
+  auto makeBody = [](u64 bytesPerBlock) {
+    return [bytesPerBlock](gpusim::BlockCtx& ctx) {
+      ctx.mem.noteVectorRead(bytesPerBlock, 32);
+      ctx.mem.noteVectorWrite(2 * bytesPerBlock, 32);
+    };
+  };
+  std::vector<gpusim::KernelDesc> descs(3);
+  descs[0] = {17, makeBody(64), 0};
+  descs[1] = {0, {}, 0};  // empty grid inside a batch
+  descs[2] = {33, makeBody(128), 4};
+
+  const auto batch = launcher.launchBatch(descs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (usize k = 0; k < descs.size(); ++k) {
+    if (descs[k].gridSize == 0) {
+      EXPECT_EQ(batch[k].mem.bytesRead, 0u);
+      continue;
+    }
+    const auto single =
+        launcher.launch(descs[k].gridSize, descs[k].body, descs[k].blocksPerTask);
+    EXPECT_EQ(batch[k].gridSize, single.gridSize);
+    EXPECT_EQ(batch[k].mem.bytesRead, single.mem.bytesRead);
+    EXPECT_EQ(batch[k].mem.bytesWritten, single.mem.bytesWritten);
+  }
+}
+
+TEST(LaunchBatch, NestedLaunchOnSharedPoolRunsInline) {
+  // A kernel body launching another grid on the same pool must not
+  // deadlock (every worker could be blocked in a nested wait); the
+  // launcher runs nested grids inline on the calling thread instead.
+  gpusim::Launcher launcher;
+  const u32 outer = static_cast<u32>(launcher.workerCount()) * 2 + 3;
+  const u32 inner = 5;
+  std::atomic<u64> hits{0};
+  launcher.launch(outer, [&](gpusim::BlockCtx&) {
+    gpusim::Launcher nested;
+    nested.launch(inner, [&](gpusim::BlockCtx&) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(hits.load(), static_cast<u64>(outer) * inner);
+}
+
+// ---- Worker-pool environment override ------------------------------------
+
+TEST(ThreadPoolEnv, WorkerCountOverride) {
+  const char* old = std::getenv("CUSZP2_WORKERS");
+  const std::string saved = old != nullptr ? old : "";
+
+  ::setenv("CUSZP2_WORKERS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultWorkers(), 3u);
+  ::setenv("CUSZP2_WORKERS", "1", 1);  // below the floor: clamped
+  EXPECT_EQ(ThreadPool::defaultWorkers(), 2u);
+  ::setenv("CUSZP2_WORKERS", "9999", 1);  // above the ceiling: clamped
+  EXPECT_EQ(ThreadPool::defaultWorkers(), 64u);
+  ::setenv("CUSZP2_WORKERS", "junk", 1);  // unparseable: hardware default
+  const usize fallback = ThreadPool::defaultWorkers();
+  EXPECT_GE(fallback, 2u);
+  EXPECT_LE(fallback, 16u);
+
+  if (old != nullptr) {
+    ::setenv("CUSZP2_WORKERS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CUSZP2_WORKERS");
+  }
+}
+
+}  // namespace
+}  // namespace cuszp2::core

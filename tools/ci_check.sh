@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice:
+#   1. Release         — the configuration the figures and perf numbers use.
+#   2. Debug + ASan/UBSan — catches lifetime bugs in the arena / stream
+#      reuse paths that a Release run would silently survive.
+#
+# Usage: tools/ci_check.sh [jobs]
+# Build trees land in build-ci-release/ and build-ci-asan/ under the repo
+# root so the default build/ directory is left untouched.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==== [${name}] ctest ===="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config asan -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
+
+echo "==== ci_check: all configurations passed ===="

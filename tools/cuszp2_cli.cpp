@@ -112,29 +112,30 @@ int doCompress(const std::string& in, const std::string& out,
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(
                           opt.rel, metrics::valueRange<T>(data));
-  const core::Compressor compressor(cfg);
-  const auto c = compressor.compress<T>(std::span<const T>(data));
+  core::CompressorStream codec(cfg);
+  const auto c = codec.compress<T>(std::span<const T>(data));
   io::writeBytes(out, c.stream);
   std::printf("compressed %zu values (%zu bytes) -> %zu bytes\n",
               data.size(), data.size() * sizeof(T), c.stream.size());
   std::printf("ratio: %.4f | mode: %s | abs error bound: %g\n", c.ratio,
               toString(cfg.mode), cfg.absErrorBound);
   std::printf("modelled end-to-end: %.2f GB/s on %s\n",
-              c.profile.endToEndGBps, compressor.device().name.c_str());
+              c.profile.endToEndGBps, codec.device().name.c_str());
   return 0;
 }
 
 int doDecompress(const std::string& in, const std::string& out) {
   const auto stream = io::readBytes(in);
   const auto header = core::StreamHeader::parse(stream);
-  const core::Compressor compressor({.absErrorBound = header.absErrorBound});
+  core::CompressorStream codec(
+      core::Config{.absErrorBound = header.absErrorBound});
   if (header.precision == Precision::F32) {
-    const auto d = compressor.decompress<f32>(stream);
+    const auto d = codec.decompress<f32>(stream);
     io::writeRaw<f32>(out, d.data);
     std::printf("decompressed %zu f32 values (%.2f GB/s modelled)\n",
                 d.data.size(), d.profile.endToEndGBps);
   } else {
-    const auto d = compressor.decompress<f64>(stream);
+    const auto d = codec.decompress<f64>(stream);
     io::writeRaw<f64>(out, d.data);
     std::printf("decompressed %zu f64 values (%.2f GB/s modelled)\n",
                 d.data.size(), d.profile.endToEndGBps);
@@ -170,8 +171,9 @@ int doVerifyTyped(const std::string& original, ConstByteSpan stream,
   const auto data = io::readRaw<T>(original);
   require(data.size() == header.numElements,
           "verify: original size does not match the stream");
-  const core::Compressor compressor({.absErrorBound = header.absErrorBound});
-  const auto d = compressor.decompress<T>(stream);
+  core::CompressorStream codec(
+      core::Config{.absErrorBound = header.absErrorBound});
+  const auto d = codec.decompress<T>(stream);
   const auto stats = metrics::computeErrorStats<T>(
       std::span<const T>(data), std::span<const T>(d.data));
   std::printf("max abs error: %g (bound %g)\n", stats.maxAbsError,
@@ -196,9 +198,9 @@ int doProfileTyped(const std::string& in, const Options& opt) {
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(
                           opt.rel, metrics::valueRange<T>(data));
-  const core::Compressor compressor(cfg);
-  const auto c = compressor.compress<T>(std::span<const T>(data));
-  const auto d = compressor.decompress<T>(c.stream);
+  core::CompressorStream codec(cfg);
+  const auto c = codec.compress<T>(std::span<const T>(data));
+  const auto d = codec.decompress<T>(c.stream);
 
   auto show = [](const char* phase, const core::KernelProfile& p) {
     std::printf("%s kernel (modelled):\n", phase);
@@ -223,8 +225,8 @@ int doProfileTyped(const std::string& in, const Options& opt) {
     std::printf("  mem pipeline throughput %.2f GB/s\n",
                 p.timing.memThroughputGBps);
   };
-  std::printf("device: %s | ratio: %.4f\n\n",
-              compressor.device().name.c_str(), c.ratio);
+  std::printf("device: %s | ratio: %.4f\n\n", codec.device().name.c_str(),
+              c.ratio);
   show("compression", c.profile);
   std::printf("\n");
   show("decompression", d.profile);

@@ -28,6 +28,12 @@ Decompressed<T> Compressor::decompress(ConstByteSpan stream) const {
 }
 
 template <FloatingPoint T>
+Salvaged<T> Compressor::decompressResilient(ConstByteSpan stream,
+                                            T fillValue) const {
+  return threadStream().decompressResilient<T>(stream, fillValue);
+}
+
+template <FloatingPoint T>
 BlockRange<T> Compressor::decompressBlocks(ConstByteSpan stream,
                                            u64 firstBlock,
                                            u64 blockCount) const {
@@ -45,6 +51,10 @@ template Compressed Compressor::compress<f32>(std::span<const f32>) const;
 template Compressed Compressor::compress<f64>(std::span<const f64>) const;
 template Decompressed<f32> Compressor::decompress<f32>(ConstByteSpan) const;
 template Decompressed<f64> Compressor::decompress<f64>(ConstByteSpan) const;
+template Salvaged<f32> Compressor::decompressResilient<f32>(ConstByteSpan,
+                                                            f32) const;
+template Salvaged<f64> Compressor::decompressResilient<f64>(ConstByteSpan,
+                                                            f64) const;
 template BlockRange<f32> Compressor::decompressBlocks<f32>(ConstByteSpan, u64,
                                                            u64) const;
 template BlockRange<f64> Compressor::decompressBlocks<f64>(ConstByteSpan, u64,

@@ -44,6 +44,14 @@ class Compressor {
   template <FloatingPoint T>
   Decompressed<T> decompress(ConstByteSpan stream) const;
 
+  /// Salvage decode of an untrusted/damaged stream: quarantines corrupt
+  /// blocks (filling their elements with `fillValue`) and returns a
+  /// DecodeReport instead of throwing. See
+  /// CompressorStream::decompressResilient.
+  template <FloatingPoint T>
+  Salvaged<T> decompressResilient(ConstByteSpan stream,
+                                  T fillValue = T{}) const;
+
   /// Random access: decodes blocks [firstBlock, firstBlock + blockCount).
   template <FloatingPoint T>
   BlockRange<T> decompressBlocks(ConstByteSpan stream, u64 firstBlock,

@@ -51,6 +51,20 @@ struct Config {
   /// garbage. Costs one extra bandwidth pass over the compressed bytes.
   bool checksum = false;
 
+  /// Write format-version-2 streams with a per-block CRC footer (16-bit
+  /// digest per block). Strict decompression then pins corruption to the
+  /// failing block, and decompressResilient can quarantine damaged blocks
+  /// while recovering every other block bit-exactly. Costs 2 bytes per
+  /// block plus one bandwidth pass over the compressed bytes.
+  bool blockChecksums = false;
+
+  /// Detect-and-retry budget for simulated soft errors (gpusim FaultPlan):
+  /// when > 0, compress/decompress launches compute per-tile write digests
+  /// inside the kernel and verify them after the launch; a mismatch (or an
+  /// aborted launch) triggers up to this many relaunches before the Error
+  /// propagates. 0 disables verification (no overhead).
+  u32 faultRetries = 0;
+
   /// Lossy-conversion rounding: Nearest (default, |err| <= eb) or Ceiling
   /// (one-sided err in (-2eb, 0], the paper's "rounding (or ceiling)").
   RoundingMode roundingMode = RoundingMode::Nearest;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bits.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace cuszp2::core {
@@ -25,10 +26,15 @@ u64 get64(const std::byte* p) {
 
 }  // namespace
 
+u16 blockDigest(std::byte offsetByte, ConstByteSpan payload) {
+  const u32 seeded = crc32(ConstByteSpan(&offsetByte, 1));
+  return static_cast<u16>(crc32(payload, seeded) & 0xFFFFu);
+}
+
 void StreamHeader::serialize(std::byte* out) const {
   put64(out + 0, kMagic);
   u64 meta = 0;
-  meta |= static_cast<u64>(kFormatVersion);
+  meta |= static_cast<u64>(version);
   meta |= static_cast<u64>(static_cast<u8>(precision)) << 8;
   meta |= static_cast<u64>(static_cast<u8>(mode)) << 16;
   meta |= static_cast<u64>(static_cast<u8>(predictor)) << 24;
@@ -44,10 +50,12 @@ StreamHeader StreamHeader::parse(ConstByteSpan stream) {
   require(get64(stream.data()) == kMagic,
           "StreamHeader: bad magic (not a cuSZp2 stream)");
   const u64 meta = get64(stream.data() + 8);
-  require((meta & 0xFFu) == kFormatVersion,
+  const u32 version = static_cast<u32>(meta & 0xFFu);
+  require(version == kFormatVersion || version == kFormatVersionV2,
           "StreamHeader: unsupported format version");
 
   StreamHeader h;
+  h.version = version;
   const u8 prec = static_cast<u8>((meta >> 8) & 0xFFu);
   require(prec <= 1, "StreamHeader: invalid precision tag");
   h.precision = static_cast<Precision>(prec);
@@ -64,9 +72,19 @@ StreamHeader StreamHeader::parse(ConstByteSpan stream) {
   h.absErrorBound = bitCast<f64>(get64(stream.data() + 24));
   require(h.absErrorBound > 0.0, "StreamHeader: invalid error bound");
   h.checksum = static_cast<u32>(get64(stream.data() + 32));
-  require(stream.size() >= h.payloadBegin(),
-          "StreamHeader: stream shorter than its offset array");
+  require(stream.size() >= h.payloadBegin() + h.footerBytes(),
+          "StreamHeader: stream shorter than its offset array and footer");
   return h;
+}
+
+std::optional<StreamHeader> StreamHeader::tryParse(ConstByteSpan stream,
+                                                   std::string* error) {
+  try {
+    return parse(stream);
+  } catch (const Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
 }
 
 }  // namespace cuszp2::core

@@ -3,12 +3,21 @@
 //   [StreamHeader, 40 bytes, little-endian]
 //   [offset bytes: 1 per block]                 <- "Part 1" in paper Fig. 5
 //   [concatenated block payloads]               <- "Part 2"
+//   [per-block CRC footer: 2 bytes per block]   <- version 2 only
 //
 // Block payload start positions are the exclusive prefix sum of the
 // per-block payload sizes, each derivable from its offset byte alone.
+//
+// Version 2 appends a footer of 16-bit per-block digests (CRC-32 over the
+// block's offset byte and payload, truncated) so corruption can be pinned
+// to individual blocks and the remaining blocks salvaged; version 1
+// streams carry no footer and parse unchanged. See docs/FORMAT.md for the
+// byte-level specification of both versions.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -16,8 +25,16 @@ namespace cuszp2::core {
 
 inline constexpr u64 kMagic = 0x325A5053'32505A43ull;  // "CZP2SPZ2"
 inline constexpr u32 kFormatVersion = 1;
+inline constexpr u32 kFormatVersionV2 = 2;  // adds the per-block CRC footer
+
+/// 16-bit per-block integrity digest: CRC-32 chained over the block's
+/// offset byte and payload bytes, truncated to its low 16 bits. Including
+/// the offset byte means a corrupted offset byte fails its own block's
+/// digest even when the payload bytes survive.
+u16 blockDigest(std::byte offsetByte, ConstByteSpan payload);
 
 struct StreamHeader {
+  u32 version = kFormatVersion;
   Precision precision = Precision::F32;
   EncodingMode mode = EncodingMode::Outlier;
   Predictor predictor = Predictor::FirstOrder;
@@ -25,7 +42,8 @@ struct StreamHeader {
   u64 numElements = 0;
   f64 absErrorBound = 0.0;
 
-  /// Optional CRC-32 over the offset + payload regions; 0 = no checksum
+  /// Optional CRC-32 over everything after the header (offsets, payload,
+  /// and in version 2 the per-block footer); 0 = no checksum
   /// (Config::checksum enables it at compression time).
   u32 checksum = 0;
 
@@ -48,10 +66,24 @@ struct StreamHeader {
     return kBytes + static_cast<usize>(numBlocks());
   }
 
+  /// True when the stream carries the version-2 per-block CRC footer.
+  bool hasBlockChecksums() const { return version >= kFormatVersionV2; }
+
+  /// Size of the per-block CRC footer (trailing bytes of the stream);
+  /// 0 for version-1 streams.
+  usize footerBytes() const {
+    return hasBlockChecksums() ? static_cast<usize>(numBlocks()) * 2 : 0;
+  }
+
   void serialize(std::byte* out) const;  // writes kBytes bytes
 
   /// Parses and validates; throws cuszp2::Error on corrupt input.
   static StreamHeader parse(ConstByteSpan stream);
+
+  /// Non-throwing parse for salvage paths; on failure returns nullopt and
+  /// stores the parse error in `error` (when non-null).
+  static std::optional<StreamHeader> tryParse(ConstByteSpan stream,
+                                              std::string* error = nullptr);
 };
 
 }  // namespace cuszp2::core

@@ -131,6 +131,15 @@ std::vector<T> SegmentedReader<T>::segment(usize index) const {
 }
 
 template <FloatingPoint T>
+Salvaged<T> SegmentedReader<T>::segmentResilient(usize index,
+                                                 T fillValue) const {
+  require(index < entries_.size(), "SegmentedReader: index out of range");
+  const auto& e = entries_[index];
+  return stream_.decompressResilient<T>(
+      container_.subspan(e.offset, e.length), fillValue);
+}
+
+template <FloatingPoint T>
 std::vector<T> SegmentedReader<T>::all() const {
   std::vector<T> out;
   out.reserve(static_cast<usize>(totalElems_));

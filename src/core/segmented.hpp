@@ -78,6 +78,11 @@ class SegmentedReader {
   /// Decodes one segment.
   std::vector<T> segment(usize index) const;
 
+  /// Salvage decode of one segment: quarantined blocks are filled with
+  /// `fillValue` and reported instead of throwing (see
+  /// CompressorStream::decompressResilient).
+  Salvaged<T> segmentResilient(usize index, T fillValue = T{}) const;
+
   /// Decodes the full stream in order.
   std::vector<T> all() const;
 

@@ -158,7 +158,13 @@ struct FieldJob {
   u32 tiles = 0;
   f64 rangeSeconds = 0.0;
   std::byte* staging = nullptr;  // header | offsets | payload, in the arena
+  usize stagingBytes = 0;
   std::span<u64> tileInclusive;
+  /// Per-tile CRC-32 over the tile's written offset + payload bytes,
+  /// computed inside the kernel when fault verification is on
+  /// (Config::faultRetries > 0); the host re-derives them from the staging
+  /// memory after the launch to detect injected write faults.
+  std::span<u32> tileWriteCrc;
   std::optional<TileSync> sync;
   gpusim::KernelDesc desc;
 };
@@ -188,6 +194,8 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
   }
   const Quantizer quantizer(absEb, config.roundingMode);
 
+  job.header.version =
+      config.blockChecksums ? kFormatVersionV2 : kFormatVersion;
   job.header.precision = precisionOf<T>();
   job.header.mode = config.mode;
   job.header.predictor = config.predictor;
@@ -199,10 +207,10 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
   job.tiles =
       static_cast<u32>(std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
 
-  const usize stagingBytes =
-      job.header.payloadBegin() +
-      static_cast<usize>(numBlocks) * maxPayloadSize(L);
-  job.staging = static_cast<std::byte*>(arena.allocate(stagingBytes));
+  job.stagingBytes = job.header.payloadBegin() +
+                     static_cast<usize>(numBlocks) * maxPayloadSize(L) +
+                     job.header.footerBytes();
+  job.staging = static_cast<std::byte*>(arena.allocate(job.stagingBytes));
   job.header.serialize(job.staging);
   if (n == 0) return;  // desc.gridSize stays 0: nothing to launch
 
@@ -210,6 +218,9 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
   std::byte* payloadOut = job.staging + job.header.payloadBegin();
 
   job.tileInclusive = arena.allocSpan<u64>(job.tiles);
+  if (config.faultRetries > 0) {
+    job.tileWriteCrc = arena.allocSpan<u32>(job.tiles);
+  }
   job.sync.emplace(config.syncAlgorithm, job.tiles, arena);
 
   const BlockCodec codec(L);
@@ -220,6 +231,7 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
   const T* values = data.data();
   TileSync* sync = &*job.sync;
   const std::span<u64> tileInclusive = job.tileInclusive;
+  const std::span<u32> tileWriteCrc = job.tileWriteCrc;
   const std::span<i32> scratchQuants = scratch.quants;
   const std::span<BlockPlan> scratchPlans = scratch.plans;
   const usize quantsPerWorker = scratch.quantsPerWorker;
@@ -274,13 +286,25 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
         sync->processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
     tileInclusive[ctx.blockIdx] = base + aggregate;
 
-    // Pass 2 — encode payloads and concatenate (step 4).
+    // Pass 2 — encode payloads and concatenate (step 4). Under fault
+    // verification the tile also digests the bytes it just wrote (reading
+    // back its own stores, before any soft error can land), giving the
+    // host a ground truth to re-derive from memory after the launch.
     u64 cursor = base;
+    u32 writeCrc = 0;
     for (u32 b = 0; b < blocksHere; ++b) {
       std::span<const i32> r(quants.data() + static_cast<usize>(b) * L, L);
       codec.encodeResiduals(r, plans[b], payloadOut + cursor);
+      if (!tileWriteCrc.empty()) {
+        writeCrc = crc32(
+            ConstByteSpan(offsetBytes + firstBlock + b, 1), writeCrc);
+        writeCrc = crc32(
+            ConstByteSpan(payloadOut + cursor, plans[b].payloadBytes),
+            writeCrc);
+      }
       cursor += plans[b].payloadBytes;
     }
+    if (!tileWriteCrc.empty()) tileWriteCrc[ctx.blockIdx] = writeCrc;
     access.write(ctx.mem, aggregate, 4);
     // Pass-2 encoding cost scales with the bytes actually packed: zero
     // blocks are skipped outright and well-compressed blocks pack fewer
@@ -307,21 +331,44 @@ Compressed finishField(const Config& config,
   }
 
   const u64 totalPayload = job.tileInclusive[job.tiles - 1];
-  const usize finalBytes =
+  usize finalBytes =
       job.header.payloadBegin() + static_cast<usize>(totalPayload);
-
-  // Optional integrity stamp: CRC-32 over offsets + payload (one extra
-  // bandwidth pass over the compressed bytes).
   f64 checksumSeconds = 0.0;
+
+  // Version 2: per-block CRC footer after the payload region (one extra
+  // bandwidth pass over the compressed bytes).
+  if (job.header.hasBlockChecksums()) {
+    const std::byte* offsets = job.staging + StreamHeader::offsetsBegin();
+    const std::byte* payload = job.staging + job.header.payloadBegin();
+    std::byte* footer = job.staging + finalBytes;
+    const u64 numBlocks = job.header.numBlocks();
+    u64 cursor = 0;
+    for (u64 blk = 0; blk < numBlocks; ++blk) {
+      const usize size = payloadSize(
+          BlockHeader::unpack(std::to_integer<u8>(offsets[blk])),
+          job.header.blockSize);
+      const u16 digest =
+          blockDigest(offsets[blk], ConstByteSpan(payload + cursor, size));
+      footer[2 * blk] = static_cast<std::byte>(digest & 0xFFu);
+      footer[2 * blk + 1] = static_cast<std::byte>(digest >> 8);
+      cursor += size;
+    }
+    finalBytes += job.header.footerBytes();
+    checksumSeconds += static_cast<f64>(finalBytes) /
+                           (timing.spec().memBandwidthGBps * 1e9) +
+                       timing.launchSeconds();
+  }
+
+  // Optional integrity stamp: CRC-32 over offsets + payload (+ footer).
   if (config.checksum) {
     job.header.checksum = crc32(
         ConstByteSpan(job.staging + StreamHeader::offsetsBegin(),
                       finalBytes - StreamHeader::offsetsBegin()));
     if (job.header.checksum == 0) job.header.checksum = 1;  // 0 = "absent"
     job.header.serialize(job.staging);
-    checksumSeconds = static_cast<f64>(finalBytes) /
-                          (timing.spec().memBandwidthGBps * 1e9) +
-                      timing.launchSeconds();
+    checksumSeconds += static_cast<f64>(finalBytes) /
+                           (timing.spec().memBandwidthGBps * 1e9) +
+                       timing.launchSeconds();
   }
 
   out.stream.assign(job.staging, job.staging + finalBytes);
@@ -330,6 +377,104 @@ Compressed finishField(const Config& config,
   out.profile = makeProfile(launch, timing, out.originalBytes,
                             job.rangeSeconds + checksumSeconds);
   return out;
+}
+
+/// Host re-derivation of the compress kernel's per-tile write digests from
+/// the staging memory. A soft error injected into the staged offset or
+/// payload bytes after the kernel's stores retire changes this walk (the
+/// sizes, the bytes, or both), so any mismatch against the in-kernel
+/// digests means the written output is corrupt.
+bool compressWriteDigestsMatch(const FieldJob& job, u32 bpt) {
+  if (job.tileWriteCrc.empty()) return true;
+  const u32 L = job.header.blockSize;
+  const u64 numBlocks = job.header.numBlocks();
+  const std::byte* offsets = job.staging + StreamHeader::offsetsBegin();
+  const std::byte* payload = job.staging + job.header.payloadBegin();
+  u64 cursor = 0;
+  for (u32 t = 0; t < job.tiles; ++t) {
+    const u64 firstBlock = static_cast<u64>(t) * bpt;
+    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
+    u32 crc = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      const usize size = payloadSize(
+          BlockHeader::unpack(std::to_integer<u8>(offsets[blk])), L);
+      crc = crc32(ConstByteSpan(offsets + blk, 1), crc);
+      crc = crc32(ConstByteSpan(payload + cursor, size), crc);
+      cursor += size;
+    }
+    if (crc != job.tileWriteCrc[t]) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void throwPayloadOverrun(const char* api, u64 block,
+                                      u64 byteOffset, usize need,
+                                      usize avail) {
+  throw Error(std::string(api) +
+              ": offset bytes imply a payload overrun at block " +
+              std::to_string(block) + " (stream byte offset " +
+              std::to_string(byteOffset) + ", needs " +
+              std::to_string(need) + " bytes, " + std::to_string(avail) +
+              " available) — the offset region is corrupt or the stream "
+              "is truncated");
+}
+
+/// Strict-mode layout validation, before any payload read: the
+/// prefix-summed per-block payload sizes must stay inside the stream's
+/// payload region, version-2 streams must frame exactly (payload end +
+/// footer == stream end), and version-2 per-block digests covering
+/// [digestFirst, digestFirst + digestCount) must match. Throws Error
+/// naming the failing block index and byte offset. Returns the total
+/// payload size.
+u64 validateStrictLayout(const char* api, const StreamHeader& header,
+                         ConstByteSpan stream, u64 digestFirst,
+                         u64 digestCount) {
+  const u32 L = header.blockSize;
+  const u64 numBlocks = header.numBlocks();
+  const usize payloadBegin = header.payloadBegin();
+  const usize footerB = header.footerBytes();
+  const usize payloadAvail = stream.size() - payloadBegin - footerB;
+  const std::byte* offsets = stream.data() + StreamHeader::offsetsBegin();
+  const std::byte* payload = stream.data() + payloadBegin;
+  // The version-2 footer occupies the stream's trailing bytes.
+  const std::byte* footer = stream.data() + (stream.size() - footerB);
+
+  u64 cursor = 0;
+  for (u64 blk = 0; blk < numBlocks; ++blk) {
+    const std::byte offsetByte = offsets[blk];
+    const usize size =
+        payloadSize(BlockHeader::unpack(std::to_integer<u8>(offsetByte)), L);
+    if (cursor + size > payloadAvail) {
+      throwPayloadOverrun(api, blk, payloadBegin + cursor, size,
+                          payloadAvail - std::min<usize>(payloadAvail,
+                                                         cursor));
+    }
+    if (header.hasBlockChecksums() && blk >= digestFirst &&
+        blk < digestFirst + digestCount) {
+      const u16 stored =
+          static_cast<u16>(std::to_integer<u16>(footer[2 * blk]) |
+                           (std::to_integer<u16>(footer[2 * blk + 1]) << 8));
+      const u16 actual =
+          blockDigest(offsetByte, ConstByteSpan(payload + cursor, size));
+      if (stored != actual) {
+        throw Error(std::string(api) +
+                    ": per-block checksum mismatch at block " +
+                    std::to_string(blk) + " (stream byte offset " +
+                    std::to_string(payloadBegin + cursor) +
+                    ") — the stream is corrupted");
+      }
+    }
+    cursor += size;
+  }
+  if (header.hasBlockChecksums() &&
+      payloadBegin + cursor + footerB != stream.size()) {
+    throw Error(std::string(api) +
+                ": version-2 stream framing mismatch (offset bytes imply " +
+                std::to_string(payloadBegin + cursor + footerB) +
+                " bytes, stream has " + std::to_string(stream.size()) +
+                ") — the stream is corrupted or truncated");
+  }
+  return cursor;
 }
 
 }  // namespace
@@ -350,6 +495,43 @@ void CompressorStream::reconfigure(const Config& config,
   timing_.setSpec(device);
 }
 
+gpusim::LaunchResult CompressorStream::launchVerified(
+    const gpusim::KernelDesc& desc, std::span<std::byte> faultTarget,
+    const std::function<bool()>& verify,
+    const std::function<void()>& rearm) {
+  for (u32 attempt = 0;; ++attempt) {
+    std::exception_ptr failure;
+    gpusim::LaunchResult launch;
+    bool ok = false;
+    try {
+      launch = launcher_.launch(desc.gridSize, desc.body,
+                                desc.blocksPerTask, faultTarget);
+      ok = verify();
+    } catch (const Error&) {
+      failure = std::current_exception();
+    }
+    if (ok) return launch;
+    ++faultsDetected_;
+    if (attempt >= config_.faultRetries) {
+      if (failure) std::rethrow_exception(failure);
+      throw Error("CompressorStream: kernel output still corrupt after " +
+                  std::to_string(config_.faultRetries) +
+                  " fault retries — giving up");
+    }
+    ++faultRelaunches_;
+    rearm();
+  }
+}
+
+/// The byte region the compress kernel writes: offset bytes + the payload
+/// staging capacity (a fault landing past the final payload byte is
+/// harmless by construction — those bytes never reach the stream).
+std::span<std::byte> compressFaultTarget(const FieldJob& job) {
+  return {job.staging + StreamHeader::offsetsBegin(),
+          job.stagingBytes - StreamHeader::kBytes -
+              job.header.footerBytes()};
+}
+
 template <FloatingPoint T>
 Compressed CompressorStream::compress(std::span<const T> data) {
   arena_.reset();
@@ -360,7 +542,16 @@ Compressed CompressorStream::compress(std::span<const T> data) {
   prepareField(config_, timing_, arena_, scratch, workers, data, job);
   gpusim::LaunchResult launch;
   if (job.desc.gridSize > 0) {
-    launch = launcher_.launch(job.desc.gridSize, job.desc.body);
+    if (config_.faultRetries > 0) {
+      launch = launchVerified(
+          job.desc, compressFaultTarget(job),
+          [&] { return compressWriteDigestsMatch(job, config_.blocksPerTile); },
+          [&] {
+            job.sync.emplace(config_.syncAlgorithm, job.tiles, arena_);
+          });
+    } else {
+      launch = launcher_.launch(job.desc.gridSize, job.desc.body);
+    }
   }
   return finishField(config_, timing_, job, launch);
 }
@@ -380,12 +571,38 @@ std::vector<Compressed> CompressorStream::compressBatch(
   for (usize i = 0; i < fields.size(); ++i) {
     prepareField(config_, timing_, arena_, scratch, workers, fields[i],
                  jobs[i]);
+    if (config_.faultRetries > 0) {
+      jobs[i].desc.faultTarget = compressFaultTarget(jobs[i]);
+    }
   }
 
   std::vector<gpusim::KernelDesc> descs;
   descs.reserve(jobs.size());
   for (FieldJob& job : jobs) descs.push_back(std::move(job.desc));
-  const auto launches = launcher_.launchBatch(descs);
+  auto launches = launcher_.launchBatch(descs);
+
+  // Per-field fault verification: a corrupt field is relaunched on its
+  // own (the surviving fields' results are kept).
+  if (config_.faultRetries > 0) {
+    for (usize i = 0; i < jobs.size(); ++i) {
+      if (descs[i].gridSize == 0 ||
+          compressWriteDigestsMatch(jobs[i], config_.blocksPerTile)) {
+        continue;
+      }
+      ++faultsDetected_;
+      ++faultRelaunches_;
+      jobs[i].sync.emplace(config_.syncAlgorithm, jobs[i].tiles, arena_);
+      launches[i] = launchVerified(
+          descs[i], compressFaultTarget(jobs[i]),
+          [&, i] {
+            return compressWriteDigestsMatch(jobs[i], config_.blocksPerTile);
+          },
+          [&, i] {
+            jobs[i].sync.emplace(config_.syncAlgorithm, jobs[i].tiles,
+                                 arena_);
+          });
+    }
+  }
 
   std::vector<Compressed> out;
   out.reserve(jobs.size());
@@ -415,6 +632,17 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
                           (timing_.spec().memBandwidthGBps * 1e9) +
                       timing_.launchSeconds();
   }
+
+  // Layout validation before any payload read: the prefix-summed payload
+  // sizes must stay inside the stream, and version-2 per-block digests
+  // must match (one extra bandwidth pass over the compressed bytes).
+  validateStrictLayout("decompress", header, stream, 0, header.numBlocks());
+  if (header.hasBlockChecksums()) {
+    checksumSeconds += static_cast<f64>(stream.size()) /
+                           (timing_.spec().memBandwidthGBps * 1e9) +
+                       timing_.launchSeconds();
+  }
+
   const u32 L = header.blockSize;
   const u32 bpt = config_.blocksPerTile;
   const u64 n = header.numElements;
@@ -431,15 +659,23 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
       std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
   const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
   const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
+  const usize payloadAvail =
+      stream.size() - header.payloadBegin() - header.footerBytes();
 
   const Quantizer quantizer(header.absErrorBound);
   const BlockCodec codec(L);
-  TileSync syncState(config_.syncAlgorithm, tiles, arena_);
+  std::optional<TileSync> syncState;
+  syncState.emplace(config_.syncAlgorithm, tiles, arena_);
+  std::span<u32> tileWriteCrc;
+  if (config_.faultRetries > 0) {
+    tileWriteCrc = arena_.allocSpan<u32>(tiles);
+  }
   const AccessRecorder access{config_.vectorizedAccess,
                               timing_.spec().transactionBytes};
 
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+  gpusim::KernelDesc desc;
+  desc.gridSize = tiles;
+  desc.body = [&, tileWriteCrc](gpusim::BlockCtx& ctx) {
     const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
     const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
     const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
@@ -456,7 +692,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
     ctx.mem.noteOps(blocksHere * 2);
 
     const u64 base =
-        syncState.processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+        syncState->processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
 
     u64 cursor = base;
     i32 quantsArr[256];
@@ -494,7 +730,40 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
     ctx.mem.noteMemset(zeroBytes);
     ctx.mem.noteOps(decodedElems * 6);
     ctx.mem.noteL1(decodedElems * 8);
-  });
+
+    // Fault verification: digest the output elements this tile just wrote
+    // (reading back its own stores, before a soft error can land).
+    if (!tileWriteCrc.empty()) {
+      const u64 eFirst = firstBlock * L;
+      const u64 eLast = std::min<u64>(n, lastBlock * L);
+      tileWriteCrc[ctx.blockIdx] = crc32(ConstByteSpan(
+          reinterpret_cast<const std::byte*>(out.data.data() + eFirst),
+          (eLast - eFirst) * sizeof(T)));
+    }
+  };
+
+  gpusim::LaunchResult launch;
+  if (config_.faultRetries > 0) {
+    const std::span<std::byte> outBytes(
+        reinterpret_cast<std::byte*>(out.data.data()), n * sizeof(T));
+    const auto verify = [&, tileWriteCrc] {
+      for (u32 t = 0; t < tiles; ++t) {
+        const u64 eFirst = static_cast<u64>(t) * bpt * L;
+        const u64 eLast = std::min<u64>(
+            n, std::min<u64>(numBlocks, static_cast<u64>(t) * bpt + bpt) * L);
+        const u32 crc = crc32(ConstByteSpan(
+            reinterpret_cast<const std::byte*>(out.data.data() + eFirst),
+            (eLast - eFirst) * sizeof(T)));
+        if (crc != tileWriteCrc[t]) return false;
+      }
+      return true;
+    };
+    launch = launchVerified(desc, outBytes, verify, [&] {
+      syncState.emplace(config_.syncAlgorithm, tiles, arena_);
+    });
+  } else {
+    launch = launcher_.launch(tiles, desc.body);
+  }
 
   out.profile =
       makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);
@@ -514,6 +783,12 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
               firstBlock + blockCount <= numBlocks,
           "decompressBlocks: block range out of bounds");
 
+  // The whole prefix-summed layout is validated before any payload read
+  // (a corrupt offset byte anywhere shifts every later block); version-2
+  // digests are checked for the requested blocks only.
+  validateStrictLayout("decompressBlocks", header, stream, firstBlock,
+                       blockCount);
+
   const u32 L = header.blockSize;
   const u32 bpt = config_.blocksPerTile;
   const u64 n = header.numElements;
@@ -522,7 +797,8 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
 
   const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
   const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
+  const usize payloadAvail =
+      stream.size() - header.payloadBegin() - header.footerBytes();
 
   const Quantizer quantizer(header.absErrorBound);
   const BlockCodec codec(L);
@@ -608,9 +884,14 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
           "replaceBlocks: values must cover whole blocks (size must be "
           "a multiple of the block size or end at the stream tail)");
 
+  // Validates the whole layout (prefix-sum bounds + every version-2
+  // digest) before the splice reads any payload byte.
+  validateStrictLayout("replaceBlocks", header, stream, 0, numBlocks);
+
   const std::byte* offsetBytes = stream.data() + StreamHeader::offsetsBegin();
   const std::byte* payload = stream.data() + header.payloadBegin();
-  const usize payloadAvail = stream.size() - header.payloadBegin();
+  const usize payloadAvail =
+      stream.size() - header.payloadBegin() - header.footerBytes();
 
   // Locate the byte range of the replaced blocks and the payload total
   // (host-side scan; on the device this is the same offset-array pass the
@@ -679,6 +960,27 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
   out.stream.insert(out.stream.end(), payload + rangeEnd,
                     payload + totalPayload);
 
+  // Version 2: rebuild the per-block CRC footer over the spliced stream
+  // (the replaced blocks' digests changed; the rest are recomputed too so
+  // the footer stays a pure function of the stream's blocks).
+  if (header.hasBlockChecksums()) {
+    std::vector<std::byte> footer(header.footerBytes());
+    const std::byte* outOffsets =
+        out.stream.data() + StreamHeader::offsetsBegin();
+    const std::byte* outPayload = out.stream.data() + header.payloadBegin();
+    u64 cursor = 0;
+    for (u64 blk = 0; blk < numBlocks; ++blk) {
+      const usize size = payloadSize(
+          BlockHeader::unpack(std::to_integer<u8>(outOffsets[blk])), L);
+      const u16 digest = blockDigest(
+          outOffsets[blk], ConstByteSpan(outPayload + cursor, size));
+      footer[2 * blk] = static_cast<std::byte>(digest & 0xFFu);
+      footer[2 * blk + 1] = static_cast<std::byte>(digest >> 8);
+      cursor += size;
+    }
+    out.stream.insert(out.stream.end(), footer.begin(), footer.end());
+  }
+
   // Keep the integrity stamp valid after the splice.
   if (header.checksum != 0) {
     StreamHeader patched = header;
@@ -692,6 +994,154 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
   out.ratio = static_cast<f64>(out.originalBytes) /
               static_cast<f64>(out.stream.size());
   out.profile = makeProfile(launch, timing_, (eLast - eFirst) * sizeof(T));
+  return out;
+}
+
+template <FloatingPoint T>
+Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
+                                                  T fillValue) {
+  arena_.reset();
+  Salvaged<T> out;
+  DecodeReport& rep = out.report;
+  out.profile.endToEndSeconds = timing_.launchSeconds();
+
+  std::string headerError;
+  const auto parsed = StreamHeader::tryParse(stream, &headerError);
+  if (!parsed) {
+    rep.headerError = headerError;
+    return out;
+  }
+  const StreamHeader header = *parsed;
+  if (header.precision != precisionOf<T>()) {
+    rep.headerError =
+        "decompressResilient: stream precision does not match the "
+        "requested type";
+    return out;
+  }
+  rep.headerOk = true;
+  rep.blockChecksums = header.hasBlockChecksums();
+
+  // Whole-stream CRC verdict is informational in salvage mode: a
+  // mismatch localizes nothing, the per-block pass below decides.
+  f64 checksumSeconds = 0.0;
+  if (header.checksum != 0) {
+    u32 crc = crc32(ConstByteSpan(
+        stream.data() + StreamHeader::offsetsBegin(),
+        stream.size() - StreamHeader::offsetsBegin()));
+    if (crc == 0) crc = 1;
+    rep.streamChecksumOk = (crc == header.checksum);
+    checksumSeconds = static_cast<f64>(stream.size()) /
+                          (timing_.spec().memBandwidthGBps * 1e9) +
+                      timing_.launchSeconds();
+  }
+
+  const u32 L = header.blockSize;
+  const u32 bpt = config_.blocksPerTile;
+  const u64 n = header.numElements;
+  const u64 numBlocks = header.numBlocks();
+  rep.totalBlocks = numBlocks;
+  rep.verdicts.assign(numBlocks, BlockVerdict::Good);
+  out.data.assign(n, fillValue);
+  if (n == 0) return out;
+
+  const usize payloadBegin = header.payloadBegin();
+  const usize footerB = header.footerBytes();
+  const usize payloadAvail = stream.size() - payloadBegin - footerB;
+  const std::byte* offsets = stream.data() + StreamHeader::offsetsBegin();
+  const std::byte* payload = stream.data() + payloadBegin;
+  const std::byte* footer = stream.data() + (stream.size() - footerB);
+
+  // Host structural pass: prefix-sum every block's payload position from
+  // the offset bytes, bounds-check each against the payload region, and
+  // (version 2) verify each in-range block's digest. A truncated stream
+  // quarantines every block past the cut; a flipped offset byte shifts all
+  // later positions, so their digests fail too — exactly the blocks whose
+  // bytes can no longer be trusted.
+  const std::span<u64> blockStart = arena_.allocSpan<u64>(numBlocks);
+  u64 cursor = 0;
+  for (u64 blk = 0; blk < numBlocks; ++blk) {
+    blockStart[blk] = cursor;
+    const usize size = payloadSize(
+        BlockHeader::unpack(std::to_integer<u8>(offsets[blk])), L);
+    if (cursor > payloadAvail || size > payloadAvail - cursor) {
+      rep.verdicts[blk] = BlockVerdict::Truncated;
+    } else if (header.hasBlockChecksums()) {
+      const u16 stored =
+          static_cast<u16>(std::to_integer<u16>(footer[2 * blk]) |
+                           (std::to_integer<u16>(footer[2 * blk + 1]) << 8));
+      const u16 actual =
+          blockDigest(offsets[blk], ConstByteSpan(payload + cursor, size));
+      if (stored != actual) {
+        rep.verdicts[blk] = BlockVerdict::ChecksumMismatch;
+      }
+    }
+    cursor += size;
+  }
+  if (header.hasBlockChecksums() &&
+      payloadBegin + cursor + footerB != stream.size()) {
+    rep.framingDamaged = true;
+  }
+
+  const u32 tiles = static_cast<u32>(
+      std::max<u64>(1, (numBlocks + bpt - 1) / bpt));
+  const Quantizer quantizer(header.absErrorBound);
+  const BlockCodec codec(L);
+  const AccessRecorder access{config_.vectorizedAccess,
+                              timing_.spec().transactionBytes};
+
+  // Decode only the surviving blocks; quarantined blocks keep the fill.
+  // Block positions come from the host pass, so no scan state is needed
+  // (and corrupted offsets cannot wedge the inter-tile protocol).
+  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
+    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
+    i32 quantsArr[256];
+    u64 decodedElems = 0;
+    u64 payloadBytesRead = 0;
+    u64 zeroBytes = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      if (rep.verdicts[blk] != BlockVerdict::Good) continue;
+      const auto h = BlockHeader::unpack(std::to_integer<u8>(offsets[blk]));
+      const u64 eFirst = blk * L;
+      const u64 eLast = std::min<u64>(n, eFirst + L);
+      if (!h.outlierMode && h.fixedLength == 0) {
+        for (u64 e = eFirst; e < eLast; ++e) out.data[e] = T{};
+        zeroBytes += (eLast - eFirst) * sizeof(T);
+        continue;
+      }
+      try {
+        std::span<i32> q(quantsArr, L);
+        codec.decodeResiduals(h, payload + blockStart[blk], q);
+        residualsToQuants(q, q, header.predictor);
+        for (u64 e = eFirst; e < eLast; ++e) {
+          out.data[e] = quantizer.dequantize<T>(q[e - eFirst]);
+        }
+        decodedElems += eLast - eFirst;
+        payloadBytesRead += payloadSize(h, L);
+      } catch (const Error&) {
+        rep.verdicts[blk] = BlockVerdict::DecodeError;
+        for (u64 e = eFirst; e < eLast; ++e) out.data[e] = fillValue;
+      }
+    }
+    access.read(ctx.mem, lastBlock - firstBlock, 1);
+    access.read(ctx.mem, payloadBytesRead, 4);
+    access.write(ctx.mem, decodedElems * sizeof(T), sizeof(T));
+    ctx.mem.noteMemset(zeroBytes);
+    ctx.mem.noteOps(decodedElems * 6);
+    ctx.mem.noteL1(decodedElems * 8);
+  });
+
+  for (u64 blk = 0; blk < numBlocks; ++blk) {
+    if (rep.verdicts[blk] == BlockVerdict::Good) continue;
+    ++rep.badBlocks;
+    if (rep.firstCorruptOffset == DecodeReport::kNoCorruption) {
+      rep.firstCorruptOffset = payloadBegin + blockStart[blk];
+    }
+  }
+  rep.goodBlocks = numBlocks - rep.badBlocks;
+
+  out.profile =
+      makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);
   return out;
 }
 
@@ -712,5 +1162,9 @@ template Compressed CompressorStream::replaceBlocks<f32>(
     ConstByteSpan, u64, std::span<const f32>);
 template Compressed CompressorStream::replaceBlocks<f64>(
     ConstByteSpan, u64, std::span<const f64>);
+template Salvaged<f32> CompressorStream::decompressResilient<f32>(
+    ConstByteSpan, f32);
+template Salvaged<f64> CompressorStream::decompressResilient<f64>(
+    ConstByteSpan, f64);
 
 }  // namespace cuszp2::core

@@ -16,6 +16,7 @@
 // Output bytes are identical to the one-shot API in all configurations.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -67,6 +68,77 @@ struct BlockRange {
   KernelProfile profile;
 };
 
+/// Why a block was quarantined by the salvage decoder.
+enum class BlockVerdict : u8 {
+  Good = 0,
+  /// The block's payload (located by the offset-byte prefix sum) runs past
+  /// the end of the stream's payload region.
+  Truncated,
+  /// Version-2 per-block digest mismatch: the offset byte or payload bytes
+  /// are damaged.
+  ChecksumMismatch,
+  /// The block decode itself failed (malformed payload structure).
+  DecodeError,
+};
+
+constexpr const char* toString(BlockVerdict v) {
+  switch (v) {
+    case BlockVerdict::Good: return "good";
+    case BlockVerdict::Truncated: return "truncated";
+    case BlockVerdict::ChecksumMismatch: return "checksum-mismatch";
+    default: return "decode-error";
+  }
+}
+
+/// Outcome of a resilient (salvage) decode: what survived, what was
+/// quarantined, and where the damage starts. Returned instead of throwing
+/// — strict decompress() keeps the throw-on-corruption behaviour.
+struct DecodeReport {
+  static constexpr u64 kNoCorruption = ~u64{0};
+
+  /// False when the 40-byte header itself failed to parse; data is then
+  /// empty and headerError holds the parse failure.
+  bool headerOk = false;
+  std::string headerError;
+
+  /// Whole-stream CRC-32 verdict; true when the stream carries none.
+  bool streamChecksumOk = true;
+
+  /// True when the stream is version 2 (per-block digests available, so
+  /// quarantine decisions are per-block exact).
+  bool blockChecksums = false;
+
+  /// True for version-2 streams whose offset-byte prefix sum + footer do
+  /// not land exactly on the end of the stream (truncation or offset-byte
+  /// damage; per-block digests then decide which blocks survive).
+  bool framingDamaged = false;
+
+  u64 totalBlocks = 0;
+  u64 goodBlocks = 0;
+  u64 badBlocks = 0;
+
+  /// Stream-relative byte offset where the first quarantined block's
+  /// payload begins (kNoCorruption when every block is good).
+  u64 firstCorruptOffset = kNoCorruption;
+
+  /// Per-block verdicts, totalBlocks entries.
+  std::vector<BlockVerdict> verdicts;
+
+  bool clean() const {
+    return headerOk && streamChecksumOk && !framingDamaged && badBlocks == 0;
+  }
+};
+
+/// Result of CompressorStream::decompressResilient. Quarantined blocks'
+/// elements hold the caller's fill value; all other elements are bit-exact
+/// w.r.t. a clean decode.
+template <FloatingPoint T>
+struct Salvaged {
+  std::vector<T> data;
+  DecodeReport report;
+  KernelProfile profile;
+};
+
 class CompressorStream {
  public:
   explicit CompressorStream(Config config = {},
@@ -103,6 +175,16 @@ class CompressorStream {
   template <FloatingPoint T>
   Decompressed<T> decompress(ConstByteSpan stream);
 
+  /// Salvage decode: treats `stream` as untrusted, bounds-checks every
+  /// offset/payload access, quarantines blocks that are truncated,
+  /// out-of-range, digest-mismatched (version 2) or undecodable, fills
+  /// their elements with `fillValue`, and reports instead of throwing.
+  /// Never throws on corrupt input: an unparseable header (including a
+  /// precision tag that does not match T) yields empty data with
+  /// report.headerOk == false.
+  template <FloatingPoint T>
+  Salvaged<T> decompressResilient(ConstByteSpan stream, T fillValue = T{});
+
   /// Semantics identical to Compressor::decompressBlocks.
   template <FloatingPoint T>
   BlockRange<T> decompressBlocks(ConstByteSpan stream, u64 firstBlock,
@@ -113,11 +195,33 @@ class CompressorStream {
   Compressed replaceBlocks(ConstByteSpan stream, u64 firstBlock,
                            std::span<const T> values);
 
+  /// Simulated soft errors detected by post-launch write-digest
+  /// verification (or aborted launches) since construction; see
+  /// Config::faultRetries.
+  u64 faultsDetected() const { return faultsDetected_; }
+
+  /// Relaunches performed to absorb detected faults since construction.
+  u64 faultRelaunches() const { return faultRelaunches_; }
+
+  /// The stream's launcher — exposed so tests (and fault-drills) can arm a
+  /// gpusim::FaultPlan against exactly this stream's kernels.
+  gpusim::Launcher& launcher() { return launcher_; }
+
  private:
+  /// Runs a kernel under the detect-and-retry policy: relaunches up to
+  /// Config::faultRetries times while `verify` reports corrupt output or
+  /// the launch aborts; `rearm` reinitializes scan state between attempts.
+  gpusim::LaunchResult launchVerified(
+      const gpusim::KernelDesc& desc, std::span<std::byte> faultTarget,
+      const std::function<bool()>& verify,
+      const std::function<void()>& rearm);
+
   Config config_;
   gpusim::TimingModel timing_;
   gpusim::Launcher launcher_;
   Arena arena_;
+  u64 faultsDetected_ = 0;
+  u64 faultRelaunches_ = 0;
 };
 
 }  // namespace cuszp2::core

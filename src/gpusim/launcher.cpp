@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace cuszp2::gpusim {
 
@@ -68,8 +69,9 @@ ThreadPool& Launcher::shared() {
 
 LaunchResult Launcher::launch(u32 gridSize,
                               const std::function<void(BlockCtx&)>& body,
-                              u32 blocksPerTask) {
-  const KernelRef ref{gridSize, &body, blocksPerTask};
+                              u32 blocksPerTask,
+                              std::span<std::byte> faultTarget) {
+  const KernelRef ref{gridSize, &body, blocksPerTask, faultTarget};
   return runKernels({&ref, 1})[0];
 }
 
@@ -78,9 +80,31 @@ std::vector<LaunchResult> Launcher::launchBatch(
   std::vector<KernelRef> refs;
   refs.reserve(kernels.size());
   for (const KernelDesc& k : kernels) {
-    refs.push_back(KernelRef{k.gridSize, &k.body, k.blocksPerTask});
+    refs.push_back(KernelRef{k.gridSize, &k.body, k.blocksPerTask,
+                             k.faultTarget});
   }
   return runKernels(refs);
+}
+
+bool Launcher::faultActive(u64 launchIdx) const {
+  if (!faultPlan_) return false;
+  return faultPlan_->sticky ? launchIdx >= faultPlan_->triggerLaunch
+                            : launchIdx == faultPlan_->triggerLaunch;
+}
+
+/// Soft-error injection: flips `bitFlips` bits of the kernel's written
+/// bytes at seeded-uniform positions. Deterministic per (seed, launch
+/// index), so a bounded relaunch under a non-sticky plan observes clean
+/// memory and a test can replay the exact damage.
+void Launcher::injectWriteFaults(u64 launchIdx, std::span<std::byte> target,
+                                 LaunchResult& result) const {
+  if (!faultPlan_ || faultPlan_->bitFlips == 0 || target.empty()) return;
+  Rng rng(SplitMix64(faultPlan_->seed ^ launchIdx).next());
+  for (u32 i = 0; i < faultPlan_->bitFlips; ++i) {
+    const usize pos = rng.uniformInt(target.size());
+    target[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+  }
+  result.injectedBitFlips += faultPlan_->bitFlips;
 }
 
 /// Fallback for launches issued from inside a kernel body running on this
@@ -94,9 +118,14 @@ std::vector<LaunchResult> Launcher::runKernelsInline(
   std::vector<LaunchResult> results(kernels.size());
   for (usize k = 0; k < kernels.size(); ++k) {
     const KernelRef& kernel = kernels[k];
+    const u64 launchIdx = launchSeq_.fetch_add(1, std::memory_order_relaxed);
+    const bool fault = faultActive(launchIdx);
     results[k].gridSize = kernel.gridSize;
     const auto t0 = std::chrono::steady_clock::now();
     for (u32 b = 0; b < kernel.gridSize; ++b) {
+      if (fault && faultPlan_->abortBlock == static_cast<i64>(b)) {
+        throw Error("gpusim: injected block abort (FaultPlan)");
+      }
       BlockCtx ctx;
       ctx.blockIdx = b;
       ctx.gridSize = kernel.gridSize;
@@ -106,6 +135,7 @@ std::vector<LaunchResult> Launcher::runKernelsInline(
     }
     const auto t1 = std::chrono::steady_clock::now();
     results[k].wallSeconds = std::chrono::duration<f64>(t1 - t0).count();
+    if (fault) injectWriteFaults(launchIdx, kernel.faultTarget, results[k]);
   }
   return results;
 }
@@ -124,9 +154,11 @@ std::vector<LaunchResult> Launcher::runKernels(
     u32 taskBase = 0;  // offset into the flattened per-task counter arrays
   };
   std::vector<Partition> parts(kernels.size());
+  std::vector<u64> launchIdx(kernels.size());
   u32 totalTasks = 0;
   for (usize k = 0; k < kernels.size(); ++k) {
     const u32 gridSize = kernels[k].gridSize;
+    launchIdx[k] = launchSeq_.fetch_add(1, std::memory_order_relaxed);
     results[k].gridSize = gridSize;
     if (gridSize == 0) continue;
     u32 blocksPerTask = kernels[k].blocksPerTask;
@@ -158,14 +190,21 @@ std::vector<LaunchResult> Launcher::runKernels(
   for (usize k = 0; k < kernels.size(); ++k) {
     const u32 gridSize = kernels[k].gridSize;
     const std::function<void(BlockCtx&)>* body = kernels[k].body;
+    // Resolve the abort-fault block for this kernel up front so workers
+    // never touch faultPlan_ (it may be cleared while tasks drain).
+    const i64 abortBlock =
+        faultActive(launchIdx[k]) ? faultPlan_->abortBlock : -1;
     for (u32 task = 0; task < parts[k].numTasks; ++task) {
       const u32 first = task * parts[k].blocksPerTask;
       const u32 last = std::min(gridSize, first + parts[k].blocksPerTask);
       const u32 slot = parts[k].taskBase + task;
-      pool_->submit([&, gridSize, body, slot, first, last] {
+      pool_->submit([&, gridSize, body, slot, first, last, abortBlock] {
         detail::setCurrentAbortFlag(&abortFlag);
         try {
           for (u32 b = first; b < last; ++b) {
+            if (abortBlock == static_cast<i64>(b)) {
+              throw Error("gpusim: injected block abort (FaultPlan)");
+            }
             BlockCtx ctx;
             ctx.blockIdx = b;
             ctx.gridSize = gridSize;
@@ -200,6 +239,9 @@ std::vector<LaunchResult> Launcher::runKernels(
       results[k].sync += taskSync[parts[k].taskBase + task];
     }
     results[k].wallSeconds = wall;
+    if (faultActive(launchIdx[k])) {
+      injectWriteFaults(launchIdx[k], kernels[k].faultTarget, results[k]);
+    }
   }
   return results;
 }

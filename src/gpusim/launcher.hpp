@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct LaunchResult {
   /// Host wall-clock time of the simulated launch (diagnostic only; the
   /// figures use modelled time, not this).
   f64 wallSeconds = 0.0;
+  /// Bits the active FaultPlan flipped in this kernel's fault target
+  /// (diagnostic; tests assert the injection actually happened).
+  u32 injectedBitFlips = 0;
 };
 
 /// One independent grid of a batched launch (see Launcher::launchBatch).
@@ -44,6 +48,29 @@ struct KernelDesc {
   u32 gridSize = 0;
   std::function<void(BlockCtx&)> body;
   u32 blocksPerTask = 0;  ///< 0 = choose automatically
+  /// The kernel's written bytes, as far as fault injection is concerned:
+  /// an armed FaultPlan flips bits here after the grid completes (the
+  /// soft-error model — memory damaged after the write retires, caught
+  /// only by a later read-back). Empty = this kernel is not a fault
+  /// target.
+  std::span<std::byte> faultTarget;
+};
+
+/// Deterministic fault-injection plan for a Launcher (soft-error model for
+/// the detect-and-retry policy in core::CompressorStream). Launches are
+/// numbered per Launcher instance in submission order (each kernel of a
+/// batch counts once); the plan fires on launch index `triggerLaunch`, or
+/// on every launch from it onward when `sticky` is set (for testing retry
+/// exhaustion).
+struct FaultPlan {
+  u64 seed = 1;
+  u64 triggerLaunch = 0;
+  /// Bits to flip at seeded-uniform positions of the kernel's faultTarget.
+  u32 bitFlips = 0;
+  /// When >= 0, the block with this index throws instead of running —
+  /// the aborted-kernel fault mode.
+  i64 abortBlock = -1;
+  bool sticky = false;
 };
 
 class Launcher {
@@ -67,9 +94,12 @@ class Launcher {
   /// Runs `body` once per block index in [0, gridSize). Consecutive blocks
   /// are batched into tasks of `blocksPerTask` (0 = choose automatically);
   /// batching preserves dispatch order and hence lookback progress.
+  /// `faultTarget` (optional) is the kernel's written bytes for fault
+  /// injection — see KernelDesc::faultTarget.
   LaunchResult launch(u32 gridSize,
                       const std::function<void(BlockCtx&)>& body,
-                      u32 blocksPerTask = 0);
+                      u32 blocksPerTask = 0,
+                      std::span<std::byte> faultTarget = {});
 
   /// Dispatches several independent grids through one completion latch and
   /// one task-submission pass, amortizing dispatch overhead the way CUDA
@@ -82,17 +112,39 @@ class Launcher {
 
   usize workerCount() const { return pool_->workerCount(); }
 
+  /// Arms deterministic fault injection (replacing any previous plan).
+  /// Affects only launches issued through this Launcher instance.
+  void setFaultPlan(const FaultPlan& plan) { faultPlan_ = plan; }
+
+  /// Disarms fault injection.
+  void clearFaultPlan() { faultPlan_.reset(); }
+
+  bool faultPlanArmed() const { return faultPlan_.has_value(); }
+
+  /// Kernels launched through this instance so far (the index space
+  /// FaultPlan::triggerLaunch addresses).
+  u64 launchCount() const {
+    return launchSeq_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct KernelRef {
     u32 gridSize = 0;
     const std::function<void(BlockCtx&)>* body = nullptr;
     u32 blocksPerTask = 0;
+    std::span<std::byte> faultTarget;
   };
+
+  bool faultActive(u64 launchIdx) const;
+  void injectWriteFaults(u64 launchIdx, std::span<std::byte> target,
+                         LaunchResult& result) const;
 
   std::vector<LaunchResult> runKernels(std::span<const KernelRef> kernels);
   std::vector<LaunchResult> runKernelsInline(std::span<const KernelRef> kernels);
 
   ThreadPool* pool_;
+  std::optional<FaultPlan> faultPlan_;
+  std::atomic<u64> launchSeq_{0};
 };
 
 /// Abort propagation for in-flight launches. When a block throws, the

@@ -10,6 +10,14 @@
 //   [magic u64][field count u64]
 //   per field: [name length u32][name bytes][stream length u64]
 //   concatenated streams
+//   optional parity trailer (see ParityOptions / docs/FORMAT.md §6)
+//
+// The parity trailer is self-locating from the end of the file and covers
+// the whole archive before it (header + TOC + streams) with per-chunk
+// CRC-32s plus one XOR parity chunk per group of chunks, so a single
+// damaged chunk per group can be located and rebuilt in place
+// (repairParity). Readers unaware of the trailer ignore it: the TOC
+// tolerates trailing bytes.
 #pragma once
 
 #include <span>
@@ -20,6 +28,63 @@
 #include "core/stream.hpp"
 
 namespace cuszp2::io {
+
+/// Parity-trailer parameters (ArchiveWriter::finalize overload). The
+/// protected region is split into `chunkBytes` chunks; each group of
+/// `groupSize` consecutive chunks gets one XOR parity chunk, so one
+/// damaged chunk per group is recoverable at an overhead of roughly
+/// 1/groupSize plus 4 bytes per chunk for the CRC table.
+struct ParityOptions {
+  usize chunkBytes = 4096;
+  usize groupSize = 8;
+};
+
+/// Outcome of verifyParity / repairParity over an archive.
+struct RepairReport {
+  /// False when the archive carries no parity trailer (nothing to check;
+  /// the other fields are meaningless).
+  bool parityPresent = false;
+
+  /// False when a trailer is present but itself damaged (bad framing or
+  /// trailer CRC); no chunk verdicts are available then.
+  bool trailerOk = false;
+
+  u64 protectedBytes = 0;
+  u64 totalChunks = 0;
+
+  /// Chunks whose CRC-32 no longer matches.
+  u64 badChunks = 0;
+
+  /// verifyParity: bad chunks whose XOR reconstruction checks out (what a
+  /// repair would fix). repairParity: always 0 (see repairedChunks).
+  u64 repairableChunks = 0;
+
+  /// repairParity: bad chunks rebuilt in place (reconstruction verified
+  /// against the stored chunk CRC before writing).
+  u64 repairedChunks = 0;
+
+  /// Bad chunks beyond parity's reach: more than one damaged chunk in the
+  /// group, or the reconstruction failed its CRC (damaged parity chunk or
+  /// damaged CRC table entry).
+  u64 unrepairableChunks = 0;
+
+  /// No integrity problem found (vacuously true without a trailer).
+  bool clean() const {
+    return !parityPresent || (trailerOk && badChunks == 0);
+  }
+};
+
+/// True when the bytes start with the archive magic (cheap container
+/// sniff for tools that accept both streams and archives).
+bool isArchive(ConstByteSpan bytes);
+
+/// Checks an archive's parity trailer without modifying anything.
+RepairReport verifyParity(ConstByteSpan archive);
+
+/// Rebuilds damaged chunks in place using the parity trailer. Each
+/// reconstruction is verified against the stored chunk CRC before any
+/// byte is written back.
+RepairReport repairParity(std::span<std::byte> archive);
 
 class ArchiveWriter {
  public:
@@ -42,6 +107,11 @@ class ArchiveWriter {
 
   /// Serializes the archive. The writer remains usable afterwards.
   std::vector<std::byte> finalize() const;
+
+  /// Serializes the archive with a self-healing parity trailer appended
+  /// (see ParityOptions). Readers unaware of parity read the result
+  /// unchanged.
+  std::vector<std::byte> finalize(const ParityOptions& parity) const;
 
  private:
   struct Field {

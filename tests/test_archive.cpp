@@ -179,5 +179,136 @@ TEST(Archive, AddFieldsCompressedMatchesPerField) {
   EXPECT_EQ(w.fieldCount(), 3u);
 }
 
+// ---- XOR parity trailer ----------------------------------------------------
+
+// Small chunks so a modest archive spans several parity groups.
+constexpr ParityOptions kParity{.chunkBytes = 64, .groupSize = 4};
+
+std::vector<std::byte> parityArchive(std::vector<std::byte>* firstField =
+                                         nullptr) {
+  ArchiveWriter w;
+  std::vector<std::byte> payload(1500);
+  for (usize i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((i * 7 + 3) & 0xFF);
+  }
+  w.addField("a", payload);
+  w.addField("b", bytesOf({9, 8, 7}));
+  if (firstField != nullptr) *firstField = payload;
+  return w.finalize(kParity);
+}
+
+TEST(ArchiveParity, TrailerIsInvisibleToPlainReaders) {
+  std::vector<std::byte> payload;
+  const auto bytes = parityArchive(&payload);
+  ArchiveReader r(bytes);  // old reader: tolerates the trailing bytes
+  EXPECT_EQ(r.fieldCount(), 2u);
+  const auto got = r.field("a");
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+  EXPECT_TRUE(isArchive(bytes));
+}
+
+TEST(ArchiveParity, CleanArchiveVerifies) {
+  const auto bytes = parityArchive();
+  const auto rep = verifyParity(bytes);
+  EXPECT_TRUE(rep.parityPresent);
+  EXPECT_TRUE(rep.trailerOk);
+  EXPECT_EQ(rep.badChunks, 0u);
+  EXPECT_GT(rep.totalChunks, 8u);  // several groups with 64-byte chunks
+  EXPECT_TRUE(rep.clean());
+
+  // An archive finalized without parity reports absence, not damage.
+  ArchiveWriter w;
+  w.addField("x", bytesOf({1}));
+  const auto plain = verifyParity(w.finalize());
+  EXPECT_FALSE(plain.parityPresent);
+  EXPECT_TRUE(plain.clean());
+}
+
+// Acceptance path: one damaged chunk per group is repaired bit-exactly.
+TEST(ArchiveParity, RepairsOneChunkPerGroup) {
+  const auto original = parityArchive();
+  auto damaged = original;
+  const auto rep0 = verifyParity(original);
+  // Damage one chunk in each of three different groups (chunk indices 1,
+  // 5, 9 with groupSize 4), several bytes each.
+  for (const usize chunk : {1u, 5u, 9u}) {
+    ASSERT_LT(chunk, rep0.totalChunks);
+    for (usize i = 0; i < 5; ++i) {
+      damaged[chunk * kParity.chunkBytes + i * 11] ^= std::byte{0xFF};
+    }
+  }
+
+  auto report = verifyParity(damaged);
+  EXPECT_EQ(report.badChunks, 3u);
+  EXPECT_EQ(report.repairableChunks, 3u);
+  EXPECT_EQ(report.unrepairableChunks, 0u);
+  EXPECT_EQ(report.repairedChunks, 0u);  // verify never mutates
+
+  report = repairParity(damaged);
+  EXPECT_EQ(report.repairedChunks, 3u);
+  EXPECT_EQ(report.unrepairableChunks, 0u);
+  EXPECT_EQ(damaged, original);  // bit-exact restoration
+  EXPECT_TRUE(verifyParity(damaged).clean());
+}
+
+TEST(ArchiveParity, TwoBadChunksInOneGroupAreUnrepairable) {
+  const auto original = parityArchive();
+  auto damaged = original;
+  damaged[0 * kParity.chunkBytes] ^= std::byte{1};  // group 0, chunk 0
+  damaged[1 * kParity.chunkBytes] ^= std::byte{1};  // group 0, chunk 1
+
+  const auto report = repairParity(damaged);
+  EXPECT_EQ(report.badChunks, 2u);
+  EXPECT_EQ(report.repairedChunks, 0u);
+  EXPECT_EQ(report.unrepairableChunks, 2u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(damaged, original);  // left untouched, not half-repaired
+}
+
+TEST(ArchiveParity, DamagedTrailerIsReportedNotTrusted) {
+  const auto original = parityArchive();
+
+  // Flip a byte inside the parity data: the trailer CRC must catch it.
+  auto bytes = original;
+  bytes[bytes.size() - 25] ^= std::byte{0x10};
+  auto rep = verifyParity(bytes);
+  EXPECT_TRUE(rep.parityPresent);
+  EXPECT_FALSE(rep.trailerOk);
+  EXPECT_FALSE(rep.clean());
+
+  // Destroy the trailing magic: no parity is detected at all.
+  bytes = original;
+  bytes[bytes.size() - 1] ^= std::byte{0xFF};
+  rep = verifyParity(bytes);
+  EXPECT_FALSE(rep.parityPresent);
+}
+
+// End-to-end: a damaged compressed stream inside a parity archive is
+// repaired and then decodes bit-exactly.
+TEST(ArchiveParity, RepairedStreamDecodesBitExactly) {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-2;
+  cfg.checksum = true;
+  cfg.blockChecksums = true;
+  const core::Compressor compressor(cfg);
+  const auto data = datagen::generateF32("hacc", 0, 1 << 12);
+  const auto stream = compressor.compress<f32>(data).stream;
+  const auto clean = compressor.decompress<f32>(stream).data;
+
+  ArchiveWriter w;
+  w.addField("vx", stream);
+  const auto original = w.finalize(ParityOptions{.chunkBytes = 256,
+                                                 .groupSize = 8});
+  auto damaged = original;
+  damaged[damaged.size() / 2] ^= std::byte{0x42};  // inside the payload
+
+  const auto report = repairParity(damaged);
+  EXPECT_EQ(report.repairedChunks, 1u);
+  ASSERT_EQ(damaged, original);
+  const auto restored = ArchiveReader(damaged).field("vx");
+  EXPECT_EQ(compressor.decompress<f32>(restored).data, clean);
+}
+
 }  // namespace
 }  // namespace cuszp2::io

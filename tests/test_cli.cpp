@@ -2,12 +2,15 @@
 // invocations over real files (the path is injected by CMake).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/compressor.hpp"
+#include "io/archive.hpp"
 #include "io/raw.hpp"
 
 #ifndef CUSZP2_CLI_PATH
@@ -120,6 +123,124 @@ TEST_F(CliTest, ErrorPaths) {
             0);
   // info on a non-stream file.
   EXPECT_NE(run("info " + file("in.f32")), 0);
+}
+
+// ---- Integrity exit codes and salvage / repair commands --------------------
+
+TEST_F(CliTest, InfoShowsFormatVersionAndBlockChecksums) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("v1.czp2") +
+                " --abs 0.01"),
+            0)
+      << lastLog();
+  ASSERT_EQ(run("info " + file("v1.czp2")), 0);
+  EXPECT_NE(lastLog().find("format version:  1"), std::string::npos);
+  EXPECT_NE(lastLog().find("block checksums: no"), std::string::npos);
+
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("v2.czp2") +
+                " --abs 0.01 --checksum --block-checksum"),
+            0)
+      << lastLog();
+  ASSERT_EQ(run("info " + file("v2.czp2")), 0);
+  EXPECT_NE(lastLog().find("format version:  2"), std::string::npos);
+  EXPECT_NE(lastLog().find("block checksums: yes"), std::string::npos);
+  EXPECT_NE(lastLog().find("checksum:        yes"), std::string::npos);
+}
+
+// Exit-code contract: bound violations exit 1, integrity failures exit 2.
+TEST_F(CliTest, VerifyDistinguishesBoundViolationFromCorruption) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("out.czp2") +
+                " --abs 0.01 --checksum --block-checksum"),
+            0)
+      << lastLog();
+
+  // Wrong original, intact stream: an error-bound violation -> exit 1.
+  std::vector<f32> other(data_.size(), 1234.5f);
+  io::writeRaw<f32>(file("other.f32"), other);
+  EXPECT_EQ(run("verify " + file("other.f32") + " " + file("out.czp2")), 1)
+      << lastLog();
+
+  // Corrupted stream, correct original: an integrity failure -> exit 2.
+  auto bytes = io::readBytes(file("out.czp2"));
+  bytes[bytes.size() - 100] ^= std::byte{0x20};
+  io::writeBytes(file("bad.czp2"), bytes);
+  EXPECT_EQ(run("verify " + file("in.f32") + " " + file("bad.czp2")), 2);
+  EXPECT_NE(lastLog().find("integrity failure"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyIntegrityOnlyForm) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("out.czp2") +
+                " --abs 0.01 --checksum --block-checksum"),
+            0);
+  EXPECT_EQ(run("verify " + file("out.czp2")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("integrity ok (format v2, with per-block "
+                           "checksums)"),
+            std::string::npos);
+
+  auto bytes = io::readBytes(file("out.czp2"));
+  bytes[bytes.size() - 100] ^= std::byte{0x20};
+  io::writeBytes(file("bad.czp2"), bytes);
+  EXPECT_EQ(run("verify " + file("bad.czp2")), 2) << lastLog();
+  EXPECT_NE(lastLog().find("quarantined"), std::string::npos);
+}
+
+TEST_F(CliTest, SalvageDecompressRecoversDamagedStream) {
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("out.czp2") +
+                " --abs 0.01 --block-checksum"),
+            0);
+  auto bytes = io::readBytes(file("out.czp2"));
+  bytes[bytes.size() / 2] ^= std::byte{0x08};  // payload damage
+  io::writeBytes(file("bad.czp2"), bytes);
+
+  // Strict decompression refuses.
+  EXPECT_NE(run("decompress " + file("bad.czp2") + " " + file("rec.f32")),
+            0);
+
+  // Salvage writes the output, reports the damage, and exits 2.
+  EXPECT_EQ(run("decompress " + file("bad.czp2") + " " + file("rec.f32") +
+                " --salvage --fill -7"),
+            2)
+      << lastLog();
+  EXPECT_NE(lastLog().find("quarantined"), std::string::npos);
+  const auto rec = io::readRaw<f32>(file("rec.f32"));
+  ASSERT_EQ(rec.size(), data_.size());
+  EXPECT_NE(std::find(rec.begin(), rec.end(), -7.0f), rec.end());
+
+  // On a clean stream salvage exits 0.
+  EXPECT_EQ(run("decompress " + file("out.czp2") + " " + file("rec2.f32") +
+                " --salvage"),
+            0)
+      << lastLog();
+}
+
+TEST_F(CliTest, RepairFixesDamagedParityArchive) {
+  // Build a parity-protected archive holding one compressed stream.
+  core::Config cfg;
+  cfg.absErrorBound = 0.01;
+  cfg.blockChecksums = true;
+  const core::Compressor compressor(cfg);
+  const auto stream = compressor.compress<f32>(data_).stream;
+  io::ArchiveWriter w;
+  w.addField("in", stream);
+  const auto archive =
+      w.finalize(io::ParityOptions{.chunkBytes = 256, .groupSize = 8});
+  io::writeBytes(file("a.czar"), archive);
+
+  EXPECT_EQ(run("verify " + file("a.czar")), 0) << lastLog();
+
+  auto damaged = archive;
+  damaged[damaged.size() / 3] ^= std::byte{0x11};
+  io::writeBytes(file("a.czar"), damaged);
+  EXPECT_EQ(run("verify " + file("a.czar")), 2) << lastLog();
+  EXPECT_EQ(run("repair " + file("a.czar") + " --dry-run"), 2) << lastLog();
+
+  EXPECT_EQ(run("repair " + file("a.czar")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("repaired"), std::string::npos);
+  const auto repaired = io::readBytes(file("a.czar"));
+  EXPECT_EQ(repaired, archive);  // bit-exact restoration
+  EXPECT_EQ(run("verify " + file("a.czar")), 0) << lastLog();
+
+  // Repair on a non-archive input is an operational error (exit 1).
+  EXPECT_EQ(run("repair " + file("in.f32")), 1);
 }
 
 }  // namespace

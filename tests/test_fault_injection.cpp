@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
@@ -234,6 +236,184 @@ TEST(FaultInjection, FuzzNdStreams) {
     } catch (const Error&) {
     }
   }
+}
+
+// ---- Seeded soft-error injection + detect-and-retry ------------------------
+
+TEST(FaultPlan, InjectionIsSeededAndDeterministic) {
+  std::vector<std::byte> target(1024, std::byte{0});
+  gpusim::FaultPlan plan;
+  plan.seed = 7;
+  plan.triggerLaunch = 0;
+  plan.bitFlips = 8;
+
+  const auto runOnce = [&] {
+    std::fill(target.begin(), target.end(), std::byte{0});
+    gpusim::Launcher launcher;
+    launcher.setFaultPlan(plan);
+    const auto result =
+        launcher.launch(4, [](gpusim::BlockCtx&) {}, 0, target);
+    EXPECT_EQ(result.injectedBitFlips, plan.bitFlips);
+    return target;
+  };
+  const auto first = runOnce();
+  const auto second = runOnce();
+  EXPECT_EQ(first, second);  // same seed -> same damaged bytes
+
+  u32 flippedBits = 0;
+  for (const auto b : first) {
+    flippedBits += std::popcount(std::to_integer<u32>(b));
+  }
+  EXPECT_GT(flippedBits, 0u);
+  EXPECT_LE(flippedBits, plan.bitFlips);  // collisions can cancel
+}
+
+TEST(FaultPlan, FiresOnlyOnTriggerLaunch) {
+  std::vector<std::byte> target(256, std::byte{0});
+  gpusim::Launcher launcher;
+  gpusim::FaultPlan plan;
+  plan.triggerLaunch = 1;
+  plan.bitFlips = 4;
+  launcher.setFaultPlan(plan);
+
+  auto r = launcher.launch(2, [](gpusim::BlockCtx&) {}, 0, target);
+  EXPECT_EQ(r.injectedBitFlips, 0u);  // launch 0: not yet
+  r = launcher.launch(2, [](gpusim::BlockCtx&) {}, 0, target);
+  EXPECT_EQ(r.injectedBitFlips, 4u);  // launch 1: fires
+  r = launcher.launch(2, [](gpusim::BlockCtx&) {}, 0, target);
+  EXPECT_EQ(r.injectedBitFlips, 0u);  // launch 2: non-sticky, disarmed
+}
+
+struct RetryFixture {
+  std::vector<f32> data = datagen::generateF32("scale", 2, 1 << 12);
+  core::CompressorStream stream;
+
+  RetryFixture() : stream(makeConfig()) {}
+
+  static core::Config makeConfig() {
+    core::Config cfg;
+    cfg.absErrorBound = 1e-2;
+    cfg.checksum = true;
+    cfg.blockChecksums = true;
+    cfg.faultRetries = 2;
+    return cfg;
+  }
+
+  /// Arms `plan` to fire on the next launch issued through the stream.
+  void armNext(gpusim::FaultPlan plan) {
+    plan.triggerLaunch = stream.launcher().launchCount();
+    stream.launcher().setFaultPlan(plan);
+  }
+};
+
+// Acceptance path: a seeded bit-flip lands in decompression output, the
+// post-launch write-digest check catches it, and one relaunch absorbs it.
+// Decompression faults always hit digest-covered bytes (the target is
+// exactly the output array), so detection is deterministic.
+TEST(FaultPlan, DecompressRetryAbsorbsBitFlips) {
+  RetryFixture fx;
+  const auto c = fx.stream.compress<f32>(fx.data);
+  const auto clean = fx.stream.decompress<f32>(c.stream);
+  ASSERT_EQ(fx.stream.faultsDetected(), 0u);
+
+  gpusim::FaultPlan plan;
+  plan.seed = 5;
+  plan.bitFlips = 3;
+  fx.armNext(plan);
+  const auto retried = fx.stream.decompress<f32>(c.stream);
+  fx.stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(0, std::memcmp(retried.data.data(), clean.data.data(),
+                           clean.data.size() * sizeof(f32)));
+  EXPECT_EQ(fx.stream.faultsDetected(), 1u);
+  EXPECT_EQ(fx.stream.faultRelaunches(), 1u);
+}
+
+// Same drill on the compression side: flips land in the staged stream
+// bytes; when one hits the offset/payload region the digests disagree and
+// the relaunch reproduces the original stream byte-identically.
+TEST(FaultPlan, CompressRetryReproducesStream) {
+  RetryFixture fx;
+  const auto reference = fx.stream.compress<f32>(fx.data);
+
+  gpusim::FaultPlan plan;
+  plan.seed = 11;
+  plan.bitFlips = 64;  // enough to hit used bytes with certainty
+  fx.armNext(plan);
+  const auto retried = fx.stream.compress<f32>(fx.data);
+  fx.stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(retried.stream, reference.stream);
+  EXPECT_GE(fx.stream.faultsDetected(), 1u);
+  EXPECT_EQ(fx.stream.faultsDetected(), fx.stream.faultRelaunches());
+  // The retried stream passes strict (checksummed) decompression.
+  const auto d = fx.stream.decompress<f32>(retried.stream);
+  EXPECT_EQ(d.data.size(), fx.data.size());
+}
+
+// Aborted-kernel fault mode: the grid throws on the trigger launch; the
+// retry policy treats it like a detected fault and relaunches.
+TEST(FaultPlan, AbortedLaunchIsRetried) {
+  RetryFixture fx;
+  const auto c = fx.stream.compress<f32>(fx.data);
+  const auto clean = fx.stream.decompress<f32>(c.stream);
+
+  gpusim::FaultPlan plan;
+  plan.abortBlock = 0;
+  fx.armNext(plan);
+  const auto retried = fx.stream.decompress<f32>(c.stream);
+  fx.stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(retried.data, clean.data);
+  EXPECT_EQ(fx.stream.faultsDetected(), 1u);
+  EXPECT_EQ(fx.stream.faultRelaunches(), 1u);
+}
+
+// Sticky faults outlast the retry budget: the Error must propagate and the
+// counters must show every attempt was made.
+TEST(FaultPlan, StickyFaultExhaustsRetryBudget) {
+  core::Config cfg = RetryFixture::makeConfig();
+  cfg.faultRetries = 1;
+  core::CompressorStream stream(cfg);
+  const auto data = datagen::generateF32("scale", 2, 1 << 12);
+  const auto c = stream.compress<f32>(data);
+
+  gpusim::FaultPlan plan;
+  plan.abortBlock = 0;  // aborts are detected on every attempt
+  plan.sticky = true;
+  plan.triggerLaunch = stream.launcher().launchCount();
+  stream.launcher().setFaultPlan(plan);
+  EXPECT_THROW((void)stream.decompress<f32>(c.stream), Error);
+  stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(stream.faultsDetected(), 2u);  // initial try + 1 retry
+  EXPECT_EQ(stream.faultRelaunches(), 1u);
+
+  // The stream stays usable once the plan is disarmed.
+  const auto d = stream.decompress<f32>(c.stream);
+  EXPECT_EQ(d.data.size(), data.size());
+}
+
+// With no retry budget there is no verification pass and no fault target:
+// the kernel is simply not registered for injection.
+TEST(FaultPlan, NoBudgetMeansNoFaultTarget) {
+  core::Config cfg = RetryFixture::makeConfig();
+  cfg.faultRetries = 0;
+  core::CompressorStream stream(cfg);
+  const auto data = datagen::generateF32("scale", 2, 1 << 12);
+  const auto c = stream.compress<f32>(data);
+  const auto clean = stream.decompress<f32>(c.stream);
+
+  gpusim::FaultPlan plan;
+  plan.bitFlips = 16;
+  plan.triggerLaunch = stream.launcher().launchCount();
+  plan.sticky = true;
+  stream.launcher().setFaultPlan(plan);
+  const auto d = stream.decompress<f32>(c.stream);
+  stream.launcher().clearFaultPlan();
+  EXPECT_EQ(d.data, clean.data);
+  EXPECT_EQ(stream.faultsDetected(), 0u);
+  EXPECT_EQ(stream.faultRelaunches(), 0u);
 }
 
 // Segmented containers: corrupted tables of contents or segment bytes.

@@ -27,4 +27,7 @@ run_config() {
 run_config release -DCMAKE_BUILD_TYPE=Release
 run_config asan -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
 
+echo "==== [asan] fuzz_decode (500 structured mutants) ===="
+"${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
+
 echo "==== ci_check: all configurations passed ===="

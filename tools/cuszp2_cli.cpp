@@ -4,11 +4,14 @@
 //   cuszp2 compress   <in.f32|in.f64> <out.czp2> [--rel 1e-3|--abs X]
 //                     [--mode outlier|plain] [--precision f32|f64]
 //                     [--block 32]
-//   cuszp2 decompress <in.czp2> <out.raw>
+//   cuszp2 decompress <in.czp2> <out.raw> [--salvage] [--fill X]
 //   cuszp2 info       <in.czp2>
 //   cuszp2 verify     <original.raw> <in.czp2>
+//   cuszp2 verify     <in.czp2|archive>          (integrity only)
+//   cuszp2 repair     <archive> [--dry-run]
 //
-// Exit code 0 on success (verify: error bound holds), nonzero otherwise.
+// Exit codes: 0 on success; 1 on operational errors and error-bound
+// violations; 2 on integrity failures (corrupt stream, failed parity).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +19,7 @@
 
 #include "core/compressor.hpp"
 #include "core/quantizer.hpp"
+#include "io/archive.hpp"
 #include "io/raw.hpp"
 #include "metrics/error_stats.hpp"
 
@@ -31,6 +35,7 @@ struct Options {
   u32 blockSize = 32;
   Predictor predictor = Predictor::FirstOrder;
   bool checksum = false;
+  bool blockChecksums = false;
 };
 
 [[noreturn]] void usage() {
@@ -40,10 +45,12 @@ struct Options {
       "  cuszp2 compress   <in.raw> <out.czp2> [--rel X|--abs X]\n"
       "                    [--mode outlier|plain] [--precision f32|f64]\n"
       "                    [--block N] [--predictor first|second]\n"
-      "                    [--checksum]\n"
-      "  cuszp2 decompress <in.czp2> <out.raw>\n"
+      "                    [--checksum] [--block-checksum]\n"
+      "  cuszp2 decompress <in.czp2> <out.raw> [--salvage] [--fill X]\n"
       "  cuszp2 info       <in.czp2>\n"
       "  cuszp2 verify     <original.raw> <in.czp2>\n"
+      "  cuszp2 verify     <in.czp2|archive>       (integrity only)\n"
+      "  cuszp2 repair     <archive> [--dry-run]\n"
       "  cuszp2 profile    <in.raw> [compress options]\n");
   std::exit(2);
 }
@@ -92,6 +99,8 @@ Options parseOptions(int argc, char** argv, int first) {
       }
     } else if (arg == "--checksum") {
       opt.checksum = true;
+    } else if (arg == "--block-checksum") {
+      opt.blockChecksums = true;
     } else {
       usage();
     }
@@ -108,6 +117,7 @@ int doCompress(const std::string& in, const std::string& out,
   cfg.blockSize = opt.blockSize;
   cfg.predictor = opt.predictor;
   cfg.checksum = opt.checksum;
+  cfg.blockChecksums = opt.blockChecksums;
   cfg.absErrorBound =
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(
@@ -143,15 +153,65 @@ int doDecompress(const std::string& in, const std::string& out) {
   return 0;
 }
 
+void printDecodeReport(const core::DecodeReport& rep) {
+  if (!rep.headerOk) {
+    std::printf("salvage: header unusable (%s)\n", rep.headerError.c_str());
+    return;
+  }
+  std::printf("salvage: %llu/%llu blocks recovered",
+              static_cast<unsigned long long>(rep.goodBlocks),
+              static_cast<unsigned long long>(rep.totalBlocks));
+  if (rep.badBlocks > 0) {
+    std::printf(", %llu quarantined (first damage at byte %llu)",
+                static_cast<unsigned long long>(rep.badBlocks),
+                static_cast<unsigned long long>(rep.firstCorruptOffset));
+  }
+  std::printf("\n");
+  if (!rep.streamChecksumOk) std::printf("salvage: stream CRC mismatch\n");
+  if (rep.framingDamaged) std::printf("salvage: stream framing damaged\n");
+}
+
+/// Salvage decode: quarantined blocks hold the fill value; always writes
+/// the output. Exit 0 when the stream was clean, 2 when damage was found.
+int doSalvageDecompress(const std::string& in, const std::string& out,
+                        f64 fill) {
+  const auto stream = io::readBytes(in);
+  std::string headerError;
+  const auto header = core::StreamHeader::tryParse(stream, &headerError);
+  if (!header) {
+    std::fprintf(stderr, "salvage: header unusable (%s)\n",
+                 headerError.c_str());
+    return 2;
+  }
+  core::CompressorStream codec(
+      core::Config{.absErrorBound = header->absErrorBound});
+  core::DecodeReport rep;
+  if (header->precision == Precision::F32) {
+    const auto d =
+        codec.decompressResilient<f32>(stream, static_cast<f32>(fill));
+    io::writeRaw<f32>(out, d.data);
+    rep = d.report;
+  } else {
+    const auto d = codec.decompressResilient<f64>(stream, fill);
+    io::writeRaw<f64>(out, d.data);
+    rep = d.report;
+  }
+  printDecodeReport(rep);
+  return rep.clean() ? 0 : 2;
+}
+
 int doInfo(const std::string& in) {
   const auto stream = io::readBytes(in);
   const auto header = core::StreamHeader::parse(stream);
   std::printf("cuSZp2 stream: %s\n", in.c_str());
+  std::printf("  format version:  %u\n", header.version);
   std::printf("  precision:       %s\n", toString(header.precision));
   std::printf("  encoding mode:   %s\n", toString(header.mode));
   std::printf("  predictor:       %s\n", toString(header.predictor));
   std::printf("  checksum:        %s\n",
               header.checksum != 0 ? "yes" : "no");
+  std::printf("  block checksums: %s\n",
+              header.hasBlockChecksums() ? "yes" : "no");
   std::printf("  block size:      %u\n", header.blockSize);
   std::printf("  elements:        %llu\n",
               static_cast<unsigned long long>(header.numElements));
@@ -173,7 +233,15 @@ int doVerifyTyped(const std::string& original, ConstByteSpan stream,
           "verify: original size does not match the stream");
   core::CompressorStream codec(
       core::Config{.absErrorBound = header.absErrorBound});
-  const auto d = codec.decompress<T>(stream);
+  core::Decompressed<T> d;
+  try {
+    d = codec.decompress<T>(stream);
+  } catch (const Error& e) {
+    // Integrity failures (checksum/digest/layout) are distinct from an
+    // error-bound violation: exit 2, not 1.
+    std::fprintf(stderr, "integrity failure: %s\n", e.what());
+    return 2;
+  }
   const auto stats = metrics::computeErrorStats<T>(
       std::span<const T>(data), std::span<const T>(d.data));
   std::printf("max abs error: %g (bound %g)\n", stats.maxAbsError,
@@ -235,10 +303,106 @@ int doProfileTyped(const std::string& in, const Options& opt) {
 
 int doVerify(const std::string& original, const std::string& in) {
   const auto stream = io::readBytes(in);
-  const auto header = core::StreamHeader::parse(stream);
+  core::StreamHeader header;
+  try {
+    header = core::StreamHeader::parse(stream);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "integrity failure: %s\n", e.what());
+    return 2;
+  }
   return header.precision == Precision::F32
              ? doVerifyTyped<f32>(original, stream, header)
              : doVerifyTyped<f64>(original, stream, header);
+}
+
+void printParityReport(const io::RepairReport& rep) {
+  std::printf("parity: %llu chunks over %llu bytes, %llu damaged",
+              static_cast<unsigned long long>(rep.totalChunks),
+              static_cast<unsigned long long>(rep.protectedBytes),
+              static_cast<unsigned long long>(rep.badChunks));
+  if (rep.repairableChunks > 0) {
+    std::printf(" (%llu repairable)",
+                static_cast<unsigned long long>(rep.repairableChunks));
+  }
+  if (rep.repairedChunks > 0) {
+    std::printf(" (%llu repaired)",
+                static_cast<unsigned long long>(rep.repairedChunks));
+  }
+  if (rep.unrepairableChunks > 0) {
+    std::printf(" (%llu beyond repair)",
+                static_cast<unsigned long long>(rep.unrepairableChunks));
+  }
+  std::printf("\n");
+}
+
+/// Integrity-only verify of a stream or an archive (no original needed).
+int doVerifyIntegrity(const std::string& in) {
+  const auto bytes = io::readBytes(in);
+
+  if (io::isArchive(bytes)) {
+    const auto rep = io::verifyParity(bytes);
+    if (!rep.parityPresent) {
+      std::fprintf(stderr,
+                   "verify: archive has no parity trailer — integrity "
+                   "unknown\n");
+      return 1;
+    }
+    if (!rep.trailerOk) {
+      std::fprintf(stderr, "integrity failure: parity trailer damaged\n");
+      return 2;
+    }
+    printParityReport(rep);
+    return rep.badChunks == 0 ? 0 : 2;
+  }
+
+  std::string headerError;
+  const auto header = core::StreamHeader::tryParse(bytes, &headerError);
+  if (!header) {
+    std::fprintf(stderr, "integrity failure: %s\n", headerError.c_str());
+    return 2;
+  }
+  core::CompressorStream codec(
+      core::Config{.absErrorBound = header->absErrorBound});
+  const core::DecodeReport rep =
+      header->precision == Precision::F32
+          ? codec.decompressResilient<f32>(bytes).report
+          : codec.decompressResilient<f64>(bytes).report;
+  printDecodeReport(rep);
+  if (!rep.clean()) return 2;
+  std::printf("integrity ok (format v%u, %s per-block checksums)\n",
+              header->version,
+              header->hasBlockChecksums() ? "with" : "without");
+  return 0;
+}
+
+/// Verifies an archive's parity and (unless dry-run) rebuilds damaged
+/// chunks in place, rewriting the file.
+int doRepair(const std::string& path, bool dryRun) {
+  auto bytes = io::readBytes(path);
+  if (!io::isArchive(bytes)) {
+    std::fprintf(stderr, "repair: %s is not a cuSZp2 archive\n",
+                 path.c_str());
+    return 1;
+  }
+  const io::RepairReport rep =
+      dryRun ? io::verifyParity(bytes)
+             : io::repairParity(std::span<std::byte>(bytes));
+  if (!rep.parityPresent) {
+    std::fprintf(stderr, "repair: archive has no parity trailer\n");
+    return 1;
+  }
+  if (!rep.trailerOk) {
+    std::fprintf(stderr, "integrity failure: parity trailer damaged\n");
+    return 2;
+  }
+  printParityReport(rep);
+  if (!dryRun && rep.repairedChunks > 0) {
+    io::writeBytes(path, bytes);
+    std::printf("repair: rewrote %s\n", path.c_str());
+  }
+  if (rep.unrepairableChunks > 0) return 2;
+  if (dryRun && rep.badChunks > 0) return 2;
+  return 0;
 }
 
 }  // namespace
@@ -255,16 +419,39 @@ int main(int argc, char** argv) {
                  : doCompress<f64>(argv[2], argv[3], opt);
     }
     if (cmd == "decompress") {
-      if (argc != 4) usage();
-      return doDecompress(argv[2], argv[3]);
+      if (argc < 4) usage();
+      bool salvage = false;
+      f64 fill = 0.0;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--salvage") {
+          salvage = true;
+        } else if (arg == "--fill" && i + 1 < argc) {
+          fill = std::stod(argv[++i]);
+        } else {
+          usage();
+        }
+      }
+      return salvage ? doSalvageDecompress(argv[2], argv[3], fill)
+                     : doDecompress(argv[2], argv[3]);
     }
     if (cmd == "info") {
       if (argc != 3) usage();
       return doInfo(argv[2]);
     }
     if (cmd == "verify") {
+      if (argc == 3) return doVerifyIntegrity(argv[2]);
       if (argc != 4) usage();
       return doVerify(argv[2], argv[3]);
+    }
+    if (cmd == "repair") {
+      if (argc < 3 || argc > 4) usage();
+      bool dryRun = false;
+      if (argc == 4) {
+        if (std::string(argv[3]) != "--dry-run") usage();
+        dryRun = true;
+      }
+      return doRepair(argv[2], dryRun);
     }
     if (cmd == "profile") {
       if (argc < 3) usage();

@@ -1,0 +1,224 @@
+// Deterministic perf-regression harness.
+//
+// Sweeps three datagen fields through {compress, decompress, round-trip}
+// and writes BENCH_perf.json at the repo root (or the path given as
+// argv[1]): per case the modelled throughput, modelled seconds, the
+// compression ratio, and the host wall-clock median.
+//
+// Modelled metrics must be bit-identical run to run so CI can diff the
+// file: the harness pins CUSZP2_WORKERS=1 before the shared pool exists
+// (the decoupled-lookback sync term depends on the measured lookback
+// depth, which is scheduling-dependent under >1 worker; single-worker
+// dispatch makes every depth exactly 1), runs every case twice, and fails
+// hard if the two passes disagree. Wall-clock numbers are diagnostic only
+// and excluded from the determinism check.
+//
+// Against a pre-existing BENCH_perf.json the harness soft-compares
+// modelled throughput within a tolerance band: drift prints a WARN line
+// (CI surfaces it) but does not fail the run — regenerating the file is
+// the fix when the model intentionally changed.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/stream.hpp"
+#include "datagen/fields.hpp"
+#include "gpusim/timing.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+constexpr f64 kTolerance = 0.10;  // soft WARN band on modelled GB/s
+
+struct CaseResult {
+  std::string name;
+  u64 elems = 0;
+  f64 ratio = 0.0;
+  f64 modelledSeconds = 0.0;
+  f64 modelledGBps = 0.0;
+  f64 wallMsMedian = 0.0;
+};
+
+/// Formats an f64 so it round-trips bit-exactly; two runs producing the
+/// same doubles produce byte-identical JSON.
+std::string f64Str(f64 v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct Modelled {
+  f64 ratio = 0.0;
+  f64 seconds = 0.0;
+  f64 gbps = 0.0;
+
+  bool operator==(const Modelled& o) const {
+    return ratio == o.ratio && seconds == o.seconds && gbps == o.gbps;
+  }
+};
+
+/// One pass of all three operations over a freshly constructed stream.
+/// Returns the modelled metrics per operation (compress, decompress,
+/// round-trip) — everything the determinism contract covers.
+std::vector<Modelled> modelOnce(const std::vector<f32>& field) {
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  core::CompressorStream codec(cfg);
+  const auto c = codec.compress<f32>(field);
+  const auto d = codec.decompress<f32>(c.stream);
+
+  const f64 origBytes = static_cast<f64>(c.originalBytes);
+  const f64 rtSeconds =
+      c.profile.endToEndSeconds + d.profile.endToEndSeconds;
+  return {
+      {c.ratio, c.profile.endToEndSeconds, c.profile.endToEndGBps},
+      {c.ratio, d.profile.endToEndSeconds, d.profile.endToEndGBps},
+      {c.ratio, rtSeconds,
+       rtSeconds > 0.0 ? origBytes / rtSeconds / 1e9 : 0.0},
+  };
+}
+
+/// Pulls `"modelled_gbps": <num>` for the named case out of a previous
+/// report. Deliberately string-level: the file is machine-written with a
+/// fixed shape, and the comparison is advisory.
+bool previousGbps(const std::string& report, const std::string& name,
+                  f64* out) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const usize at = report.find(needle);
+  if (at == std::string::npos) return false;
+  const std::string key = "\"modelled_gbps\": ";
+  const usize k = report.find(key, at);
+  if (k == std::string::npos) return false;
+  *out = std::atof(report.c_str() + k + key.size());
+  return true;
+}
+
+std::string readFileIfAny(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  usize n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Must precede the first Launcher: the shared pool is sized once.
+  setenv("CUSZP2_WORKERS", "1", 1);
+
+  const std::string outPath = argc > 1 ? argv[1] : "BENCH_perf.json";
+  const std::string previous = readFileIfAny(outPath);
+
+  bench::banner("perf_regression",
+                "Deterministic perf baseline: 3 fields x "
+                "{compress, decompress, round-trip}");
+
+  const std::vector<std::string> datasets = {"cesm_atm", "hacc", "jetin"};
+  const char* opNames[3] = {"compress", "decompress", "round_trip"};
+  const usize elems = bench::fieldElems();
+
+  std::vector<CaseResult> results;
+  bool deterministic = true;
+  int warns = 0;
+
+  for (const std::string& ds : datasets) {
+    const std::vector<f32> field = datagen::generateF32(ds, 0, elems);
+    const u64 origBytes = field.size() * sizeof(f32);
+
+    // Two independent passes; modelled metrics must agree bit-for-bit.
+    const auto pass1 = modelOnce(field);
+    const auto pass2 = modelOnce(field);
+    for (usize op = 0; op < 3; ++op) {
+      if (!(pass1[op] == pass2[op])) {
+        std::fprintf(stderr,
+                     "FAIL %s/%s: modelled metrics differ between runs "
+                     "(%.17g vs %.17g GB/s)\n",
+                     ds.c_str(), opNames[op], pass1[op].gbps,
+                     pass2[op].gbps);
+        deterministic = false;
+      }
+    }
+
+    // Wall clock per operation (diagnostic; not diffed).
+    core::Config cfg;
+    cfg.relErrorBound = 1e-3;
+    core::CompressorStream codec(cfg);
+    const auto c = codec.compress<f32>(std::span<const f32>(field));
+    const bench::RepeatStats wallCompress = bench::measureRepeated(
+        3, [&] { codec.compress<f32>(std::span<const f32>(field)); });
+    const bench::RepeatStats wallDecompress =
+        bench::measureRepeated(3, [&] { codec.decompress<f32>(c.stream); });
+    const bench::RepeatStats wallRoundTrip = bench::measureRepeated(3, [&] {
+      const auto cc = codec.compress<f32>(std::span<const f32>(field));
+      codec.decompress<f32>(cc.stream);
+    });
+    const f64 wallMs[3] = {wallCompress.medianSeconds * 1e3,
+                           wallDecompress.medianSeconds * 1e3,
+                           wallRoundTrip.medianSeconds * 1e3};
+
+    for (usize op = 0; op < 3; ++op) {
+      CaseResult r;
+      r.name = ds + "/" + opNames[op];
+      r.elems = field.size();
+      r.ratio = pass1[op].ratio;
+      r.modelledSeconds = pass1[op].seconds;
+      r.modelledGBps = pass1[op].gbps;
+      r.wallMsMedian = wallMs[op];
+      std::printf("%-24s %8.2f GB/s modelled  ratio %6.2f  wall %7.2f ms\n",
+                  r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian);
+
+      f64 prior = 0.0;
+      if (!previous.empty() && previousGbps(previous, r.name, &prior) &&
+          prior > 0.0) {
+        const f64 drift = std::fabs(r.modelledGBps - prior) / prior;
+        if (drift > kTolerance) {
+          std::printf("WARN %s: modelled throughput drifted %.1f%% "
+                      "(%.2f -> %.2f GB/s)\n",
+                      r.name.c_str(), drift * 100.0, prior, r.modelledGBps);
+          ++warns;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+    (void)origBytes;
+  }
+
+  // Hand-rolled writer: modelled fields use %.17g so identical runs give
+  // byte-identical files (JsonReport rounds for readability; this file is
+  // diffed by CI).
+  std::string json = "[\n";
+  for (usize i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    json += "  {\"name\": \"" + r.name + "\"";
+    json += ", \"elems\": " + std::to_string(r.elems);
+    json += ", \"ratio\": " + f64Str(r.ratio);
+    json += ", \"modelled_seconds\": " + f64Str(r.modelledSeconds);
+    json += ", \"modelled_gbps\": " + f64Str(r.modelledGBps);
+    json += ", \"wall_ms_median\": " + f64Str(r.wallMsMedian);
+    json += "}";
+    if (i + 1 < results.size()) json += ",";
+    json += "\n";
+  }
+  json += "]\n";
+
+  std::FILE* f = std::fopen(outPath.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", outPath.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu cases, %d drift warnings)\n", outPath.c_str(),
+              results.size(), warns);
+
+  return deterministic ? 0 : 1;
+}

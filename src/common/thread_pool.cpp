@@ -48,7 +48,7 @@ void ThreadPool::wait() {
 usize ThreadPool::defaultWorkers() {
   if (const char* env = std::getenv("CUSZP2_WORKERS")) {
     const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return std::clamp<usize>(static_cast<usize>(v), 2, 64);
+    if (v > 0) return std::clamp<usize>(static_cast<usize>(v), 1, 64);
   }
   const usize hw = std::thread::hardware_concurrency();
   return std::clamp<usize>(hw, 2, 16);

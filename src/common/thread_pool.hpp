@@ -38,8 +38,13 @@ class ThreadPool {
   /// Reasonable default worker count for this host: at least 2 so that
   /// inter-block spin/wait protocols are exercised with real concurrency
   /// even on single-core CI machines. A `CUSZP2_WORKERS` environment
-  /// variable overrides the hardware-derived value (clamped to [2, 64];
-  /// the lower bound preserves the forward-progress guarantee).
+  /// variable overrides the hardware-derived value (clamped to [1, 64]).
+  /// An explicit request of 1 is honoured: every spin protocol in the
+  /// tree waits only on *earlier* tiles, so one FIFO worker makes
+  /// progress — and runs tiles in order, which makes the measured sync
+  /// stats (lookback depth, wait spins) scheduling-independent. The
+  /// perf-regression harness relies on that for deterministic modelled
+  /// metrics.
   static usize defaultWorkers();
 
   /// Sentinel returned by currentWorkerIndex() on non-pool threads.

@@ -13,6 +13,7 @@
 #include "metrics/error_stats.hpp"
 #include "scan/chained.hpp"
 #include "scan/lookback.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cuszp2::core {
 
@@ -238,6 +239,7 @@ void prepareField(const Config& config, const gpusim::TimingModel& timing,
   const usize plansPerWorker = scratch.plansPerWorker;
 
   job.desc.gridSize = job.tiles;
+  job.desc.name = "compress";
   job.desc.body = [=](gpusim::BlockCtx& ctx) {
     const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
     const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
@@ -482,6 +484,59 @@ u64 validateStrictLayout(const char* api, const StreamHeader& header,
 CompressorStream::CompressorStream(Config config, gpusim::DeviceSpec device)
     : config_(config), timing_(std::move(device)), launcher_() {
   config_.validate();
+  launcher_.setTimingModel(&timing_);
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  instruments_.compressCalls = &reg.counter("stream.compress.calls");
+  instruments_.compressBytesIn = &reg.counter("stream.compress.bytes_in");
+  instruments_.compressBytesOut = &reg.counter("stream.compress.bytes_out");
+  instruments_.decompressCalls = &reg.counter("stream.decompress.calls");
+  instruments_.decompressBytesIn =
+      &reg.counter("stream.decompress.bytes_in");
+  instruments_.decompressBytesOut =
+      &reg.counter("stream.decompress.bytes_out");
+  instruments_.replaceBlocksCalls =
+      &reg.counter("stream.replace_blocks.calls");
+  instruments_.salvageCalls = &reg.counter("stream.salvage.calls");
+  instruments_.salvageBadBlocks = &reg.counter("stream.salvage.bad_blocks");
+  instruments_.faultsDetected = &reg.counter("stream.faults_detected");
+  instruments_.faultRelaunches = &reg.counter("stream.fault_relaunches");
+  instruments_.arenaHighWater = &reg.gauge("stream.arena_high_water");
+  instruments_.lastGBps = &reg.gauge("stream.last_gbps");
+}
+
+void CompressorStream::noteFaultDetected() {
+  ++faultsDetected_;
+  instruments_.faultsDetected->add(1);
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->instant("fault_detected");
+  }
+}
+
+void CompressorStream::noteFaultRelaunch() {
+  ++faultRelaunches_;
+  instruments_.faultRelaunches->add(1);
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->instant("fault_relaunch");
+  }
+}
+
+void CompressorStream::noteCompressed(const Compressed& out) {
+  instruments_.compressCalls->add(1);
+  instruments_.compressBytesIn->add(out.originalBytes);
+  instruments_.compressBytesOut->add(out.stream.size());
+  instruments_.arenaHighWater->set(
+      static_cast<f64>(arena_.stats().highWater));
+  instruments_.lastGBps->set(out.profile.endToEndGBps);
+}
+
+void CompressorStream::noteDecompressed(u64 streamBytes, u64 decodedBytes,
+                                        f64 gbps) {
+  instruments_.decompressCalls->add(1);
+  instruments_.decompressBytesIn->add(streamBytes);
+  instruments_.decompressBytesOut->add(decodedBytes);
+  instruments_.arenaHighWater->set(
+      static_cast<f64>(arena_.stats().highWater));
+  instruments_.lastGBps->set(gbps);
 }
 
 void CompressorStream::reconfigure(const Config& config) {
@@ -505,20 +560,20 @@ gpusim::LaunchResult CompressorStream::launchVerified(
     bool ok = false;
     try {
       launch = launcher_.launch(desc.gridSize, desc.body,
-                                desc.blocksPerTask, faultTarget);
+                                desc.blocksPerTask, faultTarget, desc.name);
       ok = verify();
     } catch (const Error&) {
       failure = std::current_exception();
     }
     if (ok) return launch;
-    ++faultsDetected_;
+    noteFaultDetected();
     if (attempt >= config_.faultRetries) {
       if (failure) std::rethrow_exception(failure);
       throw Error("CompressorStream: kernel output still corrupt after " +
                   std::to_string(config_.faultRetries) +
                   " fault retries — giving up");
     }
-    ++faultRelaunches_;
+    noteFaultRelaunch();
     rearm();
   }
 }
@@ -550,10 +605,13 @@ Compressed CompressorStream::compress(std::span<const T> data) {
             job.sync.emplace(config_.syncAlgorithm, job.tiles, arena_);
           });
     } else {
-      launch = launcher_.launch(job.desc.gridSize, job.desc.body);
+      launch = launcher_.launch(job.desc.gridSize, job.desc.body,
+                                job.desc.blocksPerTask, {}, job.desc.name);
     }
   }
-  return finishField(config_, timing_, job, launch);
+  Compressed out = finishField(config_, timing_, job, launch);
+  noteCompressed(out);
+  return out;
 }
 
 template <FloatingPoint T>
@@ -589,8 +647,8 @@ std::vector<Compressed> CompressorStream::compressBatch(
           compressWriteDigestsMatch(jobs[i], config_.blocksPerTile)) {
         continue;
       }
-      ++faultsDetected_;
-      ++faultRelaunches_;
+      noteFaultDetected();
+      noteFaultRelaunch();
       jobs[i].sync.emplace(config_.syncAlgorithm, jobs[i].tiles, arena_);
       launches[i] = launchVerified(
           descs[i], compressFaultTarget(jobs[i]),
@@ -608,6 +666,7 @@ std::vector<Compressed> CompressorStream::compressBatch(
   out.reserve(jobs.size());
   for (usize i = 0; i < jobs.size(); ++i) {
     out.push_back(finishField(config_, timing_, jobs[i], launches[i]));
+    noteCompressed(out.back());
   }
   return out;
 }
@@ -652,6 +711,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
   out.data.assign(n, T{});
   if (n == 0) {
     out.profile.endToEndSeconds = timing_.launchSeconds();
+    noteDecompressed(stream.size(), 0, 0.0);
     return out;
   }
 
@@ -675,6 +735,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
 
   gpusim::KernelDesc desc;
   desc.gridSize = tiles;
+  desc.name = "decompress";
   desc.body = [&, tileWriteCrc](gpusim::BlockCtx& ctx) {
     const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
     const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
@@ -762,11 +823,13 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
       syncState.emplace(config_.syncAlgorithm, tiles, arena_);
     });
   } else {
-    launch = launcher_.launch(tiles, desc.body);
+    launch = launcher_.launch(tiles, desc.body, desc.blocksPerTask, {},
+                              desc.name);
   }
 
   out.profile =
       makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);
+  noteDecompressed(stream.size(), n * sizeof(T), out.profile.endToEndGBps);
   return out;
 }
 
@@ -815,7 +878,8 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
   // range; only the requested blocks run the decode path. This is why
   // random access reaches TB-level throughput relative to the original
   // data size (paper Fig. 20).
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+  const std::function<void(gpusim::BlockCtx&)> body =
+      [&](gpusim::BlockCtx& ctx) {
     const u64 tFirst = static_cast<u64>(ctx.blockIdx) * bpt;
     const u64 tLast = std::min(numBlocks, tFirst + bpt);
 
@@ -856,9 +920,13 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
       }
       cursor += size;
     }
-  });
+  };
+  const auto launch =
+      launcher_.launch(tiles, body, 0, {}, "random_access_decode");
 
   out.profile = makeProfile(launch, timing_, header.originalBytes());
+  noteDecompressed(stream.size(), out.values.size() * sizeof(T),
+                   out.profile.endToEndGBps);
   return out;
 }
 
@@ -918,7 +986,8 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
       arena_.allocSpan<std::byte>(blockCount * maxPayloadSize(L));
   const std::span<u64> newSizes = arena_.allocSpan<u64>(blockCount);
   const std::span<i32> blockScratch = arena_.allocSpan<i32>(L);
-  const auto launch = launcher_.launch(1, [&](gpusim::BlockCtx& ctx) {
+  const std::function<void(gpusim::BlockCtx&)> reencodeBody =
+      [&](gpusim::BlockCtx& ctx) {
     std::span<i32> q = blockScratch;
     u64 cursor = 0;
     for (u64 b = 0; b < blockCount; ++b) {
@@ -937,7 +1006,9 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
     ctx.mem.noteScalarRead(numBlocks, 1, 32);  // offset-array scan
     ctx.mem.noteVectorWrite(cursor + blockCount, 32);
     ctx.mem.noteOps(values.size() * 16);
-  });
+  };
+  const auto launch =
+      launcher_.launch(1, reencodeBody, 0, {}, "replace_blocks");
   u64 newRangeBytes = 0;
   for (const u64 s : newSizes) newRangeBytes += s;
 
@@ -994,6 +1065,9 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
   out.ratio = static_cast<f64>(out.originalBytes) /
               static_cast<f64>(out.stream.size());
   out.profile = makeProfile(launch, timing_, (eLast - eFirst) * sizeof(T));
+  instruments_.replaceBlocksCalls->add(1);
+  instruments_.arenaHighWater->set(
+      static_cast<f64>(arena_.stats().highWater));
   return out;
 }
 
@@ -1005,9 +1079,12 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
   DecodeReport& rep = out.report;
   out.profile.endToEndSeconds = timing_.launchSeconds();
 
+  instruments_.salvageCalls->add(1);
   std::string headerError;
   const auto parsed = StreamHeader::tryParse(stream, &headerError);
   if (!parsed) {
+    // Unparseable header: no block or byte counts are trustworthy, so
+    // nothing beyond the call counter reaches the registry.
     rep.headerError = headerError;
     return out;
   }
@@ -1092,7 +1169,8 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
   // Decode only the surviving blocks; quarantined blocks keep the fill.
   // Block positions come from the host pass, so no scan state is needed
   // (and corrupted offsets cannot wedge the inter-tile protocol).
-  const auto launch = launcher_.launch(tiles, [&](gpusim::BlockCtx& ctx) {
+  const std::function<void(gpusim::BlockCtx&)> salvageBody =
+      [&](gpusim::BlockCtx& ctx) {
     const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
     const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
     i32 quantsArr[256];
@@ -1129,7 +1207,9 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
     ctx.mem.noteMemset(zeroBytes);
     ctx.mem.noteOps(decodedElems * 6);
     ctx.mem.noteL1(decodedElems * 8);
-  });
+  };
+  const auto launch =
+      launcher_.launch(tiles, salvageBody, 0, {}, "salvage_decode");
 
   for (u64 blk = 0; blk < numBlocks; ++blk) {
     if (rep.verdicts[blk] == BlockVerdict::Good) continue;
@@ -1139,6 +1219,7 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
     }
   }
   rep.goodBlocks = numBlocks - rep.badBlocks;
+  instruments_.salvageBadBlocks->add(rep.badBlocks);
 
   out.profile =
       makeProfile(launch, timing_, header.originalBytes(), checksumSeconds);

@@ -25,6 +25,7 @@
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launcher.hpp"
 #include "gpusim/timing.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cuszp2::core {
 
@@ -216,10 +217,36 @@ class CompressorStream {
       const std::function<bool()>& verify,
       const std::function<void()>& rearm);
 
+  /// Telemetry handles resolved once at construction against the global
+  /// registry (see docs/OBSERVABILITY.md for the name catalogue).
+  /// Recording through them is lock-free and a single branch when the
+  /// registry is disabled, preserving the zero-allocation steady state.
+  struct Instruments {
+    telemetry::Counter* compressCalls;
+    telemetry::Counter* compressBytesIn;
+    telemetry::Counter* compressBytesOut;
+    telemetry::Counter* decompressCalls;
+    telemetry::Counter* decompressBytesIn;
+    telemetry::Counter* decompressBytesOut;
+    telemetry::Counter* replaceBlocksCalls;
+    telemetry::Counter* salvageCalls;
+    telemetry::Counter* salvageBadBlocks;
+    telemetry::Counter* faultsDetected;
+    telemetry::Counter* faultRelaunches;
+    telemetry::Gauge* arenaHighWater;
+    telemetry::Gauge* lastGBps;
+  };
+
+  void noteFaultDetected();
+  void noteFaultRelaunch();
+  void noteCompressed(const Compressed& out);
+  void noteDecompressed(u64 streamBytes, u64 decodedBytes, f64 gbps);
+
   Config config_;
   gpusim::TimingModel timing_;
   gpusim::Launcher launcher_;
   Arena arena_;
+  Instruments instruments_;
   u64 faultsDetected_ = 0;
   u64 faultRelaunches_ = 0;
 };

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <memory>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "core/stream.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cuszp2::distributed {
 
@@ -112,6 +115,8 @@ AllreduceResult RingAllreduce::run(
   auto exchangeStep = [&](auto sendChunkOf,
                           std::vector<std::vector<f32>>& incoming) -> f64 {
     f64 stepSeconds = 0.0;
+    f64 roundCodecSeconds = 0.0;  // critical-path codec time of this round
+    u64 roundWireBytes = 0;
     if (codec.batchTransform) {
       std::vector<std::span<const f32>> sends(P);
       for (u32 d = 0; d < P; ++d) sends[d] = chunkSpan(d, sendChunkOf(d));
@@ -125,6 +130,8 @@ AllreduceResult RingAllreduce::run(
       for (u32 d = 0; d < P; ++d) {
         incoming[(d + 1) % P] = std::move(recon[d]);
         result.wireBytes += bytes[d];
+        roundWireBytes += bytes[d];
+        roundCodecSeconds = std::max(roundCodecSeconds, codecSeconds[d]);
         stepSeconds = std::max(
             stepSeconds, codecSeconds[d] + link_.transferSeconds(bytes[d]));
       }
@@ -136,10 +143,19 @@ AllreduceResult RingAllreduce::run(
                         codecSeconds);
         incoming[(d + 1) % P] = wire;
         result.wireBytes += bytes;
+        roundWireBytes += bytes;
+        roundCodecSeconds = std::max(roundCodecSeconds, codecSeconds);
         stepSeconds = std::max(stepSeconds,
                                codecSeconds + link_.transferSeconds(bytes));
       }
     }
+    // Per-round telemetry: the round's critical-path codec time (in µs,
+    // the histogram is integer-valued) and the ring's wire traffic.
+    telemetry::MetricsRegistry& reg = telemetry::registry();
+    reg.histogram("allreduce.round_codec_us")
+        .record(static_cast<u64>(std::llround(roundCodecSeconds * 1e6)));
+    reg.counter("allreduce.steps").add(1);
+    reg.counter("allreduce.wire_bytes").add(roundWireBytes);
     return stepSeconds;
   };
 

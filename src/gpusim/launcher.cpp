@@ -9,10 +9,24 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "gpusim/timing.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cuszp2::gpusim {
 
 namespace {
+
+const char* syncMethodName(SyncMethod m) {
+  switch (m) {
+    case SyncMethod::None: return "none";
+    case SyncMethod::ChainedScan: return "chained_scan";
+    case SyncMethod::DecoupledLookback: return "decoupled_lookback";
+    case SyncMethod::AtomicAggregate: return "atomic_aggregate";
+    case SyncMethod::ReduceThenScan: return "reduce_then_scan";
+  }
+  return "unknown";
+}
 
 thread_local std::atomic<bool>* tCurrentAbortFlag = nullptr;
 
@@ -70,8 +84,9 @@ ThreadPool& Launcher::shared() {
 LaunchResult Launcher::launch(u32 gridSize,
                               const std::function<void(BlockCtx&)>& body,
                               u32 blocksPerTask,
-                              std::span<std::byte> faultTarget) {
-  const KernelRef ref{gridSize, &body, blocksPerTask, faultTarget};
+                              std::span<std::byte> faultTarget,
+                              const char* name) {
+  const KernelRef ref{gridSize, &body, blocksPerTask, faultTarget, name};
   return runKernels({&ref, 1})[0];
 }
 
@@ -81,9 +96,48 @@ std::vector<LaunchResult> Launcher::launchBatch(
   refs.reserve(kernels.size());
   for (const KernelDesc& k : kernels) {
     refs.push_back(KernelRef{k.gridSize, &k.body, k.blocksPerTask,
-                             k.faultTarget});
+                             k.faultTarget, k.name});
   }
   return runKernels(refs);
+}
+
+void Launcher::noteLaunch(const char* name,
+                          const LaunchResult& result) const {
+  const f64 modelled =
+      timing_ == nullptr
+          ? 0.0
+          : timing_->kernel(result.mem, result.sync).totalSeconds;
+  telemetry::registry().noteKernelLaunch(name, result.mem.totalBytes(),
+                                         modelled, result.wallSeconds);
+  telemetry::TraceSession* trace = telemetry::activeTrace();
+  if (trace == nullptr) return;
+  using telemetry::TraceArg;
+  std::vector<TraceArg> args;
+  args.reserve(12);
+  args.push_back(TraceArg::num("grid_size", result.gridSize));
+  args.push_back(
+      TraceArg::num("bytes_read", static_cast<f64>(result.mem.bytesRead)));
+  args.push_back(TraceArg::num(
+      "bytes_written", static_cast<f64>(result.mem.bytesWritten)));
+  args.push_back(TraceArg::num(
+      "transactions", static_cast<f64>(result.mem.totalTransactions())));
+  args.push_back(TraceArg::num("atomic_ops",
+                               static_cast<f64>(result.mem.atomicOps)));
+  args.push_back(
+      TraceArg::str("sync_method", syncMethodName(result.sync.method)));
+  args.push_back(
+      TraceArg::num("sync_tiles", static_cast<f64>(result.sync.tiles)));
+  args.push_back(TraceArg::num(
+      "max_lookback_depth",
+      static_cast<f64>(result.sync.maxLookbackDepth)));
+  args.push_back(TraceArg::num("wait_spins",
+                               static_cast<f64>(result.sync.waitSpins)));
+  args.push_back(TraceArg::num("injected_bit_flips",
+                               static_cast<f64>(result.injectedBitFlips)));
+  args.push_back(TraceArg::num("modelled_seconds", modelled));
+  // The simulated launch's host wall time is the trace span's duration;
+  // the modelled GPU time rides along as an arg so both views line up.
+  trace->complete(name, result.wallSeconds * 1e6, std::move(args));
 }
 
 bool Launcher::faultActive(u64 launchIdx) const {
@@ -136,6 +190,7 @@ std::vector<LaunchResult> Launcher::runKernelsInline(
     const auto t1 = std::chrono::steady_clock::now();
     results[k].wallSeconds = std::chrono::duration<f64>(t1 - t0).count();
     if (fault) injectWriteFaults(launchIdx, kernel.faultTarget, results[k]);
+    noteLaunch(kernel.name, results[k]);
   }
   return results;
 }
@@ -242,6 +297,7 @@ std::vector<LaunchResult> Launcher::runKernels(
     if (faultActive(launchIdx[k])) {
       injectWriteFaults(launchIdx[k], kernels[k].faultTarget, results[k]);
     }
+    noteLaunch(kernels[k].name, results[k]);
   }
   return results;
 }

@@ -9,6 +9,15 @@
 // Each block records its memory traffic and sync behaviour into its own
 // counters; the launcher reduces them into one LaunchResult the TimingModel
 // can convert into modelled kernel seconds.
+//
+// Observability: every launch is auto-instrumented. When the process-wide
+// telemetry registry is enabled, the launch accumulates into the
+// per-kernel table (launches, DRAM bytes, modelled + wall seconds) under
+// the kernel's name; when a telemetry::TraceSession is active, a complete
+// trace event is emitted carrying memory-transaction, sync, fault and
+// modelled-timing attributes. Both are a single relaxed atomic load when
+// off. Modelled attributes need a TimingModel: owners register theirs via
+// setTimingModel() (core::CompressorStream does).
 #pragma once
 
 #include <atomic>
@@ -23,6 +32,8 @@
 #include "gpusim/sync_stats.hpp"
 
 namespace cuszp2::gpusim {
+
+class TimingModel;
 
 struct BlockCtx {
   u32 blockIdx = 0;
@@ -48,6 +59,9 @@ struct KernelDesc {
   u32 gridSize = 0;
   std::function<void(BlockCtx&)> body;
   u32 blocksPerTask = 0;  ///< 0 = choose automatically
+  /// Telemetry name: the per-kernel metrics table and trace events
+  /// aggregate under it. Must be a string literal (not copied).
+  const char* name = "kernel";
   /// The kernel's written bytes, as far as fault injection is concerned:
   /// an armed FaultPlan flips bits here after the grid completes (the
   /// soft-error model — memory damaged after the write retires, caught
@@ -99,7 +113,8 @@ class Launcher {
   LaunchResult launch(u32 gridSize,
                       const std::function<void(BlockCtx&)>& body,
                       u32 blocksPerTask = 0,
-                      std::span<std::byte> faultTarget = {});
+                      std::span<std::byte> faultTarget = {},
+                      const char* name = "kernel");
 
   /// Dispatches several independent grids through one completion latch and
   /// one task-submission pass, amortizing dispatch overhead the way CUDA
@@ -127,17 +142,30 @@ class Launcher {
     return launchSeq_.load(std::memory_order_relaxed);
   }
 
+  /// Registers the timing model used to attach modelled-seconds attributes
+  /// to telemetry (per-kernel table rows and trace event args). The model
+  /// must outlive the launcher (or be cleared with nullptr). Telemetry
+  /// works without one; modelled attributes are then reported as 0.
+  void setTimingModel(const TimingModel* timing) { timing_ = timing; }
+
  private:
   struct KernelRef {
     u32 gridSize = 0;
     const std::function<void(BlockCtx&)>* body = nullptr;
     u32 blocksPerTask = 0;
     std::span<std::byte> faultTarget;
+    const char* name = "kernel";
   };
 
   bool faultActive(u64 launchIdx) const;
   void injectWriteFaults(u64 launchIdx, std::span<std::byte> target,
                          LaunchResult& result) const;
+
+  /// Telemetry sink for one finished kernel: accumulates the per-kernel
+  /// metrics row and, when a trace session is active, emits a complete
+  /// event with mem/sync/fault/modelled-timing args. No-op (one relaxed
+  /// load each) when both sinks are off.
+  void noteLaunch(const char* name, const LaunchResult& result) const;
 
   std::vector<LaunchResult> runKernels(std::span<const KernelRef> kernels);
   std::vector<LaunchResult> runKernelsInline(std::span<const KernelRef> kernels);
@@ -145,6 +173,7 @@ class Launcher {
   ThreadPool* pool_;
   std::optional<FaultPlan> faultPlan_;
   std::atomic<u64> launchSeq_{0};
+  const TimingModel* timing_ = nullptr;
 };
 
 /// Abort propagation for in-flight launches. When a block throws, the

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "gpusim/launcher.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cuszp2::scan {
 
@@ -47,9 +48,17 @@ u64 LookbackState::processTile(u32 tile, u64 aggregate,
   sync.method = gpusim::SyncMethod::DecoupledLookback;
   sync.tiles += 1;
 
+  // Observed lookback depth distribution (the protocol's critical-path
+  // term, paper Fig. 13). Tile 0 records depth 0: it publishes its prefix
+  // without looking back. The handle is resolved once per process; the
+  // record itself is a branch when telemetry is off.
+  static telemetry::Histogram& depthHist =
+      telemetry::registry().histogram("scan.lookback.depth");
+
   if (tile == 0) {
     publish(0, kFlagPrefix, aggregate);
     mem.noteScalarWrite(8, 8, 32);
+    depthHist.record(0);
     return 0;
   }
 
@@ -76,6 +85,8 @@ u64 LookbackState::processTile(u32 tile, u64 aggregate,
   sync.lookbackSteps += depth;
   sync.maxLookbackDepth = std::max(sync.maxLookbackDepth, depth);
   sync.waitSpins += spins;
+
+  depthHist.record(depth);
 
   publish(tile, kFlagPrefix, (exclusive + aggregate) & kValueMask);
   mem.noteScalarWrite(8, 8, 32);

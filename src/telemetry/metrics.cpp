@@ -1,0 +1,197 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cuszp2::telemetry {
+
+namespace {
+
+/// Formats an f64 so it round-trips bit-exactly (shortest form that does:
+/// %.17g) — snapshots of the same state are byte-identical.
+std::string formatF64(f64 v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(
+                                new Counter(name, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name,
+                      std::unique_ptr<Gauge>(new Gauge(name, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+KernelStats& MetricsRegistry::kernel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(name);
+  if (it == kernels_.end()) {
+    it = kernels_.emplace(name, std::make_unique<KernelStats>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::noteKernelLaunch(const char* name, u64 dramBytes,
+                                       f64 modelledSeconds,
+                                       f64 wallSeconds) {
+  if (!enabled()) return;
+  KernelStats& k = kernel(name);
+  k.launches.fetch_add(1, std::memory_order_relaxed);
+  k.dramBytes.fetch_add(dramBytes, std::memory_order_relaxed);
+  k.modelledPicos.fetch_add(
+      static_cast<u64>(std::llround(modelledSeconds * 1e12)),
+      std::memory_order_relaxed);
+  k.wallPicos.fetch_add(static_cast<u64>(std::llround(wallSeconds * 1e12)),
+                        std::memory_order_relaxed);
+  counter("gpusim.kernel_launches").add(1);
+  counter("gpusim.dram_bytes").add(dramBytes);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->bits_.store(bitCast<u64>(0.0), std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    h->max_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, k] : kernels_) {
+    k->launches.store(0, std::memory_order_relaxed);
+    k->dramBytes.store(0, std::memory_order_relaxed);
+    k->modelledPicos.store(0, std::memory_order_relaxed);
+    k->wallPicos.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::snapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(c->value());
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + formatF64(g->value());
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " +
+           std::to_string(h->sum()) + ", \"max\": " +
+           std::to_string(h->max()) + ", \"mean\": " + formatF64(h->mean()) +
+           ", \"buckets\": [";
+    // Trailing empty buckets are elided so small histograms stay small.
+    usize last = Histogram::kBuckets;
+    while (last > 0 && h->bucketCount(last - 1) == 0) --last;
+    for (usize b = 0; b < last; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h->bucketCount(b));
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"kernels\": {";
+  first = true;
+  for (const auto& [name, k] : kernels_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"launches\": " +
+           std::to_string(k->launches.load(std::memory_order_relaxed)) +
+           ", \"dram_bytes\": " +
+           std::to_string(k->dramBytes.load(std::memory_order_relaxed)) +
+           ", \"modelled_seconds\": " +
+           formatF64(static_cast<f64>(
+                         k->modelledPicos.load(std::memory_order_relaxed)) *
+                     1e-12) +
+           ", \"wall_seconds\": " +
+           formatF64(static_cast<f64>(
+                         k->wallPicos.load(std::memory_order_relaxed)) *
+                     1e-12) +
+           "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+std::vector<KernelRow> MetricsRegistry::snapshotKernels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<KernelRow> rows;
+  rows.reserve(kernels_.size());
+  for (const auto& [name, k] : kernels_) {
+    KernelRow row;
+    row.name = name;
+    row.launches = k->launches.load(std::memory_order_relaxed);
+    row.dramBytes = k->dramBytes.load(std::memory_order_relaxed);
+    row.modelledSeconds =
+        static_cast<f64>(k->modelledPicos.load(std::memory_order_relaxed)) *
+        1e-12;
+    row.wallSeconds =
+        static_cast<f64>(k->wallPicos.load(std::memory_order_relaxed)) *
+        1e-12;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const KernelRow& a, const KernelRow& b) {
+              return a.modelledSeconds != b.modelledSeconds
+                         ? a.modelledSeconds > b.modelledSeconds
+                         : a.name < b.name;
+            });
+  return rows;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry global(/*enabled=*/false);
+  return global;
+}
+
+}  // namespace cuszp2::telemetry

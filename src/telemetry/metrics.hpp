@@ -1,0 +1,203 @@
+// Run-wide metrics surface: named counters, gauges and histograms with
+// cheap thread-safe recording, plus a per-kernel accumulation table fed by
+// gpusim::Launcher.
+//
+// Design constraints (mirrors the zero-allocation hot path of
+// core::CompressorStream):
+//   * Instrument handles are resolved once (find-or-create under a mutex,
+//     allocating) and stay valid for the registry's lifetime; recording
+//     through a handle is lock-free atomics only.
+//   * Every instrument checks its registry's enabled flag with one relaxed
+//     load, so a disabled registry adds a branch — no locks, no heap
+//     traffic — to hot paths (guarded by tests/test_stream_reuse.cpp).
+//   * The process-global registry() starts DISABLED; the CLI, benches and
+//     tests opt in via registry().setEnabled(true).
+//
+// Snapshots serialize to JSON with deterministic (sorted) key order; see
+// docs/OBSERVABILITY.md for the metric name catalogue and schema.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::telemetry {
+
+class MetricsRegistry;
+
+/// Monotonic counter. add() is a relaxed fetch_add when the owning
+/// registry is enabled, a single relaxed load otherwise.
+class Counter {
+ public:
+  void add(u64 delta = 1) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<u64> value_{0};
+};
+
+/// Last-value gauge holding an f64 (stored as bits for atomicity).
+class Gauge {
+ public:
+  void set(f64 v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      bits_.store(bitCast<u64>(v), std::memory_order_relaxed);
+    }
+  }
+
+  f64 value() const {
+    return bitCast<f64>(bits_.load(std::memory_order_relaxed));
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<u64> bits_{bitCast<u64>(0.0)};
+};
+
+/// Fixed-bucket log2 histogram over u64 samples. Bucket i counts samples
+/// whose bit width is i (bucket 0 holds the value 0, bucket 1 holds 1,
+/// bucket 2 holds 2..3, ...), so recording is a bit_width plus one
+/// fetch_add — no allocation, no locks, any value range.
+class Histogram {
+ public:
+  static constexpr usize kBuckets = 65;  // bit widths 0..64
+
+  void record(u64 sample) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    buckets_[bucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    u64 seen = max_.load(std::memory_order_relaxed);
+    while (sample > seen &&
+           !max_.compare_exchange_weak(seen, sample,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  u64 max() const { return max_.load(std::memory_order_relaxed); }
+  f64 mean() const {
+    const u64 c = count();
+    return c == 0 ? 0.0 : static_cast<f64>(sum()) / static_cast<f64>(c);
+  }
+  u64 bucketCount(usize bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+  static usize bucketOf(u64 sample) {
+    usize w = 0;
+    while (sample != 0) {
+      ++w;
+      sample >>= 1;
+    }
+    return w;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<u64> buckets_[kBuckets] = {};
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> max_{0};
+};
+
+/// Per-kernel accumulation row, fed by gpusim::Launcher after every
+/// launch. Modelled time is accumulated in integer picoseconds so
+/// concurrent adds stay exact (no float-summation order dependence).
+struct KernelStats {
+  std::atomic<u64> launches{0};
+  std::atomic<u64> dramBytes{0};
+  std::atomic<u64> modelledPicos{0};
+  std::atomic<u64> wallPicos{0};
+};
+
+/// Snapshot row of the per-kernel table (see snapshotKernels()).
+struct KernelRow {
+  std::string name;
+  u64 launches = 0;
+  u64 dramBytes = 0;
+  f64 modelledSeconds = 0.0;
+  f64 wallSeconds = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Registries constructed directly are enabled (convenient for tests);
+  /// the process-global registry() starts disabled.
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create by name. The returned reference stays valid for the
+  /// registry's lifetime; resolve once, record many times.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  KernelStats& kernel(const std::string& name);
+
+  /// Accumulates one launch into the per-kernel table and the global
+  /// gpusim.* counters. No-op when disabled.
+  void noteKernelLaunch(const char* name, u64 dramBytes, f64 modelledSeconds,
+                        f64 wallSeconds);
+
+  /// Zeroes every instrument's value (names and handles survive).
+  void reset();
+
+  /// Deterministic JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "kernels": {...}} with keys sorted.
+  std::string snapshotJson() const;
+
+  /// Per-kernel table rows, sorted by modelled seconds descending.
+  std::vector<KernelRow> snapshotKernels() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<KernelStats>> kernels_;
+};
+
+/// Process-global registry, created on first use, DISABLED by default so
+/// the hot path pays one branch until someone opts in.
+MetricsRegistry& registry();
+
+}  // namespace cuszp2::telemetry

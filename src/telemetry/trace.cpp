@@ -1,0 +1,162 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cuszp2::telemetry {
+
+namespace {
+
+std::atomic<TraceSession*> gActiveTrace{nullptr};
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string formatF64(f64 v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceSession* activeTrace() {
+  return gActiveTrace.load(std::memory_order_relaxed);
+}
+
+void setActiveTrace(TraceSession* session) {
+  gActiveTrace.store(session, std::memory_order_release);
+}
+
+TraceSession::TraceSession() : start_(std::chrono::steady_clock::now()) {}
+
+f64 TraceSession::nowUs() const {
+  return std::chrono::duration<f64, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void TraceSession::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (event.tsUs < lastTsUs_) event.tsUs = lastTsUs_;
+  lastTsUs_ = event.tsUs;
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::begin(const std::string& name,
+                         std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'B';
+  e.tsUs = nowUs();
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceSession::end(const std::string& name) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'E';
+  e.tsUs = nowUs();
+  push(std::move(e));
+}
+
+void TraceSession::complete(const std::string& name, f64 durUs,
+                            std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.tsUs = std::max(0.0, nowUs() - durUs);
+  e.durUs = durUs;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceSession::instant(const std::string& name,
+                           std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.tsUs = nowUs();
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+usize TraceSession::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceSession::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\": [\n";
+  for (usize i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += "  {\"name\": \"";
+    appendEscaped(out, e.name);
+    out += "\", \"ph\": \"";
+    out += e.phase;
+    out += "\", \"ts\": " + formatF64(e.tsUs);
+    if (e.phase == 'X') out += ", \"dur\": " + formatF64(e.durUs);
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (usize a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out += ", ";
+        out += "\"";
+        appendEscaped(out, e.args[a].key);
+        out += "\": ";
+        if (e.args[a].isString) {
+          out += "\"";
+          appendEscaped(out, e.args[a].text);
+          out += "\"";
+        } else {
+          out += formatF64(e.args[a].number);
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < events_.size()) out += ",";
+    out += "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool TraceSession::writeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "TraceSession: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace cuszp2::telemetry

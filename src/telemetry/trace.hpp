@@ -1,0 +1,142 @@
+// Trace sessions: span/event recording that exports chrome://tracing /
+// Perfetto-compatible JSON ("trace event format", JSON-array flavour).
+//
+// A TraceSession owns an in-memory event list; recording takes one mutex
+// (tracing is opt-in — when no session is active the only cost anywhere is
+// one relaxed atomic load of the active-session pointer). Install a
+// session with setActiveTrace()/ScopedTrace and gpusim::Launcher
+// auto-emits one complete ("X") event per kernel launch, carrying memory
+// transactions, sync behaviour, fault injection and modelled timing as
+// event args; core::CompressorStream adds B/E spans around API calls and
+// instant events for detected faults.
+//
+// Timestamps are microseconds since session start, taken from a monotonic
+// clock and clamped to be non-decreasing in emission order per phase
+// domain, so consumers (and tests/test_telemetry.cpp) can rely on
+// balanced, ordered B/E pairs. See docs/OBSERVABILITY.md for the schema
+// and how to open a trace in Perfetto.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::telemetry {
+
+/// One event arg rendered into the event's "args" object. `number` is
+/// used when `isString` is false; string values are JSON-escaped on
+/// serialization.
+struct TraceArg {
+  std::string key;
+  f64 number = 0.0;
+  std::string text;
+  bool isString = false;
+
+  static TraceArg num(std::string key, f64 v) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.number = v;
+    return a;
+  }
+  static TraceArg str(std::string key, std::string v) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.text = std::move(v);
+    a.isString = true;
+    return a;
+  }
+};
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';  // 'B', 'E', 'X', 'i'
+  f64 tsUs = 0.0;    // microseconds since session start
+  f64 durUs = 0.0;   // 'X' events only
+  u64 tid = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds since session start (monotonic clock).
+  f64 nowUs() const;
+
+  /// Duration span delimiters; ts is assigned internally and is
+  /// non-decreasing in emission order.
+  void begin(const std::string& name, std::vector<TraceArg> args = {});
+  void end(const std::string& name);
+
+  /// Complete event covering the last `durUs` microseconds (ts = now -
+  /// dur, floored at the previous event's ts so file order stays sorted).
+  void complete(const std::string& name, f64 durUs,
+                std::vector<TraceArg> args = {});
+
+  /// Instant event.
+  void instant(const std::string& name, std::vector<TraceArg> args = {});
+
+  /// RAII B/E pair.
+  class Span {
+   public:
+    Span(TraceSession& session, std::string name)
+        : session_(&session), name_(std::move(name)) {
+      session_->begin(name_);
+    }
+    ~Span() { session_->end(name_); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    TraceSession* session_;
+    std::string name_;
+  };
+
+  usize eventCount() const;
+  std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable by
+  /// chrome://tracing and https://ui.perfetto.dev.
+  std::string json() const;
+
+  /// Writes json() to `path` (truncating); false + warning on I/O failure.
+  bool writeJson(const std::string& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  f64 lastTsUs_ = 0.0;
+};
+
+/// The session gpusim::Launcher (and other auto-instrumented layers)
+/// emit into; nullptr = tracing off. Not owned.
+TraceSession* activeTrace();
+void setActiveTrace(TraceSession* session);
+
+/// RAII activation of a caller-owned session (restores the previous
+/// active session on destruction).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceSession& session)
+      : previous_(activeTrace()) {
+    setActiveTrace(&session);
+  }
+  ~ScopedTrace() { setActiveTrace(previous_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSession* previous_;
+};
+
+}  // namespace cuszp2::telemetry

@@ -1,0 +1,140 @@
+// Seeded property sweep: every (dataset, error-bound mode, block-checksum)
+// combination must round-trip with |original - decoded| <= bound for every
+// element, and the telemetry registry's byte counters must equal the
+// actual buffer sizes moved through the stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "datagen/fields.hpp"
+#include "metrics/error_stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cuszp2 {
+namespace {
+
+using core::CompressorStream;
+using core::Config;
+
+/// Element-wise bound check with the same half-ULP slack the repo's
+/// ErrorStats::withinBoundFp applies: dequantization rounds once in the
+/// target precision, so a bound tighter than that is unachievable.
+template <FloatingPoint T>
+void expectWithinBound(std::span<const T> orig, std::span<const T> dec,
+                       f64 absEb, const std::string& label) {
+  ASSERT_EQ(orig.size(), dec.size()) << label;
+  const f64 ulpScale = std::is_same_v<T, f32> ? 6.0e-8 : 1.2e-16;
+  usize violations = 0;
+  f64 worst = 0.0;
+  usize worstAt = 0;
+  for (usize i = 0; i < orig.size(); ++i) {
+    const f64 err = std::fabs(static_cast<f64>(orig[i]) -
+                              static_cast<f64>(dec[i]));
+    const f64 slack =
+        std::fabs(static_cast<f64>(orig[i])) * ulpScale;
+    if (err > absEb * (1.0 + 1e-12) + slack) {
+      ++violations;
+      if (err > worst) {
+        worst = err;
+        worstAt = i;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0u)
+      << label << ": " << violations << " elements out of bound "
+      << absEb << ", worst |err| " << worst << " at index " << worstAt;
+}
+
+struct BoundCase {
+  bool relative;
+  f64 bound;
+};
+
+template <FloatingPoint T>
+void sweepDataset(const std::string& dataset, u32 fieldIndex, usize elems) {
+  // Odd element count: the final block is partial in every sweep.
+  const std::vector<T> field = [&] {
+    if constexpr (std::is_same_v<T, f32>) {
+      return datagen::generateF32(dataset, fieldIndex, elems);
+    } else {
+      return datagen::generateF64(dataset, fieldIndex, elems);
+    }
+  }();
+  const std::span<const T> data(field);
+  const f64 range = metrics::valueRange<T>(data);
+
+  const BoundCase bounds[] = {
+      {true, 1e-2}, {true, 1e-3}, {true, 1e-4},
+      {false, range * 5e-3}, {false, range * 5e-5},
+  };
+
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  reg.setEnabled(true);
+
+  for (const BoundCase& bc : bounds) {
+    for (const bool blockChecksums : {false, true}) {
+      Config cfg;
+      if (bc.relative) {
+        cfg.relErrorBound = bc.bound;
+        cfg.absErrorBound = 0.0;
+      } else {
+        cfg.absErrorBound = bc.bound;
+      }
+      cfg.blockChecksums = blockChecksums;
+      const std::string label =
+          dataset + (bc.relative ? "/rel=" : "/abs=") +
+          std::to_string(bc.bound) +
+          (blockChecksums ? "/v2" : "/v1");
+
+      reg.reset();
+      CompressorStream codec(cfg);
+      const auto c = codec.compress<T>(data);
+      const auto d = codec.decompress<T>(c.stream);
+
+      // REL bounds resolve against the field's value range on-device;
+      // the effective ABS bound is recorded in the stream header.
+      const f64 absEb = core::StreamHeader::parse(c.stream).absErrorBound;
+      if (bc.relative) {
+        EXPECT_NEAR(absEb, core::Quantizer::absFromRel(bc.bound, range),
+                    absEb * 1e-12)
+            << label;
+      } else {
+        EXPECT_EQ(absEb, bc.bound) << label;
+      }
+      expectWithinBound<T>(data, d.data, absEb, label);
+
+      // Metrics-reported bytes equal the actual buffer sizes.
+      EXPECT_EQ(reg.counter("stream.compress.bytes_in").value(),
+                field.size() * sizeof(T))
+          << label;
+      EXPECT_EQ(reg.counter("stream.compress.bytes_out").value(),
+                c.stream.size())
+          << label;
+      EXPECT_EQ(reg.counter("stream.decompress.bytes_in").value(),
+                c.stream.size())
+          << label;
+      EXPECT_EQ(reg.counter("stream.decompress.bytes_out").value(),
+                d.data.size() * sizeof(T))
+          << label;
+      // Version-2 streams carry the 2-byte-per-block footer.
+      const auto header = core::StreamHeader::parse(c.stream);
+      EXPECT_EQ(header.hasBlockChecksums(), blockChecksums) << label;
+    }
+  }
+
+  reg.reset();
+  reg.setEnabled(false);
+}
+
+TEST(ErrorBoundProperty, CesmAtmF32) { sweepDataset<f32>("cesm_atm", 0, 8191); }
+TEST(ErrorBoundProperty, HaccF32) { sweepDataset<f32>("hacc", 1, 8191); }
+TEST(ErrorBoundProperty, JetinF32) { sweepDataset<f32>("jetin", 0, 8191); }
+TEST(ErrorBoundProperty, NyxF32) { sweepDataset<f32>("nyx", 0, 8191); }
+TEST(ErrorBoundProperty, S3dF64) { sweepDataset<f64>("s3d", 0, 8191); }
+
+}  // namespace
+}  // namespace cuszp2

@@ -1,0 +1,152 @@
+// Golden-fixture lock on the serialized stream format.
+//
+// The fixtures are tiny checked-in streams (hex-embedded below) produced
+// by compressing 40 f32 values {0, 0.25, 0.5, ...} at abs bound 0.01 with
+// the default config — one version-1 stream and one version-2 stream
+// (per-block checksum footer). They pin the byte layout documented in
+// docs/FORMAT.md: any change to the writer or the header packing that
+// alters the wire format fails here and must come with a format-version
+// bump and a FORMAT.md update.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "core/stream.hpp"
+
+namespace cuszp2 {
+namespace {
+
+// cuszp2 compress gold.f32 out.czp2 --abs 0.01            (84 bytes)
+constexpr const char* kGoldenV1 =
+    "435a503253505a32010001002000000028000000000000007b14ae47e17a843f"
+    "000000000000000004a400000000aaaaaaaa00000000fefffffffeffffff0000"
+    "00009001aa00000000000000fe000000fe000000";
+
+// cuszp2 compress gold.f32 out.czp2 --abs 0.01 --block-checksum (88 bytes)
+constexpr const char* kGoldenV2 =
+    "435a503253505a32020001002000000028000000000000007b14ae47e17a843f"
+    "000000000000000004a400000000aaaaaaaa00000000fefffffffeffffff0000"
+    "00009001aa00000000000000fe000000fe0000004d7cbc81";
+
+std::vector<std::byte> fromHex(const std::string& hex) {
+  std::vector<std::byte> out(hex.size() / 2);
+  for (usize i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return out;
+}
+
+std::vector<f32> goldenInput() {
+  std::vector<f32> v(40);
+  for (usize i = 0; i < v.size(); ++i) v[i] = static_cast<f32>(i) * 0.25f;
+  return v;
+}
+
+u64 readLE64(const std::byte* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | std::to_integer<u64>(p[i]);
+  return v;
+}
+
+/// Byte-level layout assertions straight from docs/FORMAT.md.
+void checkHeaderLayout(const std::vector<std::byte>& s, u8 version) {
+  ASSERT_GE(s.size(), core::StreamHeader::kBytes);
+  // [0, 8): magic "CZP2SPZ2".
+  EXPECT_EQ(std::memcmp(s.data(), "CZP2SPZ2", 8), 0);
+  EXPECT_EQ(std::to_integer<u8>(s[8]), version);
+  EXPECT_EQ(std::to_integer<u8>(s[9]), 0u);   // precision: f32
+  EXPECT_EQ(std::to_integer<u8>(s[10]), 1u);  // mode: outlier
+  EXPECT_EQ(std::to_integer<u8>(s[11]), 0u);  // predictor: first-order
+  EXPECT_EQ(std::to_integer<u8>(s[12]), 32u); // block size
+  EXPECT_EQ(readLE64(s.data() + 16), 40u);    // element count
+  EXPECT_EQ(readLE64(s.data() + 24), bitCast<u64>(0.01));  // abs bound
+  // [32, 36): stream CRC, 0 = absent under the default config.
+  EXPECT_EQ(std::to_integer<u8>(s[32]) | std::to_integer<u8>(s[33]) |
+                std::to_integer<u8>(s[34]) | std::to_integer<u8>(s[35]),
+            0);
+  // Offset bytes begin at 40, one per block.
+  EXPECT_EQ(core::StreamHeader::offsetsBegin(), 40u);
+}
+
+void checkParsedHeader(const core::StreamHeader& h, bool v2) {
+  EXPECT_EQ(h.version, v2 ? core::kFormatVersionV2 : core::kFormatVersion);
+  EXPECT_EQ(h.precision, Precision::F32);
+  EXPECT_EQ(h.mode, EncodingMode::Outlier);
+  EXPECT_EQ(h.predictor, Predictor::FirstOrder);
+  EXPECT_EQ(h.blockSize, 32u);
+  EXPECT_EQ(h.numElements, 40u);
+  EXPECT_EQ(h.absErrorBound, 0.01);
+  EXPECT_EQ(h.checksum, 0u);
+  EXPECT_EQ(h.numBlocks(), 2u);
+  EXPECT_EQ(h.hasBlockChecksums(), v2);
+  EXPECT_EQ(h.footerBytes(), v2 ? 4u : 0u);
+}
+
+// Dequantization rounds once in f32, so allow the bound plus half an ULP
+// of the value (same slack ErrorStats::withinBoundFp uses).
+void expectDecodesGoldenInput(const std::vector<f32>& decoded) {
+  const auto input = goldenInput();
+  ASSERT_EQ(decoded.size(), input.size());
+  for (usize i = 0; i < input.size(); ++i) {
+    const f64 slack = std::fabs(static_cast<f64>(input[i])) * 6.0e-8;
+    EXPECT_NEAR(decoded[i], input[i], 0.01 + slack) << "at " << i;
+  }
+}
+
+TEST(FormatGolden, V1FixtureParsesAndDecodes) {
+  const auto fixture = fromHex(kGoldenV1);
+  ASSERT_EQ(fixture.size(), 84u);
+  checkHeaderLayout(fixture, 1);
+  checkParsedHeader(core::StreamHeader::parse(fixture), /*v2=*/false);
+
+  core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
+  expectDecodesGoldenInput(codec.decompress<f32>(fixture).data);
+}
+
+TEST(FormatGolden, V2FixtureParsesAndDecodes) {
+  const auto fixture = fromHex(kGoldenV2);
+  ASSERT_EQ(fixture.size(), 88u);
+  checkHeaderLayout(fixture, 2);
+  checkParsedHeader(core::StreamHeader::parse(fixture), /*v2=*/true);
+
+  // The v2 payload region is byte-identical to v1 — the footer is purely
+  // additive (FORMAT.md: "version 2 appends, never reshapes").
+  const auto v1 = fromHex(kGoldenV1);
+  EXPECT_EQ(std::memcmp(fixture.data() + core::StreamHeader::kBytes,
+                        v1.data() + core::StreamHeader::kBytes,
+                        v1.size() - core::StreamHeader::kBytes),
+            0);
+
+  core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
+  expectDecodesGoldenInput(codec.decompress<f32>(fixture).data);
+}
+
+TEST(FormatGolden, WriterStillProducesTheFixtureBytes) {
+  const auto input = goldenInput();
+
+  core::Config v1cfg;
+  v1cfg.absErrorBound = 0.01;
+  core::CompressorStream codec(v1cfg);
+  const auto c1 = codec.compress<f32>(std::span<const f32>(input));
+  EXPECT_EQ(c1.stream, fromHex(kGoldenV1))
+      << "v1 wire format changed — bump the format version and update "
+         "docs/FORMAT.md before touching this fixture";
+
+  core::Config v2cfg;
+  v2cfg.absErrorBound = 0.01;
+  v2cfg.blockChecksums = true;
+  codec.reconfigure(v2cfg);
+  const auto c2 = codec.compress<f32>(std::span<const f32>(input));
+  EXPECT_EQ(c2.stream, fromHex(kGoldenV2))
+      << "v2 wire format changed — bump the format version and update "
+         "docs/FORMAT.md before touching this fixture";
+}
+
+}  // namespace
+}  // namespace cuszp2

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "core/compressor.hpp"
 #include "core/quantizer.hpp"
+#include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "metrics/error_stats.hpp"
 
@@ -130,6 +131,42 @@ TEST(ReplaceBlocks, PartialFinalBlockTail) {
   // the 8-element tail.
   EXPECT_NO_THROW(
       comp.replaceBlocks<f32>(c.stream, last - 1, replacementValues(40, 8)));
+}
+
+// Regression: replacing the final partial block of a version-2 stream.
+// The 2-byte-per-block footer sits right after the short tail block, so a
+// payload-size miscalculation over-reads into (or past) the footer — run
+// under ASan this test catches any such read, and the digest rebuild must
+// still validate strictly afterwards.
+TEST(ReplaceBlocks, FinalPartialBlockWithBlockChecksums) {
+  Config cfg;
+  cfg.absErrorBound = 1e-3;
+  cfg.blockChecksums = true;
+  CompressorStream codec(cfg);
+  const auto data = replacementValues(1000, 5);  // 31 blocks + 8 elems
+  const auto c = codec.compress<f32>(data);
+  const auto header = StreamHeader::parse(c.stream);
+  ASSERT_TRUE(header.hasBlockChecksums());
+  const u64 last = header.numBlocks() - 1;
+  const u64 tail = header.numElements - last * header.blockSize;
+  ASSERT_LT(tail, header.blockSize);
+
+  // Replace exactly the 8-element tail; strict decode re-verifies every
+  // rebuilt digest, including the final partial block's.
+  const auto repl = replacementValues(tail, 6);
+  const auto updated = codec.replaceBlocks<f32>(c.stream, last, repl);
+  EXPECT_EQ(StreamHeader::parse(updated.stream).version, kFormatVersionV2);
+  const auto d = codec.decompress<f32>(updated.stream);
+  ASSERT_EQ(d.data.size(), data.size());
+  for (u64 i = 0; i < tail; ++i) {
+    EXPECT_NEAR(d.data[last * header.blockSize + i], repl[i], 1e-3 * 1.01);
+  }
+
+  // Full-block-plus-tail replacement crossing into the partial block.
+  const auto repl2 = replacementValues(header.blockSize + tail, 7);
+  const auto updated2 =
+      codec.replaceBlocks<f32>(c.stream, last - 1, repl2);
+  EXPECT_EQ(codec.decompress<f32>(updated2.stream).data.size(), data.size());
 }
 
 TEST(ReplaceBlocks, Validation) {

@@ -15,6 +15,7 @@
 #include "core/compressor.hpp"
 #include "core/segmented.hpp"
 #include "datagen/fields.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cuszp2::core {
 namespace {
@@ -278,6 +279,48 @@ TEST(Salvage, V1TruncationSplitsPrefixSuffix) {
                                (last - first) * sizeof(f32)));
     }
   }
+}
+
+// Regression: degenerate streams (unparseable header, zero elements) must
+// not push bogus block or byte counts into the telemetry registry — only
+// the salvage call counter moves, and a zero-element strict decode records
+// its true (header-only, zero-output) byte counts.
+TEST(Salvage, DegenerateStreamsKeepRegistrySane) {
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  reg.setEnabled(true);
+  reg.reset();
+  CompressorStream codec(Config{.absErrorBound = 1e-2});
+
+  // Empty byte stream: header unparseable, nothing beyond the call
+  // counter is trustworthy.
+  const auto empty = codec.decompressResilient<f32>({}, kFill);
+  EXPECT_FALSE(empty.report.headerOk);
+  EXPECT_TRUE(empty.data.empty());
+  EXPECT_EQ(reg.counter("stream.salvage.calls").value(), 1u);
+  EXPECT_EQ(reg.counter("stream.salvage.bad_blocks").value(), 0u);
+  EXPECT_EQ(reg.counter("stream.decompress.bytes_out").value(), 0u);
+
+  // Zero-element stream: a bare 40-byte header. Salvage parses it, finds
+  // zero blocks, and reports nothing bad.
+  const auto zc = codec.compress<f32>(std::span<const f32>{});
+  ASSERT_EQ(zc.stream.size(), StreamHeader::kBytes);
+  const auto zs = codec.decompressResilient<f32>(zc.stream, kFill);
+  EXPECT_TRUE(zs.report.headerOk);
+  EXPECT_EQ(zs.report.totalBlocks, 0u);
+  EXPECT_TRUE(zs.data.empty());
+  EXPECT_EQ(reg.counter("stream.salvage.calls").value(), 2u);
+  EXPECT_EQ(reg.counter("stream.salvage.bad_blocks").value(), 0u);
+
+  // Strict decode of the same stream records accurate byte counts: the
+  // header-only input, zero bytes out.
+  const auto zd = codec.decompress<f32>(zc.stream);
+  EXPECT_TRUE(zd.data.empty());
+  EXPECT_EQ(reg.counter("stream.decompress.bytes_in").value(),
+            zc.stream.size());
+  EXPECT_EQ(reg.counter("stream.decompress.bytes_out").value(), 0u);
+
+  reg.reset();
+  reg.setEnabled(false);
 }
 
 TEST(Salvage, UnusableHeadersNeverThrow) {

@@ -15,6 +15,7 @@
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "gpusim/launcher.hpp"
+#include "scan/lookback.hpp"
 
 namespace cuszp2::core {
 namespace {
@@ -232,8 +233,12 @@ TEST(ThreadPoolEnv, WorkerCountOverride) {
 
   ::setenv("CUSZP2_WORKERS", "3", 1);
   EXPECT_EQ(ThreadPool::defaultWorkers(), 3u);
-  ::setenv("CUSZP2_WORKERS", "1", 1);  // below the floor: clamped
-  EXPECT_EQ(ThreadPool::defaultWorkers(), 2u);
+  // An explicit 1 is honoured (serial tile order → deterministic sync
+  // stats; the perf-regression harness depends on this).
+  ::setenv("CUSZP2_WORKERS", "1", 1);
+  EXPECT_EQ(ThreadPool::defaultWorkers(), 1u);
+  ::setenv("CUSZP2_WORKERS", "0", 1);  // non-positive: hardware default
+  EXPECT_GE(ThreadPool::defaultWorkers(), 2u);
   ::setenv("CUSZP2_WORKERS", "9999", 1);  // above the ceiling: clamped
   EXPECT_EQ(ThreadPool::defaultWorkers(), 64u);
   ::setenv("CUSZP2_WORKERS", "junk", 1);  // unparseable: hardware default
@@ -246,6 +251,27 @@ TEST(ThreadPoolEnv, WorkerCountOverride) {
   } else {
     ::unsetenv("CUSZP2_WORKERS");
   }
+}
+
+// A single worker must make forward progress through the decoupled
+// lookback protocol (tiles only wait on earlier tiles, and one FIFO
+// worker runs them in order), and the resulting sync stats must be the
+// deterministic serial ones: depth 1 everywhere, zero wait spins.
+TEST(ThreadPoolEnv, SingleWorkerLookbackIsSerialAndDeterministic) {
+  ThreadPool pool(1);
+  gpusim::Launcher launcher(pool);
+  constexpr u32 kTiles = 64;
+  scan::LookbackState state(kTiles);
+  std::vector<u64> exclusive(kTiles);
+  const auto result = launcher.launch(kTiles, [&](gpusim::BlockCtx& ctx) {
+    exclusive[ctx.blockIdx] =
+        state.processTile(ctx.blockIdx, 10, ctx.sync, ctx.mem);
+  });
+  for (u32 t = 0; t < kTiles; ++t) {
+    EXPECT_EQ(exclusive[t], 10u * t);
+  }
+  EXPECT_EQ(result.sync.maxLookbackDepth, 1u);
+  EXPECT_EQ(result.sync.waitSpins, 0u);
 }
 
 }  // namespace

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification, twice:
 #   1. Release         — the configuration the figures and perf numbers use.
+#      Runs the full suite (fast + property + bench labels), then the
+#      perf-regression harness, which refreshes BENCH_perf.json at the
+#      repo root and soft-fails (warns) on modelled-throughput drift.
 #   2. Debug + ASan/UBSan — catches lifetime bugs in the arena / stream
-#      reuse paths that a Release run would silently survive.
+#      reuse paths that a Release run would silently survive. Restricted
+#      to the fast label: the property sweeps re-run identical codec
+#      paths and would dominate sanitizer wall time.
 #
 # Usage: tools/ci_check.sh [jobs]
 # Build trees land in build-ci-release/ and build-ci-asan/ under the repo
@@ -14,20 +19,25 @@ jobs="${1:-$(nproc)}"
 
 run_config() {
   local name="$1"
-  shift
+  local labels="$2"
+  shift 2
   local build_dir="${repo_root}/build-ci-${name}"
   echo "==== [${name}] configure ===="
   cmake -B "${build_dir}" -S "${repo_root}" "$@"
   echo "==== [${name}] build ===="
   cmake --build "${build_dir}" -j "${jobs}"
-  echo "==== [${name}] ctest ===="
-  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  echo "==== [${name}] ctest (${labels:-all labels}) ===="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" ${labels})
 }
 
-run_config release -DCMAKE_BUILD_TYPE=Release
-run_config asan -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
+run_config release "" -DCMAKE_BUILD_TYPE=Release
+run_config asan "-L fast" -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
 
 echo "==== [asan] fuzz_decode (500 structured mutants) ===="
 "${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
+
+echo "==== [release] perf_regression -> BENCH_perf.json ===="
+(cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \
+  "${repo_root}/BENCH_perf.json")
 
 echo "==== ci_check: all configurations passed ===="

@@ -9,11 +9,17 @@
 //   cuszp2 verify     <original.raw> <in.czp2>
 //   cuszp2 verify     <in.czp2|archive>          (integrity only)
 //   cuszp2 repair     <archive> [--dry-run]
+//   cuszp2 profile    <in.raw> [compress options]
+//
+// `--trace <out.json>` before any subcommand's options writes a
+// chrome://tracing / Perfetto-compatible trace of every simulated kernel
+// launch (see docs/OBSERVABILITY.md).
 //
 // Exit codes: 0 on success; 1 on operational errors and error-bound
 // violations; 2 on integrity failures (corrupt stream, failed parity).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,8 @@
 #include "io/archive.hpp"
 #include "io/raw.hpp"
 #include "metrics/error_stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace cuszp2;
 
@@ -51,7 +59,10 @@ struct Options {
       "  cuszp2 verify     <original.raw> <in.czp2>\n"
       "  cuszp2 verify     <in.czp2|archive>       (integrity only)\n"
       "  cuszp2 repair     <archive> [--dry-run]\n"
-      "  cuszp2 profile    <in.raw> [compress options]\n");
+      "  cuszp2 profile    <in.raw> [compress options]\n"
+      "\n"
+      "  --trace <out.json>  (any subcommand) write a chrome://tracing\n"
+      "                      compatible kernel trace\n");
   std::exit(2);
 }
 
@@ -253,8 +264,31 @@ int doVerifyTyped(const std::string& original, ConstByteSpan stream,
   return ok ? 0 : 1;
 }
 
-/// Compresses in memory and prints the modelled timing-term breakdown —
-/// the observability view of docs/MODEL.md.
+/// Per-kernel summary table from the telemetry registry: launches, DRAM
+/// bytes, modelled seconds, and each kernel's share of the total modelled
+/// time.
+void printKernelTable() {
+  const auto rows = telemetry::registry().snapshotKernels();
+  if (rows.empty()) return;
+  f64 totalModelled = 0.0;
+  for (const auto& r : rows) totalModelled += r.modelledSeconds;
+  std::printf("per-kernel summary:\n");
+  std::printf("  %-22s %9s %14s %14s %7s\n", "kernel", "launches",
+              "DRAM bytes", "modelled us", "% time");
+  for (const auto& r : rows) {
+    std::printf("  %-22s %9llu %14llu %14.2f %6.1f%%\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.launches),
+                static_cast<unsigned long long>(r.dramBytes),
+                r.modelledSeconds * 1e6,
+                totalModelled > 0.0
+                    ? 100.0 * r.modelledSeconds / totalModelled
+                    : 0.0);
+  }
+}
+
+/// Compresses in memory and prints the per-kernel telemetry table plus the
+/// modelled timing-term breakdown — the observability view of
+/// docs/MODEL.md and docs/OBSERVABILITY.md.
 template <FloatingPoint T>
 int doProfileTyped(const std::string& in, const Options& opt) {
   const auto data = io::readRaw<T>(in);
@@ -266,6 +300,8 @@ int doProfileTyped(const std::string& in, const Options& opt) {
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(
                           opt.rel, metrics::valueRange<T>(data));
+  telemetry::registry().setEnabled(true);
+  telemetry::registry().reset();
   core::CompressorStream codec(cfg);
   const auto c = codec.compress<T>(std::span<const T>(data));
   const auto d = codec.decompress<T>(c.stream);
@@ -295,6 +331,8 @@ int doProfileTyped(const std::string& in, const Options& opt) {
   };
   std::printf("device: %s | ratio: %.4f\n\n", codec.device().name.c_str(),
               c.ratio);
+  printKernelTable();
+  std::printf("\n");
   show("compression", c.profile);
   std::printf("\n");
   show("decompression", d.profile);
@@ -408,9 +446,37 @@ int doRepair(const std::string& path, bool dryRun) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--trace <path>` works with every subcommand: strip it here, activate
+  // a session for the whole run, and write the JSON on the way out.
+  std::string tracePath;
+  std::vector<char*> args;
+  args.reserve(static_cast<usize>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) usage();
+      tracePath = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  std::unique_ptr<telemetry::TraceSession> trace;
+  std::unique_ptr<telemetry::ScopedTrace> scope;
+  if (!tracePath.empty()) {
+    trace = std::make_unique<telemetry::TraceSession>();
+    scope = std::make_unique<telemetry::ScopedTrace>(*trace);
+  }
+  const auto finishTrace = [&]() -> bool {
+    if (!trace) return true;
+    scope.reset();
+    return trace->writeJson(tracePath);
+  };
+
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  try {
+  const auto dispatch = [&]() -> int {
     if (cmd == "compress") {
       if (argc < 4) usage();
       const Options opt = parseOptions(argc, argv, 4);
@@ -461,8 +527,15 @@ int main(int argc, char** argv) {
                  : doProfileTyped<f64>(argv[2], opt);
     }
     usage();
+  };
+
+  int rc;
+  try {
+    rc = dispatch();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  if (!finishTrace() && rc == 0) rc = 1;
+  return rc;
 }

@@ -28,6 +28,7 @@
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "gpusim/timing.hpp"
+#include "service/service.hpp"
 
 using namespace cuszp2;
 
@@ -42,6 +43,7 @@ struct CaseResult {
   f64 modelledSeconds = 0.0;
   f64 modelledGBps = 0.0;
   f64 wallMsMedian = 0.0;
+  u64 launches = 0;  // fused-launch count; service cases only
 };
 
 /// Formats an f64 so it round-trips bit-exactly; two runs producing the
@@ -81,6 +83,73 @@ std::vector<Modelled> modelOnce(const std::vector<f32>& field) {
       {c.ratio, rtSeconds,
        rtSeconds > 0.0 ? origBytes / rtSeconds / 1e9 : 0.0},
   };
+}
+
+/// One mixed-tenant job of the service_throughput scenario.
+struct ServiceJob {
+  std::string tenant;
+  std::string dataset;
+  u32 fieldIndex;
+  usize elems;
+};
+
+/// 4 tenants with mixed request sizes, all sharing one Config so the
+/// batching scheduler can coalesce across tenants.
+std::vector<ServiceJob> serviceWorkload(usize elems) {
+  std::vector<ServiceJob> jobs;
+  const std::string datasets[4] = {"cesm_atm", "hacc", "jetin", "cesm_atm"};
+  const usize sizes[4] = {elems / 8, elems / 4, elems / 16, elems / 32};
+  for (u32 round = 0; round < 4; ++round) {
+    for (u32 t = 0; t < 4; ++t) {
+      const u32 numFields = datagen::datasetInfo(datasets[t]).numFields;
+      jobs.push_back(ServiceJob{"tenant" + std::to_string(t), datasets[t],
+                                round % numFields, sizes[t]});
+    }
+  }
+  return jobs;
+}
+
+/// One pass of the workload through a CompressionService (1 worker +
+/// paused start + submit-all-then-resume, so batch formation and with it
+/// the modelled metrics are exact). Modelled seconds is the sum of the
+/// per-job modelled end-to-end times; `launches` counts fused launches.
+Modelled modelServiceOnce(const std::vector<ServiceJob>& jobs, bool batched,
+                          u64* launches) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = batched ? 8 : 1;
+  service::CompressionService svc(scfg);
+
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  std::vector<service::Ticket> tickets;
+  for (const ServiceJob& job : jobs) {
+    const std::vector<f32> field =
+        datagen::generateF32(job.dataset, job.fieldIndex, job.elems);
+    tickets.push_back(
+        svc.submitCompress<f32>(job.tenant, std::span<const f32>(field), cfg)
+            .ticket);
+  }
+  svc.resume();
+  svc.shutdown();
+
+  f64 seconds = 0.0;
+  f64 bytesIn = 0.0;
+  f64 bytesOut = 0.0;
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    if (!r.ok) {
+      std::fprintf(stderr, "FAIL service job: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    seconds += r.compressed.profile.endToEndSeconds;
+    bytesIn += static_cast<f64>(r.compressed.originalBytes);
+    bytesOut += static_cast<f64>(r.compressed.stream.size());
+  }
+  if (launches != nullptr) *launches = svc.stats().batches;
+  return {bytesOut > 0.0 ? bytesIn / bytesOut : 0.0, seconds,
+          seconds > 0.0 ? bytesIn / seconds / 1e9 : 0.0};
 }
 
 /// Pulls `"modelled_gbps": <num>` for the named case out of a previous
@@ -192,6 +261,59 @@ int main(int argc, char** argv) {
     (void)origBytes;
   }
 
+  // service_throughput scenario: the 4-tenant mixed workload through the
+  // CompressionService, batched vs. unbatched. The modelled advantage of
+  // coalescing (fewer fused launches, amortized launch overhead) is the
+  // number this case guards.
+  {
+    const std::vector<ServiceJob> jobs = serviceWorkload(elems);
+    u64 totalElems = 0;
+    for (const ServiceJob& j : jobs) totalElems += j.elems;
+
+    const bool batchedFlag[2] = {true, false};
+    const char* caseNames[2] = {"service/batched", "service/unbatched"};
+    for (usize v = 0; v < 2; ++v) {
+      u64 launches = 0;
+      const Modelled pass1 = modelServiceOnce(jobs, batchedFlag[v], &launches);
+      const Modelled pass2 = modelServiceOnce(jobs, batchedFlag[v], nullptr);
+      if (!(pass1 == pass2)) {
+        std::fprintf(stderr,
+                     "FAIL %s: modelled metrics differ between runs "
+                     "(%.17g vs %.17g GB/s)\n",
+                     caseNames[v], pass1.gbps, pass2.gbps);
+        deterministic = false;
+      }
+      const bench::RepeatStats wall = bench::measureRepeated(
+          3, [&] { modelServiceOnce(jobs, batchedFlag[v], nullptr); });
+
+      CaseResult r;
+      r.name = caseNames[v];
+      r.elems = totalElems;
+      r.ratio = pass1.ratio;
+      r.modelledSeconds = pass1.seconds;
+      r.modelledGBps = pass1.gbps;
+      r.wallMsMedian = wall.medianSeconds * 1e3;
+      r.launches = launches;
+      std::printf("%-24s %8.2f GB/s modelled  ratio %6.2f  wall %7.2f ms"
+                  "  (%zu jobs, %llu launches)\n",
+                  r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian,
+                  jobs.size(), static_cast<unsigned long long>(launches));
+
+      f64 prior = 0.0;
+      if (!previous.empty() && previousGbps(previous, r.name, &prior) &&
+          prior > 0.0) {
+        const f64 drift = std::fabs(r.modelledGBps - prior) / prior;
+        if (drift > kTolerance) {
+          std::printf("WARN %s: modelled throughput drifted %.1f%% "
+                      "(%.2f -> %.2f GB/s)\n",
+                      r.name.c_str(), drift * 100.0, prior, r.modelledGBps);
+          ++warns;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+  }
+
   // Hand-rolled writer: modelled fields use %.17g so identical runs give
   // byte-identical files (JsonReport rounds for readability; this file is
   // diffed by CI).
@@ -204,6 +326,9 @@ int main(int argc, char** argv) {
     json += ", \"modelled_seconds\": " + f64Str(r.modelledSeconds);
     json += ", \"modelled_gbps\": " + f64Str(r.modelledGBps);
     json += ", \"wall_ms_median\": " + f64Str(r.wallMsMedian);
+    if (r.launches > 0) {
+      json += ", \"launches\": " + std::to_string(r.launches);
+    }
     json += "}";
     if (i + 1 < results.size()) json += ",";
     json += "\n";

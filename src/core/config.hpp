@@ -74,6 +74,12 @@ struct Config {
   /// Recorded in the stream header, so decompression is self-describing.
   Predictor predictor = Predictor::FirstOrder;
 
+  /// Memberwise equality. The service-layer batching scheduler coalesces
+  /// only requests with identical configs (same error bound, mode, layout
+  /// and integrity settings), so one fused launch serves them all without
+  /// changing any request's output bytes.
+  bool operator==(const Config&) const = default;
+
   void validate() const {
     require(relErrorBound > 0.0 || absErrorBound > 0.0,
             "Config: an error bound must be positive");

@@ -53,4 +53,15 @@ DeviceSpec rtx3080() {
   return s;
 }
 
+std::vector<DeviceSpec> homogeneousFleet(const DeviceSpec& base, u32 count) {
+  std::vector<DeviceSpec> fleet;
+  fleet.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    DeviceSpec s = base;
+    s.name = base.name + " [dev" + std::to_string(i) + "]";
+    fleet.push_back(std::move(s));
+  }
+  return fleet;
+}
+
 }  // namespace cuszp2::gpusim

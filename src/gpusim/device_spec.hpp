@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -78,5 +79,10 @@ DeviceSpec rtx3090();
 
 /// NVIDIA GeForce RTX 3080 10 GB (Sec. VI-C).
 DeviceSpec rtx3080();
+
+/// `count` copies of `base` with ordinal-suffixed names ("... [dev0]",
+/// "... [dev1]", ...): the simulated multi-device node a
+/// service::CompressionService places its device-affine workers onto.
+std::vector<DeviceSpec> homogeneousFleet(const DeviceSpec& base, u32 count);
 
 }  // namespace cuszp2::gpusim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <vector>
@@ -101,16 +102,62 @@ std::vector<LaunchResult> Launcher::launchBatch(
   return runKernels(refs);
 }
 
-void Launcher::noteLaunch(const char* name,
-                          const LaunchResult& result) const {
-  const f64 modelled =
-      timing_ == nullptr
-          ? 0.0
-          : timing_->kernel(result.mem, result.sync).totalSeconds;
-  telemetry::registry().noteKernelLaunch(name, result.mem.totalBytes(),
-                                         modelled, result.wallSeconds);
+void Launcher::noteLaunches(std::span<const KernelRef> kernels,
+                            std::span<const LaunchResult> results) const {
+  // Per-kernel modelled seconds (0 without a registered TimingModel).
+  std::vector<f64> modelled(results.size(), 0.0);
+  if (timing_ != nullptr) {
+    for (usize k = 0; k < results.size(); ++k) {
+      modelled[k] =
+          timing_->kernel(results[k].mem, results[k].sync).totalSeconds;
+    }
+  }
+
+  // Metrics table: one fused launch per distinct kernel name in the batch.
+  // Bytes and modelled seconds are summed; wall time takes the max (batched
+  // kernels run interleaved, so per-kernel wall time is not observable).
+  if (telemetry::registry().enabled()) {
+    struct Agg {
+      const char* name;
+      u64 bytes = 0;
+      f64 modelledSeconds = 0.0;
+      f64 wallSeconds = 0.0;
+    };
+    std::vector<Agg> groups;
+    for (usize k = 0; k < kernels.size(); ++k) {
+      Agg* agg = nullptr;
+      for (Agg& g : groups) {
+        if (std::strcmp(g.name, kernels[k].name) == 0) {
+          agg = &g;
+          break;
+        }
+      }
+      if (agg == nullptr) {
+        groups.push_back(Agg{kernels[k].name});
+        agg = &groups.back();
+      }
+      agg->bytes += results[k].mem.totalBytes();
+      agg->modelledSeconds += modelled[k];
+      agg->wallSeconds = std::max(agg->wallSeconds, results[k].wallSeconds);
+    }
+    for (const Agg& g : groups) {
+      telemetry::registry().noteKernelLaunch(g.name, g.bytes,
+                                             g.modelledSeconds,
+                                             g.wallSeconds);
+    }
+  }
+
   telemetry::TraceSession* trace = telemetry::activeTrace();
   if (trace == nullptr) return;
+  for (usize k = 0; k < kernels.size(); ++k) {
+    noteLaunchTrace(*trace, kernels[k].name, results[k], modelled[k]);
+  }
+}
+
+void Launcher::noteLaunchTrace(telemetry::TraceSession& session,
+                               const char* name, const LaunchResult& result,
+                               f64 modelled) const {
+  telemetry::TraceSession* trace = &session;
   using telemetry::TraceArg;
   std::vector<TraceArg> args;
   args.reserve(12);
@@ -190,8 +237,8 @@ std::vector<LaunchResult> Launcher::runKernelsInline(
     const auto t1 = std::chrono::steady_clock::now();
     results[k].wallSeconds = std::chrono::duration<f64>(t1 - t0).count();
     if (fault) injectWriteFaults(launchIdx, kernel.faultTarget, results[k]);
-    noteLaunch(kernel.name, results[k]);
   }
+  noteLaunches(kernels, results);
   return results;
 }
 
@@ -297,8 +344,8 @@ std::vector<LaunchResult> Launcher::runKernels(
     if (faultActive(launchIdx[k])) {
       injectWriteFaults(launchIdx[k], kernels[k].faultTarget, results[k]);
     }
-    noteLaunch(kernels[k].name, results[k]);
   }
+  noteLaunches(kernels, results);
   return results;
 }
 

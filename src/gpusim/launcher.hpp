@@ -31,6 +31,10 @@
 #include "gpusim/mem_counters.hpp"
 #include "gpusim/sync_stats.hpp"
 
+namespace cuszp2::telemetry {
+class TraceSession;
+}
+
 namespace cuszp2::gpusim {
 
 class TimingModel;
@@ -161,11 +165,20 @@ class Launcher {
   void injectWriteFaults(u64 launchIdx, std::span<std::byte> target,
                          LaunchResult& result) const;
 
-  /// Telemetry sink for one finished kernel: accumulates the per-kernel
-  /// metrics row and, when a trace session is active, emits a complete
-  /// event with mem/sync/fault/modelled-timing args. No-op (one relaxed
-  /// load each) when both sinks are off.
-  void noteLaunch(const char* name, const LaunchResult& result) const;
+  /// Telemetry sink for the finished kernels of one launch()/launchBatch()
+  /// call. When a trace session is active every kernel emits its own
+  /// complete event with mem/sync/fault/modelled-timing args; the
+  /// per-kernel metrics table, however, accumulates same-named kernels of
+  /// one batch as a SINGLE fused launch (launches += 1, bytes and modelled
+  /// time summed) — the batch is one dispatch as far as launch overhead is
+  /// concerned, which is what the service layer's batching scheduler
+  /// amortizes. No-op (one relaxed load each) when both sinks are off.
+  void noteLaunches(std::span<const KernelRef> kernels,
+                    std::span<const LaunchResult> results) const;
+
+  /// Emits one complete trace event for a finished kernel.
+  void noteLaunchTrace(telemetry::TraceSession& session, const char* name,
+                       const LaunchResult& result, f64 modelled) const;
 
   std::vector<LaunchResult> runKernels(std::span<const KernelRef> kernels);
   std::vector<LaunchResult> runKernelsInline(std::span<const KernelRef> kernels);

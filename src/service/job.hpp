@@ -1,0 +1,251 @@
+// Job-level types of the in-process compression service: what a client
+// submits, what it gets back, and the async Ticket handle connecting the
+// two. The scheduler internals live in queue.hpp; the service itself in
+// service.hpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/stream.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cuszp2::service {
+
+/// Operation a job performs.
+enum class JobKind : u8 { Compress = 0, Decompress = 1 };
+
+constexpr const char* toString(JobKind k) {
+  return k == JobKind::Compress ? "compress" : "decompress";
+}
+
+/// Why admission control refused a submission (load shedding — the service
+/// never blocks the submitting thread).
+enum class RejectReason : u8 {
+  /// The admitted-but-unfinished job count is at ServiceConfig::maxQueueDepth.
+  QueueFull = 0,
+  /// The tenant's outstanding input bytes would exceed its quota.
+  QuotaExceeded = 1,
+  /// shutdown() has been called; the service no longer accepts work.
+  ShuttingDown = 2,
+};
+
+constexpr const char* toString(RejectReason r) {
+  switch (r) {
+    case RejectReason::QueueFull: return "queue-full";
+    case RejectReason::QuotaExceeded: return "quota-exceeded";
+    default: return "shutting-down";
+  }
+}
+
+/// Completed (or failed / canceled) outcome of one job. Every accepted
+/// ticket eventually carries exactly one of these — jobs abandoned by a
+/// shutdown deadline complete with ok == false rather than hanging.
+struct JobResult {
+  bool ok = false;
+  /// True when Ticket::cancel() won the race against dispatch.
+  bool canceled = false;
+  /// Failure description when !ok (codec Error, shutdown abandonment, ...).
+  std::string error;
+
+  /// Compress jobs: the compressed stream + profile, byte-identical to a
+  /// serial core::CompressorStream::compress with the same Config.
+  core::Compressed compressed;
+
+  /// Decompress jobs: the reconstructed elements as raw little-endian
+  /// bytes (decodedElements of Precision-sized values).
+  std::vector<std::byte> decompressed;
+  u64 decodedElements = 0;
+
+  std::string tenant;
+  JobKind kind = JobKind::Compress;
+  u64 jobId = 0;
+
+  /// Global dispatch ordinal (1-based): the order the scheduler started
+  /// jobs. Per tenant these are strictly increasing in submission order —
+  /// the FIFO-lane guarantee tests assert.
+  u64 dispatchSeq = 0;
+  /// Jobs coalesced into the fused launch that served this job (1 = ran
+  /// alone).
+  u32 batchJobs = 0;
+  /// Worker index and its device-affine placement.
+  u32 worker = 0;
+  std::string device;
+
+  f64 waitUs = 0.0;     ///< submission -> dispatch
+  f64 serviceUs = 0.0;  ///< dispatch -> completion
+};
+
+namespace detail {
+
+/// Lifecycle of a job. Queued -> Running -> Done is the normal path;
+/// cancel() moves Queued -> Canceled (jobs already Running cannot be
+/// canceled). Exactly one CAS wins the transition out of Queued, which is
+/// what makes admission-ledger release exactly-once.
+enum class Phase : u8 { Queued = 0, Running = 1, Done = 2, Canceled = 3 };
+
+/// Admission bookkeeping shared between the service and every outstanding
+/// ticket (shared_ptr: tickets may outlive the service). depth counts
+/// admitted-but-unfinished jobs; tenantBytes the outstanding input bytes
+/// per tenant. cv signals every release so shutdown() can wait for drain.
+struct Ledger {
+  std::mutex mutex;
+  std::condition_variable cv;
+  usize depth = 0;
+  std::map<std::string, u64> tenantBytes;
+  /// service.queue_depth gauge; set by the owning service so cancels (which
+  /// go through the ledger, not the service) keep the gauge honest.
+  telemetry::Gauge* depthGauge = nullptr;
+
+  void release(const std::string& tenant, u64 bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      depth -= 1;
+      if (depthGauge != nullptr) depthGauge->set(static_cast<f64>(depth));
+      auto it = tenantBytes.find(tenant);
+      if (it != tenantBytes.end()) {
+        it->second -= std::min(it->second, bytes);
+        if (it->second == 0) tenantBytes.erase(it);
+      }
+    }
+    cv.notify_all();
+  }
+};
+
+/// One queued unit of work plus its completion channel. Owned jointly by
+/// the tenant lane (until dispatch) and the client's Ticket.
+struct Job {
+  u64 id = 0;
+  std::string tenant;
+  JobKind kind = JobKind::Compress;
+  Precision precision = Precision::F32;
+  u8 priority = 0;
+  core::Config config;
+  /// Compress: raw element bytes; Decompress: the compressed stream.
+  std::vector<std::byte> input;
+  std::chrono::steady_clock::time_point submitted;
+  std::shared_ptr<Ledger> ledger;
+  /// Global dispatch ordinal, assigned under the scheduler mutex when the
+  /// job leaves its lane (copied into JobResult::dispatchSeq).
+  u64 dispatchSeq = 0;
+
+  std::atomic<Phase> phase{Phase::Queued};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool finished = false;  // under mutex; result is valid once true
+  JobResult result;
+
+  /// True when two jobs can share one fused compressBatch launch: same
+  /// operation, element type, and codec configuration. Per-field error
+  /// bounds, headers and payloads are derived independently inside the
+  /// batch, so coalescing never changes a job's output bytes.
+  bool batchableWith(const Job& o) const {
+    return kind == JobKind::Compress && o.kind == JobKind::Compress &&
+           precision == o.precision && config == o.config;
+  }
+
+  /// Publishes the result and wakes waiters. The ledger slot is released
+  /// by the caller (exactly once per job, by whoever moved it out of
+  /// Queued).
+  void finish(JobResult r) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result = std::move(r);
+      finished = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Async handle to one submitted job. Copyable and cheap (shared_ptr);
+/// safe to wait on after the service has shut down or been destroyed.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  u64 id() const { return job_ == nullptr ? 0 : job_->id; }
+
+  /// True once the result is available (completed, failed, canceled or
+  /// abandoned). Never blocks.
+  bool poll() const {
+    if (job_ == nullptr) return false;
+    std::lock_guard<std::mutex> lock(job_->mutex);
+    return job_->finished;
+  }
+
+  /// Blocks until the result is available and returns it. The reference
+  /// stays valid for the ticket's lifetime.
+  const JobResult& wait() const {
+    require(job_ != nullptr, "Ticket::wait: invalid (rejected?) ticket");
+    std::unique_lock<std::mutex> lock(job_->mutex);
+    job_->cv.wait(lock, [&] { return job_->finished; });
+    return job_->result;
+  }
+
+  /// Bounded wait; true when the result became available in time.
+  bool waitFor(std::chrono::milliseconds timeout) const {
+    require(job_ != nullptr, "Ticket::waitFor: invalid (rejected?) ticket");
+    std::unique_lock<std::mutex> lock(job_->mutex);
+    return job_->cv.wait_for(lock, timeout,
+                             [&] { return job_->finished; });
+  }
+
+  /// Result accessor once poll()/wait() reported completion.
+  const JobResult& result() const {
+    require(job_ != nullptr, "Ticket::result: invalid (rejected?) ticket");
+    std::lock_guard<std::mutex> lock(job_->mutex);
+    require(job_->finished, "Ticket::result: job has not finished");
+    return job_->result;
+  }
+
+  /// Attempts to cancel before dispatch. On success the ticket completes
+  /// immediately with result().canceled == true and the job's queue-depth
+  /// and quota reservations are released; returns false when the job is
+  /// already running or finished (it will complete normally).
+  bool cancel() {
+    if (job_ == nullptr) return false;
+    detail::Phase expected = detail::Phase::Queued;
+    if (!job_->phase.compare_exchange_strong(expected,
+                                             detail::Phase::Canceled)) {
+      return false;
+    }
+    JobResult r;
+    r.canceled = true;
+    r.error = "canceled before dispatch";
+    r.tenant = job_->tenant;
+    r.kind = job_->kind;
+    r.jobId = job_->id;
+    job_->finish(std::move(r));
+    job_->ledger->release(job_->tenant, job_->input.size());
+    return true;
+  }
+
+ private:
+  friend class CompressionService;
+  explicit Ticket(std::shared_ptr<detail::Job> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::Job> job_;
+};
+
+/// Outcome of a submit call: an accepted ticket, or a typed rejection.
+struct SubmitResult {
+  Ticket ticket;
+  RejectReason reason = RejectReason::QueueFull;  // meaningful iff rejected
+  std::string detail;
+
+  bool accepted() const { return ticket.valid(); }
+};
+
+}  // namespace cuszp2::service

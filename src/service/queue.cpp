@@ -1,0 +1,110 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+namespace cuszp2::service::detail {
+
+TenantLanes::Lane* TenantLanes::laneFor(const std::string& tenant) {
+  for (Lane& lane : lanes_) {
+    if (lane.tenant == tenant) return &lane;
+  }
+  lanes_.push_back(Lane{tenant, {}});
+  return &lanes_.back();
+}
+
+void TenantLanes::push(std::shared_ptr<Job> job) {
+  laneFor(job->tenant)->jobs.push_back(std::move(job));
+  ++entries_;
+}
+
+void TenantLanes::reapFront(std::deque<std::shared_ptr<Job>>& lane) {
+  while (!lane.empty() &&
+         lane.front()->phase.load(std::memory_order_acquire) ==
+             Phase::Canceled) {
+    lane.pop_front();
+    --entries_;
+  }
+}
+
+std::shared_ptr<Job> TenantLanes::pop() {
+  if (lanes_.empty()) return nullptr;
+  for (;;) {
+    // Best (lowest) priority among lane heads, reaping tombstones.
+    bool any = false;
+    u8 best = 255;
+    for (Lane& lane : lanes_) {
+      reapFront(lane.jobs);
+      if (lane.jobs.empty()) continue;
+      any = true;
+      best = std::min(best, lane.jobs.front()->priority);
+    }
+    if (!any) return nullptr;
+
+    // Round-robin among the lanes whose head carries the best priority.
+    for (usize step = 0; step < lanes_.size(); ++step) {
+      Lane& lane = lanes_[(cursor_ + step) % lanes_.size()];
+      if (lane.jobs.empty() || lane.jobs.front()->priority != best) {
+        continue;
+      }
+      std::shared_ptr<Job> job = lane.jobs.front();
+      lane.jobs.pop_front();
+      --entries_;
+      cursor_ = ((cursor_ + step) % lanes_.size() + 1) % lanes_.size();
+      Phase expected = Phase::Queued;
+      if (job->phase.compare_exchange_strong(expected, Phase::Running)) {
+        return job;
+      }
+      // Lost the race to a concurrent cancel: rescan from scratch (the
+      // head priorities may have changed).
+      break;
+    }
+  }
+}
+
+void TenantLanes::popBatch(const Job& head,
+                           std::vector<std::shared_ptr<Job>>& batch,
+                           usize maxExtraJobs, u64 maxBatchBytes) {
+  if (lanes_.empty() || maxExtraJobs == 0) return;
+  u64 batchBytes = head.input.size();
+  usize taken = 0;
+  for (usize step = 0; step < lanes_.size() && taken < maxExtraJobs;
+       ++step) {
+    Lane& lane = lanes_[(cursor_ + step) % lanes_.size()];
+    // Longest batchable prefix of this lane; stopping at the first
+    // incompatible job keeps the lane's FIFO order intact.
+    for (;;) {
+      reapFront(lane.jobs);
+      if (lane.jobs.empty() || taken >= maxExtraJobs) break;
+      const std::shared_ptr<Job>& front = lane.jobs.front();
+      if (!head.batchableWith(*front)) break;
+      if (batchBytes + front->input.size() > maxBatchBytes) break;
+      std::shared_ptr<Job> job = front;
+      lane.jobs.pop_front();
+      --entries_;
+      Phase expected = Phase::Queued;
+      if (!job->phase.compare_exchange_strong(expected, Phase::Running)) {
+        continue;  // canceled under us: tombstone, keep scanning the lane
+      }
+      batchBytes += job->input.size();
+      ++taken;
+      batch.push_back(std::move(job));
+    }
+  }
+}
+
+std::vector<std::shared_ptr<Job>> TenantLanes::drain() {
+  std::vector<std::shared_ptr<Job>> out;
+  for (Lane& lane : lanes_) {
+    for (std::shared_ptr<Job>& job : lane.jobs) {
+      --entries_;
+      Phase expected = Phase::Queued;
+      if (job->phase.compare_exchange_strong(expected, Phase::Running)) {
+        out.push_back(std::move(job));
+      }
+    }
+    lane.jobs.clear();
+  }
+  return out;
+}
+
+}  // namespace cuszp2::service::detail

@@ -1,0 +1,448 @@
+#include "service/service.hpp"
+
+#include "core/format.hpp"
+#include "telemetry/trace.hpp"
+
+namespace cuszp2::service {
+
+namespace {
+
+f64 microsBetween(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<f64, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+CompressionService::CompressionService(ServiceConfig config)
+    : config_(std::move(config)) {
+  require(config_.workers > 0, "ServiceConfig: workers must be positive");
+  require(config_.maxQueueDepth > 0,
+          "ServiceConfig: maxQueueDepth must be positive");
+  require(config_.maxBatchJobs > 0,
+          "ServiceConfig: maxBatchJobs must be positive");
+  require(config_.maxBatchBytes > 0,
+          "ServiceConfig: maxBatchBytes must be positive");
+
+  devices_ = config_.devices.empty()
+                 ? gpusim::homogeneousFleet(gpusim::a100_40gb(),
+                                            config_.workers)
+                 : config_.devices;
+  ledger_ = std::make_shared<detail::Ledger>();
+
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  instruments_ = Instruments{
+      &reg.counter("service.submitted"),
+      &reg.counter("service.accepted"),
+      &reg.counter("service.completed"),
+      &reg.counter("service.failed"),
+      &reg.counter("service.abandoned"),
+      &reg.counter("service.rejected.queue_full"),
+      &reg.counter("service.rejected.quota"),
+      &reg.counter("service.rejected.shutdown"),
+      &reg.counter("service.batches"),
+      &reg.counter("service.jobs_dispatched"),
+      &reg.histogram("service.wait_us"),
+      &reg.histogram("service.service_us"),
+      &reg.histogram("service.batch_jobs"),
+  };
+  ledger_->depthGauge = &reg.gauge("service.queue_depth");
+
+  paused_ = config_.startPaused;
+  workers_.reserve(config_.workers);
+  for (u32 i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+CompressionService::~CompressionService() {
+  shutdownImpl(std::nullopt);
+}
+
+SubmitResult CompressionService::reject(RejectReason reason,
+                                        std::string detail,
+                                        const std::string& tenant) {
+  switch (reason) {
+    case RejectReason::QueueFull:
+      instruments_.rejectedQueueFull->add(1);
+      statRejectedQueueFull_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::QuotaExceeded:
+      instruments_.rejectedQuota->add(1);
+      statRejectedQuota_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::ShuttingDown:
+      instruments_.rejectedShutdown->add(1);
+      statRejectedShutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  if (reg.enabled()) {
+    reg.counter("service.tenant." + tenant + ".rejected").add(1);
+  }
+  SubmitResult out;
+  out.reason = reason;
+  out.detail = std::move(detail);
+  return out;
+}
+
+SubmitResult CompressionService::submit(const std::string& tenant,
+                                        JobKind kind, Precision precision,
+                                        std::vector<std::byte> input,
+                                        const core::Config& config,
+                                        u8 priority) {
+  require(!tenant.empty(), "CompressionService::submit: empty tenant id");
+  config.validate();
+  instruments_.submitted->add(1);
+  statSubmitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return reject(RejectReason::ShuttingDown, "service is shutting down",
+                  tenant);
+  }
+
+  // Admission: reserve a queue slot and the tenant's bytes, or shed load.
+  {
+    std::lock_guard<std::mutex> lock(ledger_->mutex);
+    if (ledger_->depth >= config_.maxQueueDepth) {
+      return reject(RejectReason::QueueFull,
+                    "queue depth at configured maximum (" +
+                        std::to_string(config_.maxQueueDepth) + ")",
+                    tenant);
+    }
+    if (config_.tenantQuotaBytes > 0) {
+      u64 outstanding = 0;
+      auto it = ledger_->tenantBytes.find(tenant);
+      if (it != ledger_->tenantBytes.end()) outstanding = it->second;
+      if (outstanding + input.size() > config_.tenantQuotaBytes) {
+        return reject(
+            RejectReason::QuotaExceeded,
+            "tenant '" + tenant + "' outstanding bytes " +
+                std::to_string(outstanding + input.size()) +
+                " would exceed quota " +
+                std::to_string(config_.tenantQuotaBytes),
+            tenant);
+      }
+    }
+    ledger_->depth += 1;
+    ledger_->tenantBytes[tenant] += input.size();
+    if (ledger_->depthGauge != nullptr) {
+      ledger_->depthGauge->set(static_cast<f64>(ledger_->depth));
+    }
+  }
+
+  auto job = std::make_shared<detail::Job>();
+  job->tenant = tenant;
+  job->kind = kind;
+  job->precision = precision;
+  job->priority = priority;
+  job->config = config;
+  job->input = std::move(input);
+  job->submitted = std::chrono::steady_clock::now();
+  job->ledger = ledger_;
+
+  bool lostToShutdown = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_.load(std::memory_order_relaxed)) {
+      lostToShutdown = true;
+    } else {
+      job->id = nextJobId_++;
+      lanes_.push(job);
+    }
+  }
+  if (lostToShutdown) {
+    ledger_->release(tenant, job->input.size());
+    return reject(RejectReason::ShuttingDown, "service is shutting down",
+                  tenant);
+  }
+  workCv_.notify_one();
+
+  instruments_.accepted->add(1);
+  statAccepted_.fetch_add(1, std::memory_order_relaxed);
+  SubmitResult out;
+  out.ticket = Ticket(std::move(job));
+  return out;
+}
+
+void CompressionService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void CompressionService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  workCv_.notify_all();
+}
+
+bool CompressionService::shutdown() {
+  return shutdownImpl(std::nullopt);
+}
+
+bool CompressionService::shutdown(std::chrono::milliseconds drainDeadline) {
+  return shutdownImpl(drainDeadline);
+}
+
+bool CompressionService::shutdownImpl(
+    std::optional<std::chrono::milliseconds> deadline) {
+  std::lock_guard<std::mutex> shutdownLock(shutdownMutex_);
+  if (shutdownDone_) return drained_;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_.store(false, std::memory_order_release);
+    paused_ = false;  // a paused service must still drain accepted work
+  }
+  workCv_.notify_all();
+
+  bool drained = true;
+  {
+    std::unique_lock<std::mutex> lock(ledger_->mutex);
+    auto idle = [&] { return ledger_->depth == 0; };
+    if (deadline.has_value()) {
+      drained = ledger_->cv.wait_for(lock, *deadline, idle);
+    } else {
+      ledger_->cv.wait(lock, idle);
+    }
+  }
+
+  if (!drained) {
+    // Deadline expired: still-queued jobs complete as failures instead of
+    // hanging their tickets; jobs already on a worker run to completion.
+    std::vector<std::shared_ptr<detail::Job>> abandoned;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      abandoned = lanes_.drain();
+    }
+    for (std::shared_ptr<detail::Job>& job : abandoned) {
+      JobResult r;
+      r.error = "abandoned: shutdown deadline expired before dispatch";
+      r.tenant = job->tenant;
+      r.kind = job->kind;
+      r.jobId = job->id;
+      finishJob(*job, std::move(r), /*abandoned=*/true);
+    }
+    std::unique_lock<std::mutex> lock(ledger_->mutex);
+    ledger_->cv.wait(lock, [&] { return ledger_->depth == 0; });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  shutdownDone_ = true;
+  drained_ = drained;
+  return drained;
+}
+
+ServiceStats CompressionService::stats() const {
+  ServiceStats s;
+  s.submitted = statSubmitted_.load(std::memory_order_relaxed);
+  s.accepted = statAccepted_.load(std::memory_order_relaxed);
+  s.rejectedQueueFull =
+      statRejectedQueueFull_.load(std::memory_order_relaxed);
+  s.rejectedQuota = statRejectedQuota_.load(std::memory_order_relaxed);
+  s.rejectedShutdown =
+      statRejectedShutdown_.load(std::memory_order_relaxed);
+  s.completed = statCompleted_.load(std::memory_order_relaxed);
+  s.failed = statFailed_.load(std::memory_order_relaxed);
+  s.abandoned = statAbandoned_.load(std::memory_order_relaxed);
+  s.dispatched = statDispatched_.load(std::memory_order_relaxed);
+  s.batches = statBatches_.load(std::memory_order_relaxed);
+  s.queueDepth = queueDepth();
+  return s;
+}
+
+usize CompressionService::queueDepth() const {
+  std::lock_guard<std::mutex> lock(ledger_->mutex);
+  return ledger_->depth;
+}
+
+void CompressionService::workerLoop(u32 worker) {
+  // Each worker owns one warm stream pinned to its device; reconfigure()
+  // per batch re-targets the codec without dropping the scratch arena.
+  core::CompressorStream stream(core::Config{},
+                                devices_[worker % devices_.size()]);
+  for (;;) {
+    std::vector<std::shared_ptr<detail::Job>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && lanes_.entries() > 0);
+      });
+      if (stopping_) return;
+      std::shared_ptr<detail::Job> head = lanes_.pop();
+      if (head == nullptr) continue;  // only tombstones were queued
+      batch.push_back(std::move(head));
+      if (config_.maxBatchJobs > 1 && batch[0]->kind == JobKind::Compress) {
+        lanes_.popBatch(*batch[0], batch, config_.maxBatchJobs - 1,
+                        config_.maxBatchBytes);
+      }
+      for (std::shared_ptr<detail::Job>& job : batch) {
+        job->dispatchSeq = ++dispatchSeq_;
+      }
+    }
+    execute(batch, stream, worker);
+  }
+}
+
+void CompressionService::execute(
+    std::vector<std::shared_ptr<detail::Job>>& batch,
+    core::CompressorStream& stream, u32 worker) {
+  const auto dispatched = std::chrono::steady_clock::now();
+  statDispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
+  statBatches_.fetch_add(1, std::memory_order_relaxed);
+  instruments_.jobsDispatched->add(batch.size());
+  instruments_.batches->add(1);
+  instruments_.batchJobs->record(batch.size());
+
+  std::vector<JobResult> results(batch.size());
+  std::string failure;
+  try {
+    stream.reconfigure(batch[0]->config);
+    if (batch[0]->kind == JobKind::Compress) {
+      if (batch[0]->precision == Precision::F32) {
+        runCompress<f32>(batch, stream, results);
+      } else {
+        runCompress<f64>(batch, stream, results);
+      }
+    } else {
+      runDecompress(*batch[0], stream, results[0]);
+    }
+  } catch (const std::exception& e) {
+    failure = e.what();
+    if (failure.empty()) failure = "unknown codec error";
+  }
+
+  const auto finishedAt = std::chrono::steady_clock::now();
+  for (usize i = 0; i < batch.size(); ++i) {
+    detail::Job& job = *batch[i];
+    JobResult& r = results[i];
+    if (!failure.empty()) {
+      r = JobResult{};
+      r.error = failure;
+    }
+    r.tenant = job.tenant;
+    r.kind = job.kind;
+    r.jobId = job.id;
+    r.dispatchSeq = job.dispatchSeq;
+    r.batchJobs = static_cast<u32>(batch.size());
+    r.worker = worker;
+    r.device = stream.device().name;
+    r.waitUs = microsBetween(job.submitted, dispatched);
+    r.serviceUs = microsBetween(dispatched, finishedAt);
+    finishJob(job, std::move(r), /*abandoned=*/false);
+  }
+}
+
+template <FloatingPoint T>
+void CompressionService::runCompress(
+    std::vector<std::shared_ptr<detail::Job>>& batch,
+    core::CompressorStream& stream, std::vector<JobResult>& results) {
+  auto fieldOf = [](const detail::Job& job) {
+    return std::span<const T>(
+        reinterpret_cast<const T*>(job.input.data()),
+        job.input.size() / sizeof(T));
+  };
+  if (batch.size() == 1) {
+    results[0].compressed = stream.compress<T>(fieldOf(*batch[0]));
+    results[0].ok = true;
+    return;
+  }
+  std::vector<std::span<const T>> fields;
+  fields.reserve(batch.size());
+  for (const std::shared_ptr<detail::Job>& job : batch) {
+    fields.push_back(fieldOf(*job));
+  }
+  std::vector<core::Compressed> outs = stream.compressBatch<T>(fields);
+  for (usize i = 0; i < batch.size(); ++i) {
+    results[i].compressed = std::move(outs[i]);
+    results[i].ok = true;
+  }
+}
+
+template void CompressionService::runCompress<f32>(
+    std::vector<std::shared_ptr<detail::Job>>&, core::CompressorStream&,
+    std::vector<JobResult>&);
+template void CompressionService::runCompress<f64>(
+    std::vector<std::shared_ptr<detail::Job>>&, core::CompressorStream&,
+    std::vector<JobResult>&);
+
+void CompressionService::runDecompress(detail::Job& job,
+                                       core::CompressorStream& stream,
+                                       JobResult& result) {
+  const core::StreamHeader header = core::StreamHeader::parse(job.input);
+  if (header.precision == Precision::F32) {
+    core::Decompressed<f32> out = stream.decompress<f32>(job.input);
+    result.decodedElements = out.data.size();
+    result.decompressed.resize(out.data.size() * sizeof(f32));
+    if (!out.data.empty()) {
+      std::memcpy(result.decompressed.data(), out.data.data(),
+                  result.decompressed.size());
+    }
+  } else {
+    core::Decompressed<f64> out = stream.decompress<f64>(job.input);
+    result.decodedElements = out.data.size();
+    result.decompressed.resize(out.data.size() * sizeof(f64));
+    if (!out.data.empty()) {
+      std::memcpy(result.decompressed.data(), out.data.data(),
+                  result.decompressed.size());
+    }
+  }
+  result.ok = true;
+}
+
+void CompressionService::finishJob(detail::Job& job, JobResult result,
+                                   bool abandoned) {
+  const u64 bytesIn = job.input.size();
+  const u64 bytesOut = result.kind == JobKind::Compress
+                           ? result.compressed.stream.size()
+                           : result.decompressed.size();
+  if (abandoned) {
+    instruments_.abandoned->add(1);
+    statAbandoned_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.ok) {
+    instruments_.completed->add(1);
+    statCompleted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    instruments_.failed->add(1);
+    statFailed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!abandoned) {
+    instruments_.waitUs->record(static_cast<u64>(result.waitUs));
+    instruments_.serviceUs->record(static_cast<u64>(result.serviceUs));
+  }
+
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  if (reg.enabled()) {
+    const std::string prefix = "service.tenant." + job.tenant;
+    reg.counter(prefix + ".jobs").add(1);
+    reg.counter(prefix + ".bytes_in").add(bytesIn);
+    reg.counter(prefix + ".bytes_out").add(bytesOut);
+  }
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->complete(
+        "service.job", result.serviceUs,
+        {telemetry::TraceArg::str("tenant", job.tenant),
+         telemetry::TraceArg::str("kind", toString(job.kind)),
+         telemetry::TraceArg::num("job_id", static_cast<f64>(job.id)),
+         telemetry::TraceArg::num("batch_jobs", result.batchJobs),
+         telemetry::TraceArg::num("wait_us", result.waitUs),
+         telemetry::TraceArg::num("ok", result.ok ? 1.0 : 0.0)});
+  }
+
+  job.phase.store(detail::Phase::Done, std::memory_order_release);
+  const std::string tenant = job.tenant;
+  job.finish(std::move(result));
+  ledger_->release(tenant, bytesIn);
+}
+
+}  // namespace cuszp2::service

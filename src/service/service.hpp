@@ -1,0 +1,215 @@
+// In-process multi-tenant compression service.
+//
+// A CompressionService owns N worker threads, each bound to one simulated
+// device (gpusim::homogeneousFleet by default) and holding its own warm
+// core::CompressorStream. Clients submit compress/decompress jobs tagged
+// with a tenant id and receive an async Ticket; a lock-guarded scheduler
+// with one FIFO lane per tenant picks the next job by priority then
+// round-robin (no tenant can starve another at equal priority), and a
+// batching pass coalesces small compatible compress jobs — same Config,
+// same precision — into a single fused compressBatch launch, which the
+// kernel telemetry table accounts as ONE launch (the amortization the
+// service exists to win). Output bytes per job are identical to a serial
+// CompressorStream call with the same Config.
+//
+// Admission control sheds load instead of blocking: submissions beyond
+// ServiceConfig::maxQueueDepth admitted-but-unfinished jobs, beyond a
+// tenant's outstanding-byte quota, or after shutdown() return a typed
+// rejection (RejectReason) immediately. shutdown(deadline) stops intake
+// and drains accepted work; jobs still queued when the deadline expires
+// complete with ok == false rather than hanging their tickets.
+//
+// Observability: queue-depth gauge, wait/service-time and batch-size
+// histograms, per-tenant counters (see docs/SERVICE.md for the name
+// catalogue) and one trace span per job when a TraceSession is active.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <thread>
+
+#include "gpusim/device_spec.hpp"
+#include "service/job.hpp"
+#include "service/queue.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cuszp2::service {
+
+struct ServiceConfig {
+  /// Worker threads; worker i is pinned to devices[i % devices.size()].
+  u32 workers = 2;
+
+  /// Admitted-but-unfinished job cap. The cap is checked at submission
+  /// with no scheduler involvement, so rejection is deterministic: the
+  /// (maxQueueDepth + 1)-th outstanding submission is refused.
+  usize maxQueueDepth = 256;
+
+  /// Outstanding input bytes allowed per tenant (0 = unlimited).
+  u64 tenantQuotaBytes = 0;
+
+  /// Jobs a single fused launch may serve (1 disables coalescing).
+  u32 maxBatchJobs = 8;
+
+  /// Total input bytes a fused launch may cover (bounds staging growth).
+  u64 maxBatchBytes = u64{64} << 20;
+
+  /// Device-affine worker placement; empty = homogeneousFleet of A100s,
+  /// one per worker.
+  std::vector<gpusim::DeviceSpec> devices;
+
+  /// Start with the scheduler paused (tests and deterministic replay:
+  /// submit everything, then resume() to drain with a fully known queue).
+  bool startPaused = false;
+};
+
+/// Point-in-time counters snapshot (monotonic except queueDepth).
+struct ServiceStats {
+  u64 submitted = 0;
+  u64 accepted = 0;
+  u64 rejectedQueueFull = 0;
+  u64 rejectedQuota = 0;
+  u64 rejectedShutdown = 0;
+  u64 completed = 0;  ///< finished ok
+  u64 failed = 0;     ///< finished with an error
+  u64 abandoned = 0;  ///< queued past the shutdown deadline
+  u64 dispatched = 0; ///< jobs handed to a worker
+  u64 batches = 0;    ///< fused launches (execute() passes)
+  usize queueDepth = 0;  ///< admitted-but-unfinished right now
+
+  /// Launches the batching scheduler saved versus one launch per job.
+  u64 launchesSaved() const {
+    return dispatched >= batches ? dispatched - batches : 0;
+  }
+};
+
+class CompressionService {
+ public:
+  explicit CompressionService(ServiceConfig config = {});
+  ~CompressionService();
+
+  CompressionService(const CompressionService&) = delete;
+  CompressionService& operator=(const CompressionService&) = delete;
+
+  /// Submits a compression job (the input is copied). Lower `priority`
+  /// values run earlier across tenants; order within a tenant is always
+  /// submission order.
+  template <FloatingPoint T>
+  SubmitResult submitCompress(const std::string& tenant,
+                              std::span<const T> data,
+                              const core::Config& config,
+                              u8 priority = 0) {
+    std::vector<std::byte> bytes(data.size() * sizeof(T));
+    if (!bytes.empty()) {
+      std::memcpy(bytes.data(), data.data(), bytes.size());
+    }
+    return submit(tenant, JobKind::Compress, precisionOf<T>(),
+                  std::move(bytes), config, priority);
+  }
+
+  /// Submits a decompression job (the stream is copied; precision comes
+  /// from the stream header at execution time). `config` carries the
+  /// execution knobs (blocksPerTile, syncAlgorithm, faultRetries).
+  SubmitResult submitDecompress(const std::string& tenant,
+                                ConstByteSpan stream,
+                                const core::Config& config = {},
+                                u8 priority = 0) {
+    return submit(tenant, JobKind::Decompress, Precision::F32,
+                  {stream.begin(), stream.end()}, config, priority);
+  }
+
+  /// Stops/resumes dispatch (submissions stay open). Paused + submit-all +
+  /// resume gives deterministic batch formation.
+  void pause();
+  void resume();
+
+  /// Stops intake and drains accepted work. With a deadline, jobs still
+  /// queued when it expires finish with ok == false ("abandoned") instead
+  /// of running; jobs already on a worker always complete. Returns true
+  /// when every accepted job actually ran. Idempotent; the destructor
+  /// calls shutdown() with no deadline (full drain).
+  bool shutdown();
+  bool shutdown(std::chrono::milliseconds drainDeadline);
+
+  ServiceStats stats() const;
+  usize queueDepth() const;
+  u32 workerCount() const {
+    return static_cast<u32>(workers_.size());
+  }
+  const std::vector<gpusim::DeviceSpec>& devices() const {
+    return devices_;
+  }
+
+ private:
+  struct Instruments {
+    telemetry::Counter* submitted;
+    telemetry::Counter* accepted;
+    telemetry::Counter* completed;
+    telemetry::Counter* failed;
+    telemetry::Counter* abandoned;
+    telemetry::Counter* rejectedQueueFull;
+    telemetry::Counter* rejectedQuota;
+    telemetry::Counter* rejectedShutdown;
+    telemetry::Counter* batches;
+    telemetry::Counter* jobsDispatched;
+    telemetry::Histogram* waitUs;
+    telemetry::Histogram* serviceUs;
+    telemetry::Histogram* batchJobs;
+  };
+
+  SubmitResult submit(const std::string& tenant, JobKind kind,
+                      Precision precision, std::vector<std::byte> input,
+                      const core::Config& config, u8 priority);
+  SubmitResult reject(RejectReason reason, std::string detail,
+                      const std::string& tenant);
+
+  bool shutdownImpl(std::optional<std::chrono::milliseconds> deadline);
+
+  void workerLoop(u32 worker);
+  void execute(std::vector<std::shared_ptr<detail::Job>>& batch,
+               core::CompressorStream& stream, u32 worker);
+  template <FloatingPoint T>
+  void runCompress(std::vector<std::shared_ptr<detail::Job>>& batch,
+                   core::CompressorStream& stream,
+                   std::vector<JobResult>& results);
+  void runDecompress(detail::Job& job, core::CompressorStream& stream,
+                     JobResult& result);
+  void finishJob(detail::Job& job, JobResult result, bool abandoned);
+
+  ServiceConfig config_;
+  std::vector<gpusim::DeviceSpec> devices_;
+  std::shared_ptr<detail::Ledger> ledger_;
+  Instruments instruments_;
+
+  mutable std::mutex mutex_;          // scheduler state below
+  std::condition_variable workCv_;
+  detail::TenantLanes lanes_;
+  bool paused_ = false;
+  /// Atomic so submit() can shed ShuttingDown loads without mutex_; the
+  /// authoritative flip (and the final re-check before enqueue) happen
+  /// under mutex_.
+  std::atomic<bool> accepting_{true};
+  bool stopping_ = false;
+  u64 nextJobId_ = 1;
+  u64 dispatchSeq_ = 0;
+
+  // Shutdown is serialized (idempotent for concurrent callers).
+  std::mutex shutdownMutex_;
+  bool shutdownDone_ = false;
+  bool drained_ = true;
+
+  std::atomic<u64> statSubmitted_{0};
+  std::atomic<u64> statAccepted_{0};
+  std::atomic<u64> statRejectedQueueFull_{0};
+  std::atomic<u64> statRejectedQuota_{0};
+  std::atomic<u64> statRejectedShutdown_{0};
+  std::atomic<u64> statCompleted_{0};
+  std::atomic<u64> statFailed_{0};
+  std::atomic<u64> statAbandoned_{0};
+  std::atomic<u64> statDispatched_{0};
+  std::atomic<u64> statBatches_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cuszp2::service

@@ -54,6 +54,10 @@ f64 TraceSession::nowUs() const {
 
 void TraceSession::push(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mutex_);
+  pushLocked(std::move(event));
+}
+
+void TraceSession::pushLocked(TraceEvent event) {
   if (event.tsUs < lastTsUs_) event.tsUs = lastTsUs_;
   lastTsUs_ = event.tsUs;
   events_.push_back(std::move(event));
@@ -66,7 +70,9 @@ void TraceSession::begin(const std::string& name,
   e.phase = 'B';
   e.tsUs = nowUs();
   e.args = std::move(args);
-  push(std::move(e));
+  std::lock_guard<std::mutex> lock(mutex_);
+  openSpans_.push_back(name);
+  pushLocked(std::move(e));
 }
 
 void TraceSession::end(const std::string& name) {
@@ -74,7 +80,38 @@ void TraceSession::end(const std::string& name) {
   e.name = name;
   e.phase = 'E';
   e.tsUs = nowUs();
-  push(std::move(e));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Pop the innermost matching open span (spans close LIFO in practice;
+  // the scan tolerates interleaved threads).
+  for (usize i = openSpans_.size(); i > 0; --i) {
+    if (openSpans_[i - 1] == name) {
+      openSpans_.erase(openSpans_.begin() +
+                       static_cast<std::ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+  pushLocked(std::move(e));
+}
+
+usize TraceSession::closeOpenSpans() {
+  const f64 ts = nowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const usize closed = openSpans_.size();
+  while (!openSpans_.empty()) {
+    TraceEvent e;
+    e.name = openSpans_.back();  // innermost first: keeps nesting valid
+    e.phase = 'E';
+    e.tsUs = ts;
+    e.args.push_back(TraceArg::num("aborted", 1.0));
+    openSpans_.pop_back();
+    pushLocked(std::move(e));
+  }
+  return closed;
+}
+
+usize TraceSession::openSpanCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return openSpans_.size();
 }
 
 void TraceSession::complete(const std::string& name, f64 durUs,

@@ -99,6 +99,16 @@ class TraceSession {
     std::string name_;
   };
 
+  /// Ends every span that was begun but not yet ended (innermost first),
+  /// tagging each synthetic 'E' with args {"aborted": 1} so consumers can
+  /// tell a crash-closed span from a normal one. Exception unwinding and
+  /// std::exit paths call this before serialization so aborted runs still
+  /// export balanced, loadable JSON. Returns the number of spans closed.
+  usize closeOpenSpans();
+
+  /// Spans currently open (begun, not ended).
+  usize openSpanCount() const;
+
   usize eventCount() const;
   std::vector<TraceEvent> events() const;
 
@@ -111,10 +121,13 @@ class TraceSession {
 
  private:
   void push(TraceEvent event);
+  void pushLocked(TraceEvent event);
 
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  /// Names of 'B' events without a matching 'E' yet, outermost first.
+  std::vector<std::string> openSpans_;
   f64 lastTsUs_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -241,6 +242,90 @@ TEST_F(CliTest, RepairFixesDamagedParityArchive) {
 
   // Repair on a non-archive input is an operational error (exit 1).
   EXPECT_EQ(run("repair " + file("in.f32")), 1);
+}
+
+TEST_F(CliTest, ServeRunsManifestAndPrintsTenantSummary) {
+  io::writeBytes(
+      file("jobs.txt"),
+      [] {
+        const std::string text =
+            "# tenant dataset elems jobs [rel]\n"
+            "climate  cesm_atm 2048 4 1e-3\n"
+            "physics  hacc     4096 3 1e-3\n"
+            "fluids   jetin    1024 3 1e-3\n"
+            "tiny     cesm_atm 512  2 1e-2\n";
+        std::vector<std::byte> bytes(text.size());
+        std::memcpy(bytes.data(), text.data(), text.size());
+        return bytes;
+      }());
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") + " --workers 2"), 0)
+      << lastLog();
+  const std::string log = lastLog();
+  EXPECT_NE(log.find("served 12 jobs from 4 tenants"), std::string::npos);
+  EXPECT_NE(log.find("per-tenant summary:"), std::string::npos);
+  for (const char* tenant : {"climate", "physics", "fluids", "tiny"}) {
+    EXPECT_NE(log.find(tenant), std::string::npos) << tenant;
+  }
+  // Paused-start submission makes coalescing deterministic: the 10
+  // rel=1e-3 jobs share a Config and must fuse, so savings are certain.
+  EXPECT_NE(log.find("fused launches"), std::string::npos);
+  EXPECT_EQ(log.find("(0 launches saved)"), std::string::npos);
+  EXPECT_NE(log.find("per-kernel summary:"), std::string::npos);
+
+  // Same manifest with batching off: one launch per job, nothing saved.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") + " --unbatched"), 0)
+      << lastLog();
+  EXPECT_NE(lastLog().find("12 jobs in 12 fused launches (0 launches saved)"),
+            std::string::npos);
+
+  // Unknown dataset in the manifest is an operational error.
+  io::writeBytes(file("bad.txt"), [] {
+    const std::string text = "t no_such_dataset 128 1\n";
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+  }());
+  EXPECT_EQ(run("serve --jobs " + file("bad.txt")), 1);
+}
+
+TEST_F(CliTest, TraceIsFlushedOnErrorAndUsagePaths) {
+  // Operational error mid-run: the trace file must still be complete JSON.
+  EXPECT_EQ(run("--trace " + file("err.json") + " compress " +
+                file("missing.raw") + " " + file("out.czp2")),
+            1);
+  ASSERT_TRUE(std::filesystem::exists(file("err.json")));
+  const auto errTrace = io::readBytes(file("err.json"));
+  const std::string errJson(
+      reinterpret_cast<const char*>(errTrace.data()), errTrace.size());
+  EXPECT_NE(errJson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(errJson.back(), '\n');
+
+  // usage() exits with 2 without running dispatch; the trace still lands.
+  EXPECT_EQ(run("--trace " + file("usage.json") + " no-such-subcommand"), 2);
+  ASSERT_TRUE(std::filesystem::exists(file("usage.json")));
+  const auto usageTrace = io::readBytes(file("usage.json"));
+  EXPECT_NE(std::string(reinterpret_cast<const char*>(usageTrace.data()),
+                        usageTrace.size())
+                .find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeWithTraceEmitsPerJobSpans) {
+  io::writeBytes(file("jobs.txt"), [] {
+    const std::string text = "a cesm_atm 1024 3\nb hacc 1024 2\n";
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+  }());
+  ASSERT_EQ(run("--trace " + file("serve.json") + " serve --jobs " +
+                file("jobs.txt")),
+            0)
+      << lastLog();
+  const auto trace = io::readBytes(file("serve.json"));
+  const std::string json(reinterpret_cast<const char*>(trace.data()),
+                         trace.size());
+  EXPECT_NE(json.find("service.job"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\""), std::string::npos);
 }
 
 }  // namespace

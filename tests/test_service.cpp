@@ -1,0 +1,555 @@
+// CompressionService: scheduling, admission control, batching and
+// lifecycle guarantees.
+//
+// The load-bearing acceptance test is
+// ByteIdenticalToSerialStreamAndFewerLaunches: a seeded 4-tenant mixed
+// workload through the service must produce byte-identical compressed
+// output to serial per-request CompressorStream calls, while the batching
+// scheduler shows fewer total launches in the kernel telemetry table and
+// the queue/wait metrics appear in snapshotJson.
+//
+// Determinism recipe used throughout: workers = 1 + startPaused = true +
+// submit everything + resume() gives a fully known queue at dispatch time,
+// so batch formation and dispatch order are exact, not statistical.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "datagen/fields.hpp"
+#include "service/service.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+core::Config relConfig(f64 rel) {
+  core::Config cfg;
+  cfg.relErrorBound = rel;
+  return cfg;
+}
+
+struct Request {
+  std::string tenant;
+  std::string dataset;
+  u32 fieldIndex;
+  usize elems;
+};
+
+// 4 tenants, mixed sizes, all with the same Config so jobs coalesce
+// across tenants.
+std::vector<Request> mixedWorkload() {
+  return {
+      {"climate", "cesm_atm", 0, 4096}, {"physics", "hacc", 0, 8192},
+      {"fluids", "jetin", 0, 2048},     {"tiny", "cesm_atm", 1, 512},
+      {"climate", "cesm_atm", 2, 4096}, {"physics", "hacc", 1, 8192},
+      {"fluids", "jetin", 0, 2048},     {"tiny", "cesm_atm", 3, 512},
+      {"climate", "cesm_atm", 4, 4096}, {"physics", "hacc", 2, 8192},
+      {"fluids", "jetin", 0, 2048},     {"tiny", "cesm_atm", 5, 512},
+  };
+}
+
+std::vector<f32> fieldFor(const Request& r) {
+  return datagen::generateF32(r.dataset, r.fieldIndex, r.elems);
+}
+
+u64 kernelLaunches(const std::string& kernel) {
+  for (const telemetry::KernelRow& row :
+       telemetry::registry().snapshotKernels()) {
+    if (row.name == kernel) return row.launches;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(ServiceTest, ByteIdenticalToSerialStreamAndFewerLaunches) {
+  const std::vector<Request> reqs = mixedWorkload();
+  const core::Config cfg = relConfig(1e-3);
+
+  // Serial reference, with the registry off so only the service run is
+  // counted in the kernel table.
+  telemetry::registry().setEnabled(false);
+  std::vector<std::vector<std::byte>> expected;
+  {
+    core::CompressorStream serial(cfg);
+    for (const Request& r : reqs) {
+      const std::vector<f32> data = fieldFor(r);
+      expected.push_back(
+          serial.compress<f32>(std::span<const f32>(data)).stream);
+    }
+  }
+
+  telemetry::registry().setEnabled(true);
+  telemetry::registry().reset();
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 4;
+  service::CompressionService svc(scfg);
+
+  std::vector<service::Ticket> tickets;
+  for (const Request& r : reqs) {
+    const std::vector<f32> data = fieldFor(r);
+    service::SubmitResult s =
+        svc.submitCompress<f32>(r.tenant, std::span<const f32>(data), cfg);
+    ASSERT_TRUE(s.accepted()) << s.detail;
+    tickets.push_back(s.ticket);
+  }
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+
+  for (usize i = 0; i < tickets.size(); ++i) {
+    const service::JobResult& r = tickets[i].wait();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.compressed.stream, expected[i])
+        << "job " << i << " (" << reqs[i].tenant
+        << ") is not byte-identical to the serial stream";
+  }
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, reqs.size());
+  EXPECT_LT(stats.batches, static_cast<u64>(reqs.size()))
+      << "batching scheduler did not coalesce anything";
+  EXPECT_GT(stats.launchesSaved(), 0u);
+
+  // The fused launches are visible in the kernel telemetry table: fewer
+  // `compress` launches than jobs, exactly one per batch.
+  const u64 launches = kernelLaunches("compress");
+  EXPECT_GT(launches, 0u);
+  EXPECT_LT(launches, static_cast<u64>(reqs.size()));
+  EXPECT_EQ(launches, stats.batches);
+
+  // Queue/wait metrics and per-tenant counters appear in the snapshot.
+  const std::string json = telemetry::registry().snapshotJson();
+  EXPECT_NE(json.find("service.queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("service.wait_us"), std::string::npos);
+  EXPECT_NE(json.find("service.service_us"), std::string::npos);
+  EXPECT_NE(json.find("service.batch_jobs"), std::string::npos);
+  EXPECT_NE(json.find("service.tenant.climate.jobs"), std::string::npos);
+  EXPECT_NE(json.find("service.tenant.tiny.bytes_out"), std::string::npos);
+}
+
+TEST(ServiceTest, UnbatchedModeMatchesJobCount) {
+  const std::vector<Request> reqs = mixedWorkload();
+  const core::Config cfg = relConfig(1e-3);
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  service::CompressionService svc(scfg);
+  std::vector<service::Ticket> tickets;
+  for (const Request& r : reqs) {
+    const std::vector<f32> data = fieldFor(r);
+    tickets.push_back(
+        svc.submitCompress<f32>(r.tenant, std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  svc.resume();
+  svc.shutdown();
+  for (const service::Ticket& t : tickets) EXPECT_TRUE(t.wait().ok);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.batches, static_cast<u64>(reqs.size()));
+  EXPECT_EQ(stats.launchesSaved(), 0u);
+}
+
+TEST(ServiceProperty, PerTenantFifoOrderPreserved) {
+  // 3 tenants x 20 interleaved jobs on 2 workers; whatever the global
+  // interleaving, each tenant's dispatch ordinals must be increasing in
+  // its submission order.
+  const std::vector<std::string> tenantNames = {"a", "b", "c"};
+  const core::Config cfg = relConfig(1e-3);
+  service::ServiceConfig scfg;
+  scfg.workers = 2;
+  scfg.startPaused = true;
+  service::CompressionService svc(scfg);
+
+  std::map<std::string, std::vector<service::Ticket>> perTenant;
+  for (u32 j = 0; j < 20; ++j) {
+    for (const std::string& tenant : tenantNames) {
+      const std::vector<f32> data =
+          datagen::generateF32("cesm_atm", j % 6, 256 + 64 * j);
+      perTenant[tenant].push_back(
+          svc.submitCompress<f32>(tenant, std::span<const f32>(data), cfg)
+              .ticket);
+    }
+  }
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+
+  for (const auto& [tenant, tickets] : perTenant) {
+    u64 lastSeq = 0;
+    for (usize i = 0; i < tickets.size(); ++i) {
+      const service::JobResult& r = tickets[i].wait();
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_GT(r.dispatchSeq, lastSeq)
+          << "tenant " << tenant << " job " << i
+          << " dispatched out of submission order";
+      lastSeq = r.dispatchSeq;
+    }
+  }
+}
+
+TEST(ServiceProperty, HotTenantDoesNotStarveColdTenant) {
+  // Distinct configs per tenant prevent cross-tenant coalescing, so the
+  // round-robin tie-break is directly visible in the dispatch ordinals.
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 4;
+  service::CompressionService svc(scfg);
+
+  std::vector<service::Ticket> hot;
+  std::vector<service::Ticket> cold;
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 1024);
+  for (u32 j = 0; j < 100; ++j) {
+    hot.push_back(svc.submitCompress<f32>("hot", std::span<const f32>(data),
+                                          relConfig(1e-3))
+                      .ticket);
+  }
+  for (u32 j = 0; j < 4; ++j) {
+    cold.push_back(svc.submitCompress<f32>(
+                          "cold", std::span<const f32>(data), relConfig(1e-2))
+                       .ticket);
+  }
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+
+  u64 coldLast = 0;
+  for (const service::Ticket& t : cold) {
+    coldLast = std::max(coldLast, t.wait().dispatchSeq);
+  }
+  // Round-robin at equal priority alternates lanes, so all 4 cold jobs are
+  // dispatched within the first few batches despite 100 queued hot jobs.
+  EXPECT_LE(coldLast, 2u * (4 + 1) * scfg.maxBatchJobs)
+      << "cold tenant was starved behind the hot tenant";
+  for (const service::Ticket& t : hot) EXPECT_TRUE(t.wait().ok);
+}
+
+TEST(ServiceProperty, BackpressureRejectsDeterministicallyAtDepth) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;  // nothing drains: depth is exact
+  scfg.maxQueueDepth = 5;
+  service::CompressionService svc(scfg);
+
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 256);
+  const core::Config cfg = relConfig(1e-3);
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 5; ++j) {
+    service::SubmitResult s =
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg);
+    ASSERT_TRUE(s.accepted()) << "submission " << j << ": " << s.detail;
+    tickets.push_back(s.ticket);
+  }
+  // The (maxQueueDepth + 1)-th outstanding submission is refused — every
+  // time, not probabilistically.
+  for (u32 j = 0; j < 3; ++j) {
+    service::SubmitResult s =
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg);
+    ASSERT_FALSE(s.accepted());
+    EXPECT_EQ(s.reason, service::RejectReason::QueueFull);
+    EXPECT_FALSE(s.ticket.valid());
+    EXPECT_THROW(s.ticket.wait(), Error);
+  }
+  EXPECT_EQ(svc.queueDepth(), 5u);
+  EXPECT_EQ(svc.stats().rejectedQueueFull, 3u);
+
+  // Draining frees the slots; submissions are accepted again.
+  svc.resume();
+  for (const service::Ticket& t : tickets) EXPECT_TRUE(t.wait().ok);
+  service::SubmitResult s =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg);
+  EXPECT_TRUE(s.accepted());
+  svc.shutdown();
+  EXPECT_TRUE(s.ticket.wait().ok);
+}
+
+TEST(ServiceProperty, TenantQuotaShedsOnlyTheOffendingTenant) {
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 1024);
+  const u64 jobBytes = data.size() * sizeof(f32);
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.tenantQuotaBytes = 2 * jobBytes;
+  service::CompressionService svc(scfg);
+
+  const core::Config cfg = relConfig(1e-3);
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 2; ++j) {
+    service::SubmitResult s =
+        svc.submitCompress<f32>("greedy", std::span<const f32>(data), cfg);
+    ASSERT_TRUE(s.accepted()) << s.detail;
+    tickets.push_back(s.ticket);
+  }
+  service::SubmitResult over =
+      svc.submitCompress<f32>("greedy", std::span<const f32>(data), cfg);
+  ASSERT_FALSE(over.accepted());
+  EXPECT_EQ(over.reason, service::RejectReason::QuotaExceeded);
+
+  // Quotas are per tenant: another tenant's bytes are unaffected.
+  service::SubmitResult other =
+      svc.submitCompress<f32>("frugal", std::span<const f32>(data), cfg);
+  EXPECT_TRUE(other.accepted());
+  tickets.push_back(other.ticket);
+
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+  for (const service::Ticket& t : tickets) EXPECT_TRUE(t.wait().ok);
+  EXPECT_EQ(svc.stats().rejectedQuota, 1u);
+}
+
+TEST(ServiceProperty, ShutdownCompletesAllAcceptedTickets) {
+  service::ServiceConfig scfg;
+  scfg.workers = 2;
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 50; ++j) {
+    const std::vector<f32> data =
+        datagen::generateF32("hacc", j % 6, 512 + 32 * j);
+    service::SubmitResult s =
+        svc.submitCompress<f32>("t" + std::to_string(j % 4),
+                                std::span<const f32>(data), cfg);
+    ASSERT_TRUE(s.accepted());
+    tickets.push_back(s.ticket);
+  }
+  EXPECT_TRUE(svc.shutdown());
+  for (const service::Ticket& t : tickets) {
+    EXPECT_TRUE(t.poll()) << "accepted ticket unfinished after shutdown";
+    EXPECT_TRUE(t.result().ok) << t.result().error;
+  }
+
+  // Post-shutdown submissions shed with the ShuttingDown reason.
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 256);
+  service::SubmitResult late =
+      svc.submitCompress<f32>("t0", std::span<const f32>(data), cfg);
+  ASSERT_FALSE(late.accepted());
+  EXPECT_EQ(late.reason, service::RejectReason::ShuttingDown);
+  // Idempotent.
+  EXPECT_TRUE(svc.shutdown());
+}
+
+TEST(ServiceProperty, ShutdownDeadlineAbandonsQueuedJobsButAllFinish) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+
+  // Pin the single worker on one long job, then queue 10 short ones
+  // behind it. The zero-length drain budget expires while the long job is
+  // still running, so the queued jobs are abandoned deterministically
+  // (scheduler jitter cannot outlast a multi-millisecond compress).
+  svc.resume();
+  const std::vector<f32> big = datagen::generateF32("hacc", 0, 4 << 20);
+  std::vector<service::Ticket> tickets;
+  tickets.push_back(
+      svc.submitCompress<f32>("t", std::span<const f32>(big), cfg).ticket);
+  while (svc.stats().dispatched == 0) std::this_thread::yield();
+  const std::vector<f32> data = datagen::generateF32("hacc", 1, 65536);
+  for (u32 j = 0; j < 10; ++j) {
+    tickets.push_back(
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  EXPECT_FALSE(svc.shutdown(std::chrono::milliseconds(0)));
+  // Every accepted ticket still finishes — either it ran before the queue
+  // was drained or it carries the abandonment error.
+  u64 ran = 0;
+  u64 abandoned = 0;
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    if (r.ok) {
+      ++ran;
+    } else {
+      ++abandoned;
+      EXPECT_NE(r.error.find("abandoned"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_EQ(ran + abandoned, 11u);
+  EXPECT_GE(ran, 1u);  // the in-flight job always completes
+  EXPECT_GE(abandoned, 1u);
+  EXPECT_EQ(svc.stats().completed + svc.stats().abandoned, 11u);
+  EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+TEST(ServiceTest, CancelBeforeDispatchReleasesSlot) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxQueueDepth = 3;
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 512);
+
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 3; ++j) {
+    tickets.push_back(
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  EXPECT_EQ(svc.queueDepth(), 3u);
+  EXPECT_TRUE(tickets[1].cancel());
+  EXPECT_FALSE(tickets[1].cancel());  // already canceled
+  EXPECT_EQ(svc.queueDepth(), 2u);    // slot released immediately
+  EXPECT_TRUE(tickets[1].poll());
+  EXPECT_TRUE(tickets[1].result().canceled);
+
+  // The freed slot is usable while still paused.
+  service::SubmitResult refill =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg);
+  EXPECT_TRUE(refill.accepted());
+
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+  EXPECT_TRUE(tickets[0].wait().ok);
+  EXPECT_TRUE(tickets[2].wait().ok);
+  EXPECT_TRUE(refill.ticket.wait().ok);
+  EXPECT_FALSE(tickets[0].cancel());  // finished jobs cannot be canceled
+  EXPECT_EQ(svc.stats().completed, 3u);
+}
+
+TEST(ServiceTest, PriorityRunsBeforeBacklogWhenUnbatched) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;  // coalescing off: strict priority order
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 512);
+
+  std::vector<service::Ticket> background;
+  std::vector<service::Ticket> urgent;
+  for (u32 j = 0; j < 3; ++j) {
+    background.push_back(
+        svc.submitCompress<f32>("bg", std::span<const f32>(data), cfg,
+                                /*priority=*/5)
+            .ticket);
+  }
+  for (u32 j = 0; j < 3; ++j) {
+    urgent.push_back(svc.submitCompress<f32>(
+                            "rt", std::span<const f32>(data), cfg,
+                            /*priority=*/0)
+                         .ticket);
+  }
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+  u64 urgentMax = 0;
+  u64 backgroundMin = ~u64{0};
+  for (const service::Ticket& t : urgent) {
+    urgentMax = std::max(urgentMax, t.wait().dispatchSeq);
+  }
+  for (const service::Ticket& t : background) {
+    backgroundMin = std::min(backgroundMin, t.wait().dispatchSeq);
+  }
+  EXPECT_LT(urgentMax, backgroundMin)
+      << "priority-0 jobs must dispatch before the priority-5 backlog";
+}
+
+TEST(ServiceTest, DecompressRoundTripThroughService) {
+  const std::vector<f32> original = datagen::generateF32("jetin", 0, 4096);
+  const core::Config cfg = relConfig(1e-3);
+  core::CompressorStream serial(cfg);
+  const core::Compressed c =
+      serial.compress<f32>(std::span<const f32>(original));
+  const core::Decompressed<f32> expected = serial.decompress<f32>(c.stream);
+
+  service::CompressionService svc(service::ServiceConfig{.workers = 1});
+  service::SubmitResult s = svc.submitDecompress("t", c.stream);
+  ASSERT_TRUE(s.accepted());
+  const service::JobResult& r = s.ticket.wait();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.decodedElements, expected.data.size());
+  ASSERT_EQ(r.decompressed.size(), expected.data.size() * sizeof(f32));
+  EXPECT_EQ(std::memcmp(r.decompressed.data(), expected.data.data(),
+                        r.decompressed.size()),
+            0);
+  svc.shutdown();
+}
+
+TEST(ServiceTest, WorkersAreDeviceAffine) {
+  service::ServiceConfig scfg;
+  scfg.workers = 3;
+  service::CompressionService svc(scfg);
+  ASSERT_EQ(svc.devices().size(), 3u);
+  for (usize i = 0; i < svc.devices().size(); ++i) {
+    EXPECT_NE(svc.devices()[i].name.find("[dev" + std::to_string(i) + "]"),
+              std::string::npos)
+        << svc.devices()[i].name;
+  }
+
+  const core::Config cfg = relConfig(1e-3);
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 1024);
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 24; ++j) {
+    tickets.push_back(
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  EXPECT_TRUE(svc.shutdown());
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    ASSERT_TRUE(r.ok);
+    ASSERT_LT(r.worker, 3u);
+    // Each job reports the device its worker is pinned to.
+    EXPECT_EQ(r.device, svc.devices()[r.worker].name);
+  }
+}
+
+// CI soak (tools/ci_check.sh runs this filter under ASan): 4 tenants x 200
+// jobs with live backpressure, mixed priorities and sprinkled cancels.
+TEST(ServiceSoak, FourTenantsTimes200Jobs) {
+  service::ServiceConfig scfg;
+  scfg.workers = 4;
+  scfg.maxQueueDepth = 64;
+  scfg.tenantQuotaBytes = u64{8} << 20;
+  service::CompressionService svc(scfg);
+
+  const std::vector<std::string> tenants = {"t0", "t1", "t2", "t3"};
+  const std::vector<std::string> datasets = {"cesm_atm", "hacc", "jetin",
+                                             "cesm_atm"};
+  std::vector<service::Ticket> tickets;
+  u64 canceled = 0;
+  for (u32 j = 0; j < 200; ++j) {
+    for (usize t = 0; t < tenants.size(); ++t) {
+      const std::vector<f32> data = datagen::generateF32(
+          datasets[t], j % datagen::datasetInfo(datasets[t]).numFields,
+          256 + 128 * (j % 5));
+      for (;;) {
+        service::SubmitResult s = svc.submitCompress<f32>(
+            tenants[t], std::span<const f32>(data), relConfig(1e-3),
+            static_cast<u8>(j % 3));
+        if (s.accepted()) {
+          if (j % 41 == 0 && s.ticket.cancel()) ++canceled;
+          else tickets.push_back(s.ticket);
+          break;
+        }
+        ASSERT_TRUE(s.reason == service::RejectReason::QueueFull ||
+                    s.reason == service::RejectReason::QuotaExceeded)
+            << s.detail;
+        std::this_thread::yield();
+      }
+    }
+  }
+  EXPECT_TRUE(svc.shutdown());
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_EQ(stats.completed + canceled, 800u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(svc.queueDepth(), 0u);
+}

@@ -257,5 +257,44 @@ TEST(GlobalRegistryTest, StreamRoundTripFillsKernelTable) {
   reg.setEnabled(false);
 }
 
+// An aborted run (exception or exit mid-span) closes its open spans
+// synthetically so the exported JSON stays balanced and loadable.
+TEST(TraceSessionTest, CloseOpenSpansBalancesAbortedSessions) {
+  TraceSession trace;
+  trace.begin("outer");
+  trace.begin("inner");
+  EXPECT_EQ(trace.openSpanCount(), 2u);
+  trace.end("inner");
+  EXPECT_EQ(trace.openSpanCount(), 1u);
+  trace.begin("second");
+
+  EXPECT_EQ(trace.closeOpenSpans(), 2u);
+  EXPECT_EQ(trace.openSpanCount(), 0u);
+  EXPECT_EQ(trace.closeOpenSpans(), 0u);  // idempotent
+
+  const std::vector<TraceEvent> events = trace.events();
+  int depth = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'B') ++depth;
+    if (e.phase == 'E') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << "synthetic Es must balance every open B";
+
+  // Innermost-first closure, each tagged as aborted.
+  ASSERT_GE(events.size(), 2u);
+  const TraceEvent& closeSecond = events[events.size() - 2];
+  const TraceEvent& closeOuter = events[events.size() - 1];
+  EXPECT_EQ(closeSecond.phase, 'E');
+  EXPECT_EQ(closeSecond.name, "second");
+  EXPECT_EQ(closeOuter.phase, 'E');
+  EXPECT_EQ(closeOuter.name, "outer");
+  for (const TraceEvent* e : {&closeSecond, &closeOuter}) {
+    ASSERT_EQ(e->args.size(), 1u);
+    EXPECT_EQ(e->args[0].key, "aborted");
+    EXPECT_EQ(e->args[0].number, 1.0);
+  }
+}
+
 }  // namespace
 }  // namespace cuszp2

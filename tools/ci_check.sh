@@ -36,6 +36,13 @@ run_config asan "-L fast" -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
 echo "==== [asan] fuzz_decode (500 structured mutants) ===="
 "${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
 
+# The soak already runs inside the asan ctest pass (test_service carries
+# the fast label); the explicit invocation keeps a red service build from
+# hiding inside a 600-test wall of output.
+echo "==== [asan] service soak (4 tenants x 200 jobs) ===="
+"${repo_root}/build-ci-asan/tests/test_service" \
+  --gtest_filter='ServiceSoak.*'
+
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \
   "${repo_root}/BENCH_perf.json")

@@ -10,24 +10,33 @@
 //   cuszp2 verify     <in.czp2|archive>          (integrity only)
 //   cuszp2 repair     <archive> [--dry-run]
 //   cuszp2 profile    <in.raw> [compress options]
+//   cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]
+//                     [--depth N] [--quota BYTES] [--unbatched]
 //
 // `--trace <out.json>` before any subcommand's options writes a
 // chrome://tracing / Perfetto-compatible trace of every simulated kernel
-// launch (see docs/OBSERVABILITY.md).
+// launch (see docs/OBSERVABILITY.md). The trace is flushed on every exit
+// path — errors and usage failures included — with any open spans closed
+// synthetically, so an aborted run still produces loadable JSON.
 //
 // Exit codes: 0 on success; 1 on operational errors and error-bound
 // violations; 2 on integrity failures (corrupt stream, failed parity).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/compressor.hpp"
 #include "core/quantizer.hpp"
+#include "datagen/fields.hpp"
 #include "io/archive.hpp"
 #include "io/raw.hpp"
 #include "metrics/error_stats.hpp"
+#include "service/service.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -46,6 +55,25 @@ struct Options {
   bool blockChecksums = false;
 };
 
+// --trace session state lives at file scope so every exit path — the
+// normal return, the catch-all in main, and usage()'s std::exit — can
+// flush the JSON. Without this, a bad argument after --trace would leave
+// an empty/partial file.
+std::unique_ptr<telemetry::TraceSession> g_trace;
+std::unique_ptr<telemetry::ScopedTrace> g_traceScope;
+std::string g_tracePath;
+
+/// Closes any spans left open by an aborted run and writes the trace.
+/// Idempotent; returns false only on an I/O failure.
+bool flushTrace() {
+  if (!g_trace) return true;
+  g_traceScope.reset();
+  g_trace->closeOpenSpans();
+  const bool ok = g_trace->writeJson(g_tracePath);
+  g_trace.reset();
+  return ok;
+}
+
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
@@ -60,9 +88,14 @@ struct Options {
       "  cuszp2 verify     <in.czp2|archive>       (integrity only)\n"
       "  cuszp2 repair     <archive> [--dry-run]\n"
       "  cuszp2 profile    <in.raw> [compress options]\n"
+      "  cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]\n"
+      "                    [--depth N] [--quota BYTES] [--unbatched]\n"
+      "\n"
+      "  serve manifest lines: <tenant> <dataset> <elems> <jobs> [rel]\n"
       "\n"
       "  --trace <out.json>  (any subcommand) write a chrome://tracing\n"
       "                      compatible kernel trace\n");
+  flushTrace();
   std::exit(2);
 }
 
@@ -443,6 +476,179 @@ int doRepair(const std::string& path, bool dryRun) {
   return 0;
 }
 
+/// One manifest line of the serve subcommand: `tenant dataset elems jobs
+/// [rel]`. Blank lines and `#` comments are skipped.
+struct ManifestEntry {
+  std::string tenant;
+  std::string dataset;
+  usize elems = 0;
+  u32 jobs = 0;
+  f64 rel = 1e-3;
+};
+
+std::vector<ManifestEntry> parseManifest(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "serve: cannot open manifest " + path);
+  std::vector<ManifestEntry> out;
+  std::string line;
+  usize lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    ManifestEntry e;
+    if (!(fields >> e.tenant >> e.dataset >> e.elems >> e.jobs)) {
+      std::string word;
+      require(!(std::istringstream(line) >> word),
+              "serve: malformed manifest line " + std::to_string(lineNo));
+      continue;  // blank or comment-only line
+    }
+    fields >> e.rel;
+    require(e.elems > 0 && e.jobs > 0 && e.rel > 0.0,
+            "serve: manifest line " + std::to_string(lineNo) +
+                ": elems, jobs and rel must be positive");
+    datagen::datasetInfo(e.dataset);  // throws on unknown dataset
+    out.push_back(std::move(e));
+  }
+  require(!out.empty(), "serve: manifest has no job lines");
+  return out;
+}
+
+/// Runs a multi-tenant workload from a manifest through a
+/// CompressionService and prints per-tenant and scheduler summaries. Job
+/// inputs are deterministic synthetic fields (datagen), so two runs of the
+/// same manifest produce identical compressed bytes.
+int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
+            usize depth, u64 quota, bool unbatched) {
+  const auto entries = parseManifest(manifestPath);
+  telemetry::registry().setEnabled(true);
+  telemetry::registry().reset();
+
+  service::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.maxQueueDepth = depth;
+  cfg.tenantQuotaBytes = quota;
+  if (unbatched) cfg.maxBatchJobs = 1;
+  else if (maxBatch > 0) cfg.maxBatchJobs = maxBatch;
+  // Paused start: with the whole manifest queued before dispatch begins,
+  // batch formation is deterministic and the coalescing win is visible.
+  // The submit loop resumes early if the queue fills (see below), so a
+  // manifest larger than --depth still drains.
+  cfg.startPaused = true;
+  service::CompressionService svc(cfg);
+
+  struct Pending {
+    const ManifestEntry* entry;
+    service::Ticket ticket;
+  };
+  std::vector<Pending> pending;
+
+  // Submit round-robin across tenants so lanes genuinely interleave.
+  // Admission rejections are backpressure, not errors: QueueFull and
+  // QuotaExceeded drain-and-retry, anything else is fatal.
+  u32 maxJobs = 0;
+  for (const auto& e : entries) maxJobs = std::max(maxJobs, e.jobs);
+  u64 rejections = 0;
+  for (u32 j = 0; j < maxJobs; ++j) {
+    for (const auto& e : entries) {
+      if (j >= e.jobs) continue;
+      const auto& info = datagen::datasetInfo(e.dataset);
+      const auto field =
+          datagen::generateF32(e.dataset, j % info.numFields, e.elems);
+      core::Config jobCfg;
+      jobCfg.relErrorBound = e.rel;
+      for (;;) {
+        auto submitted = svc.submitCompress<f32>(
+            e.tenant, std::span<const f32>(field), jobCfg);
+        if (submitted.accepted()) {
+          pending.push_back(Pending{&e, std::move(submitted.ticket)});
+          break;
+        }
+        require(submitted.reason == service::RejectReason::QueueFull ||
+                    submitted.reason == service::RejectReason::QuotaExceeded,
+                "serve: submission rejected: " + submitted.detail);
+        ++rejections;
+        svc.resume();  // start draining so a retried slot can free up
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  svc.resume();
+  svc.shutdown();
+
+  struct TenantSummary {
+    u32 jobs = 0;
+    u32 failed = 0;
+    u64 bytesIn = 0;
+    u64 bytesOut = 0;
+    f64 waitUs = 0.0;
+    f64 serviceUs = 0.0;
+  };
+  std::vector<std::pair<std::string, TenantSummary>> tenants;
+  auto summaryFor = [&](const std::string& t) -> TenantSummary& {
+    for (auto& [name, s] : tenants) {
+      if (name == t) return s;
+    }
+    tenants.emplace_back(t, TenantSummary{});
+    return tenants.back().second;
+  };
+  int rc = 0;
+  for (const Pending& p : pending) {
+    const service::JobResult& r = p.ticket.wait();
+    TenantSummary& s = summaryFor(p.entry->tenant);
+    s.jobs += 1;
+    if (!r.ok) {
+      s.failed += 1;
+      std::fprintf(stderr, "serve: tenant %s job %llu failed: %s\n",
+                   p.entry->tenant.c_str(),
+                   static_cast<unsigned long long>(r.jobId),
+                   r.error.c_str());
+      rc = 1;
+      continue;
+    }
+    s.bytesIn += r.compressed.originalBytes;
+    s.bytesOut += r.compressed.stream.size();
+    s.waitUs += r.waitUs;
+    s.serviceUs += r.serviceUs;
+  }
+
+  std::printf("served %zu jobs from %zu tenants on %u workers "
+              "(batching %s)\n",
+              pending.size(), tenants.size(), svc.workerCount(),
+              unbatched ? "off" : "on");
+  if (rejections > 0) {
+    std::printf("backpressure: %llu submissions retried\n",
+                static_cast<unsigned long long>(rejections));
+  }
+  std::printf("per-tenant summary:\n");
+  std::printf("  %-12s %6s %12s %12s %8s %12s %12s\n", "tenant", "jobs",
+              "bytes in", "bytes out", "ratio", "avg wait us",
+              "avg svc us");
+  for (const auto& [name, s] : tenants) {
+    const f64 n = s.jobs > 0 ? static_cast<f64>(s.jobs) : 1.0;
+    std::printf("  %-12s %6u %12llu %12llu %8.3f %12.1f %12.1f\n",
+                name.c_str(), s.jobs,
+                static_cast<unsigned long long>(s.bytesIn),
+                static_cast<unsigned long long>(s.bytesOut),
+                s.bytesOut > 0 ? static_cast<f64>(s.bytesIn) /
+                                     static_cast<f64>(s.bytesOut)
+                               : 0.0,
+                s.waitUs / n, s.serviceUs / n);
+    if (s.failed > 0) {
+      std::printf("  %-12s %6u jobs FAILED\n", name.c_str(), s.failed);
+    }
+  }
+  const service::ServiceStats stats = svc.stats();
+  std::printf("scheduler: %llu jobs in %llu fused launches "
+              "(%llu launches saved)\n",
+              static_cast<unsigned long long>(stats.dispatched),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.launchesSaved()));
+  printKernelTable();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -462,17 +668,11 @@ int main(int argc, char** argv) {
   argc = static_cast<int>(args.size());
   argv = args.data();
 
-  std::unique_ptr<telemetry::TraceSession> trace;
-  std::unique_ptr<telemetry::ScopedTrace> scope;
   if (!tracePath.empty()) {
-    trace = std::make_unique<telemetry::TraceSession>();
-    scope = std::make_unique<telemetry::ScopedTrace>(*trace);
+    g_tracePath = tracePath;
+    g_trace = std::make_unique<telemetry::TraceSession>();
+    g_traceScope = std::make_unique<telemetry::ScopedTrace>(*g_trace);
   }
-  const auto finishTrace = [&]() -> bool {
-    if (!trace) return true;
-    scope.reset();
-    return trace->writeJson(tracePath);
-  };
 
   if (argc < 2) usage();
   const std::string cmd = argv[1];
@@ -526,6 +726,30 @@ int main(int argc, char** argv) {
                  ? doProfileTyped<f32>(argv[2], opt)
                  : doProfileTyped<f64>(argv[2], opt);
     }
+    if (cmd == "serve") {
+      std::string manifest;
+      u32 workers = 2;
+      u32 batch = 0;
+      usize depth = 256;
+      u64 quota = 0;
+      bool unbatched = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+          if (i + 1 >= argc) usage();
+          return argv[++i];
+        };
+        if (arg == "--jobs") manifest = next();
+        else if (arg == "--workers") workers = static_cast<u32>(std::stoul(next()));
+        else if (arg == "--batch") batch = static_cast<u32>(std::stoul(next()));
+        else if (arg == "--depth") depth = static_cast<usize>(std::stoull(next()));
+        else if (arg == "--quota") quota = std::stoull(next());
+        else if (arg == "--unbatched") unbatched = true;
+        else usage();
+      }
+      if (manifest.empty()) usage();
+      return doServe(manifest, workers, batch, depth, quota, unbatched);
+    }
     usage();
   };
 
@@ -536,6 +760,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
   }
-  if (!finishTrace() && rc == 0) rc = 1;
+  if (!flushTrace() && rc == 0) rc = 1;
   return rc;
 }

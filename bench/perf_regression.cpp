@@ -28,6 +28,7 @@
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "gpusim/timing.hpp"
+#include "service/chaos.hpp"
 #include "service/service.hpp"
 
 using namespace cuszp2;
@@ -43,7 +44,8 @@ struct CaseResult {
   f64 modelledSeconds = 0.0;
   f64 modelledGBps = 0.0;
   f64 wallMsMedian = 0.0;
-  u64 launches = 0;  // fused-launch count; service cases only
+  u64 launches = 0;    // fused-launch count; service cases only
+  u64 recoveries = 0;  // retries + in-stream relaunches; chaos case only
 };
 
 /// Formats an f64 so it round-trips bit-exactly; two runs producing the
@@ -148,6 +150,68 @@ Modelled modelServiceOnce(const std::vector<ServiceJob>& jobs, bool batched,
     bytesOut += static_cast<f64>(r.compressed.stream.size());
   }
   if (launches != nullptr) *launches = svc.stats().batches;
+  return {bytesOut > 0.0 ? bytesIn / bytesOut : 0.0, seconds,
+          seconds > 0.0 ? bytesIn / seconds / 1e9 : 0.0};
+}
+
+/// The service workload under a seeded chaos schedule: bit flips, aborted
+/// blocks and arena exhaustion, all absorbed by in-stream relaunches and
+/// service retries. Guards the cost of recovery — and that the recovery
+/// counters themselves are deterministic (same seed, same `recoveries`).
+/// Stall/wedge faults are excluded: they burn real wall time and need the
+/// watchdog, which this single-pass modelled case doesn't exercise.
+Modelled modelChaosOnce(const std::vector<ServiceJob>& jobs,
+                        u64* recoveries) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  scfg.watchdog.enabled = false;
+  scfg.breaker.threshold = 0;
+  scfg.retry.backoffBaseMillis = 0;
+  service::ChaosConfig ccfg;
+  ccfg.seed = 20260805;
+  ccfg.bitFlipRate = 0.2;
+  ccfg.abortRate = 0.2;
+  ccfg.arenaRate = 0.1;
+  ccfg.stallRate = 0.0;
+  ccfg.wedgeRate = 0.0;
+  scfg.chaosHook = service::SeededChaosSchedule(ccfg).hook();
+  service::CompressionService svc(scfg);
+
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  cfg.checksum = true;
+  cfg.blockChecksums = true;
+  cfg.faultRetries = 2;
+  std::vector<service::Ticket> tickets;
+  for (const ServiceJob& job : jobs) {
+    const std::vector<f32> field =
+        datagen::generateF32(job.dataset, job.fieldIndex, job.elems);
+    tickets.push_back(
+        svc.submitCompress<f32>(job.tenant, std::span<const f32>(field), cfg)
+            .ticket);
+  }
+  svc.resume();
+  svc.shutdown();
+
+  f64 seconds = 0.0;
+  f64 bytesIn = 0.0;
+  f64 bytesOut = 0.0;
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    if (!r.ok) {
+      std::fprintf(stderr, "FAIL chaos job: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    seconds += r.compressed.profile.endToEndSeconds;
+    bytesIn += static_cast<f64>(r.compressed.originalBytes);
+    bytesOut += static_cast<f64>(r.compressed.stream.size());
+  }
+  const service::ServiceStats stats = svc.stats();
+  if (recoveries != nullptr) {
+    *recoveries = stats.retries + stats.streamFaultRelaunches;
+  }
   return {bytesOut > 0.0 ? bytesIn / bytesOut : 0.0, seconds,
           seconds > 0.0 ? bytesIn / seconds / 1e9 : 0.0};
 }
@@ -312,6 +376,54 @@ int main(int argc, char** argv) {
       }
       results.push_back(std::move(r));
     }
+
+    // service/chaos: the same workload with seeded fault injection. Both
+    // the modelled metrics AND the recovery counters must be identical
+    // between passes — the chaos schedule is pure in (seed, jobId,
+    // attempt), so any divergence is a determinism regression.
+    {
+      u64 rec1 = 0;
+      u64 rec2 = 0;
+      const Modelled pass1 = modelChaosOnce(jobs, &rec1);
+      const Modelled pass2 = modelChaosOnce(jobs, &rec2);
+      if (!(pass1 == pass2) || rec1 != rec2) {
+        std::fprintf(stderr,
+                     "FAIL service/chaos: runs differ (%.17g vs %.17g GB/s, "
+                     "%llu vs %llu recoveries)\n",
+                     pass1.gbps, pass2.gbps,
+                     static_cast<unsigned long long>(rec1),
+                     static_cast<unsigned long long>(rec2));
+        deterministic = false;
+      }
+      const bench::RepeatStats wall =
+          bench::measureRepeated(3, [&] { modelChaosOnce(jobs, nullptr); });
+
+      CaseResult r;
+      r.name = "service/chaos";
+      r.elems = totalElems;
+      r.ratio = pass1.ratio;
+      r.modelledSeconds = pass1.seconds;
+      r.modelledGBps = pass1.gbps;
+      r.wallMsMedian = wall.medianSeconds * 1e3;
+      r.recoveries = rec1;
+      std::printf("%-24s %8.2f GB/s modelled  ratio %6.2f  wall %7.2f ms"
+                  "  (%zu jobs, %llu recoveries)\n",
+                  r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian,
+                  jobs.size(), static_cast<unsigned long long>(rec1));
+
+      f64 prior = 0.0;
+      if (!previous.empty() && previousGbps(previous, r.name, &prior) &&
+          prior > 0.0) {
+        const f64 drift = std::fabs(r.modelledGBps - prior) / prior;
+        if (drift > kTolerance) {
+          std::printf("WARN %s: modelled throughput drifted %.1f%% "
+                      "(%.2f -> %.2f GB/s)\n",
+                      r.name.c_str(), drift * 100.0, prior, r.modelledGBps);
+          ++warns;
+        }
+      }
+      results.push_back(std::move(r));
+    }
   }
 
   // Hand-rolled writer: modelled fields use %.17g so identical runs give
@@ -328,6 +440,9 @@ int main(int argc, char** argv) {
     json += ", \"wall_ms_median\": " + f64Str(r.wallMsMedian);
     if (r.launches > 0) {
       json += ", \"launches\": " + std::to_string(r.launches);
+    }
+    if (r.recoveries > 0) {
+      json += ", \"recoveries\": " + std::to_string(r.recoveries);
     }
     json += "}";
     if (i + 1 < results.size()) json += ",";

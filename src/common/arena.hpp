@@ -50,6 +50,8 @@ class Arena {
   /// Contents are indeterminate (no zero fill).
   void* allocate(usize bytes) {
     const usize need = alignUp(bytes);
+    require(failureBudget_ == 0 || inUse_ + need <= failureBudget_,
+            "Arena: injected scratch exhaustion (failure budget exceeded)");
     if (slabs_.empty() || slabs_.back().used + need > slabs_.back().capacity) {
       addSlab(need);
     }
@@ -101,6 +103,12 @@ class Arena {
   const Stats& stats() const { return stats_; }
   usize bytesInUse() const { return inUse_; }
 
+  /// Fault-injection hook (gpusim FaultPlan arena-exhaustion mode): caps
+  /// the bytes the arena may hand out before allocate() throws, without
+  /// actually reserving less memory. 0 disables the cap.
+  void setFailureBudget(usize budgetBytes) { failureBudget_ = budgetBytes; }
+  void clearFailureBudget() { failureBudget_ = 0; }
+
  private:
   struct Slab {
     std::byte* data = nullptr;
@@ -126,6 +134,7 @@ class Arena {
 
   std::vector<Slab> slabs_;
   usize inUse_ = 0;
+  usize failureBudget_ = 0;
   Stats stats_;
 };
 

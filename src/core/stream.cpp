@@ -550,6 +550,13 @@ void CompressorStream::reconfigure(const Config& config,
   timing_.setSpec(device);
 }
 
+void CompressorStream::applyInjectedArenaBudget() {
+  arena_.clearFailureBudget();
+  if (const std::optional<u64> budget = launcher_.takeArenaFault()) {
+    arena_.setFailureBudget(static_cast<usize>(*budget));
+  }
+}
+
 gpusim::LaunchResult CompressorStream::launchVerified(
     const gpusim::KernelDesc& desc, std::span<std::byte> faultTarget,
     const std::function<bool()>& verify,
@@ -590,6 +597,7 @@ std::span<std::byte> compressFaultTarget(const FieldJob& job) {
 template <FloatingPoint T>
 Compressed CompressorStream::compress(std::span<const T> data) {
   arena_.reset();
+  applyInjectedArenaBudget();
   const usize workers = launcher_.workerCount();
   const WorkerScratch scratch = makeWorkerScratch(
       arena_, workers, config_.blocksPerTile, config_.blockSize);
@@ -618,6 +626,7 @@ template <FloatingPoint T>
 std::vector<Compressed> CompressorStream::compressBatch(
     std::span<const std::span<const T>> fields) {
   arena_.reset();
+  applyInjectedArenaBudget();
   const usize workers = launcher_.workerCount();
   // One scratch shared by every kernel of the batch: slots are per worker,
   // and a worker runs one task at a time regardless of which kernel the
@@ -674,6 +683,7 @@ std::vector<Compressed> CompressorStream::compressBatch(
 template <FloatingPoint T>
 Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
   arena_.reset();
+  applyInjectedArenaBudget();
   const StreamHeader header = StreamHeader::parse(stream);
   require(header.precision == precisionOf<T>(),
           "decompress: stream precision does not match the requested type");
@@ -838,6 +848,7 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
                                                  u64 firstBlock,
                                                  u64 blockCount) {
   arena_.reset();
+  applyInjectedArenaBudget();
   const StreamHeader header = StreamHeader::parse(stream);
   require(header.precision == precisionOf<T>(),
           "decompressBlocks: stream precision mismatch");
@@ -935,6 +946,7 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
                                            u64 firstBlock,
                                            std::span<const T> values) {
   arena_.reset();
+  applyInjectedArenaBudget();
   const StreamHeader header = StreamHeader::parse(stream);
   require(header.precision == precisionOf<T>(),
           "replaceBlocks: stream precision mismatch");
@@ -1075,6 +1087,9 @@ template <FloatingPoint T>
 Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
                                                   T fillValue) {
   arena_.reset();
+  // Salvage keeps its never-throws contract: clear (don't take) any
+  // injected arena budget.
+  arena_.clearFailureBudget();
   Salvaged<T> out;
   DecodeReport& rep = out.report;
   out.profile.endToEndSeconds = timing_.launchSeconds();

@@ -217,6 +217,15 @@ class CompressorStream {
       const std::function<bool()>& verify,
       const std::function<void()>& rearm);
 
+  /// Consumes a pending arena-exhaustion fault from the launcher's
+  /// FaultPlan (clearing any budget left by a previous operation): when
+  /// one is armed for the next launch, this operation's scratch arena is
+  /// capped so its first oversized allocation throws. Called at every
+  /// fallible entry point right after arena_.reset(); the salvage path
+  /// (decompressResilient) only clears — it must keep its no-throw
+  /// contract even under an armed plan.
+  void applyInjectedArenaBudget();
+
   /// Telemetry handles resolved once at construction against the global
   /// registry (see docs/OBSERVABILITY.md for the name catalogue).
   /// Recording through them is lock-free and a single branch when the

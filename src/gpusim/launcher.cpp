@@ -6,6 +6,7 @@
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -30,6 +31,11 @@ const char* syncMethodName(SyncMethod m) {
 }
 
 thread_local std::atomic<bool>* tCurrentAbortFlag = nullptr;
+
+/// Duration of one fault-injection model tick (FaultPlan::stallTicks /
+/// wedgeTicks). Coarse enough that a handful of ticks dominates any real
+/// kernel on the host model, small enough that tests stay fast.
+constexpr std::chrono::milliseconds kFaultTick{1};
 
 /// Per-launch completion latch, so concurrent launches sharing one pool
 /// wait only on their own tasks (two streams compressing on the same
@@ -187,6 +193,14 @@ void Launcher::noteLaunchTrace(telemetry::TraceSession& session,
   trace->complete(name, result.wallSeconds * 1e6, std::move(args));
 }
 
+std::optional<u64> Launcher::takeArenaFault() {
+  if (!faultPlan_ || faultPlan_->arenaBudgetBytes == 0) return std::nullopt;
+  if (!faultActive(launchCount())) return std::nullopt;
+  const u64 budget = faultPlan_->arenaBudgetBytes;
+  if (!faultPlan_->sticky) faultPlan_->arenaBudgetBytes = 0;
+  return budget;
+}
+
 bool Launcher::faultActive(u64 launchIdx) const {
   if (!faultPlan_) return false;
   return faultPlan_->sticky ? launchIdx >= faultPlan_->triggerLaunch
@@ -194,13 +208,17 @@ bool Launcher::faultActive(u64 launchIdx) const {
 }
 
 /// Soft-error injection: flips `bitFlips` bits of the kernel's written
-/// bytes at seeded-uniform positions. Deterministic per (seed, launch
-/// index), so a bounded relaunch under a non-sticky plan observes clean
-/// memory and a test can replay the exact damage.
+/// bytes at seeded-uniform positions. Deterministic per (seed, launches
+/// since the trigger) — NOT the absolute launch index, which depends on
+/// how much work this launcher happened to run before (schedule-dependent
+/// in a multi-worker service). A non-sticky plan therefore damages
+/// positions that are a pure function of its seed; a sticky plan varies
+/// them per firing so relaunches observe fresh damage.
 void Launcher::injectWriteFaults(u64 launchIdx, std::span<std::byte> target,
                                  LaunchResult& result) const {
   if (!faultPlan_ || faultPlan_->bitFlips == 0 || target.empty()) return;
-  Rng rng(SplitMix64(faultPlan_->seed ^ launchIdx).next());
+  Rng rng(SplitMix64(faultPlan_->seed ^ (launchIdx - faultPlan_->triggerLaunch))
+              .next());
   for (u32 i = 0; i < faultPlan_->bitFlips; ++i) {
     const usize pos = rng.uniformInt(target.size());
     target[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
@@ -223,6 +241,15 @@ std::vector<LaunchResult> Launcher::runKernelsInline(
     const bool fault = faultActive(launchIdx);
     results[k].gridSize = kernel.gridSize;
     const auto t0 = std::chrono::steady_clock::now();
+    if (fault && (faultPlan_->stallTicks > 0 || faultPlan_->wedgeTicks > 0)) {
+      // Inline (nested) launches run on the calling pool worker, so a
+      // wedge is indistinguishable from a stall here: both delay the
+      // sequential block sweep.
+      results[k].injectedStallTicks = faultPlan_->stallTicks;
+      results[k].injectedWedgeTicks = faultPlan_->wedgeTicks;
+      std::this_thread::sleep_for(
+          (faultPlan_->stallTicks + faultPlan_->wedgeTicks) * kFaultTick);
+    }
     for (u32 b = 0; b < kernel.gridSize; ++b) {
       if (fault && faultPlan_->abortBlock == static_cast<i64>(b)) {
         throw Error("gpusim: injected block abort (FaultPlan)");
@@ -292,17 +319,34 @@ std::vector<LaunchResult> Launcher::runKernels(
   for (usize k = 0; k < kernels.size(); ++k) {
     const u32 gridSize = kernels[k].gridSize;
     const std::function<void(BlockCtx&)>* body = kernels[k].body;
-    // Resolve the abort-fault block for this kernel up front so workers
-    // never touch faultPlan_ (it may be cleared while tasks drain).
-    const i64 abortBlock =
-        faultActive(launchIdx[k]) ? faultPlan_->abortBlock : -1;
+    // Resolve fault parameters for this kernel up front so workers never
+    // touch faultPlan_ (it may be cleared while tasks drain).
+    const bool fault = faultActive(launchIdx[k]);
+    const i64 abortBlock = fault ? faultPlan_->abortBlock : -1;
+    const u32 wedgeTicks = fault ? faultPlan_->wedgeTicks : 0;
+    if (fault && faultPlan_->stallTicks > 0) {
+      // Kernel-stall fault: the launching thread hangs before any task is
+      // dispatched — the grid exists but makes no progress, exactly what a
+      // deadline watchdog should observe as a hung launch.
+      results[k].injectedStallTicks = faultPlan_->stallTicks;
+      std::this_thread::sleep_for(faultPlan_->stallTicks * kFaultTick);
+    }
+    if (wedgeTicks > 0) results[k].injectedWedgeTicks = wedgeTicks;
     for (u32 task = 0; task < parts[k].numTasks; ++task) {
       const u32 first = task * parts[k].blocksPerTask;
       const u32 last = std::min(gridSize, first + parts[k].blocksPerTask);
       const u32 slot = parts[k].taskBase + task;
-      pool_->submit([&, gridSize, body, slot, first, last, abortBlock] {
+      // Worker-wedge fault: whichever pool worker picks up the kernel's
+      // first task stops draining for wedgeTicks. Later blocks of the same
+      // grid may run (and spin on their predecessor) in the meantime; FIFO
+      // dispatch guarantees the wedged block eventually finishes, so the
+      // launch is slow but never deadlocked.
+      const u32 wedge = task == 0 ? wedgeTicks : 0;
+      pool_->submit([&, gridSize, body, slot, first, last, abortBlock,
+                     wedge] {
         detail::setCurrentAbortFlag(&abortFlag);
         try {
+          if (wedge > 0) std::this_thread::sleep_for(wedge * kFaultTick);
           for (u32 b = first; b < last; ++b) {
             if (abortBlock == static_cast<i64>(b)) {
               throw Error("gpusim: injected block abort (FaultPlan)");

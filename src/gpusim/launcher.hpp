@@ -56,6 +56,11 @@ struct LaunchResult {
   /// Bits the active FaultPlan flipped in this kernel's fault target
   /// (diagnostic; tests assert the injection actually happened).
   u32 injectedBitFlips = 0;
+  /// Model ticks the launch was stalled / a pool worker was wedged by the
+  /// active FaultPlan (diagnostic, mirrors FaultPlan::stallTicks /
+  /// wedgeTicks when the plan fired on this launch).
+  u32 injectedStallTicks = 0;
+  u32 injectedWedgeTicks = 0;
 };
 
 /// One independent grid of a batched launch (see Launcher::launchBatch).
@@ -88,6 +93,21 @@ struct FaultPlan {
   /// When >= 0, the block with this index throws instead of running —
   /// the aborted-kernel fault mode.
   i64 abortBlock = -1;
+  /// Kernel-stall fault: the triggering launch sleeps this many model
+  /// ticks (1 tick = 1 ms of host time) before any block runs. The latency
+  /// mode: the kernel eventually completes correctly, it is just slow —
+  /// what a service-level watchdog must detect and route around.
+  u32 stallTicks = 0;
+  /// Worker-wedge fault: the pool worker that picks up the launch's first
+  /// task sleeps this many ticks mid-drain. The liveness mode: unlike a
+  /// stall, the grid is already in flight and one executor has stopped
+  /// draining while the rest of the pool keeps running.
+  u32 wedgeTicks = 0;
+  /// Arena-exhaustion fault: when nonzero, the owning stream caps its
+  /// scratch arena at this many bytes for the operation that would issue
+  /// the triggering launch (consumed via takeArenaFault()), making the
+  /// arena throw — the resource-exhaustion mode.
+  u64 arenaBudgetBytes = 0;
   bool sticky = false;
 };
 
@@ -139,6 +159,14 @@ class Launcher {
   void clearFaultPlan() { faultPlan_.reset(); }
 
   bool faultPlanArmed() const { return faultPlan_.has_value(); }
+
+  /// Consumes a pending arena-exhaustion fault: returns the injected
+  /// budget when the armed plan carries one and would fire on the next
+  /// launch index, std::nullopt otherwise. Non-sticky plans hand the
+  /// budget out once (the relaunch after the failure observes a healthy
+  /// arena); sticky plans keep returning it. Called by the owning
+  /// stream's operation entry points, never by pool workers.
+  std::optional<u64> takeArenaFault();
 
   /// Kernels launched through this instance so far (the index space
   /// FaultPlan::triggerLaunch addresses).

@@ -36,13 +36,47 @@ enum class RejectReason : u8 {
   QuotaExceeded = 1,
   /// shutdown() has been called; the service no longer accepts work.
   ShuttingDown = 2,
+  /// The tenant's circuit breaker is open (too many consecutive failures);
+  /// only this tenant is shed, and only until the breaker's cooldown
+  /// admits a half-open probe.
+  CircuitOpen = 3,
 };
 
 constexpr const char* toString(RejectReason r) {
   switch (r) {
     case RejectReason::QueueFull: return "queue-full";
     case RejectReason::QuotaExceeded: return "quota-exceeded";
+    case RejectReason::CircuitOpen: return "circuit-open";
     default: return "shutting-down";
+  }
+}
+
+/// Typed terminal state of a job. Every accepted ticket resolves with
+/// exactly one of these (JobResult::outcome) — distinguishing a codec
+/// failure from shutdown abandonment, a client cancel, or a salvaged
+/// (degraded) decode.
+enum class Outcome : u8 {
+  /// Ran to completion; outputs are byte-identical to a serial stream call.
+  Completed = 0,
+  /// Every retry attempt failed; JobResult::error holds the last cause.
+  Failed = 1,
+  /// Ticket::cancel() won the race against dispatch.
+  Canceled = 2,
+  /// Still queued when the shutdown(deadline) drain expired; never ran.
+  Abandoned = 3,
+  /// Decompress retries exhausted, but decompressResilient salvaged the
+  /// stream: JobResult::decompressed holds best-effort output and
+  /// JobResult::decodeReport says which blocks were quarantined.
+  Degraded = 4,
+};
+
+constexpr const char* toString(Outcome o) {
+  switch (o) {
+    case Outcome::Completed: return "completed";
+    case Outcome::Failed: return "failed";
+    case Outcome::Canceled: return "canceled";
+    case Outcome::Abandoned: return "abandoned";
+    default: return "degraded";
   }
 }
 
@@ -50,11 +84,24 @@ constexpr const char* toString(RejectReason r) {
 /// ticket eventually carries exactly one of these — jobs abandoned by a
 /// shutdown deadline complete with ok == false rather than hanging.
 struct JobResult {
-  bool ok = false;
+  /// Typed terminal state; `ok`/`canceled` below are redundant shorthands
+  /// kept for callers that only care about success.
+  Outcome outcome = Outcome::Failed;
+  bool ok = false;  ///< outcome == Completed
   /// True when Ticket::cancel() won the race against dispatch.
   bool canceled = false;
   /// Failure description when !ok (codec Error, shutdown abandonment, ...).
   std::string error;
+
+  /// Degraded decompress only: per-block salvage verdicts from the
+  /// decompressResilient fallback (which blocks were quarantined and why).
+  core::DecodeReport decodeReport;
+
+  /// Dispatch attempts this job consumed (1 = first try succeeded;
+  /// 0 = never dispatched, i.e. canceled or abandoned).
+  u32 attempts = 0;
+  /// Times the watchdog recovered this job off a hung worker.
+  u32 recoveries = 0;
 
   /// Compress jobs: the compressed stream + profile, byte-identical to a
   /// serial core::CompressorStream::compress with the same Config.
@@ -88,8 +135,11 @@ namespace detail {
 
 /// Lifecycle of a job. Queued -> Running -> Done is the normal path;
 /// cancel() moves Queued -> Canceled (jobs already Running cannot be
-/// canceled). Exactly one CAS wins the transition out of Queued, which is
-/// what makes admission-ledger release exactly-once.
+/// canceled), and recovery paths (service retry, watchdog relaunch) move
+/// Running -> Queued again. Because a watchdog-recovered job can briefly
+/// have two executions in flight, phase CASes alone are NOT exactly-once;
+/// result publication (Job::commit) is the single arbiter of who owns
+/// the admission-ledger release.
 enum class Phase : u8 { Queued = 0, Running = 1, Done = 2, Canceled = 3 };
 
 /// Admission bookkeeping shared between the service and every outstanding
@@ -138,6 +188,15 @@ struct Job {
   u64 dispatchSeq = 0;
 
   std::atomic<Phase> phase{Phase::Queued};
+  /// Dispatch attempts started (incremented as a batch begins executing).
+  std::atomic<u32> attempt{0};
+  /// Watchdog recoveries performed on this job.
+  std::atomic<u32> recoveries{0};
+  /// Set (under the scheduler mutex) when a failed or recovered job is
+  /// requeued: it must run alone, so one poisoned job cannot re-fail a
+  /// whole batch on its retry.
+  bool soloOnly = false;
+
   std::mutex mutex;
   std::condition_variable cv;
   bool finished = false;  // under mutex; result is valid once true
@@ -149,20 +208,28 @@ struct Job {
   /// batch, so coalescing never changes a job's output bytes.
   bool batchableWith(const Job& o) const {
     return kind == JobKind::Compress && o.kind == JobKind::Compress &&
-           precision == o.precision && config == o.config;
+           !soloOnly && !o.soloOnly && precision == o.precision &&
+           config == o.config;
   }
 
-  /// Publishes the result and wakes waiters. The ledger slot is released
-  /// by the caller (exactly once per job, by whoever moved it out of
-  /// Queued).
-  void finish(JobResult r) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      result = std::move(r);
-      finished = true;
-    }
-    cv.notify_all();
+  /// Commits the result; returns true iff this call won (first
+  /// publication). A watchdog-recovered job can race its own relaunched
+  /// twin (or a concurrent cancel) here — the loser's result is
+  /// discarded, and ONLY the winner releases the admission-ledger slot.
+  /// This is the exactly-once commit point of a job. Does NOT wake
+  /// waiters: the winner finishes its accounting (stats, circuit
+  /// breaker, ledger release) first and then calls notifyWaiters(), so a
+  /// client returning from Ticket::wait() always observes the service
+  /// state this result implies.
+  bool commit(JobResult r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (finished) return false;
+    result = std::move(r);
+    finished = true;
+    return true;
   }
+
+  void notifyWaiters() { cv.notify_all(); }
 };
 
 }  // namespace detail
@@ -210,9 +277,11 @@ class Ticket {
   }
 
   /// Attempts to cancel before dispatch. On success the ticket completes
-  /// immediately with result().canceled == true and the job's queue-depth
-  /// and quota reservations are released; returns false when the job is
-  /// already running or finished (it will complete normally).
+  /// immediately with outcome == Canceled and the job's queue-depth and
+  /// quota reservations are released at the cancel commit point (winning
+  /// the result publication) — never deferred, so a canceled job can't
+  /// linger in its tenant's outstanding-byte quota. Returns false when
+  /// the job is already running or finished (it will complete normally).
   bool cancel() {
     if (job_ == nullptr) return false;
     detail::Phase expected = detail::Phase::Queued;
@@ -221,13 +290,20 @@ class Ticket {
       return false;
     }
     JobResult r;
+    r.outcome = Outcome::Canceled;
     r.canceled = true;
     r.error = "canceled before dispatch";
     r.tenant = job_->tenant;
     r.kind = job_->kind;
     r.jobId = job_->id;
-    job_->finish(std::move(r));
+    // The CAS alone is not the commit: a watchdog-recovered job can be
+    // Queued again while its first execution is still in flight, so the
+    // cancel can race that execution's completion. commit() arbitrates;
+    // whoever wins owns the ledger release — done before waking waiters
+    // so the freed quota is visible as soon as the cancel is observable.
+    if (!job_->commit(std::move(r))) return false;
     job_->ledger->release(job_->tenant, job_->input.size());
+    job_->notifyWaiters();
     return true;
   }
 

@@ -18,9 +18,14 @@ void TenantLanes::push(std::shared_ptr<Job> job) {
 }
 
 void TenantLanes::reapFront(std::deque<std::shared_ptr<Job>>& lane) {
-  while (!lane.empty() &&
-         lane.front()->phase.load(std::memory_order_acquire) ==
-             Phase::Canceled) {
+  // Canceled jobs are the classic tombstone; Done jobs appear when a
+  // watchdog-recovered job was requeued and its original execution then
+  // finished first — the queued copy must be dropped, or entries_ never
+  // drains and the workers busy-wake forever.
+  for (;;) {
+    if (lane.empty()) break;
+    const Phase p = lane.front()->phase.load(std::memory_order_acquire);
+    if (p != Phase::Canceled && p != Phase::Done) break;
     lane.pop_front();
     --entries_;
   }

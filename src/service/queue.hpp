@@ -4,9 +4,10 @@
 // order survives batching.
 //
 // Not thread-safe by itself — the owning CompressionService serializes all
-// access under its scheduler mutex. Canceled jobs stay in their lane as
-// tombstones (their ledger slot was already released by Ticket::cancel)
-// and are reaped lazily as the scheduler walks over them.
+// access under its scheduler mutex. Canceled jobs — and Done jobs whose
+// queued copy was orphaned by a watchdog recovery racing the original
+// execution — stay in their lane as tombstones and are reaped lazily as
+// the scheduler walks over them.
 #pragma once
 
 #include <deque>

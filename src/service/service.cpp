@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include "common/rng.hpp"
 #include "core/format.hpp"
 #include "telemetry/trace.hpp"
 
@@ -10,6 +11,17 @@ namespace {
 f64 microsBetween(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<f64, std::micro>(to - from).count();
+}
+
+const char* chaosModeName(ChaosFault::Mode mode) {
+  switch (mode) {
+    case ChaosFault::Mode::BitFlip: return "bit_flip";
+    case ChaosFault::Mode::Abort: return "abort";
+    case ChaosFault::Mode::Stall: return "stall";
+    case ChaosFault::Mode::Wedge: return "wedge";
+    case ChaosFault::Mode::ArenaExhaust: return "arena_exhaust";
+    default: return "none";
+  }
 }
 
 }  // namespace
@@ -23,6 +35,10 @@ CompressionService::CompressionService(ServiceConfig config)
           "ServiceConfig: maxBatchJobs must be positive");
   require(config_.maxBatchBytes > 0,
           "ServiceConfig: maxBatchBytes must be positive");
+  require(config_.retry.maxAttempts > 0,
+          "ServiceConfig: retry.maxAttempts must be positive");
+  require(!config_.watchdog.enabled || config_.watchdog.pollMillis > 0,
+          "ServiceConfig: watchdog.pollMillis must be positive");
 
   devices_ = config_.devices.empty()
                  ? gpusim::homogeneousFleet(gpusim::a100_40gb(),
@@ -37,11 +53,19 @@ CompressionService::CompressionService(ServiceConfig config)
       &reg.counter("service.completed"),
       &reg.counter("service.failed"),
       &reg.counter("service.abandoned"),
+      &reg.counter("service.degraded"),
       &reg.counter("service.rejected.queue_full"),
       &reg.counter("service.rejected.quota"),
       &reg.counter("service.rejected.shutdown"),
+      &reg.counter("service.rejected.circuit_open"),
       &reg.counter("service.batches"),
       &reg.counter("service.jobs_dispatched"),
+      &reg.counter("service.watchdog.recoveries"),
+      &reg.counter("service.retry.attempts"),
+      &reg.counter("service.retry.exhausted"),
+      &reg.counter("service.batch_splits"),
+      &reg.counter("service.breaker.opens"),
+      &reg.counter("service.chaos.injected"),
       &reg.histogram("service.wait_us"),
       &reg.histogram("service.service_us"),
       &reg.histogram("service.batch_jobs"),
@@ -52,6 +76,9 @@ CompressionService::CompressionService(ServiceConfig config)
   workers_.reserve(config_.workers);
   for (u32 i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+  if (config_.watchdog.enabled) {
+    watchdog_ = std::thread([this] { watchdogLoop(); });
   }
 }
 
@@ -74,6 +101,10 @@ SubmitResult CompressionService::reject(RejectReason reason,
     case RejectReason::ShuttingDown:
       instruments_.rejectedShutdown->add(1);
       statRejectedShutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::CircuitOpen:
+      instruments_.rejectedCircuitOpen->add(1);
+      statRejectedCircuitOpen_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   telemetry::MetricsRegistry& reg = telemetry::registry();
@@ -99,6 +130,16 @@ SubmitResult CompressionService::submit(const std::string& tenant,
   if (!accepting_.load(std::memory_order_acquire)) {
     return reject(RejectReason::ShuttingDown, "service is shutting down",
                   tenant);
+  }
+
+  // Circuit breaker: shed a tenant whose jobs keep failing before its
+  // bytes ever reach the ledger.
+  {
+    std::string breakerDetail;
+    if (!breakerAdmits(tenant, &breakerDetail)) {
+      return reject(RejectReason::CircuitOpen, std::move(breakerDetail),
+                    tenant);
+    }
   }
 
   // Admission: reserve a queue slot and the tenant's bytes, or shed load.
@@ -219,6 +260,7 @@ bool CompressionService::shutdownImpl(
     }
     for (std::shared_ptr<detail::Job>& job : abandoned) {
       JobResult r;
+      r.outcome = Outcome::Abandoned;
       r.error = "abandoned: shutdown deadline expired before dispatch";
       r.tenant = job->tenant;
       r.kind = job->kind;
@@ -238,6 +280,14 @@ bool CompressionService::shutdownImpl(
     if (worker.joinable()) worker.join();
   }
 
+  {
+    std::lock_guard<std::mutex> lock(watchdogMutex_);
+    watchdogStop_ = true;
+    inFlight_.clear();
+  }
+  watchdogCv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+
   shutdownDone_ = true;
   drained_ = drained;
   return drained;
@@ -252,11 +302,26 @@ ServiceStats CompressionService::stats() const {
   s.rejectedQuota = statRejectedQuota_.load(std::memory_order_relaxed);
   s.rejectedShutdown =
       statRejectedShutdown_.load(std::memory_order_relaxed);
+  s.rejectedCircuitOpen =
+      statRejectedCircuitOpen_.load(std::memory_order_relaxed);
   s.completed = statCompleted_.load(std::memory_order_relaxed);
   s.failed = statFailed_.load(std::memory_order_relaxed);
   s.abandoned = statAbandoned_.load(std::memory_order_relaxed);
+  s.degraded = statDegraded_.load(std::memory_order_relaxed);
   s.dispatched = statDispatched_.load(std::memory_order_relaxed);
   s.batches = statBatches_.load(std::memory_order_relaxed);
+  s.watchdogRecoveries =
+      statWatchdogRecoveries_.load(std::memory_order_relaxed);
+  s.retries = statRetries_.load(std::memory_order_relaxed);
+  s.retriesExhausted =
+      statRetriesExhausted_.load(std::memory_order_relaxed);
+  s.batchSplits = statBatchSplits_.load(std::memory_order_relaxed);
+  s.breakerOpens = statBreakerOpens_.load(std::memory_order_relaxed);
+  s.chaosInjected = statChaosInjected_.load(std::memory_order_relaxed);
+  s.streamFaultsDetected =
+      statStreamFaultsDetected_.load(std::memory_order_relaxed);
+  s.streamFaultRelaunches =
+      statStreamFaultRelaunches_.load(std::memory_order_relaxed);
   s.queueDepth = queueDepth();
   return s;
 }
@@ -266,11 +331,22 @@ usize CompressionService::queueDepth() const {
   return ledger_->depth;
 }
 
+u64 CompressionService::tenantOutstandingBytes(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(ledger_->mutex);
+  auto it = ledger_->tenantBytes.find(tenant);
+  return it == ledger_->tenantBytes.end() ? 0 : it->second;
+}
+
 void CompressionService::workerLoop(u32 worker) {
   // Each worker owns one warm stream pinned to its device; reconfigure()
   // per batch re-targets the codec without dropping the scratch arena.
   core::CompressorStream stream(core::Config{},
                                 devices_[worker % devices_.size()]);
+  // In-stream fault counters are cumulative per stream; fold the deltas
+  // into the service-wide totals after every batch.
+  u64 seenFaultsDetected = 0;
+  u64 seenFaultRelaunches = 0;
   for (;;) {
     std::vector<std::shared_ptr<detail::Job>> batch;
     {
@@ -291,6 +367,14 @@ void CompressionService::workerLoop(u32 worker) {
       }
     }
     execute(batch, stream, worker);
+    const u64 detected = stream.faultsDetected();
+    const u64 relaunches = stream.faultRelaunches();
+    statStreamFaultsDetected_.fetch_add(detected - seenFaultsDetected,
+                                        std::memory_order_relaxed);
+    statStreamFaultRelaunches_.fetch_add(relaunches - seenFaultRelaunches,
+                                         std::memory_order_relaxed);
+    seenFaultsDetected = detected;
+    seenFaultRelaunches = relaunches;
   }
 }
 
@@ -298,11 +382,31 @@ void CompressionService::execute(
     std::vector<std::shared_ptr<detail::Job>>& batch,
     core::CompressorStream& stream, u32 worker) {
   const auto dispatched = std::chrono::steady_clock::now();
+  for (const std::shared_ptr<detail::Job>& job : batch) {
+    job->attempt.fetch_add(1, std::memory_order_relaxed);
+  }
   statDispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
   statBatches_.fetch_add(1, std::memory_order_relaxed);
   instruments_.jobsDispatched->add(batch.size());
   instruments_.batches->add(1);
   instruments_.batchJobs->record(batch.size());
+
+  // Chaos: consult the hook for the head job and arm its fault plan on
+  // this worker's stream for exactly this execution.
+  if (config_.chaosHook) {
+    detail::Job& head = *batch[0];
+    ChaosJobInfo info;
+    info.jobId = head.id;
+    info.tenant = head.tenant;
+    info.kind = head.kind;
+    info.inputBytes = head.input.size();
+    info.attempt = head.attempt.load(std::memory_order_relaxed) - 1;
+    armChaosFault(stream, config_.chaosHook(info));
+  }
+
+  if (config_.watchdog.enabled) {
+    watchdogWatch(batch, dispatched, stream.device());
+  }
 
   std::vector<JobResult> results(batch.size());
   std::string failure;
@@ -321,15 +425,60 @@ void CompressionService::execute(
     failure = e.what();
     if (failure.empty()) failure = "unknown codec error";
   }
+  if (config_.chaosHook) stream.launcher().clearFaultPlan();
 
   const auto finishedAt = std::chrono::steady_clock::now();
+
+  if (!failure.empty()) {
+    if (batch.size() > 1) {
+      // Fault isolation: one poisoned job must not fail its batchmates.
+      // Requeue every member to run alone; the solo executions decide
+      // retry/degrade/fail per job.
+      statBatchSplits_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.batchSplits->add(1);
+      if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+        trace->instant(
+            "service.batch_split",
+            {telemetry::TraceArg::num("jobs",
+                                      static_cast<f64>(batch.size()))});
+      }
+      for (std::shared_ptr<detail::Job>& job : batch) {
+        requeueSolo(job);
+      }
+      return;
+    }
+
+    detail::Job& job = *batch[0];
+    const u32 attempt = job.attempt.load(std::memory_order_relaxed);
+    if (attempt < config_.retry.maxAttempts) {
+      statRetries_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.retries->add(1);
+      if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+        trace->instant(
+            "service.retry",
+            {telemetry::TraceArg::str("tenant", job.tenant),
+             telemetry::TraceArg::num("job_id", static_cast<f64>(job.id)),
+             telemetry::TraceArg::num("attempt", attempt)});
+      }
+      backoffSleep(job.id, attempt);
+      requeueSolo(batch[0]);
+      return;
+    }
+
+    statRetriesExhausted_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.retriesExhausted->add(1);
+    if (job.kind == JobKind::Decompress && config_.degradedDecode) {
+      runDegradedDecode(job, stream, results[0], failure);
+    } else {
+      results[0] = JobResult{};
+      results[0].outcome = Outcome::Failed;
+      results[0].error = failure;
+    }
+  }
+
   for (usize i = 0; i < batch.size(); ++i) {
     detail::Job& job = *batch[i];
     JobResult& r = results[i];
-    if (!failure.empty()) {
-      r = JobResult{};
-      r.error = failure;
-    }
     r.tenant = job.tenant;
     r.kind = job.kind;
     r.jobId = job.id;
@@ -355,6 +504,7 @@ void CompressionService::runCompress(
   if (batch.size() == 1) {
     results[0].compressed = stream.compress<T>(fieldOf(*batch[0]));
     results[0].ok = true;
+    results[0].outcome = Outcome::Completed;
     return;
   }
   std::vector<std::span<const T>> fields;
@@ -366,6 +516,7 @@ void CompressionService::runCompress(
   for (usize i = 0; i < batch.size(); ++i) {
     results[i].compressed = std::move(outs[i]);
     results[i].ok = true;
+    results[i].outcome = Outcome::Completed;
   }
 }
 
@@ -398,27 +549,120 @@ void CompressionService::runDecompress(detail::Job& job,
     }
   }
   result.ok = true;
+  result.outcome = Outcome::Completed;
+}
+
+namespace {
+
+/// Copies a salvage result into the job's JobResult. A clean report means
+/// the failure was transient (e.g. an injected fault on the strict path)
+/// and the re-decode is complete — the job counts as Completed.
+template <FloatingPoint T>
+void fillSalvaged(core::Salvaged<T>&& salvaged, JobResult& result,
+                  const std::string& failure) {
+  result.decodedElements = salvaged.data.size();
+  result.decompressed.resize(salvaged.data.size() * sizeof(T));
+  if (!salvaged.data.empty()) {
+    std::memcpy(result.decompressed.data(), salvaged.data.data(),
+                result.decompressed.size());
+  }
+  result.decodeReport = std::move(salvaged.report);
+  if (result.decodeReport.clean()) {
+    result.ok = true;
+    result.outcome = Outcome::Completed;
+  } else {
+    result.outcome = Outcome::Degraded;
+    result.error = "degraded decode: " + failure;
+  }
+}
+
+}  // namespace
+
+void CompressionService::runDegradedDecode(detail::Job& job,
+                                           core::CompressorStream& stream,
+                                           JobResult& result,
+                                           const std::string& failure) {
+  result = JobResult{};
+  Precision precision = Precision::F32;
+  try {
+    precision = core::StreamHeader::parse(job.input).precision;
+  } catch (const std::exception& e) {
+    result.outcome = Outcome::Failed;
+    result.error =
+        failure + " (header unusable for salvage: " + e.what() + ")";
+    return;
+  }
+  try {
+    if (precision == Precision::F32) {
+      fillSalvaged(stream.decompressResilient<f32>(job.input), result,
+                   failure);
+    } else {
+      fillSalvaged(stream.decompressResilient<f64>(job.input), result,
+                   failure);
+    }
+  } catch (const std::exception& e) {
+    // decompressResilient never throws on corrupt input; this catches
+    // environmental failures (allocation) so the worker thread survives.
+    result = JobResult{};
+    result.outcome = Outcome::Failed;
+    result.error = failure + " (salvage failed: " + e.what() + ")";
+    return;
+  }
+  if (result.outcome == Outcome::Degraded) {
+    statDegraded_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.degraded->add(1);
+    if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+      trace->instant(
+          "service.degraded",
+          {telemetry::TraceArg::str("tenant", job.tenant),
+           telemetry::TraceArg::num("job_id", static_cast<f64>(job.id)),
+           telemetry::TraceArg::num(
+               "bad_blocks",
+               static_cast<f64>(result.decodeReport.badBlocks))});
+    }
+  }
 }
 
 void CompressionService::finishJob(detail::Job& job, JobResult result,
                                    bool abandoned) {
+  result.attempts = job.attempt.load(std::memory_order_relaxed);
+  result.recoveries = job.recoveries.load(std::memory_order_relaxed);
   const u64 bytesIn = job.input.size();
   const u64 bytesOut = result.kind == JobKind::Compress
                            ? result.compressed.stream.size()
                            : result.decompressed.size();
+  const Outcome outcome = result.outcome;
+  const bool ok = result.ok;
+  const f64 waitUs = result.waitUs;
+  const f64 serviceUs = result.serviceUs;
+  const u32 batchJobs = result.batchJobs;
+
+  // Exactly-once commit: when a watchdog-recovered twin (or a racing
+  // cancel) already published, this execution's result is discarded and
+  // nothing — counters, breaker, ledger — is recorded twice. Waiters are
+  // only woken at the end, after all of that accounting, so a client
+  // returning from Ticket::wait() observes the breaker state and quota
+  // this outcome implies.
+  if (!job.commit(std::move(result))) return;
+  job.phase.store(detail::Phase::Done, std::memory_order_release);
+  if (config_.watchdog.enabled) watchdogForget(job.id);
+
   if (abandoned) {
     instruments_.abandoned->add(1);
     statAbandoned_.fetch_add(1, std::memory_order_relaxed);
-  } else if (result.ok) {
+  } else if (ok) {
     instruments_.completed->add(1);
     statCompleted_.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  } else if (outcome != Outcome::Degraded) {
     instruments_.failed->add(1);
     statFailed_.fetch_add(1, std::memory_order_relaxed);
   }
   if (!abandoned) {
-    instruments_.waitUs->record(static_cast<u64>(result.waitUs));
-    instruments_.serviceUs->record(static_cast<u64>(result.serviceUs));
+    instruments_.waitUs->record(static_cast<u64>(waitUs));
+    instruments_.serviceUs->record(static_cast<u64>(serviceUs));
+    // Abandoned/canceled jobs never ran: they say nothing about the
+    // tenant's payload health, so they leave the breaker alone.
+    recordBreakerOutcome(job.tenant, ok);
   }
 
   telemetry::MetricsRegistry& reg = telemetry::registry();
@@ -430,19 +674,266 @@ void CompressionService::finishJob(detail::Job& job, JobResult result,
   }
   if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
     trace->complete(
-        "service.job", result.serviceUs,
+        "service.job", serviceUs,
         {telemetry::TraceArg::str("tenant", job.tenant),
          telemetry::TraceArg::str("kind", toString(job.kind)),
+         telemetry::TraceArg::str("outcome", toString(outcome)),
          telemetry::TraceArg::num("job_id", static_cast<f64>(job.id)),
-         telemetry::TraceArg::num("batch_jobs", result.batchJobs),
-         telemetry::TraceArg::num("wait_us", result.waitUs),
-         telemetry::TraceArg::num("ok", result.ok ? 1.0 : 0.0)});
+         telemetry::TraceArg::num("batch_jobs", batchJobs),
+         telemetry::TraceArg::num("wait_us", waitUs),
+         telemetry::TraceArg::num("ok", ok ? 1.0 : 0.0)});
   }
 
-  job.phase.store(detail::Phase::Done, std::memory_order_release);
-  const std::string tenant = job.tenant;
-  job.finish(std::move(result));
-  ledger_->release(tenant, bytesIn);
+  ledger_->release(job.tenant, bytesIn);
+  job.notifyWaiters();
+}
+
+void CompressionService::armChaosFault(core::CompressorStream& stream,
+                                       const ChaosFault& fault) {
+  stream.launcher().clearFaultPlan();
+  if (fault.mode == ChaosFault::Mode::None) return;
+  gpusim::FaultPlan plan;
+  plan.seed = fault.seed;
+  // Fire on the operation's first launch: the next index this stream's
+  // launcher will hand out.
+  plan.triggerLaunch = stream.launcher().launchCount();
+  switch (fault.mode) {
+    case ChaosFault::Mode::BitFlip:
+      plan.bitFlips = std::max<u32>(1, fault.bitFlips);
+      break;
+    case ChaosFault::Mode::Abort:
+      plan.abortBlock = 0;
+      break;
+    case ChaosFault::Mode::Stall:
+      plan.stallTicks = std::max<u32>(1, fault.stallTicks);
+      break;
+    case ChaosFault::Mode::Wedge:
+      plan.wedgeTicks = std::max<u32>(1, fault.wedgeTicks);
+      break;
+    case ChaosFault::Mode::ArenaExhaust:
+      plan.arenaBudgetBytes = std::max<u64>(1, fault.arenaBudgetBytes);
+      break;
+    default:
+      return;
+  }
+  stream.launcher().setFaultPlan(plan);
+  statChaosInjected_.fetch_add(1, std::memory_order_relaxed);
+  instruments_.chaosInjected->add(1);
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->instant("service.chaos.inject",
+                   {telemetry::TraceArg::str("mode",
+                                             chaosModeName(fault.mode))});
+  }
+}
+
+void CompressionService::requeueSolo(std::shared_ptr<detail::Job> job) {
+  detail::Phase expected = detail::Phase::Running;
+  if (!job->phase.compare_exchange_strong(expected,
+                                          detail::Phase::Queued)) {
+    // The watchdog already requeued this job (its twin owns the retry),
+    // or the twin finished and published — either way nothing to do.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->soloOnly = true;
+    lanes_.push(std::move(job));
+  }
+  workCv_.notify_one();
+}
+
+void CompressionService::backoffSleep(u64 jobId, u32 attempt) const {
+  const u64 base = config_.retry.backoffBaseMillis;
+  if (base == 0) return;
+  const u32 shift = std::min<u32>(attempt > 0 ? attempt - 1 : 0, 20);
+  const u64 capped = std::min<u64>(base << shift,
+                                   std::max<u64>(1, config_.retry.backoffCapMillis));
+  // Full jitter, deterministic per (seed, job, attempt): decorrelates
+  // retry storms without sacrificing reproducibility.
+  Rng rng(SplitMix64(config_.retry.jitterSeed ^
+                     (jobId * 0x9E3779B97F4A7C15ull) ^ attempt)
+              .next());
+  const u64 millis = 1 + rng.uniformInt(capped);
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+std::chrono::milliseconds CompressionService::jobTimeout(
+    const detail::Job& job, const gpusim::DeviceSpec& device) const {
+  // Modelled execution estimate: launch overhead plus ~3 sweeps of the
+  // input over modelled DRAM bandwidth (read + quantize/write + pack).
+  // The multiplier absorbs the host-simulation slowdown.
+  const f64 modelledSeconds =
+      device.launchOverheadUs * 1e-6 +
+      3.0 * static_cast<f64>(job.input.size()) /
+          (device.memBandwidthGBps * 1e9);
+  const f64 millis =
+      std::max(static_cast<f64>(config_.watchdog.minTimeoutMillis),
+               modelledSeconds * 1e3 * config_.watchdog.modelledMultiplier);
+  return std::chrono::milliseconds(static_cast<i64>(millis) + 1);
+}
+
+void CompressionService::watchdogWatch(
+    const std::vector<std::shared_ptr<detail::Job>>& batch,
+    std::chrono::steady_clock::time_point dispatched,
+    const gpusim::DeviceSpec& device) {
+  std::lock_guard<std::mutex> lock(watchdogMutex_);
+  for (const std::shared_ptr<detail::Job>& job : batch) {
+    inFlight_[job->id] = InFlight{job, dispatched + jobTimeout(*job, device)};
+  }
+}
+
+void CompressionService::watchdogForget(u64 jobId) {
+  std::lock_guard<std::mutex> lock(watchdogMutex_);
+  inFlight_.erase(jobId);
+}
+
+void CompressionService::watchdogLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<detail::Job>> expired;
+    {
+      std::unique_lock<std::mutex> lock(watchdogMutex_);
+      watchdogCv_.wait_for(
+          lock, std::chrono::milliseconds(config_.watchdog.pollMillis));
+      if (watchdogStop_) return;
+      // Stand down once shutdown begins: the drain already guarantees
+      // every in-flight execution completes, and spawning twins during
+      // the drain would race it.
+      if (!accepting_.load(std::memory_order_acquire)) continue;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+        detail::Job& job = *it->second.job;
+        if (job.phase.load(std::memory_order_acquire) !=
+            detail::Phase::Running) {
+          it = inFlight_.erase(it);  // finished or requeued; stale entry
+          continue;
+        }
+        if (now >= it->second.deadline &&
+            job.recoveries.load(std::memory_order_relaxed) <
+                config_.watchdog.maxRecoveries) {
+          expired.push_back(std::move(it->second.job));
+          it = inFlight_.erase(it);
+          continue;
+        }
+        ++it;
+      }
+    }
+    for (std::shared_ptr<detail::Job>& job : expired) {
+      // Requeue the hung job; whichever worker frees up first (usually a
+      // different one — the hung worker is busy by definition) relaunches
+      // it, and Job::commit arbitrates between the two executions.
+      detail::Phase expected = detail::Phase::Running;
+      if (!job->phase.compare_exchange_strong(expected,
+                                              detail::Phase::Queued)) {
+        continue;  // finished in the meantime
+      }
+      job->recoveries.fetch_add(1, std::memory_order_relaxed);
+      statWatchdogRecoveries_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.watchdogRecoveries->add(1);
+      if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+        trace->instant(
+            "service.watchdog.recovery",
+            {telemetry::TraceArg::str("tenant", job->tenant),
+             telemetry::TraceArg::num("job_id",
+                                      static_cast<f64>(job->id))});
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->soloOnly = true;
+        lanes_.push(std::move(job));
+      }
+      workCv_.notify_one();
+    }
+  }
+}
+
+bool CompressionService::breakerAdmits(const std::string& tenant,
+                                       std::string* detail) {
+  if (config_.breaker.threshold == 0) return true;
+  std::lock_guard<std::mutex> lock(breakerMutex_);
+  auto it = breakers_.find(tenant);
+  if (it == breakers_.end()) return true;
+  Breaker& breaker = it->second;
+  const auto now = std::chrono::steady_clock::now();
+  const auto cooldown =
+      std::chrono::milliseconds(config_.breaker.cooldownMillis);
+  if (breaker.state == BreakerState::Open) {
+    if (now < breaker.reopenAt) {
+      *detail = "circuit open for tenant '" + tenant +
+                "' (consecutive failures reached " +
+                std::to_string(config_.breaker.threshold) + ")";
+      return false;
+    }
+    setBreakerState(tenant, breaker, BreakerState::HalfOpen);
+    breaker.probeSuccesses = 0;
+    breaker.nextProbeAt = now;
+  }
+  if (breaker.state == BreakerState::HalfOpen) {
+    if (now < breaker.nextProbeAt) {
+      *detail = "circuit half-open for tenant '" + tenant +
+                "': probe window already used";
+      return false;
+    }
+    breaker.nextProbeAt = now + cooldown;  // one probe per window
+  }
+  return true;
+}
+
+void CompressionService::recordBreakerOutcome(const std::string& tenant,
+                                              bool success) {
+  if (config_.breaker.threshold == 0) return;
+  std::lock_guard<std::mutex> lock(breakerMutex_);
+  Breaker& breaker = breakers_[tenant];
+  const auto now = std::chrono::steady_clock::now();
+  const auto cooldown =
+      std::chrono::milliseconds(config_.breaker.cooldownMillis);
+  if (success) {
+    breaker.consecutiveFailures = 0;
+    if (breaker.state == BreakerState::HalfOpen &&
+        ++breaker.probeSuccesses >= config_.breaker.probeSuccesses) {
+      setBreakerState(tenant, breaker, BreakerState::Closed);
+    }
+    // An Open breaker seeing a success is a straggler from before the
+    // trip; it stays open until the cooldown admits a real probe.
+    return;
+  }
+  if (breaker.state == BreakerState::HalfOpen) {
+    // Failed probe: straight back to Open for another cooldown.
+    setBreakerState(tenant, breaker, BreakerState::Open);
+    breaker.reopenAt = now + cooldown;
+    breaker.consecutiveFailures = config_.breaker.threshold;
+    statBreakerOpens_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.breakerOpens->add(1);
+  } else if (breaker.state == BreakerState::Closed &&
+             ++breaker.consecutiveFailures >= config_.breaker.threshold) {
+    setBreakerState(tenant, breaker, BreakerState::Open);
+    breaker.reopenAt = now + cooldown;
+    statBreakerOpens_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.breakerOpens->add(1);
+  }
+  // Failures reported while Open are stragglers; they extend nothing.
+}
+
+void CompressionService::setBreakerState(const std::string& tenant,
+                                         Breaker& breaker,
+                                         BreakerState state) {
+  breaker.state = state;
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  if (reg.enabled()) {
+    reg.gauge("service.breaker." + tenant + ".state")
+        .set(static_cast<f64>(static_cast<u8>(state)));
+  }
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->instant("service.breaker.transition",
+                   {telemetry::TraceArg::str("tenant", tenant),
+                    telemetry::TraceArg::str("state", toString(state))});
+  }
+}
+
+BreakerState CompressionService::breakerState(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(breakerMutex_);
+  auto it = breakers_.find(tenant);
+  return it == breakers_.end() ? BreakerState::Closed : it->second.state;
 }
 
 }  // namespace cuszp2::service

@@ -19,14 +19,29 @@
 // and drains accepted work; jobs still queued when the deadline expires
 // complete with ok == false rather than hanging their tickets.
 //
+// Fault tolerance (see docs/SERVICE.md "Failure semantics"): a Watchdog
+// thread deadline-monitors in-flight jobs (timeout derived from the
+// modelled device timing times a configurable multiplier) and relaunches
+// hung work on another worker; a retry policy with exponential seeded-
+// jitter backoff wraps the stream-level Config::faultRetries relaunches;
+// a per-tenant circuit breaker (closed -> open -> half-open) sheds a
+// tenant whose jobs fail consecutively; and decompress jobs that exhaust
+// their retries fall back to decompressResilient and resolve with a typed
+// Degraded outcome carrying the salvage DecodeReport. A ChaosHook lets
+// harnesses (tools/chaos_soak, `serve --chaos-seed`) inject seeded
+// gpusim faults per dispatch attempt.
+//
 // Observability: queue-depth gauge, wait/service-time and batch-size
 // histograms, per-tenant counters (see docs/SERVICE.md for the name
 // catalogue) and one trace span per job when a TraceSession is active.
 #pragma once
 
 #include <cstring>
+#include <functional>
+#include <map>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <thread>
 
 #include "gpusim/device_spec.hpp"
@@ -35,6 +50,103 @@
 #include "telemetry/metrics.hpp"
 
 namespace cuszp2::service {
+
+/// Deadline monitoring of in-flight jobs. A job's deadline is
+/// max(minTimeoutMillis, modelled-execution-seconds * modelledMultiplier)
+/// after dispatch; a job still Running past it is requeued to run on
+/// whichever worker frees up first (usually a different one — the hung
+/// worker is by definition busy). The original execution is not killed
+/// (threads can't be safely killed); instead, whichever execution
+/// finishes first publishes the result and the loser is discarded —
+/// safe because executions are deterministic and side-effect-free.
+struct WatchdogConfig {
+  bool enabled = true;
+  /// Scan period of the watchdog thread.
+  u32 pollMillis = 5;
+  /// Deadline floor (host wall clock). Generous by default so only
+  /// genuinely wedged work trips it even under sanitizers.
+  u32 minTimeoutMillis = 2000;
+  /// Wall-clock budget as a multiple of the job's modelled device
+  /// seconds (the host simulation runs orders of magnitude slower than
+  /// the modelled GPU, hence the large default).
+  f64 modelledMultiplier = 20000.0;
+  /// Recoveries per job before the watchdog leaves it alone (bounds the
+  /// number of concurrent duplicate executions to maxRecoveries + 1).
+  u32 maxRecoveries = 1;
+};
+
+/// Service-level retry of failed executions, wrapping the stream-level
+/// Config::faultRetries relaunch budget: a job gets up to
+/// maxAttempts * (faultRetries + 1) kernel launches in the worst case.
+struct RetryConfig {
+  /// Total dispatch attempts per job (1 = no service-level retry).
+  u32 maxAttempts = 2;
+  /// Backoff before attempt k is requeued: uniform in
+  /// (0, min(backoffBaseMillis * 2^(k-1), backoffCapMillis)] with
+  /// deterministic jitter seeded by (jitterSeed, job id, attempt).
+  u32 backoffBaseMillis = 1;
+  u32 backoffCapMillis = 50;
+  u64 jitterSeed = 0x7a0b;
+};
+
+/// Per-tenant circuit breaker: `threshold` consecutive failures open the
+/// circuit (submissions rejected with RejectReason::CircuitOpen); after
+/// cooldownMillis the breaker goes half-open and admits one probe per
+/// cooldown window; `probeSuccesses` successful probes close it again,
+/// while a failed probe reopens it.
+struct BreakerConfig {
+  /// Consecutive failures that open a tenant's circuit (0 disables).
+  u32 threshold = 8;
+  u32 cooldownMillis = 250;
+  u32 probeSuccesses = 1;
+};
+
+enum class BreakerState : u8 { Closed = 0, Open = 1, HalfOpen = 2 };
+
+constexpr const char* toString(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    default: return "half-open";
+  }
+}
+
+/// One injected fault decision for a dispatch attempt (returned by a
+/// ChaosHook; armed as a gpusim::FaultPlan on the executing stream).
+struct ChaosFault {
+  enum class Mode : u8 {
+    None = 0,
+    BitFlip,       ///< flip bits in the kernel's written bytes
+    Abort,         ///< a thread block throws mid-launch
+    Stall,         ///< the launch hangs before any block runs
+    Wedge,         ///< a pool worker stops draining mid-grid
+    ArenaExhaust,  ///< the operation's scratch arena refuses to grow
+  };
+  Mode mode = Mode::None;
+  u32 bitFlips = 0;         ///< BitFlip
+  u32 stallTicks = 0;       ///< Stall (1 tick = 1 ms)
+  u32 wedgeTicks = 0;       ///< Wedge
+  u64 arenaBudgetBytes = 0; ///< ArenaExhaust
+  u64 seed = 1;             ///< FaultPlan seed (bit-flip positions)
+};
+
+/// What a ChaosHook learns about the dispatch attempt it may fault.
+struct ChaosJobInfo {
+  u64 jobId = 0;
+  std::string_view tenant;
+  JobKind kind = JobKind::Compress;
+  u64 inputBytes = 0;
+  /// 0-based dispatch attempt (service retries and watchdog relaunches
+  /// increment it).
+  u32 attempt = 0;
+};
+
+/// Consulted once per dispatched batch (for its head job) when set; the
+/// returned fault is armed on the executing worker's stream for exactly
+/// that execution. Must be a pure function of its input for reproducible
+/// chaos runs (see SeededChaosSchedule in service/chaos.hpp). Called
+/// concurrently from worker threads.
+using ChaosHook = std::function<ChaosFault(const ChaosJobInfo&)>;
 
 struct ServiceConfig {
   /// Worker threads; worker i is pinned to devices[i % devices.size()].
@@ -61,6 +173,18 @@ struct ServiceConfig {
   /// Start with the scheduler paused (tests and deterministic replay:
   /// submit everything, then resume() to drain with a fully known queue).
   bool startPaused = false;
+
+  WatchdogConfig watchdog;
+  RetryConfig retry;
+  BreakerConfig breaker;
+
+  /// When a decompress job exhausts its retries, fall back to
+  /// decompressResilient and resolve with Outcome::Degraded (salvaged
+  /// output + DecodeReport) instead of Outcome::Failed.
+  bool degradedDecode = true;
+
+  /// Optional seeded fault injection per dispatch attempt (chaos drills).
+  ChaosHook chaosHook;
 };
 
 /// Point-in-time counters snapshot (monotonic except queueDepth).
@@ -70,12 +194,25 @@ struct ServiceStats {
   u64 rejectedQueueFull = 0;
   u64 rejectedQuota = 0;
   u64 rejectedShutdown = 0;
+  u64 rejectedCircuitOpen = 0;
   u64 completed = 0;  ///< finished ok
   u64 failed = 0;     ///< finished with an error
   u64 abandoned = 0;  ///< queued past the shutdown deadline
+  u64 degraded = 0;   ///< resolved via the decompressResilient fallback
   u64 dispatched = 0; ///< jobs handed to a worker
   u64 batches = 0;    ///< fused launches (execute() passes)
   usize queueDepth = 0;  ///< admitted-but-unfinished right now
+
+  // Fault-tolerance counters. Deterministic for a fixed chaos seed and
+  // schedule — tools/chaos_soak asserts run-to-run equality.
+  u64 watchdogRecoveries = 0;  ///< hung jobs requeued by the watchdog
+  u64 retries = 0;             ///< failed executions requeued for retry
+  u64 retriesExhausted = 0;    ///< jobs that burned every attempt
+  u64 batchSplits = 0;         ///< failed batches split into solo retries
+  u64 breakerOpens = 0;        ///< circuit-open transitions (incl. reopens)
+  u64 chaosInjected = 0;       ///< faults armed by the chaos hook
+  u64 streamFaultsDetected = 0;   ///< in-stream detections (all workers)
+  u64 streamFaultRelaunches = 0;  ///< in-stream relaunches (all workers)
 
   /// Launches the batching scheduler saved versus one launch per job.
   u64 launchesSaved() const {
@@ -140,6 +277,15 @@ class CompressionService {
     return devices_;
   }
 
+  /// Current breaker state for a tenant (Closed when never tripped).
+  /// Open -> HalfOpen transitions happen lazily on the next submission
+  /// after the cooldown, so a cooled-down breaker still reads Open here
+  /// until someone probes it.
+  BreakerState breakerState(const std::string& tenant) const;
+
+  /// The tenant's outstanding (admitted-but-unfinished) input bytes.
+  u64 tenantOutstandingBytes(const std::string& tenant) const;
+
  private:
   struct Instruments {
     telemetry::Counter* submitted;
@@ -147,14 +293,39 @@ class CompressionService {
     telemetry::Counter* completed;
     telemetry::Counter* failed;
     telemetry::Counter* abandoned;
+    telemetry::Counter* degraded;
     telemetry::Counter* rejectedQueueFull;
     telemetry::Counter* rejectedQuota;
     telemetry::Counter* rejectedShutdown;
+    telemetry::Counter* rejectedCircuitOpen;
     telemetry::Counter* batches;
     telemetry::Counter* jobsDispatched;
+    telemetry::Counter* watchdogRecoveries;
+    telemetry::Counter* retries;
+    telemetry::Counter* retriesExhausted;
+    telemetry::Counter* batchSplits;
+    telemetry::Counter* breakerOpens;
+    telemetry::Counter* chaosInjected;
     telemetry::Histogram* waitUs;
     telemetry::Histogram* serviceUs;
     telemetry::Histogram* batchJobs;
+  };
+
+  /// Per-tenant circuit breaker record (under breakerMutex_).
+  struct Breaker {
+    BreakerState state = BreakerState::Closed;
+    u32 consecutiveFailures = 0;
+    u32 probeSuccesses = 0;
+    /// Open: when half-open probing may begin.
+    std::chrono::steady_clock::time_point reopenAt{};
+    /// HalfOpen: earliest next probe admission (one probe per window).
+    std::chrono::steady_clock::time_point nextProbeAt{};
+  };
+
+  /// Watchdog bookkeeping for one dispatched job (under watchdogMutex_).
+  struct InFlight {
+    std::shared_ptr<detail::Job> job;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   SubmitResult submit(const std::string& tenant, JobKind kind,
@@ -174,7 +345,26 @@ class CompressionService {
                    std::vector<JobResult>& results);
   void runDecompress(detail::Job& job, core::CompressorStream& stream,
                      JobResult& result);
+  void runDegradedDecode(detail::Job& job, core::CompressorStream& stream,
+                         JobResult& result, const std::string& failure);
   void finishJob(detail::Job& job, JobResult result, bool abandoned);
+
+  // Fault-tolerance machinery.
+  void armChaosFault(core::CompressorStream& stream,
+                     const ChaosFault& fault);
+  void requeueSolo(std::shared_ptr<detail::Job> job);
+  void backoffSleep(u64 jobId, u32 attempt) const;
+  void watchdogLoop();
+  void watchdogWatch(const std::vector<std::shared_ptr<detail::Job>>& batch,
+                     std::chrono::steady_clock::time_point dispatched,
+                     const gpusim::DeviceSpec& device);
+  void watchdogForget(u64 jobId);
+  std::chrono::milliseconds jobTimeout(
+      const detail::Job& job, const gpusim::DeviceSpec& device) const;
+  bool breakerAdmits(const std::string& tenant, std::string* detail);
+  void recordBreakerOutcome(const std::string& tenant, bool success);
+  void setBreakerState(const std::string& tenant, Breaker& breaker,
+                       BreakerState state);
 
   ServiceConfig config_;
   std::vector<gpusim::DeviceSpec> devices_;
@@ -198,16 +388,38 @@ class CompressionService {
   bool shutdownDone_ = false;
   bool drained_ = true;
 
+  // Watchdog state. The map is keyed by job id; entries for jobs no
+  // longer Running are reaped lazily during scans.
+  mutable std::mutex watchdogMutex_;
+  std::condition_variable watchdogCv_;
+  bool watchdogStop_ = false;
+  std::map<u64, InFlight> inFlight_;
+  std::thread watchdog_;
+
+  // Circuit-breaker state, lazily created per tenant.
+  mutable std::mutex breakerMutex_;
+  std::map<std::string, Breaker> breakers_;
+
   std::atomic<u64> statSubmitted_{0};
   std::atomic<u64> statAccepted_{0};
   std::atomic<u64> statRejectedQueueFull_{0};
   std::atomic<u64> statRejectedQuota_{0};
   std::atomic<u64> statRejectedShutdown_{0};
+  std::atomic<u64> statRejectedCircuitOpen_{0};
   std::atomic<u64> statCompleted_{0};
   std::atomic<u64> statFailed_{0};
   std::atomic<u64> statAbandoned_{0};
+  std::atomic<u64> statDegraded_{0};
   std::atomic<u64> statDispatched_{0};
   std::atomic<u64> statBatches_{0};
+  std::atomic<u64> statWatchdogRecoveries_{0};
+  std::atomic<u64> statRetries_{0};
+  std::atomic<u64> statRetriesExhausted_{0};
+  std::atomic<u64> statBatchSplits_{0};
+  std::atomic<u64> statBreakerOpens_{0};
+  std::atomic<u64> statChaosInjected_{0};
+  std::atomic<u64> statStreamFaultsDetected_{0};
+  std::atomic<u64> statStreamFaultRelaunches_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -288,6 +288,33 @@ TEST_F(CliTest, ServeRunsManifestAndPrintsTenantSummary) {
   EXPECT_EQ(run("serve --jobs " + file("bad.txt")), 1);
 }
 
+TEST_F(CliTest, ServeChaosSeedDrillResolvesEveryJob) {
+  io::writeBytes(file("jobs.txt"), [] {
+    const std::string text =
+        "climate cesm_atm 2048 4 1e-3\n"
+        "physics hacc     4096 3 1e-3\n";
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+  }());
+  // Seeded fault drill: injected faults must be absorbed by retries, the
+  // watchdog and in-stream relaunches — exit 0, no failed jobs.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") +
+                " --workers 2 --unbatched --chaos-seed 7"),
+            0)
+      << lastLog();
+  const std::string log = lastLog();
+  EXPECT_NE(log.find("served 7 jobs from 2 tenants"), std::string::npos);
+  EXPECT_NE(log.find("health: 7 completed, 0 failed"), std::string::npos);
+  EXPECT_EQ(log.find("FAILED"), std::string::npos);
+
+  // The health summary is printed on fault-free runs too.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("health: 7 completed, 0 failed"),
+            std::string::npos);
+  EXPECT_NE(lastLog().find("chaos injections 0"), std::string::npos);
+}
+
 TEST_F(CliTest, TraceIsFlushedOnErrorAndUsagePaths) {
   // Operational error mid-run: the trace file must still be complete JSON.
   EXPECT_EQ(run("--trace " + file("err.json") + " compress " +

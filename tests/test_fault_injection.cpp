@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -414,6 +415,98 @@ TEST(FaultPlan, NoBudgetMeansNoFaultTarget) {
   EXPECT_EQ(d.data, clean.data);
   EXPECT_EQ(stream.faultsDetected(), 0u);
   EXPECT_EQ(stream.faultRelaunches(), 0u);
+}
+
+// ---- Latency & liveness faults (stall / wedge / arena exhaustion) ----------
+
+// A kernel-stall fault delays the trigger launch by stallTicks model ticks
+// but must not change its output: liveness recovery (the service watchdog)
+// is exercised elsewhere; here the launch merely takes visibly longer.
+TEST(FaultPlan, StallDelaysTriggerLaunch) {
+  RetryFixture fx;
+  const auto reference = fx.stream.compress<f32>(fx.data);
+
+  gpusim::FaultPlan plan;
+  plan.stallTicks = 120;  // 120 ms: far above a clean tiny compress
+  fx.armNext(plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stalled = fx.stream.compress<f32>(fx.data);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  fx.stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(stalled.stream, reference.stream);
+  EXPECT_GE(elapsed.count(), 100);
+  EXPECT_EQ(fx.stream.faultsDetected(), 0u);  // slow, not corrupt
+}
+
+// A worker-wedge fault parks the pool thread running the grid's first task.
+// With more than one pool worker the rest of the grid keeps draining and
+// the launch completes (slowly) with clean output.
+TEST(FaultPlan, WedgeDelaysPoolDrainButCompletes) {
+  RetryFixture fx;
+  const auto c = fx.stream.compress<f32>(fx.data);
+  const auto clean = fx.stream.decompress<f32>(c.stream);
+
+  gpusim::FaultPlan plan;
+  plan.wedgeTicks = 120;
+  fx.armNext(plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wedged = fx.stream.decompress<f32>(c.stream);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  fx.stream.launcher().clearFaultPlan();
+
+  EXPECT_EQ(wedged.data, clean.data);
+  EXPECT_GE(elapsed.count(), 100);
+  EXPECT_EQ(fx.stream.faultsDetected(), 0u);
+}
+
+// Arena-exhaustion fault: the stream's next operation fails its scratch
+// allocation with a typed Error; the fault is consume-once, so the retry
+// (here: the caller's second call) runs clean and the stream recovers.
+TEST(FaultPlan, ArenaExhaustionFailsOnceThenRecovers) {
+  RetryFixture fx;
+  const auto reference = fx.stream.compress<f32>(fx.data);
+
+  gpusim::FaultPlan plan;
+  plan.arenaBudgetBytes = 256;  // below any real scratch footprint
+  fx.armNext(plan);
+  EXPECT_THROW((void)fx.stream.compress<f32>(fx.data), Error);
+
+  const auto retried = fx.stream.compress<f32>(fx.data);
+  fx.stream.launcher().clearFaultPlan();
+  EXPECT_EQ(retried.stream, reference.stream);
+}
+
+// Sticky arena exhaustion keeps refusing until the plan is cleared.
+TEST(FaultPlan, StickyArenaExhaustionPersistsUntilCleared) {
+  RetryFixture fx;
+  gpusim::FaultPlan plan;
+  plan.arenaBudgetBytes = 256;
+  plan.sticky = true;
+  fx.armNext(plan);
+  EXPECT_THROW((void)fx.stream.compress<f32>(fx.data), Error);
+  EXPECT_THROW((void)fx.stream.compress<f32>(fx.data), Error);
+  fx.stream.launcher().clearFaultPlan();
+  const auto ok = fx.stream.compress<f32>(fx.data);
+  EXPECT_GT(ok.stream.size(), 0u);
+}
+
+// The salvage decoder keeps its never-throws contract even with a pending
+// arena-exhaustion fault: it clears (rather than consumes) the budget.
+TEST(FaultPlan, SalvageDecodeIgnoresArenaExhaustionFault) {
+  RetryFixture fx;
+  const auto c = fx.stream.compress<f32>(fx.data);
+
+  gpusim::FaultPlan plan;
+  plan.arenaBudgetBytes = 256;
+  plan.sticky = true;
+  fx.armNext(plan);
+  const auto salvaged = fx.stream.decompressResilient<f32>(c.stream);
+  fx.stream.launcher().clearFaultPlan();
+  EXPECT_TRUE(salvaged.report.clean());
+  EXPECT_EQ(salvaged.data.size(), fx.data.size());
 }
 
 // Segmented containers: corrupted tables of contents or segment bytes.

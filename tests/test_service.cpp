@@ -13,14 +13,20 @@
 // so batch formation and dispatch order are exact, not statistical.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "core/format.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
+#include "service/chaos.hpp"
 #include "service/service.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -505,6 +511,473 @@ TEST(ServiceTest, WorkersAreDeviceAffine) {
     // Each job reports the device its worker is pinned to.
     EXPECT_EQ(r.device, svc.devices()[r.worker].name);
   }
+}
+
+// ---- Fault tolerance: watchdog, retries, breaker, degraded decode ----------
+
+namespace {
+
+core::Config faultTolerantConfig() {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-3;
+  cfg.checksum = true;
+  cfg.blockChecksums = true;
+  cfg.faultRetries = 2;
+  return cfg;
+}
+
+/// A hook faulting exactly the given job id's first attempt.
+service::ChaosHook faultJobOnce(u64 jobId, service::ChaosFault fault) {
+  return [jobId, fault](const service::ChaosJobInfo& info) {
+    if (info.jobId == jobId && info.attempt == 0) return fault;
+    return service::ChaosFault{};
+  };
+}
+
+}  // namespace
+
+// Satellite regression: cancel() must release the tenant's outstanding-byte
+// quota at the cancel commit point, not at shutdown — a canceled job's
+// bytes were previously stuck in the quota until the service drained.
+TEST(ServiceTest, CancelReleasesQuotaAtCommitPoint) {
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 1024);
+  const u64 jobBytes = data.size() * sizeof(f32);
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.tenantQuotaBytes = 2 * jobBytes;
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+
+  service::Ticket a =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg).ticket;
+  service::Ticket b =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg).ticket;
+  EXPECT_EQ(svc.tenantOutstandingBytes("t"), 2 * jobBytes);
+  ASSERT_FALSE(
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+          .accepted());
+
+  // The cancel commit point releases the quota immediately — while the
+  // service is still paused, before any dispatch or shutdown.
+  ASSERT_TRUE(b.cancel());
+  EXPECT_EQ(svc.tenantOutstandingBytes("t"), jobBytes);
+  service::SubmitResult refill =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg);
+  EXPECT_TRUE(refill.accepted()) << refill.detail;
+  EXPECT_EQ(b.result().outcome, service::Outcome::Canceled);
+
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+  EXPECT_TRUE(a.wait().ok);
+  EXPECT_TRUE(refill.ticket.wait().ok);
+  EXPECT_EQ(svc.tenantOutstandingBytes("t"), 0u);
+}
+
+// Satellite: jobs abandoned by a shutdown deadline carry the typed
+// Abandoned outcome, not just a free-text error.
+TEST(ServiceTest, AbandonedJobsCarryTypedOutcome) {
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  service::CompressionService svc(scfg);
+  const core::Config cfg = relConfig(1e-3);
+
+  svc.resume();
+  const std::vector<f32> big = datagen::generateF32("hacc", 0, 4 << 20);
+  std::vector<service::Ticket> tickets;
+  tickets.push_back(
+      svc.submitCompress<f32>("t", std::span<const f32>(big), cfg).ticket);
+  while (svc.stats().dispatched == 0) std::this_thread::yield();
+  const std::vector<f32> data = datagen::generateF32("hacc", 1, 65536);
+  for (u32 j = 0; j < 6; ++j) {
+    tickets.push_back(
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  EXPECT_FALSE(svc.shutdown(std::chrono::milliseconds(0)));
+  u64 abandoned = 0;
+  for (const service::Ticket& t : tickets) {
+    const service::JobResult& r = t.wait();
+    if (r.ok) {
+      EXPECT_EQ(r.outcome, service::Outcome::Completed);
+      continue;
+    }
+    ++abandoned;
+    EXPECT_EQ(r.outcome, service::Outcome::Abandoned);
+    EXPECT_EQ(r.attempts, 0u);  // never dispatched
+  }
+  EXPECT_GE(abandoned, 1u);
+}
+
+// Tentpole: a job wedged by a chaos fault is recovered by the watchdog —
+// requeued, relaunched, and completed with byte-identical output while
+// the wedged execution's late result is discarded.
+TEST(ServiceTest, WatchdogRecoversWedgedJobOnAnotherWorker) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 4096);
+  core::CompressorStream serial(cfg);
+  const std::vector<std::byte> expected =
+      serial.compress<f32>(std::span<const f32>(data)).stream;
+
+  service::ServiceConfig scfg;
+  scfg.workers = 2;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  scfg.watchdog.pollMillis = 5;
+  scfg.watchdog.minTimeoutMillis = 30;
+  scfg.watchdog.maxRecoveries = 1;
+  service::ChaosFault wedge;
+  wedge.mode = service::ChaosFault::Mode::Wedge;
+  wedge.wedgeTicks = 300;  // 300 ms >> the 30 ms watchdog deadline
+  scfg.chaosHook = faultJobOnce(1, wedge);
+  service::CompressionService svc(scfg);
+
+  std::vector<service::Ticket> tickets;
+  for (u32 j = 0; j < 4; ++j) {
+    tickets.push_back(
+        svc.submitCompress<f32>("t", std::span<const f32>(data), cfg)
+            .ticket);
+  }
+  svc.resume();
+  for (const service::Ticket& t : tickets) {
+    ASSERT_TRUE(t.waitFor(std::chrono::seconds(30)));
+    const service::JobResult& r = t.result();
+    EXPECT_EQ(r.outcome, service::Outcome::Completed) << r.error;
+    EXPECT_EQ(r.compressed.stream, expected);
+  }
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.watchdogRecoveries, 1u);
+  EXPECT_EQ(stats.chaosInjected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(tickets[0].result().recoveries, 1u);
+  svc.shutdown();
+}
+
+// Tentpole: a transient arena-exhaustion fault fails the first attempt;
+// the retry policy backs off and the second attempt completes.
+TEST(ServiceTest, RetryAbsorbsTransientArenaExhaustion) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("hacc", 0, 4096);
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.startPaused = true;
+  scfg.maxBatchJobs = 1;
+  scfg.retry.maxAttempts = 2;
+  service::ChaosFault fault;
+  fault.mode = service::ChaosFault::Mode::ArenaExhaust;
+  fault.arenaBudgetBytes = 1;
+  scfg.chaosHook = faultJobOnce(1, fault);
+  service::CompressionService svc(scfg);
+
+  service::Ticket t =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg).ticket;
+  svc.resume();
+  EXPECT_TRUE(svc.shutdown());
+  const service::JobResult& r = t.wait();
+  EXPECT_EQ(r.outcome, service::Outcome::Completed) << r.error;
+  EXPECT_EQ(r.attempts, 2u);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.retriesExhausted, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// A fault that outlasts every attempt fails the job with a typed outcome
+// and the last error preserved (compress jobs have no degraded fallback).
+TEST(ServiceTest, RetriesExhaustedFailsCompressJob) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("hacc", 0, 4096);
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.retry.maxAttempts = 2;
+  scfg.retry.backoffBaseMillis = 0;  // no backoff: keep the test fast
+  scfg.chaosHook = [](const service::ChaosJobInfo&) {
+    service::ChaosFault fault;  // every attempt, every job
+    fault.mode = service::ChaosFault::Mode::ArenaExhaust;
+    fault.arenaBudgetBytes = 1;
+    return fault;
+  };
+  service::CompressionService svc(scfg);
+
+  service::Ticket t =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg).ticket;
+  const service::JobResult& r = t.wait();
+  EXPECT_EQ(r.outcome, service::Outcome::Failed);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_NE(r.error.find("exhaustion"), std::string::npos) << r.error;
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.retriesExhausted, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  svc.shutdown();
+}
+
+// Tentpole: a decompress job whose stream is corrupt exhausts its strict
+// attempts, then degrades to decompressResilient — typed Degraded outcome,
+// salvage report attached, intact blocks delivered.
+TEST(ServiceTest, DegradedDecodeSalvagesCorruptStream) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 8192);
+  core::CompressorStream serial(cfg);
+  std::vector<std::byte> stream =
+      serial.compress<f32>(std::span<const f32>(data)).stream;
+  // Smash payload bytes; the header stays intact so salvage can frame.
+  for (usize k = 0; k < 16; ++k) {
+    stream[stream.size() / 2 + k * 13] ^= std::byte{0x5A};
+  }
+  const core::Salvaged<f32> reference =
+      serial.decompressResilient<f32>(stream);
+  ASSERT_FALSE(reference.report.clean());
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.retry.maxAttempts = 2;
+  scfg.retry.backoffBaseMillis = 0;
+  service::CompressionService svc(scfg);
+  service::Ticket t = svc.submitDecompress("t", stream, cfg).ticket;
+  const service::JobResult& r = t.wait();
+
+  EXPECT_EQ(r.outcome, service::Outcome::Degraded);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_EQ(r.decodeReport.totalBlocks, reference.report.totalBlocks);
+  EXPECT_EQ(r.decodeReport.badBlocks, reference.report.badBlocks);
+  ASSERT_EQ(r.decompressed.size(), reference.data.size() * sizeof(f32));
+  EXPECT_EQ(std::memcmp(r.decompressed.data(), reference.data.data(),
+                        r.decompressed.size()),
+            0);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.failed, 0u);  // degraded is its own terminal bucket
+  svc.shutdown();
+}
+
+// Degraded decode can be disabled: the job then fails outright.
+TEST(ServiceTest, DegradedDecodeCanBeDisabled) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 4096);
+  core::CompressorStream serial(cfg);
+  std::vector<std::byte> stream =
+      serial.compress<f32>(std::span<const f32>(data)).stream;
+  for (usize k = 0; k < 8; ++k) {
+    stream[stream.size() / 2 + k * 17] ^= std::byte{0x5A};
+  }
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.retry.maxAttempts = 1;
+  scfg.degradedDecode = false;
+  service::CompressionService svc(scfg);
+  service::Ticket t = svc.submitDecompress("t", stream, cfg).ticket;
+  const service::JobResult& r = t.wait();
+  EXPECT_EQ(r.outcome, service::Outcome::Failed);
+  EXPECT_EQ(svc.stats().degraded, 0u);
+  svc.shutdown();
+}
+
+// Satellite property test: FaultPlan corruption + decompressResilient
+// under the service path. Seeded trials corrupt a stream's payload; the
+// degraded result must quarantine exactly the damaged blocks and keep
+// every intact block inside the configured error bound.
+TEST(ServiceProperty, SalvageUnderServiceQuarantinesAndBoundsIntactBlocks) {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-2;
+  cfg.checksum = true;
+  cfg.blockChecksums = true;
+  cfg.faultRetries = 1;
+
+  service::ServiceConfig scfg;
+  scfg.workers = 2;
+  scfg.retry.maxAttempts = 1;
+  scfg.retry.backoffBaseMillis = 0;
+  scfg.breaker.threshold = 0;  // every trial degrades; don't trip it
+  service::CompressionService svc(scfg);
+
+  core::CompressorStream serial(cfg);
+  Rng rng(0xC0FFEEull);
+  for (u32 trial = 0; trial < 10; ++trial) {
+    const usize elems = 2048 + 512 * (trial % 5);
+    const std::vector<f32> data =
+        datagen::generateF32("scale", trial % 12, elems);
+    std::vector<std::byte> stream =
+        serial.compress<f32>(std::span<const f32>(data)).stream;
+    const auto header = core::StreamHeader::parse(stream);
+    const usize payloadBegin = header.payloadBegin();
+    if (payloadBegin >= stream.size()) continue;
+    const u32 corruptions = 1 + static_cast<u32>(rng.uniformInt(4));
+    for (u32 k = 0; k < corruptions; ++k) {
+      const usize pos =
+          payloadBegin + rng.uniformInt(stream.size() - payloadBegin);
+      stream[pos] ^= static_cast<std::byte>(1u << rng.uniformInt(8));
+    }
+
+    service::Ticket t = svc.submitDecompress("fuzz", stream, cfg).ticket;
+    const service::JobResult& r = t.wait();
+    ASSERT_TRUE(r.outcome == service::Outcome::Degraded ||
+                r.outcome == service::Outcome::Completed)
+        << toString(r.outcome) << ": " << r.error;
+    if (r.outcome == service::Outcome::Completed) continue;  // flip undone
+
+    ASSERT_EQ(r.decompressed.size(), data.size() * sizeof(f32));
+    const f32* got = reinterpret_cast<const f32*>(r.decompressed.data());
+    const auto& rep = r.decodeReport;
+    EXPECT_GT(rep.badBlocks, 0u) << "trial " << trial;
+    EXPECT_EQ(rep.goodBlocks + rep.badBlocks, rep.totalBlocks);
+    ASSERT_EQ(rep.verdicts.size(), rep.totalBlocks);
+    const usize blockSize = cfg.blockSize;
+    for (u64 b = 0; b < rep.totalBlocks; ++b) {
+      const usize begin = b * blockSize;
+      const usize end = std::min(begin + blockSize, data.size());
+      if (rep.verdicts[b] == core::BlockVerdict::Good) {
+        for (usize i = begin; i < end; ++i) {
+          ASSERT_LE(std::abs(got[i] - data[i]), cfg.absErrorBound + 1e-7)
+              << "trial " << trial << " intact block " << b
+              << " violates the bound at element " << i;
+        }
+      } else {
+        for (usize i = begin; i < end; ++i) {
+          ASSERT_EQ(got[i], 0.0f)
+              << "trial " << trial << " quarantined block " << b
+              << " leaked non-fill data at element " << i;
+        }
+      }
+    }
+  }
+  svc.shutdown();
+}
+
+// Tentpole: the per-tenant circuit breaker opens after `threshold`
+// consecutive failures, sheds exactly that tenant, and closes again after
+// a successful half-open probe. Healthy tenants are never affected.
+TEST(ServiceTest, CircuitBreakerIsolatesPoisonedTenant) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 4096);
+  core::CompressorStream serial(cfg);
+  const std::vector<std::byte> good =
+      serial.compress<f32>(std::span<const f32>(data)).stream;
+  std::vector<std::byte> bad = good;
+  for (usize k = 0; k < 8; ++k) {
+    bad[bad.size() / 2 + k * 19] ^= std::byte{0x77};
+  }
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.retry.maxAttempts = 1;
+  scfg.retry.backoffBaseMillis = 0;
+  scfg.degradedDecode = true;  // Degraded counts as a breaker failure
+  scfg.breaker.threshold = 2;
+  scfg.breaker.cooldownMillis = 50;
+  scfg.breaker.probeSuccesses = 1;
+  service::CompressionService svc(scfg);
+
+  // Two consecutive poisoned decodes trip the breaker.
+  for (u32 j = 0; j < 2; ++j) {
+    service::SubmitResult s = svc.submitDecompress("poison", bad, cfg);
+    ASSERT_TRUE(s.accepted());
+    EXPECT_EQ(s.ticket.wait().outcome, service::Outcome::Degraded);
+  }
+  EXPECT_EQ(svc.breakerState("poison"), service::BreakerState::Open);
+  EXPECT_EQ(svc.stats().breakerOpens, 1u);
+
+  // Open: the tenant is shed with the typed reason...
+  service::SubmitResult shed = svc.submitDecompress("poison", good, cfg);
+  ASSERT_FALSE(shed.accepted());
+  EXPECT_EQ(shed.reason, service::RejectReason::CircuitOpen);
+  EXPECT_EQ(svc.stats().rejectedCircuitOpen, 1u);
+
+  // ...while other tenants sail through.
+  service::SubmitResult healthy = svc.submitDecompress("ok", good, cfg);
+  ASSERT_TRUE(healthy.accepted());
+  EXPECT_EQ(healthy.ticket.wait().outcome, service::Outcome::Completed);
+  EXPECT_EQ(svc.breakerState("ok"), service::BreakerState::Closed);
+
+  // After the cooldown a half-open probe is admitted; its success closes
+  // the breaker and the tenant is back in business.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  service::SubmitResult probe = svc.submitDecompress("poison", good, cfg);
+  ASSERT_TRUE(probe.accepted()) << probe.detail;
+  EXPECT_EQ(probe.ticket.wait().outcome, service::Outcome::Completed);
+  EXPECT_EQ(svc.breakerState("poison"), service::BreakerState::Closed);
+  service::SubmitResult after = svc.submitDecompress("poison", good, cfg);
+  EXPECT_TRUE(after.accepted());
+  EXPECT_TRUE(after.ticket.wait().ok);
+  svc.shutdown();
+}
+
+// A failed half-open probe reopens the breaker for another cooldown.
+TEST(ServiceTest, BreakerReopensOnFailedProbe) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("cesm_atm", 0, 4096);
+  core::CompressorStream serial(cfg);
+  const std::vector<std::byte> good =
+      serial.compress<f32>(std::span<const f32>(data)).stream;
+  std::vector<std::byte> bad = good;
+  for (usize k = 0; k < 8; ++k) {
+    bad[bad.size() / 2 + k * 19] ^= std::byte{0x77};
+  }
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.retry.maxAttempts = 1;
+  scfg.retry.backoffBaseMillis = 0;
+  scfg.breaker.threshold = 1;
+  scfg.breaker.cooldownMillis = 40;
+  service::CompressionService svc(scfg);
+
+  ASSERT_EQ(svc.submitDecompress("p", bad, cfg).ticket.wait().outcome,
+            service::Outcome::Degraded);
+  EXPECT_EQ(svc.breakerState("p"), service::BreakerState::Open);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service::SubmitResult probe = svc.submitDecompress("p", bad, cfg);
+  ASSERT_TRUE(probe.accepted());  // half-open admits one probe
+  EXPECT_EQ(probe.ticket.wait().outcome, service::Outcome::Degraded);
+  EXPECT_EQ(svc.breakerState("p"), service::BreakerState::Open);
+  EXPECT_EQ(svc.stats().breakerOpens, 2u);  // the reopen is counted
+  // Still shedding during the second cooldown.
+  EXPECT_FALSE(svc.submitDecompress("p", bad, cfg).accepted());
+  svc.shutdown();
+}
+
+// The chaos schedule itself: pure, seeded, and exempting.
+TEST(ServiceTest, ChaosScheduleIsDeterministicAndExempting) {
+  service::ChaosConfig ccfg;
+  ccfg.seed = 42;
+  ccfg.exemptTenant = "safe";
+  const service::SeededChaosSchedule schedule(ccfg);
+
+  u32 faulted = 0;
+  for (u64 id = 1; id <= 200; ++id) {
+    service::ChaosJobInfo info;
+    info.jobId = id;
+    info.tenant = "t";
+    info.attempt = 0;
+    const service::ChaosFault a = schedule.decide(info);
+    const service::ChaosFault b = schedule.decide(info);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.seed, b.seed);
+    if (a.mode != service::ChaosFault::Mode::None) ++faulted;
+
+    info.tenant = "safe";  // exempt tenant: never faulted
+    EXPECT_EQ(schedule.decide(info).mode, service::ChaosFault::Mode::None);
+    info.tenant = "t";
+    info.attempt = 1;  // beyond faultedAttempts: retries run clean
+    EXPECT_EQ(schedule.decide(info).mode, service::ChaosFault::Mode::None);
+  }
+  // ~45% of attempts faulted at the default rates; 200 draws cannot
+  // plausibly land outside [40, 140].
+  EXPECT_GT(faulted, 40u);
+  EXPECT_LT(faulted, 140u);
+
+  service::ChaosConfig invalid;
+  invalid.bitFlipRate = 0.9;
+  invalid.abortRate = 0.9;
+  EXPECT_THROW(service::SeededChaosSchedule{invalid}, Error);
 }
 
 // CI soak (tools/ci_check.sh runs this filter under ASan): 4 tenants x 200

@@ -1,0 +1,407 @@
+// chaos_soak — seeded chaos drill for the compression service.
+//
+// Runs a multi-tenant job mix (four healthy tenants over synthetic
+// paper datasets, alternating compress/decompress) under a
+// SeededChaosSchedule that exercises every injectable fault mode —
+// bit flips, block aborts, launch stalls, pool-worker wedges, and
+// scratch-arena exhaustion — plus one "poison" tenant whose decompress
+// payloads are pre-corrupted so every strict decode fails. Asserts the
+// service's chaos contract:
+//
+//   * every submitted ticket resolves with a typed Outcome;
+//   * non-degraded outputs are byte-identical to a fault-free serial
+//     CompressorStream run with the same Config;
+//   * poison jobs resolve Degraded with a non-clean DecodeReport, and
+//     the circuit breaker opens for (only) the poison tenant — a second
+//     submission wave shows poison rejected CircuitOpen while healthy
+//     tenants still complete;
+//   * watchdog recoveries equal the schedule's stall+wedge injections
+//     (replayed analytically from the seed), and the whole recovery
+//     counter tuple is identical across two runs of the same seed.
+//
+//   usage: chaos_soak [--seed N] [--jobs N] [--fast]
+//
+// Exit 0 when every invariant held; 1 otherwise, printing the seed
+// needed to replay the failure.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "datagen/fields.hpp"
+#include "service/chaos.hpp"
+#include "service/service.hpp"
+
+using namespace cuszp2;
+
+namespace {
+
+struct JobSpec {
+  std::string tenant;
+  service::JobKind kind = service::JobKind::Compress;
+  std::vector<f32> field;               // compress input
+  std::vector<std::byte> stream;        // decompress input
+  std::vector<std::byte> expected;      // fault-free reference output
+  bool poison = false;
+};
+
+struct RunCounters {
+  u64 completed = 0, failed = 0, degraded = 0, abandoned = 0;
+  u64 recoveries = 0, retries = 0, retriesExhausted = 0;
+  u64 breakerOpens = 0, chaosInjected = 0, rejectedCircuitOpen = 0;
+  u64 streamFaultsDetected = 0, streamFaultRelaunches = 0;
+
+  bool operator==(const RunCounters&) const = default;
+};
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++failures;
+}
+
+core::Config jobConfig() {
+  core::Config cfg;
+  cfg.absErrorBound = 1e-3;
+  cfg.checksum = true;
+  cfg.blockChecksums = true;
+  cfg.faultRetries = 2;
+  return cfg;
+}
+
+std::vector<std::byte> toBytes(const std::vector<f32>& v) {
+  std::vector<std::byte> bytes(v.size() * sizeof(f32));
+  if (!bytes.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+/// The deterministic job mix, in submission order (job ids are assigned
+/// sequentially at submission, so spec i gets service job id i + 1).
+std::vector<JobSpec> buildSpecs(u32 jobsPerTenant, u32 poisonJobs) {
+  struct Tenant {
+    const char* name;
+    const char* dataset;
+  };
+  const Tenant tenants[] = {{"climate", "cesm_atm"},
+                            {"cosmo", "hacc"},
+                            {"fusion", "jetin"},
+                            {"seismic", "scale"}};
+  core::CompressorStream ref(jobConfig());
+  std::vector<JobSpec> specs;
+  for (u32 j = 0; j < jobsPerTenant; ++j) {
+    for (const Tenant& t : tenants) {
+      const u32 fields = datagen::datasetInfo(t.dataset).numFields;
+      JobSpec spec;
+      spec.tenant = t.name;
+      spec.field =
+          datagen::generateF32(t.dataset, j % fields, 2048 + 1024 * (j % 3));
+      const core::Compressed ref32 = ref.compress<f32>(spec.field);
+      if (j % 2 == 0) {
+        spec.kind = service::JobKind::Compress;
+        spec.expected = ref32.stream;
+      } else {
+        spec.kind = service::JobKind::Decompress;
+        spec.stream = ref32.stream;
+        spec.expected = toBytes(ref.decompress<f32>(ref32.stream).data);
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  for (u32 j = 0; j < poisonJobs; ++j) {
+    JobSpec spec;
+    spec.tenant = "poison";
+    spec.kind = service::JobKind::Decompress;
+    spec.poison = true;
+    const auto field = datagen::generateF32("cesm_atm", j % 33, 3072);
+    spec.stream = ref.compress<f32>(field).stream;
+    // Smash payload bytes in the back half (the header stays intact so
+    // the degraded decoder can still parse the frame and quarantine).
+    const usize half = spec.stream.size() / 2;
+    for (u32 k = 0; k < 8; ++k) {
+      spec.stream[half + (k * 31) % half] ^= std::byte{0xA5};
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+service::ServiceConfig serviceConfig(u64 seed) {
+  service::ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.stallTicks = 450;  // >> watchdog timeout: always recovered first
+  chaos.wedgeTicks = 450;
+  chaos.exemptTenant = "poison";  // poison carries its own corruption
+  service::SeededChaosSchedule schedule(chaos);
+
+  service::ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.maxBatchJobs = 1;  // deterministic: no coalescing, 1 job = 1 dispatch
+  cfg.startPaused = true;
+  cfg.watchdog.pollMillis = 5;
+  cfg.watchdog.minTimeoutMillis = 150;
+  cfg.watchdog.maxRecoveries = 1;
+  cfg.retry.maxAttempts = 2;
+  cfg.retry.backoffBaseMillis = 1;
+  cfg.retry.backoffCapMillis = 8;
+  cfg.retry.jitterSeed = seed;
+  cfg.breaker.threshold = 4;
+  cfg.breaker.cooldownMillis = 10 * 60 * 1000;  // stays open for the drill
+  cfg.degradedDecode = true;
+  cfg.chaosHook = schedule.hook();
+  return cfg;
+}
+
+/// Replays the chaos schedule analytically: how many first attempts get
+/// tagged with each mode, given the submission-order job ids.
+struct Forecast {
+  u64 injected = 0;
+  u64 stallsAndWedges = 0;
+  u64 arenaFaults = 0;
+};
+
+Forecast forecast(u64 seed, const std::vector<JobSpec>& specs) {
+  service::SeededChaosSchedule schedule(
+      [&] {
+        service::ChaosConfig c;
+        c.seed = seed;
+        c.stallTicks = 450;
+        c.wedgeTicks = 450;
+        c.exemptTenant = "poison";
+        return c;
+      }());
+  Forecast f;
+  for (usize i = 0; i < specs.size(); ++i) {
+    service::ChaosJobInfo info;
+    info.jobId = i + 1;
+    info.tenant = specs[i].tenant;
+    info.kind = specs[i].kind;
+    info.attempt = 0;
+    const service::ChaosFault fault = schedule.decide(info);
+    using Mode = service::ChaosFault::Mode;
+    if (fault.mode == Mode::None) continue;
+    ++f.injected;
+    if (fault.mode == Mode::Stall || fault.mode == Mode::Wedge) {
+      ++f.stallsAndWedges;
+    }
+    if (fault.mode == Mode::ArenaExhaust) ++f.arenaFaults;
+  }
+  return f;
+}
+
+RunCounters runOnce(u64 seed, const std::vector<JobSpec>& specs) {
+  service::CompressionService svc(serviceConfig(seed));
+  const core::Config cfg = jobConfig();
+
+  std::vector<service::Ticket> tickets;
+  tickets.reserve(specs.size());
+  u32 poisonJobs = 0;
+  for (const JobSpec& spec : specs) {
+    service::SubmitResult submitted =
+        spec.kind == service::JobKind::Compress
+            ? svc.submitCompress<f32>(spec.tenant,
+                                      std::span<const f32>(spec.field), cfg)
+            : svc.submitDecompress(spec.tenant, spec.stream, cfg);
+    check(submitted.accepted(), "wave-1 submission accepted");
+    tickets.push_back(submitted.ticket);
+    if (spec.poison) ++poisonJobs;
+  }
+  svc.resume();
+
+  // Contract #1: every ticket resolves (typed outcome, bounded time).
+  for (usize i = 0; i < tickets.size(); ++i) {
+    check(tickets[i].waitFor(std::chrono::seconds(120)),
+          "ticket " + std::to_string(i + 1) + " resolves");
+  }
+
+  // Contract #2: byte identity for non-degraded work; quarantine for
+  // poison.
+  for (usize i = 0; i < tickets.size(); ++i) {
+    if (!tickets[i].poll()) continue;  // already reported above
+    const service::JobResult& r = tickets[i].result();
+    const JobSpec& spec = specs[i];
+    const std::string tag =
+        spec.tenant + " job " + std::to_string(i + 1);
+    if (spec.poison) {
+      check(r.outcome == service::Outcome::Degraded,
+            tag + " resolves Degraded (got " +
+                std::string(toString(r.outcome)) + ")");
+      check(!r.decodeReport.clean(), tag + " carries a non-clean report");
+      check(r.decodeReport.badBlocks > 0, tag + " quarantined blocks");
+      continue;
+    }
+    check(r.outcome == service::Outcome::Completed,
+          tag + " completes (got " + std::string(toString(r.outcome)) +
+              (r.error.empty() ? "" : ": " + r.error) + ")");
+    const std::vector<std::byte>& got =
+        spec.kind == service::JobKind::Compress ? r.compressed.stream
+                                                : r.decompressed;
+    check(got == spec.expected,
+          tag + " output byte-identical to the fault-free serial run");
+  }
+
+  // Contract #4 (part 1): wave-1 counters are the predicted,
+  // seed-determined values. Snapshot before wave 2 — its jobs draw their
+  // own chaos decisions, which the analytic replay does not cover.
+  const service::ServiceStats wave1 = svc.stats();
+  const Forecast fc = forecast(seed, specs);
+  check(wave1.failed == 0, "no wave-1 job failed outright");
+  check(wave1.degraded == poisonJobs, "every poison job degraded");
+  check(wave1.chaosInjected == fc.injected,
+        "chaos injections match the schedule replay (" +
+            std::to_string(wave1.chaosInjected) + " vs " +
+            std::to_string(fc.injected) + ")");
+  check(wave1.watchdogRecoveries == fc.stallsAndWedges,
+        "watchdog recoveries == injected stalls+wedges (" +
+            std::to_string(wave1.watchdogRecoveries) + " vs " +
+            std::to_string(fc.stallsAndWedges) + ")");
+  check(wave1.retries == fc.arenaFaults + poisonJobs,
+        "service retries == arena faults + poison strict-decode failures (" +
+            std::to_string(wave1.retries) + " vs " +
+            std::to_string(fc.arenaFaults + poisonJobs) + ")");
+  check(wave1.retriesExhausted == poisonJobs,
+        "only poison jobs exhaust their attempts");
+  check(wave1.breakerOpens == 1, "the breaker opened exactly once");
+
+  // Contract #3: the breaker isolates exactly the poison tenant.
+  check(svc.breakerState("poison") == service::BreakerState::Open,
+        "poison breaker open after wave 1");
+  for (const char* t : {"climate", "cosmo", "fusion", "seismic"}) {
+    check(svc.breakerState(t) == service::BreakerState::Closed,
+          std::string(t) + " breaker stays closed");
+  }
+  service::SubmitResult poisoned =
+      svc.submitDecompress("poison", specs.back().stream, cfg);
+  check(!poisoned.accepted() &&
+            poisoned.reason == service::RejectReason::CircuitOpen,
+        "wave-2 poison submission rejected circuit-open");
+  std::vector<service::Ticket> wave2;
+  for (const JobSpec& spec : specs) {
+    if (spec.poison || spec.kind != service::JobKind::Compress) continue;
+    service::SubmitResult submitted = svc.submitCompress<f32>(
+        spec.tenant, std::span<const f32>(spec.field), cfg);
+    check(submitted.accepted(), "wave-2 healthy submission accepted");
+    if (submitted.accepted()) wave2.push_back(submitted.ticket);
+    break;  // one job per wave is enough to show the lanes stay open
+  }
+  for (const service::Ticket& t : wave2) {
+    check(t.waitFor(std::chrono::seconds(60)) &&
+              t.result().outcome == service::Outcome::Completed,
+          "wave-2 healthy job completes while poison is shed");
+  }
+
+  svc.shutdown();
+
+  // Contract #4 (part 2): the full counter tuple — wave 2 included — must
+  // reproduce bit-for-bit across runs of the same seed (checked in main).
+  const service::ServiceStats stats = svc.stats();
+  check(stats.failed == 0, "no job failed outright");
+  check(stats.abandoned == 0, "no job was abandoned");
+  check(stats.rejectedCircuitOpen == 1,
+        "exactly the wave-2 poison submission was shed");
+
+  RunCounters c;
+  c.completed = stats.completed;
+  c.failed = stats.failed;
+  c.degraded = stats.degraded;
+  c.abandoned = stats.abandoned;
+  c.recoveries = stats.watchdogRecoveries;
+  c.retries = stats.retries;
+  c.retriesExhausted = stats.retriesExhausted;
+  c.breakerOpens = stats.breakerOpens;
+  c.chaosInjected = stats.chaosInjected;
+  c.rejectedCircuitOpen = stats.rejectedCircuitOpen;
+  c.streamFaultsDetected = stats.streamFaultsDetected;
+  c.streamFaultRelaunches = stats.streamFaultRelaunches;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Fix the simulated-device pool width before any stream exists: worker
+  // wedges park one pool thread, and the drill needs spare threads so a
+  // wedged grid still finishes.
+  setenv("CUSZP2_WORKERS", "4", 1);
+
+  u64 seed = 20260805;
+  u32 jobsPerTenant = 6;
+  u32 poisonJobs = 6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobsPerTenant = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--fast") {
+      jobsPerTenant = 4;
+      poisonJobs = 5;
+    } else {
+      std::fprintf(stderr, "usage: chaos_soak [--seed N] [--jobs N] [--fast]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<JobSpec> specs = buildSpecs(jobsPerTenant, poisonJobs);
+  const Forecast fc = forecast(seed, specs);
+  std::printf("chaos_soak: seed=%llu jobs=%zu (poison=%u) injected=%llu "
+              "stalls+wedges=%llu arena=%llu\n",
+              static_cast<unsigned long long>(seed), specs.size(), poisonJobs,
+              static_cast<unsigned long long>(fc.injected),
+              static_cast<unsigned long long>(fc.stallsAndWedges),
+              static_cast<unsigned long long>(fc.arenaFaults));
+
+  const RunCounters first = runOnce(seed, specs);
+  const RunCounters second = runOnce(seed, specs);
+  check(first == second,
+        "recovery counters reproduce across two runs of the same seed");
+  if (!(first == second)) {
+    const auto row = [](const char* name, u64 a, u64 b) {
+      if (a != b) {
+        std::fprintf(stderr, "  %s: %llu vs %llu\n", name,
+                     static_cast<unsigned long long>(a),
+                     static_cast<unsigned long long>(b));
+      }
+    };
+    row("completed", first.completed, second.completed);
+    row("failed", first.failed, second.failed);
+    row("degraded", first.degraded, second.degraded);
+    row("abandoned", first.abandoned, second.abandoned);
+    row("recoveries", first.recoveries, second.recoveries);
+    row("retries", first.retries, second.retries);
+    row("retriesExhausted", first.retriesExhausted, second.retriesExhausted);
+    row("breakerOpens", first.breakerOpens, second.breakerOpens);
+    row("chaosInjected", first.chaosInjected, second.chaosInjected);
+    row("rejectedCircuitOpen", first.rejectedCircuitOpen,
+        second.rejectedCircuitOpen);
+    row("streamFaultsDetected", first.streamFaultsDetected,
+        second.streamFaultsDetected);
+    row("streamFaultRelaunches", first.streamFaultRelaunches,
+        second.streamFaultRelaunches);
+  }
+
+  std::printf(
+      "run: completed=%llu degraded=%llu recoveries=%llu retries=%llu "
+      "exhausted=%llu breaker_opens=%llu chaos=%llu stream_faults=%llu "
+      "stream_relaunches=%llu\n",
+      static_cast<unsigned long long>(first.completed),
+      static_cast<unsigned long long>(first.degraded),
+      static_cast<unsigned long long>(first.recoveries),
+      static_cast<unsigned long long>(first.retries),
+      static_cast<unsigned long long>(first.retriesExhausted),
+      static_cast<unsigned long long>(first.breakerOpens),
+      static_cast<unsigned long long>(first.chaosInjected),
+      static_cast<unsigned long long>(first.streamFaultsDetected),
+      static_cast<unsigned long long>(first.streamFaultRelaunches));
+  if (failures == 0) {
+    std::printf("chaos_soak: OK\n");
+    return 0;
+  }
+  std::fprintf(stderr, "chaos_soak: %d failure(s); replay with --seed %llu\n",
+               failures, static_cast<unsigned long long>(seed));
+  return 1;
+}

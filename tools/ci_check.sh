@@ -43,6 +43,16 @@ echo "==== [asan] service soak (4 tenants x 200 jobs) ===="
 "${repo_root}/build-ci-asan/tests/test_service" \
   --gtest_filter='ServiceSoak.*'
 
+# Seeded chaos drill: deterministic fault schedule (stalls, wedges, bit
+# flips, aborts, arena exhaustion) against a live multi-tenant service.
+# Every ticket must resolve, healthy jobs byte-identically, and the
+# recovery counters must match across two in-process runs. Release runs
+# the full schedule; the sanitizer build runs the trimmed one.
+echo "==== [release] chaos soak (seed 20260805) ===="
+"${repo_root}/build-ci-release/tools/chaos_soak" --seed 20260805
+echo "==== [asan] chaos soak (seed 20260805, fast) ===="
+"${repo_root}/build-ci-asan/tools/chaos_soak" --seed 20260805 --fast
+
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \
   "${repo_root}/BENCH_perf.json")

@@ -12,6 +12,7 @@
 //   cuszp2 profile    <in.raw> [compress options]
 //   cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]
 //                     [--depth N] [--quota BYTES] [--unbatched]
+//                     [--chaos-seed N]
 //
 // `--trace <out.json>` before any subcommand's options writes a
 // chrome://tracing / Perfetto-compatible trace of every simulated kernel
@@ -36,6 +37,7 @@
 #include "io/archive.hpp"
 #include "io/raw.hpp"
 #include "metrics/error_stats.hpp"
+#include "service/chaos.hpp"
 #include "service/service.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -90,8 +92,13 @@ bool flushTrace() {
       "  cuszp2 profile    <in.raw> [compress options]\n"
       "  cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]\n"
       "                    [--depth N] [--quota BYTES] [--unbatched]\n"
+      "                    [--chaos-seed N]\n"
       "\n"
       "  serve manifest lines: <tenant> <dataset> <elems> <jobs> [rel]\n"
+      "  --chaos-seed N  seeded fault drill: injects bit flips, aborted\n"
+      "                  blocks, stalls, wedged workers and arena\n"
+      "                  exhaustion; every job must still resolve via\n"
+      "                  retries, the watchdog, and degraded decode\n"
       "\n"
       "  --trace <out.json>  (any subcommand) write a chrome://tracing\n"
       "                      compatible kernel trace\n");
@@ -520,7 +527,8 @@ std::vector<ManifestEntry> parseManifest(const std::string& path) {
 /// inputs are deterministic synthetic fields (datagen), so two runs of the
 /// same manifest produce identical compressed bytes.
 int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
-            usize depth, u64 quota, bool unbatched) {
+            usize depth, u64 quota, bool unbatched, bool chaos,
+            u64 chaosSeed) {
   const auto entries = parseManifest(manifestPath);
   telemetry::registry().setEnabled(true);
   telemetry::registry().reset();
@@ -536,6 +544,18 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
   // The submit loop resumes early if the queue fills (see below), so a
   // manifest larger than --depth still drains.
   cfg.startPaused = true;
+  if (chaos) {
+    // Seeded fault drill: the schedule only faults first attempts, so
+    // with retries + watchdog every job still resolves. Short stalls and
+    // a tight watchdog deadline keep the drill interactive.
+    service::ChaosConfig ccfg;
+    ccfg.seed = chaosSeed;
+    ccfg.stallTicks = 150;
+    ccfg.wedgeTicks = 150;
+    cfg.chaosHook = service::SeededChaosSchedule(ccfg).hook();
+    cfg.watchdog.minTimeoutMillis = 100;
+    cfg.breaker.threshold = 4;
+  }
   service::CompressionService svc(cfg);
 
   struct Pending {
@@ -558,6 +578,13 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
           datagen::generateF32(e.dataset, j % info.numFields, e.elems);
       core::Config jobCfg;
       jobCfg.relErrorBound = e.rel;
+      if (chaos) {
+        // Checksums make injected bit flips detectable; in-stream retries
+        // absorb them before they ever surface as a job failure.
+        jobCfg.checksum = true;
+        jobCfg.blockChecksums = true;
+        jobCfg.faultRetries = 2;
+      }
       for (;;) {
         auto submitted = svc.submitCompress<f32>(
             e.tenant, std::span<const f32>(field), jobCfg);
@@ -565,8 +592,11 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
           pending.push_back(Pending{&e, std::move(submitted.ticket)});
           break;
         }
+        // CircuitOpen clears on its own once the tenant's cooldown admits
+        // a successful probe, so it drains just like backpressure.
         require(submitted.reason == service::RejectReason::QueueFull ||
-                    submitted.reason == service::RejectReason::QuotaExceeded,
+                    submitted.reason == service::RejectReason::QuotaExceeded ||
+                    submitted.reason == service::RejectReason::CircuitOpen,
                 "serve: submission rejected: " + submitted.detail);
         ++rejections;
         svc.resume();  // start draining so a retried slot can free up
@@ -645,6 +675,19 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
               static_cast<unsigned long long>(stats.dispatched),
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.launchesSaved()));
+  std::printf("health: %llu completed, %llu failed, %llu degraded, "
+              "%llu abandoned; watchdog recoveries %llu, retries %llu, "
+              "stream relaunches %llu, breaker opens %llu, "
+              "chaos injections %llu\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.abandoned),
+              static_cast<unsigned long long>(stats.watchdogRecoveries),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.streamFaultRelaunches),
+              static_cast<unsigned long long>(stats.breakerOpens),
+              static_cast<unsigned long long>(stats.chaosInjected));
   printKernelTable();
   return rc;
 }
@@ -733,6 +776,8 @@ int main(int argc, char** argv) {
       usize depth = 256;
       u64 quota = 0;
       bool unbatched = false;
+      bool chaos = false;
+      u64 chaosSeed = 0;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -745,10 +790,12 @@ int main(int argc, char** argv) {
         else if (arg == "--depth") depth = static_cast<usize>(std::stoull(next()));
         else if (arg == "--quota") quota = std::stoull(next());
         else if (arg == "--unbatched") unbatched = true;
+        else if (arg == "--chaos-seed") { chaos = true; chaosSeed = std::stoull(next()); }
         else usage();
       }
       if (manifest.empty()) usage();
-      return doServe(manifest, workers, batch, depth, quota, unbatched);
+      return doServe(manifest, workers, batch, depth, quota, unbatched,
+                     chaos, chaosSeed);
     }
     usage();
   };

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdlib>
 #include <new>
 #include <span>
@@ -30,6 +31,15 @@ class Arena {
  public:
   /// Every allocation is aligned to this (cache line / AVX-512 friendly).
   static constexpr usize kAlignment = 64;
+  // The SIMD kernels (common/simd.hpp) and the cache-line sharing argument
+  // both assume exactly 64; alignUp() and aligned_alloc additionally need
+  // a power of two that malloc can honor.
+  static_assert(kAlignment == 64,
+                "Arena::kAlignment must stay cache-line / AVX-512 sized");
+  static_assert((kAlignment & (kAlignment - 1)) == 0,
+                "Arena::kAlignment must be a power of two");
+  static_assert(kAlignment >= alignof(std::max_align_t),
+                "Arena::kAlignment must satisfy any fundamental type");
   /// Smallest slab the arena will reserve; avoids slab churn for tiny uses.
   static constexpr usize kMinSlabBytes = usize{1} << 20;  // 1 MiB
 

@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "core/fle.hpp"
 
 namespace cuszp2::core {
@@ -55,15 +56,17 @@ BlockPlan BlockCodec::planResiduals(std::span<const i32> residuals,
           "BlockCodec::planResiduals: wrong block size");
 
   // One pass over absolute residuals yields both candidate sizes
-  // (the paper's "simply iterating the absolute values" selection).
-  u32 maxAbsAll = 0;
+  // (the paper's "simply iterating the absolute values" selection). Max is
+  // order-independent, so the vector reduction over the tail plus one
+  // scalar max for the head matches the scalar sweep exactly.
   u32 maxAbsTail = 0;
   const u32 absFirst = absU32(residuals[0]);
-  for (usize i = 0; i < residuals.size(); ++i) {
-    const u32 a = absU32(residuals[i]);
-    maxAbsAll = std::max(maxAbsAll, a);
-    if (i > 0) maxAbsTail = std::max(maxAbsTail, a);
+  if (!simd::maxAbsTailU32(residuals, &maxAbsTail)) {
+    for (usize i = 1; i < residuals.size(); ++i) {
+      maxAbsTail = std::max(maxAbsTail, absU32(residuals[i]));
+    }
   }
+  const u32 maxAbsAll = std::max(maxAbsTail, absFirst);
 
   const usize pb = planeBytes(blockSize_);
   const u32 flPlain = effectiveBits(maxAbsAll);
@@ -93,12 +96,13 @@ void BlockCodec::encodeResiduals(std::span<const i32> residuals,
 
   u32 absArr[256];
   std::span<u32> absVals(absArr, blockSize_);
-  for (usize i = 0; i < blockSize_; ++i) absVals[i] = absU32(residuals[i]);
-
   const usize pb = planeBytes(blockSize_);
   std::byte* cursor = payload;
 
-  packSigns(residuals, cursor);
+  if (!simd::absAndPackSigns(residuals, absVals.data(), cursor)) {
+    for (usize i = 0; i < blockSize_; ++i) absVals[i] = absU32(residuals[i]);
+    packSigns(residuals, cursor);
+  }
   cursor += pb;
 
   if (plan.header.outlierMode) {
@@ -137,9 +141,11 @@ void BlockCodec::decodeResiduals(const BlockHeader& header,
   unpackPlanes(cursor, header.fixedLength, absVals);
   if (header.outlierMode) absVals[0] = outlierAbs;
 
-  for (usize i = 0; i < blockSize_; ++i) {
-    residuals[i] = signBit(signs, i) ? -static_cast<i32>(absVals[i])
-                                     : static_cast<i32>(absVals[i]);
+  if (!simd::applySigns(signs, absVals, residuals.data())) {
+    for (usize i = 0; i < blockSize_; ++i) {
+      residuals[i] = signBit(signs, i) ? -static_cast<i32>(absVals[i])
+                                       : static_cast<i32>(absVals[i]);
+    }
   }
 }
 
@@ -149,10 +155,12 @@ BlockPlan BlockCodec::plan(std::span<const i32> quants,
                            EncodingMode mode) const {
   require(quants.size() == blockSize_, "BlockCodec::plan: wrong block size");
   i32 diffs[256];
-  i32 prev = 0;
-  for (usize i = 0; i < blockSize_; ++i) {
-    diffs[i] = quants[i] - prev;
-    prev = quants[i];
+  if (!simd::diffI32(quants, diffs)) {
+    i32 prev = 0;
+    for (usize i = 0; i < blockSize_; ++i) {
+      diffs[i] = quants[i] - prev;
+      prev = quants[i];
+    }
   }
   return planResiduals(std::span<const i32>(diffs, blockSize_), mode);
 }
@@ -163,10 +171,12 @@ void BlockCodec::encode(std::span<const i32> quants, const BlockPlan& plan,
           "BlockCodec::encode: wrong block size");
   if (plan.payloadBytes == 0) return;
   i32 diffs[256];
-  i32 prev = 0;
-  for (usize i = 0; i < blockSize_; ++i) {
-    diffs[i] = quants[i] - prev;
-    prev = quants[i];
+  if (!simd::diffI32(quants, diffs)) {
+    i32 prev = 0;
+    for (usize i = 0; i < blockSize_; ++i) {
+      diffs[i] = quants[i] - prev;
+      prev = quants[i];
+    }
   }
   encodeResiduals(std::span<const i32>(diffs, blockSize_), plan, payload);
 }
@@ -178,10 +188,12 @@ void BlockCodec::decode(const BlockHeader& header, const std::byte* payload,
   i32 diffs[256];
   std::span<i32> d(diffs, blockSize_);
   decodeResiduals(header, payload, d);
-  i32 acc = 0;
-  for (usize i = 0; i < blockSize_; ++i) {
-    acc += d[i];
-    quants[i] = acc;
+  if (!simd::prefixSumI32(d, quants.data())) {
+    i32 acc = 0;
+    for (usize i = 0; i < blockSize_; ++i) {
+      acc += d[i];
+      quants[i] = acc;
+    }
   }
 }
 

@@ -41,6 +41,26 @@ usize payloadSize(const BlockHeader& header, u32 blockSize);
 /// the output buffer before the true lengths are known).
 usize maxPayloadSize(u32 blockSize);
 
+/// payloadSize() precomputed for all 256 offset-byte values at a fixed
+/// block size. The hot walks (layout validation, decompress pass 1) visit
+/// every block of a stream and need only the size, so one table lookup
+/// replaces unpack + branchy size arithmetic per block.
+class PayloadSizeTable {
+ public:
+  explicit PayloadSizeTable(u32 blockSize) {
+    for (u32 b = 0; b < 256; ++b) {
+      sizes_[b] = static_cast<u32>(
+          payloadSize(BlockHeader::unpack(static_cast<u8>(b)), blockSize));
+    }
+  }
+  u32 operator[](std::byte offsetByte) const {
+    return sizes_[std::to_integer<u8>(offsetByte)];
+  }
+
+ private:
+  u32 sizes_[256];
+};
+
 /// Result of analysing one block of quantization integers.
 struct BlockPlan {
   BlockHeader header;

@@ -11,6 +11,7 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace cuszp2::core {
@@ -65,6 +66,7 @@ inline void unpackPlanesReference(const std::byte* in, u32 fl,
 /// the reference kernel does (fl x fewer loads; the byte assembly is a
 /// fixed unrolled or-tree the compiler vectorizes).
 inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
+  if (simd::packPlanes(absVals, fl, out)) return;
   const usize L = absVals.size();
   const usize pb = planeBytes(static_cast<u32>(L));
   for (usize j = 0; j < pb; ++j) {
@@ -91,6 +93,7 @@ inline void packPlanes(std::span<const u32> absVals, u32 fl, std::byte* out) {
 /// at the end.
 inline void unpackPlanes(const std::byte* in, u32 fl,
                          std::span<u32> absVals) {
+  if (simd::unpackPlanes(in, fl, absVals)) return;
   const usize L = absVals.size();
   const usize pb = planeBytes(static_cast<u32>(L));
   for (usize j = 0; j < pb; ++j) {
@@ -121,6 +124,7 @@ inline void unpackPlanes(const std::byte* in, u32 fl,
 
 /// Packs one sign bit per element (1 = negative) into L/8 bytes.
 inline void packSigns(std::span<const i32> diffs, std::byte* out) {
+  if (simd::packSigns(diffs, out)) return;
   const usize L = diffs.size();
   for (usize j = 0; j < L / 8; ++j) {
     u32 byte = 0;

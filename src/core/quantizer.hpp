@@ -9,6 +9,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace cuszp2::core {
@@ -36,6 +37,10 @@ class Quantizer {
 
   f64 errorBound() const { return eb_; }
   RoundingMode rounding() const { return rounding_; }
+  /// Precomputed 1/(2*eb) and 2*eb, exposed so the SIMD fast paths perform
+  /// the exact same IEEE operations as quantize()/dequantize().
+  f64 recip() const { return recip_; }
+  f64 twoEb() const { return twoEb_; }
 
   /// Quantizes one value; throws if the value is not finite (NaN/inf have
   /// no error-bounded representation) or if the integer would exceed the
@@ -107,12 +112,26 @@ inline void quantizeDiffBlock(const Quantizer& quantizer,
                               std::span<const T> values,
                               std::span<i32> residuals) {
   i32 prev = 0;
-  for (usize i = 0; i < values.size(); ++i) {
+  usize i = 0;
+  // Vector fast path (Nearest rounding only — Ceiling is off the hot
+  // path). A lane fault (non-finite or out-of-range value) restarts the
+  // scalar loop from element 0 so the thrown diagnostic is exactly the
+  // scalar one; otherwise the scalar loop just finishes the tail.
+  if (quantizer.rounding() == RoundingMode::Nearest) {
+    const usize done = simd::quantizeDiffPrefix(quantizer.recip(), values,
+                                                residuals.data(), &prev);
+    if (done == simd::kLaneFault) {
+      prev = 0;
+    } else {
+      i = done;
+    }
+  }
+  for (; i < values.size(); ++i) {
     const i32 cur = quantizer.quantize(values[i]);
     residuals[i] = cur - prev;
     prev = cur;
   }
-  for (usize i = values.size(); i < residuals.size(); ++i) residuals[i] = 0;
+  for (usize j = values.size(); j < residuals.size(); ++j) residuals[j] = 0;
 }
 
 }  // namespace cuszp2::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <limits>
 #include <optional>
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "core/block_codec.hpp"
 #include "core/quantizer.hpp"
@@ -108,11 +110,23 @@ void residualsToQuants(std::span<const i32> res, std::span<i32> quants,
       quants[i] = q;
     }
   } else {
+    if (simd::prefixSumI32(res, quants.data())) return;
     i32 q = 0;
     for (usize i = 0; i < res.size(); ++i) {
       q += res[i];
       quants[i] = q;
     }
+  }
+}
+
+/// Reconstruction loop: out[i] = q[i] * 2eb, SIMD when active (the vector
+/// path performs the identical f64 multiply + narrowing convert).
+template <FloatingPoint T>
+void dequantizeSpan(const Quantizer& quantizer, std::span<const i32> q,
+                    T* out) {
+  if (simd::dequantize(q, quantizer.twoEb(), out)) return;
+  for (usize i = 0; i < q.size(); ++i) {
+    out[i] = quantizer.dequantize<T>(q[i]);
   }
 }
 
@@ -344,11 +358,10 @@ Compressed finishField(const Config& config,
     const std::byte* payload = job.staging + job.header.payloadBegin();
     std::byte* footer = job.staging + finalBytes;
     const u64 numBlocks = job.header.numBlocks();
+    const PayloadSizeTable psize(job.header.blockSize);
     u64 cursor = 0;
     for (u64 blk = 0; blk < numBlocks; ++blk) {
-      const usize size = payloadSize(
-          BlockHeader::unpack(std::to_integer<u8>(offsets[blk])),
-          job.header.blockSize);
+      const usize size = psize[offsets[blk]];
       const u16 digest =
           blockDigest(offsets[blk], ConstByteSpan(payload + cursor, size));
       footer[2 * blk] = static_cast<std::byte>(digest & 0xFFu);
@@ -392,14 +405,14 @@ bool compressWriteDigestsMatch(const FieldJob& job, u32 bpt) {
   const u64 numBlocks = job.header.numBlocks();
   const std::byte* offsets = job.staging + StreamHeader::offsetsBegin();
   const std::byte* payload = job.staging + job.header.payloadBegin();
+  const PayloadSizeTable psize(L);
   u64 cursor = 0;
   for (u32 t = 0; t < job.tiles; ++t) {
     const u64 firstBlock = static_cast<u64>(t) * bpt;
     const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
     u32 crc = 0;
     for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
-      const usize size = payloadSize(
-          BlockHeader::unpack(std::to_integer<u8>(offsets[blk])), L);
+      const usize size = psize[offsets[blk]];
       crc = crc32(ConstByteSpan(offsets + blk, 1), crc);
       crc = crc32(ConstByteSpan(payload + cursor, size), crc);
       cursor += size;
@@ -440,12 +453,12 @@ u64 validateStrictLayout(const char* api, const StreamHeader& header,
   const std::byte* payload = stream.data() + payloadBegin;
   // The version-2 footer occupies the stream's trailing bytes.
   const std::byte* footer = stream.data() + (stream.size() - footerB);
+  const PayloadSizeTable psize(L);
 
   u64 cursor = 0;
   for (u64 blk = 0; blk < numBlocks; ++blk) {
     const std::byte offsetByte = offsets[blk];
-    const usize size =
-        payloadSize(BlockHeader::unpack(std::to_integer<u8>(offsetByte)), L);
+    const usize size = psize[offsetByte];
     if (cursor + size > payloadAvail) {
       throwPayloadOverrun(api, blk, payloadBegin + cursor, size,
                           payloadAvail - std::min<usize>(payloadAvail,
@@ -734,6 +747,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
 
   const Quantizer quantizer(header.absErrorBound);
   const BlockCodec codec(L);
+  const PayloadSizeTable psize(L);
   std::optional<TileSync> syncState;
   syncState.emplace(config_.syncAlgorithm, tiles, arena_);
   std::span<u32> tileWriteCrc;
@@ -755,9 +769,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
     // second analysis loop, which is why decompression is faster (Sec. V-B).
     u64 aggregate = 0;
     for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
-      const auto h = BlockHeader::unpack(
-          std::to_integer<u8>(offsetBytes[blk]));
-      aggregate += payloadSize(h, L);
+      aggregate += psize[offsetBytes[blk]];
     }
     access.read(ctx.mem, blocksHere, 1);
     ctx.mem.noteOps(blocksHere * 2);
@@ -773,7 +785,7 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
     for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
       const auto h = BlockHeader::unpack(
           std::to_integer<u8>(offsetBytes[blk]));
-      const usize size = payloadSize(h, L);
+      const usize size = psize[offsetBytes[blk]];
       const u64 eFirst = blk * L;
       const u64 eLast = std::min<u64>(n, eFirst + L);
 
@@ -791,9 +803,9 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
       residualsToQuants(q, q, header.predictor);
       cursor += size;
       payloadBytesRead += size;
-      for (u64 e = eFirst; e < eLast; ++e) {
-        out.data[e] = quantizer.dequantize<T>(q[e - eFirst]);
-      }
+      dequantizeSpan(quantizer,
+                     std::span<const i32>(quantsArr, eLast - eFirst),
+                     out.data.data() + eFirst);
       decodedElems += eLast - eFirst;
     }
     access.read(ctx.mem, payloadBytesRead, 4);
@@ -843,6 +855,213 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
   return out;
 }
 
+namespace {
+
+/// Per-stream state of one member of a fused decompress batch. Everything
+/// the kernel body references by pointer must outlive the launch, so the
+/// jobs vector is sized once up front and never reallocated.
+struct DecodeJob {
+  StreamHeader header;
+  const std::byte* offsetBytes = nullptr;
+  const std::byte* payload = nullptr;
+  usize payloadAvail = 0;
+  u32 tiles = 1;
+  std::optional<TileSync> sync;
+  f64 checksumSeconds = 0.0;
+  gpusim::KernelDesc desc;
+};
+
+/// Builds the strict decode kernel body for one stream of a fused batch:
+/// the same per-tile walk as decompress() minus the write-digest pass
+/// (fault-injection configs take the serial fallback instead). Small
+/// per-block state (codec, quantizer, size table) is captured by value so
+/// the body stays self-contained once enqueued.
+template <FloatingPoint T>
+void buildDecodeKernel(const Config& config,
+                       const gpusim::TimingModel& timing, DecodeJob& job,
+                       std::byte* outBytes) {
+  const u32 L = job.header.blockSize;
+  const u32 bpt = config.blocksPerTile;
+  const u64 n = job.header.numElements;
+  const u64 numBlocks = job.header.numBlocks();
+  T* out = reinterpret_cast<T*>(outBytes);
+  const std::byte* offsetBytes = job.offsetBytes;
+  const std::byte* payload = job.payload;
+  const usize payloadAvail = job.payloadAvail;
+  TileSync* sync = &*job.sync;
+  const Quantizer quantizer(job.header.absErrorBound);
+  const BlockCodec codec(L);
+  const PayloadSizeTable psize(L);
+  const AccessRecorder access{config.vectorizedAccess,
+                              timing.spec().transactionBytes};
+  const Predictor predictor = job.header.predictor;
+
+  job.desc.gridSize = job.tiles;
+  job.desc.name = "decompress";
+  job.desc.body = [=](gpusim::BlockCtx& ctx) {
+    const u64 firstBlock = static_cast<u64>(ctx.blockIdx) * bpt;
+    const u64 lastBlock = std::min(numBlocks, firstBlock + bpt);
+    const u32 blocksHere = static_cast<u32>(lastBlock - firstBlock);
+
+    u64 aggregate = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      aggregate += psize[offsetBytes[blk]];
+    }
+    access.read(ctx.mem, blocksHere, 1);
+    ctx.mem.noteOps(blocksHere * 2);
+
+    const u64 base =
+        sync->processTile(ctx.blockIdx, aggregate, ctx.sync, ctx.mem);
+
+    u64 cursor = base;
+    i32 quantsArr[256];
+    u64 zeroBytes = 0;
+    u64 decodedElems = 0;
+    u64 payloadBytesRead = 0;
+    for (u64 blk = firstBlock; blk < lastBlock; ++blk) {
+      const auto h =
+          BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk]));
+      const usize size = psize[offsetBytes[blk]];
+      const u64 eFirst = blk * L;
+      const u64 eLast = std::min<u64>(n, eFirst + L);
+
+      if (!h.outlierMode && h.fixedLength == 0) {
+        for (u64 e = eFirst; e < eLast; ++e) out[e] = T{};
+        zeroBytes += (eLast - eFirst) * sizeof(T);
+        continue;
+      }
+
+      require(cursor + size <= payloadAvail,
+              "decompressBatch: truncated payload region");
+      std::span<i32> q(quantsArr, L);
+      codec.decodeResiduals(h, payload + cursor, q);
+      residualsToQuants(q, q, predictor);
+      cursor += size;
+      payloadBytesRead += size;
+      dequantizeSpan(quantizer,
+                     std::span<const i32>(quantsArr, eLast - eFirst),
+                     out + eFirst);
+      decodedElems += eLast - eFirst;
+    }
+    access.read(ctx.mem, payloadBytesRead, 4);
+    access.write(ctx.mem, decodedElems * sizeof(T), sizeof(T));
+    ctx.mem.noteMemset(zeroBytes);
+    ctx.mem.noteOps(decodedElems * 6);
+    ctx.mem.noteL1(decodedElems * 8);
+  };
+}
+
+/// Serial-fallback copy: one typed decompress flattened to raw bytes.
+template <FloatingPoint T>
+void decompressSerialRaw(CompressorStream& self, ConstByteSpan stream,
+                         DecompressedRaw& out) {
+  Decompressed<T> d = self.decompress<T>(stream);
+  out.elements = d.data.size();
+  out.precision = precisionOf<T>();
+  out.profile = d.profile;
+  out.data.resize(d.data.size() * sizeof(T));
+  if (!d.data.empty()) {
+    std::memcpy(out.data.data(), d.data.data(), out.data.size());
+  }
+}
+
+}  // namespace
+
+std::vector<DecompressedRaw> CompressorStream::decompressBatchRaw(
+    std::span<const ConstByteSpan> streams) {
+  std::vector<DecompressedRaw> out(streams.size());
+  if (streams.empty()) return out;
+
+  // Per-stream write-digest verification cannot isolate one member of a
+  // fused launch, so fault-injection configurations keep the serial
+  // detect-and-retry semantics of decompress().
+  if (config_.faultRetries > 0) {
+    for (usize i = 0; i < streams.size(); ++i) {
+      const StreamHeader header = StreamHeader::parse(streams[i]);
+      if (header.precision == Precision::F32) {
+        decompressSerialRaw<f32>(*this, streams[i], out[i]);
+      } else {
+        decompressSerialRaw<f64>(*this, streams[i], out[i]);
+      }
+    }
+    return out;
+  }
+
+  arena_.reset();
+  applyInjectedArenaBudget();
+
+  std::vector<DecodeJob> jobs(streams.size());
+  for (usize i = 0; i < streams.size(); ++i) {
+    DecodeJob& job = jobs[i];
+    const ConstByteSpan stream = streams[i];
+    job.header = StreamHeader::parse(stream);
+
+    if (job.header.checksum != 0) {
+      u32 crc = crc32(ConstByteSpan(
+          stream.data() + StreamHeader::offsetsBegin(),
+          stream.size() - StreamHeader::offsetsBegin()));
+      if (crc == 0) crc = 1;
+      require(crc == job.header.checksum,
+              "decompressBatch: checksum mismatch — the stream is "
+              "corrupted");
+      job.checksumSeconds += static_cast<f64>(stream.size()) /
+                                 (timing_.spec().memBandwidthGBps * 1e9) +
+                             timing_.launchSeconds();
+    }
+    validateStrictLayout("decompressBatch", job.header, stream, 0,
+                         job.header.numBlocks());
+    if (job.header.hasBlockChecksums()) {
+      job.checksumSeconds += static_cast<f64>(stream.size()) /
+                                 (timing_.spec().memBandwidthGBps * 1e9) +
+                             timing_.launchSeconds();
+    }
+
+    const u64 n = job.header.numElements;
+    const usize elemBytes =
+        job.header.precision == Precision::F32 ? sizeof(f32) : sizeof(f64);
+    out[i].precision = job.header.precision;
+    out[i].elements = n;
+    out[i].data.assign(n * elemBytes, std::byte{});
+    if (n == 0) {
+      job.desc.gridSize = 0;
+      out[i].profile.endToEndSeconds = timing_.launchSeconds();
+      continue;
+    }
+
+    const u64 numBlocks = job.header.numBlocks();
+    job.tiles = static_cast<u32>(std::max<u64>(
+        1, (numBlocks + config_.blocksPerTile - 1) / config_.blocksPerTile));
+    job.offsetBytes = stream.data() + StreamHeader::offsetsBegin();
+    job.payload = stream.data() + job.header.payloadBegin();
+    job.payloadAvail =
+        stream.size() - job.header.payloadBegin() - job.header.footerBytes();
+    job.sync.emplace(config_.syncAlgorithm, job.tiles, arena_);
+    if (job.header.precision == Precision::F32) {
+      buildDecodeKernel<f32>(config_, timing_, job, out[i].data.data());
+    } else {
+      buildDecodeKernel<f64>(config_, timing_, job, out[i].data.data());
+    }
+  }
+
+  std::vector<gpusim::KernelDesc> descs;
+  descs.reserve(jobs.size());
+  for (DecodeJob& job : jobs) descs.push_back(std::move(job.desc));
+  auto launches = launcher_.launchBatch(descs);
+
+  for (usize i = 0; i < jobs.size(); ++i) {
+    if (descs[i].gridSize == 0) {
+      noteDecompressed(streams[i].size(), 0, 0.0);
+      continue;
+    }
+    out[i].profile = makeProfile(launches[i], timing_,
+                                 jobs[i].header.originalBytes(),
+                                 jobs[i].checksumSeconds);
+    noteDecompressed(streams[i].size(), out[i].data.size(),
+                     out[i].profile.endToEndGBps);
+  }
+  return out;
+}
+
 template <FloatingPoint T>
 BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
                                                  u64 firstBlock,
@@ -876,6 +1095,7 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
 
   const Quantizer quantizer(header.absErrorBound);
   const BlockCodec codec(L);
+  const PayloadSizeTable psize(L);
   TileSync syncState(config_.syncAlgorithm, tiles, arena_);
   const AccessRecorder access{config_.vectorizedAccess,
                               timing_.spec().transactionBytes};
@@ -896,8 +1116,7 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
 
     u64 aggregate = 0;
     for (u64 blk = tFirst; blk < tLast; ++blk) {
-      aggregate += payloadSize(
-          BlockHeader::unpack(std::to_integer<u8>(offsetBytes[blk])), L);
+      aggregate += psize[offsetBytes[blk]];
     }
     access.read(ctx.mem, tLast - tFirst, 1);
     ctx.mem.noteOps((tLast - tFirst) * 2);
@@ -912,7 +1131,7 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
     for (u64 blk = tFirst; blk < tLast; ++blk) {
       const auto h = BlockHeader::unpack(
           std::to_integer<u8>(offsetBytes[blk]));
-      const usize size = payloadSize(h, L);
+      const usize size = psize[offsetBytes[blk]];
       if (blk >= firstBlock && blk < firstBlock + blockCount) {
         require(cursor + size <= payloadAvail,
                 "decompressBlocks: truncated payload region");
@@ -921,10 +1140,9 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
         residualsToQuants(q, q, header.predictor);
         const u64 eFirst = blk * L;
         const u64 eLast = std::min<u64>(n, eFirst + L);
-        for (u64 e = eFirst; e < eLast; ++e) {
-          out.values[e - out.firstElement] = quantizer.dequantize<T>(
-              q[e - eFirst]);
-        }
+        dequantizeSpan(quantizer,
+                       std::span<const i32>(quantsArr, eLast - eFirst),
+                       out.values.data() + (eFirst - out.firstElement));
         access.read(ctx.mem, size, 4);
         access.write(ctx.mem, (eLast - eFirst) * sizeof(T), sizeof(T));
         ctx.mem.noteOps((eLast - eFirst) * 6);
@@ -1150,11 +1368,11 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
   // later positions, so their digests fail too — exactly the blocks whose
   // bytes can no longer be trusted.
   const std::span<u64> blockStart = arena_.allocSpan<u64>(numBlocks);
+  const PayloadSizeTable psize(L);
   u64 cursor = 0;
   for (u64 blk = 0; blk < numBlocks; ++blk) {
     blockStart[blk] = cursor;
-    const usize size = payloadSize(
-        BlockHeader::unpack(std::to_integer<u8>(offsets[blk])), L);
+    const usize size = psize[offsets[blk]];
     if (cursor > payloadAvail || size > payloadAvail - cursor) {
       rep.verdicts[blk] = BlockVerdict::Truncated;
     } else if (header.hasBlockChecksums()) {
@@ -1206,9 +1424,9 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
         std::span<i32> q(quantsArr, L);
         codec.decodeResiduals(h, payload + blockStart[blk], q);
         residualsToQuants(q, q, header.predictor);
-        for (u64 e = eFirst; e < eLast; ++e) {
-          out.data[e] = quantizer.dequantize<T>(q[e - eFirst]);
-        }
+        dequantizeSpan(quantizer,
+                       std::span<const i32>(quantsArr, eLast - eFirst),
+                       out.data.data() + eFirst);
         decodedElems += eLast - eFirst;
         payloadBytesRead += payloadSize(h, L);
       } catch (const Error&) {

@@ -61,6 +61,16 @@ struct Decompressed {
   KernelProfile profile;
 };
 
+/// Decompressed elements as raw little-endian bytes — the form batched
+/// service decodes consume (the element type is stream-determined, so a
+/// fused batch may mix precisions).
+struct DecompressedRaw {
+  std::vector<std::byte> data;
+  u64 elements = 0;
+  Precision precision = Precision::F32;
+  KernelProfile profile;
+};
+
 template <FloatingPoint T>
 struct BlockRange {
   /// Index of the first element covered by the decoded range.
@@ -175,6 +185,16 @@ class CompressorStream {
   /// Semantics identical to Compressor::decompress.
   template <FloatingPoint T>
   Decompressed<T> decompress(ConstByteSpan stream);
+
+  /// Decompresses several independent streams through one fused launch
+  /// (mirrors compressBatch: one latch, one task-submission pass).
+  /// Element i's bytes are identical to decompress(streams[i]) output.
+  /// Strict semantics: a corrupt stream throws before any kernel runs.
+  /// With Config::faultRetries > 0 the per-stream write-digest relaunch
+  /// cannot run inside a fused launch, so the call degrades to serial
+  /// decompress calls (same results, one launch per stream).
+  std::vector<DecompressedRaw> decompressBatchRaw(
+      std::span<const ConstByteSpan> streams);
 
   /// Salvage decode: treats `stream` as untrusted, bounds-checks every
   /// offset/payload access, quarantines blocks that are truncated,

@@ -5,6 +5,14 @@
 
 #include "common/error.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define CUSZP2_IO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace cuszp2::io {
 
 namespace {
@@ -73,6 +81,66 @@ void writeBytes(const std::string& path, ConstByteSpan bytes) {
                 bytes.size(),
             "io: short write to " + path);
   }
+}
+
+MappedBytes::MappedBytes(const std::string& path) {
+#if defined(CUSZP2_IO_HAS_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  require(fd >= 0, "io: cannot open " + path);
+  struct ::stat st = {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    require(false, "io: not a regular file: " + path);
+  }
+  const usize bytes = static_cast<usize>(st.st_size);
+  if (bytes == 0) {
+    ::close(fd);
+    return;
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    ::close(fd);
+    map_ = map;
+    mapBytes_ = bytes;
+    view_ = ConstByteSpan(static_cast<const std::byte*>(map), bytes);
+    return;
+  }
+  // pread fallback: same bytes, one copy into a heap buffer.
+  buffer_.resize(bytes);
+  usize off = 0;
+  while (off < bytes) {
+    const ssize_t got = ::pread(fd, buffer_.data() + off, bytes - off,
+                                static_cast<off_t>(off));
+    if (got <= 0) {
+      ::close(fd);
+      require(false, "io: short read from " + path);
+    }
+    off += static_cast<usize>(got);
+  }
+  ::close(fd);
+  view_ = buffer_;
+#else
+  buffer_ = readBytes(path);
+  view_ = buffer_;
+#endif
+}
+
+MappedBytes::~MappedBytes() {
+#if defined(CUSZP2_IO_HAS_MMAP)
+  if (map_ != nullptr) ::munmap(map_, mapBytes_);
+#endif
+}
+
+MappedBytes& MappedBytes::operator=(MappedBytes&& o) noexcept {
+  if (this == &o) return *this;
+#if defined(CUSZP2_IO_HAS_MMAP)
+  if (map_ != nullptr) ::munmap(map_, mapBytes_);
+#endif
+  map_ = std::exchange(o.map_, nullptr);
+  mapBytes_ = std::exchange(o.mapBytes_, 0);
+  buffer_ = std::move(o.buffer_);
+  view_ = std::exchange(o.view_, ConstByteSpan{});
+  return *this;
 }
 
 template std::vector<f32> readRaw<f32>(const std::string&);

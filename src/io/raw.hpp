@@ -3,9 +3,12 @@
 // SDRBench downloads exactly like the paper's artifact.
 #pragma once
 
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace cuszp2::io {
@@ -21,6 +24,49 @@ void writeRaw(const std::string& path, std::span<const T> values);
 /// Reads/writes arbitrary bytes (compressed streams).
 std::vector<std::byte> readBytes(const std::string& path);
 void writeBytes(const std::string& path, ConstByteSpan bytes);
+
+/// Read-only zero-copy view of a file. Prefers mmap — no read copy, pages
+/// fault in on demand, so reading a multi-GB archive to decode one field
+/// touches only that field's pages. Falls back to a pread-filled heap
+/// buffer when mmap is unavailable (non-regular files, platforms without
+/// it); the bytes() contract is identical either way. Move-only RAII: the
+/// mapping (or buffer) lives exactly as long as the object, and every
+/// span handed out must not outlive it.
+class MappedBytes {
+ public:
+  MappedBytes() = default;
+  explicit MappedBytes(const std::string& path);
+  ~MappedBytes();
+
+  MappedBytes(MappedBytes&& o) noexcept { *this = std::move(o); }
+  MappedBytes& operator=(MappedBytes&& o) noexcept;
+  MappedBytes(const MappedBytes&) = delete;
+  MappedBytes& operator=(const MappedBytes&) = delete;
+
+  ConstByteSpan bytes() const { return view_; }
+  const std::byte* data() const { return view_.data(); }
+  usize size() const { return view_.size(); }
+
+  /// True when the view is a zero-copy mmap (false: pread fallback).
+  bool zeroCopy() const { return map_ != nullptr; }
+
+  /// Typed view of the whole file (raw SDRBench fields). mmap regions are
+  /// page-aligned and the fallback buffer allocator-aligned, so the
+  /// reinterpret is always valid for element types.
+  template <FloatingPoint T>
+  std::span<const T> view() const {
+    require(view_.size() % sizeof(T) == 0,
+            "io: mapped file size is not a multiple of the element size");
+    return {reinterpret_cast<const T*>(view_.data()),
+            view_.size() / sizeof(T)};
+  }
+
+ private:
+  void* map_ = nullptr;  // mmap region base (nullptr when buffered/empty)
+  usize mapBytes_ = 0;
+  std::vector<std::byte> buffer_;  // pread fallback storage
+  ConstByteSpan view_;
+};
 
 extern template std::vector<f32> readRaw<f32>(const std::string&);
 extern template std::vector<f64> readRaw<f64>(const std::string&);

@@ -1,9 +1,11 @@
 #include "scan/lookback.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "gpusim/launcher.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -65,9 +67,24 @@ u64 LookbackState::processTile(u32 tile, u64 aggregate,
   publish(tile, kFlagAggregate, aggregate);
   mem.noteScalarWrite(8, 8, 32);
 
+  // The walk gathers published predecessor words into a small window and
+  // combines each window with one vector masked-sum (u64 adds are exact in
+  // any order, so the result is identical to the scalar accumulation); the
+  // per-word acquire loads and spin-wait semantics are unchanged.
   u64 exclusive = 0;
   u64 depth = 0;
   u64 spins = 0;
+  u64 window[8];
+  usize filled = 0;
+  const auto combineWindow = [&] {
+    u64 sum = 0;
+    if (!simd::sumMaskedU64(std::span<const u64>(window, filled), kValueMask,
+                            &sum)) {
+      for (usize i = 0; i < filled; ++i) sum += window[i] & kValueMask;
+    }
+    exclusive += sum;
+    filled = 0;
+  };
   for (u32 look = tile; look-- > 0;) {
     ++depth;
     u64 packed = state_[look].load(std::memory_order_acquire);
@@ -78,9 +95,11 @@ u64 LookbackState::processTile(u32 tile, u64 aggregate,
       packed = state_[look].load(std::memory_order_acquire);
     }
     mem.noteScalarRead(8, 8, 32);
-    exclusive += packed & kValueMask;
+    window[filled++] = packed;
     if ((packed >> 62) == kFlagPrefix) break;
+    if (filled == sizeof(window) / sizeof(window[0])) combineWindow();
   }
+  combineWindow();
 
   sync.lookbackSteps += depth;
   sync.maxLookbackDepth = std::max(sync.maxLookbackDepth, depth);

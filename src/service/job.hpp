@@ -108,9 +108,12 @@ struct JobResult {
   core::Compressed compressed;
 
   /// Decompress jobs: the reconstructed elements as raw little-endian
-  /// bytes (decodedElements of Precision-sized values).
+  /// bytes (decodedElements of Precision-sized values), plus the decode's
+  /// modelled kernel profile (compress jobs carry theirs inside
+  /// `compressed.profile`).
   std::vector<std::byte> decompressed;
   u64 decodedElements = 0;
+  core::KernelProfile decompressProfile;
 
   std::string tenant;
   JobKind kind = JobKind::Compress;
@@ -202,14 +205,14 @@ struct Job {
   bool finished = false;  // under mutex; result is valid once true
   JobResult result;
 
-  /// True when two jobs can share one fused compressBatch launch: same
-  /// operation, element type, and codec configuration. Per-field error
-  /// bounds, headers and payloads are derived independently inside the
-  /// batch, so coalescing never changes a job's output bytes.
+  /// True when two jobs can share one fused launch (compressBatch or
+  /// decompressBatchRaw): same operation, element type, and codec
+  /// configuration. Per-field error bounds, headers and payloads are
+  /// derived independently inside the batch, so coalescing never changes
+  /// a job's output bytes.
   bool batchableWith(const Job& o) const {
-    return kind == JobKind::Compress && o.kind == JobKind::Compress &&
-           !soloOnly && !o.soloOnly && precision == o.precision &&
-           config == o.config;
+    return kind == o.kind && !soloOnly && !o.soloOnly &&
+           precision == o.precision && config == o.config;
   }
 
   /// Commits the result; returns true iff this call won (first

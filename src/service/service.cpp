@@ -358,7 +358,7 @@ void CompressionService::workerLoop(u32 worker) {
       std::shared_ptr<detail::Job> head = lanes_.pop();
       if (head == nullptr) continue;  // only tombstones were queued
       batch.push_back(std::move(head));
-      if (config_.maxBatchJobs > 1 && batch[0]->kind == JobKind::Compress) {
+      if (config_.maxBatchJobs > 1) {
         lanes_.popBatch(*batch[0], batch, config_.maxBatchJobs - 1,
                         config_.maxBatchBytes);
       }
@@ -419,7 +419,7 @@ void CompressionService::execute(
         runCompress<f64>(batch, stream, results);
       }
     } else {
-      runDecompress(*batch[0], stream, results[0]);
+      runDecompress(batch, stream, results);
     }
   } catch (const std::exception& e) {
     failure = e.what();
@@ -527,29 +527,54 @@ template void CompressionService::runCompress<f64>(
     std::vector<std::shared_ptr<detail::Job>>&, core::CompressorStream&,
     std::vector<JobResult>&);
 
-void CompressionService::runDecompress(detail::Job& job,
-                                       core::CompressorStream& stream,
-                                       JobResult& result) {
-  const core::StreamHeader header = core::StreamHeader::parse(job.input);
-  if (header.precision == Precision::F32) {
-    core::Decompressed<f32> out = stream.decompress<f32>(job.input);
-    result.decodedElements = out.data.size();
-    result.decompressed.resize(out.data.size() * sizeof(f32));
-    if (!out.data.empty()) {
-      std::memcpy(result.decompressed.data(), out.data.data(),
-                  result.decompressed.size());
+void CompressionService::runDecompress(
+    std::vector<std::shared_ptr<detail::Job>>& batch,
+    core::CompressorStream& stream, std::vector<JobResult>& results) {
+  if (batch.size() == 1) {
+    detail::Job& job = *batch[0];
+    JobResult& result = results[0];
+    const core::StreamHeader header = core::StreamHeader::parse(job.input);
+    if (header.precision == Precision::F32) {
+      core::Decompressed<f32> out = stream.decompress<f32>(job.input);
+      result.decodedElements = out.data.size();
+      result.decompressProfile = out.profile;
+      result.decompressed.resize(out.data.size() * sizeof(f32));
+      if (!out.data.empty()) {
+        std::memcpy(result.decompressed.data(), out.data.data(),
+                    result.decompressed.size());
+      }
+    } else {
+      core::Decompressed<f64> out = stream.decompress<f64>(job.input);
+      result.decodedElements = out.data.size();
+      result.decompressProfile = out.profile;
+      result.decompressed.resize(out.data.size() * sizeof(f64));
+      if (!out.data.empty()) {
+        std::memcpy(result.decompressed.data(), out.data.data(),
+                    result.decompressed.size());
+      }
     }
-  } else {
-    core::Decompressed<f64> out = stream.decompress<f64>(job.input);
-    result.decodedElements = out.data.size();
-    result.decompressed.resize(out.data.size() * sizeof(f64));
-    if (!out.data.empty()) {
-      std::memcpy(result.decompressed.data(), out.data.data(),
-                  result.decompressed.size());
-    }
+    result.ok = true;
+    result.outcome = Outcome::Completed;
+    return;
   }
-  result.ok = true;
-  result.outcome = Outcome::Completed;
+
+  // Fused decode: one launch for the whole batch. A corrupt member throws
+  // before any kernel runs; execute()'s batch-split path then requeues
+  // every member solo, preserving fault isolation.
+  std::vector<ConstByteSpan> streams;
+  streams.reserve(batch.size());
+  for (const std::shared_ptr<detail::Job>& job : batch) {
+    streams.emplace_back(job->input.data(), job->input.size());
+  }
+  std::vector<core::DecompressedRaw> outs =
+      stream.decompressBatchRaw(streams);
+  for (usize i = 0; i < batch.size(); ++i) {
+    results[i].decodedElements = outs[i].elements;
+    results[i].decompressProfile = outs[i].profile;
+    results[i].decompressed = std::move(outs[i].data);
+    results[i].ok = true;
+    results[i].outcome = Outcome::Completed;
+  }
 }
 
 namespace {
@@ -566,6 +591,7 @@ void fillSalvaged(core::Salvaged<T>&& salvaged, JobResult& result,
     std::memcpy(result.decompressed.data(), salvaged.data.data(),
                 result.decompressed.size());
   }
+  result.decompressProfile = salvaged.profile;
   result.decodeReport = std::move(salvaged.report);
   if (result.decodeReport.clean()) {
     result.ok = true;

@@ -343,8 +343,9 @@ class CompressionService {
   void runCompress(std::vector<std::shared_ptr<detail::Job>>& batch,
                    core::CompressorStream& stream,
                    std::vector<JobResult>& results);
-  void runDecompress(detail::Job& job, core::CompressorStream& stream,
-                     JobResult& result);
+  void runDecompress(std::vector<std::shared_ptr<detail::Job>>& batch,
+                     core::CompressorStream& stream,
+                     std::vector<JobResult>& results);
   void runDegradedDecode(detail::Job& job, core::CompressorStream& stream,
                          JobResult& result, const std::string& failure);
   void finishJob(detail::Job& job, JobResult result, bool abandoned);

@@ -144,19 +144,22 @@ std::string MetricsRegistry::snapshotJson() const {
   for (const auto& [name, k] : kernels_) {
     out += first ? "\n" : ",\n";
     first = false;
+    KernelRow row;
+    row.launches = k->launches.load(std::memory_order_relaxed);
+    row.dramBytes = k->dramBytes.load(std::memory_order_relaxed);
+    row.modelledSeconds =
+        static_cast<f64>(k->modelledPicos.load(std::memory_order_relaxed)) *
+        1e-12;
+    row.wallSeconds =
+        static_cast<f64>(k->wallPicos.load(std::memory_order_relaxed)) *
+        1e-12;
     out += "    \"" + name + "\": {\"launches\": " +
-           std::to_string(k->launches.load(std::memory_order_relaxed)) +
-           ", \"dram_bytes\": " +
-           std::to_string(k->dramBytes.load(std::memory_order_relaxed)) +
-           ", \"modelled_seconds\": " +
-           formatF64(static_cast<f64>(
-                         k->modelledPicos.load(std::memory_order_relaxed)) *
-                     1e-12) +
-           ", \"wall_seconds\": " +
-           formatF64(static_cast<f64>(
-                         k->wallPicos.load(std::memory_order_relaxed)) *
-                     1e-12) +
-           "}";
+           std::to_string(row.launches) +
+           ", \"dram_bytes\": " + std::to_string(row.dramBytes) +
+           ", \"modelled_seconds\": " + formatF64(row.modelledSeconds) +
+           ", \"wall_seconds\": " + formatF64(row.wallSeconds) +
+           ", \"achieved_gbps\": " + formatF64(row.achievedGbps()) +
+           ", \"model_ratio\": " + formatF64(row.modelRatio()) + "}";
   }
   out += first ? "}" : "\n  }";
   out += "\n}\n";

@@ -149,6 +149,21 @@ struct KernelRow {
   u64 dramBytes = 0;
   f64 modelledSeconds = 0.0;
   f64 wallSeconds = 0.0;
+
+  /// DRAM traffic over host wall time — what the host substrate actually
+  /// sustained, vs the modelled GB/s from the device parameter sheet.
+  f64 achievedGbps() const {
+    return wallSeconds > 0.0
+               ? static_cast<f64>(dramBytes) / wallSeconds / 1e9
+               : 0.0;
+  }
+
+  /// wall / modelled: how many host-seconds each modelled device-second
+  /// costs. A rising ratio means the host path got slower relative to the
+  /// model (or the model more optimistic) — the substrate's headline number.
+  f64 modelRatio() const {
+    return modelledSeconds > 0.0 ? wallSeconds / modelledSeconds : 0.0;
+  }
 };
 
 class MetricsRegistry {

@@ -31,7 +31,22 @@ run_config() {
 }
 
 run_config release "" -DCMAKE_BUILD_TYPE=Release
-run_config asan "-L fast" -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
+
+# The SIMD and scalar kernels must be byte-identical drop-ins; run the
+# fast label under both dispatch modes so a divergence fails CI rather
+# than only the targeted sweep in test_simd.
+echo "==== [release] ctest -L fast, CUSZP2_SIMD=scalar ===="
+(cd "${repo_root}/build-ci-release" &&
+  CUSZP2_SIMD=scalar ctest --output-on-failure -j "${jobs}" -L fast)
+echo "==== [release] ctest -L fast, CUSZP2_SIMD=native ===="
+(cd "${repo_root}/build-ci-release" &&
+  CUSZP2_SIMD=native ctest --output-on-failure -j "${jobs}" -L fast)
+
+# The ASan leg pins scalar: the sanitizer instruments the scalar loops
+# (the semantic reference), and the vector intrinsics would only slow the
+# already-expensive pass without adding coverage ASan can act on.
+CUSZP2_SIMD=scalar \
+  run_config asan "-L fast" -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
 
 echo "==== [asan] fuzz_decode (500 structured mutants) ===="
 "${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
@@ -56,5 +71,20 @@ echo "==== [asan] chaos soak (seed 20260805, fast) ===="
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \
   "${repo_root}/BENCH_perf.json")
+
+# Every scenario row must declare a wall-clock budget: a row without one
+# escapes the perf.wall_budget soft-warn entirely, so a missing budget is
+# a hard failure (new scenarios must add a kWallBudgets entry).
+echo "==== BENCH_perf.json wall-budget completeness ===="
+python3 - "${repo_root}/BENCH_perf.json" <<'PYEOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+missing = [r["name"] for r in rows
+           if r.get("wall_budget_ms", 0) <= 0 or "wall_ms_median" not in r]
+if missing:
+    sys.exit("ci_check: rows missing wall_ms_median budget: %s"
+             % ", ".join(missing))
+print("all %d rows carry wall budgets" % len(rows))
+PYEOF
 
 echo "==== ci_check: all configurations passed ===="

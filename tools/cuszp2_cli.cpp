@@ -162,7 +162,8 @@ Options parseOptions(int argc, char** argv, int first) {
 template <FloatingPoint T>
 int doCompress(const std::string& in, const std::string& out,
                const Options& opt) {
-  const auto data = io::readRaw<T>(in);
+  const io::MappedBytes mapped(in);
+  const std::span<const T> data = mapped.view<T>();
   core::Config cfg;
   cfg.mode = opt.mode;
   cfg.blockSize = opt.blockSize;
@@ -186,7 +187,8 @@ int doCompress(const std::string& in, const std::string& out,
 }
 
 int doDecompress(const std::string& in, const std::string& out) {
-  const auto stream = io::readBytes(in);
+  const io::MappedBytes mapped(in);
+  const ConstByteSpan stream = mapped.bytes();
   const auto header = core::StreamHeader::parse(stream);
   core::CompressorStream codec(
       core::Config{.absErrorBound = header.absErrorBound});
@@ -226,7 +228,8 @@ void printDecodeReport(const core::DecodeReport& rep) {
 /// the output. Exit 0 when the stream was clean, 2 when damage was found.
 int doSalvageDecompress(const std::string& in, const std::string& out,
                         f64 fill) {
-  const auto stream = io::readBytes(in);
+  const io::MappedBytes mapped(in);
+  const ConstByteSpan stream = mapped.bytes();
   std::string headerError;
   const auto header = core::StreamHeader::tryParse(stream, &headerError);
   if (!header) {
@@ -252,7 +255,8 @@ int doSalvageDecompress(const std::string& in, const std::string& out,
 }
 
 int doInfo(const std::string& in) {
-  const auto stream = io::readBytes(in);
+  const io::MappedBytes mapped(in);
+  const ConstByteSpan stream = mapped.bytes();
   const auto header = core::StreamHeader::parse(stream);
   std::printf("cuSZp2 stream: %s\n", in.c_str());
   std::printf("  format version:  %u\n", header.version);
@@ -279,7 +283,8 @@ int doInfo(const std::string& in) {
 template <FloatingPoint T>
 int doVerifyTyped(const std::string& original, ConstByteSpan stream,
                   const core::StreamHeader& header) {
-  const auto data = io::readRaw<T>(original);
+  const io::MappedBytes mappedOriginal(original);
+  const std::span<const T> data = mappedOriginal.view<T>();
   require(data.size() == header.numElements,
           "verify: original size does not match the stream");
   core::CompressorStream codec(
@@ -305,24 +310,28 @@ int doVerifyTyped(const std::string& original, ConstByteSpan stream,
 }
 
 /// Per-kernel summary table from the telemetry registry: launches, DRAM
-/// bytes, modelled seconds, and each kernel's share of the total modelled
-/// time.
+/// bytes, modelled seconds, each kernel's share of the total modelled
+/// time, the throughput the host substrate actually achieved, and the
+/// wall/modelled ratio (host-seconds per modelled device-second).
 void printKernelTable() {
   const auto rows = telemetry::registry().snapshotKernels();
   if (rows.empty()) return;
   f64 totalModelled = 0.0;
   for (const auto& r : rows) totalModelled += r.modelledSeconds;
   std::printf("per-kernel summary:\n");
-  std::printf("  %-22s %9s %14s %14s %7s\n", "kernel", "launches",
-              "DRAM bytes", "modelled us", "% time");
+  std::printf("  %-22s %9s %14s %14s %7s %12s %9s\n", "kernel", "launches",
+              "DRAM bytes", "modelled us", "% time", "achieved GB/s",
+              "wall/mdl");
   for (const auto& r : rows) {
-    std::printf("  %-22s %9llu %14llu %14.2f %6.1f%%\n", r.name.c_str(),
+    std::printf("  %-22s %9llu %14llu %14.2f %6.1f%% %13.2f %9.1f\n",
+                r.name.c_str(),
                 static_cast<unsigned long long>(r.launches),
                 static_cast<unsigned long long>(r.dramBytes),
                 r.modelledSeconds * 1e6,
                 totalModelled > 0.0
                     ? 100.0 * r.modelledSeconds / totalModelled
-                    : 0.0);
+                    : 0.0,
+                r.achievedGbps(), r.modelRatio());
   }
 }
 
@@ -331,7 +340,8 @@ void printKernelTable() {
 /// docs/MODEL.md and docs/OBSERVABILITY.md.
 template <FloatingPoint T>
 int doProfileTyped(const std::string& in, const Options& opt) {
-  const auto data = io::readRaw<T>(in);
+  const io::MappedBytes mapped(in);
+  const std::span<const T> data = mapped.view<T>();
   core::Config cfg;
   cfg.mode = opt.mode;
   cfg.blockSize = opt.blockSize;
@@ -380,7 +390,8 @@ int doProfileTyped(const std::string& in, const Options& opt) {
 }
 
 int doVerify(const std::string& original, const std::string& in) {
-  const auto stream = io::readBytes(in);
+  const io::MappedBytes mapped(in);
+  const ConstByteSpan stream = mapped.bytes();
   core::StreamHeader header;
   try {
     header = core::StreamHeader::parse(stream);
@@ -415,7 +426,8 @@ void printParityReport(const io::RepairReport& rep) {
 
 /// Integrity-only verify of a stream or an archive (no original needed).
 int doVerifyIntegrity(const std::string& in) {
-  const auto bytes = io::readBytes(in);
+  const io::MappedBytes mapped(in);
+  const ConstByteSpan bytes = mapped.bytes();
 
   if (io::isArchive(bytes)) {
     const auto rep = io::verifyParity(bytes);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cluster/cluster.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "gpusim/timing.hpp"
@@ -68,7 +69,7 @@ constexpr WallBudget kWallBudgets[] = {
     {"jetin/compress", 14.0},        {"jetin/decompress", 4.5},
     {"jetin/round_trip", 17.0},      {"service/batched", 42.0},
     {"service/unbatched", 45.0},     {"service/batched_decompress", 20.0},
-    {"service/chaos", 80.0},
+    {"service/chaos", 80.0},         {"cluster/failover", 90.0},
 };
 
 f64 wallBudgetMs(const std::string& name) {
@@ -360,6 +361,57 @@ Modelled modelChaosOnce(const std::vector<ServiceJob>& jobs,
           seconds > 0.0 ? bytesIn / seconds / 1e9 : 0.0};
 }
 
+/// The mixed workload over a 3-shard cluster with the hottest tenant's
+/// primary shard killed mid-load. Paused drill: submit everything, kill
+/// while no worker is running (the cancel-first victim sweep makes the
+/// requeue set exact), then resume — so the failover count and with it
+/// the modelled cost of re-running the orphaned jobs on survivors is
+/// deterministic. Guards the price of a shard loss: modelled seconds is
+/// the sum of per-job end-to-end profiles on the shard that finally
+/// completed each job.
+Modelled modelClusterFailoverOnce(const std::vector<ServiceJob>& jobs,
+                                  const std::vector<std::vector<f32>>& fields,
+                                  u64* failovers) {
+  cluster::ClusterConfig ccfg;
+  ccfg.shards = 3;
+  ccfg.replicas = 2;
+  ccfg.shard.workers = 1;
+  ccfg.shard.maxBatchJobs = 8;
+  ccfg.startPaused = true;
+  cluster::CompressionCluster cl(ccfg);
+
+  core::Config cfg;
+  cfg.relErrorBound = 1e-3;
+  std::vector<cluster::ClusterTicket> tickets;
+  for (usize i = 0; i < jobs.size(); ++i) {
+    tickets.push_back(cl.submitCompress<f32>(jobs[i].tenant,
+                                             std::span<const f32>(fields[i]),
+                                             cfg)
+                          .ticket);
+  }
+  cl.killShard(cl.primaryShardFor(jobs[0].tenant));
+  cl.resume();
+  cl.shutdown();
+
+  f64 seconds = 0.0;
+  f64 bytesIn = 0.0;
+  f64 bytesOut = 0.0;
+  for (const cluster::ClusterTicket& t : tickets) {
+    const cluster::ClusterJobResult& r = t.wait();
+    if (!r.job.ok) {
+      std::fprintf(stderr, "FAIL cluster failover job: %s\n",
+                   r.job.error.c_str());
+      std::exit(1);
+    }
+    seconds += r.job.compressed.profile.endToEndSeconds;
+    bytesIn += static_cast<f64>(r.job.compressed.originalBytes);
+    bytesOut += static_cast<f64>(r.job.compressed.stream.size());
+  }
+  if (failovers != nullptr) *failovers = cl.stats().failovers;
+  return {bytesOut > 0.0 ? bytesIn / bytesOut : 0.0, seconds,
+          seconds > 0.0 ? bytesIn / seconds / 1e9 : 0.0};
+}
+
 /// Pulls `"modelled_gbps": <num>` for the named case out of a previous
 /// report. Deliberately string-level: the file is machine-written with a
 /// fixed shape, and the comparison is advisory.
@@ -633,6 +685,60 @@ int main(int argc, char** argv) {
                   "  (%zu jobs, %llu recoveries)\n",
                   r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian,
                   jobs.size(), static_cast<unsigned long long>(rec1));
+
+      f64 prior = 0.0;
+      if (!previous.empty() && previousGbps(previous, r.name, &prior) &&
+          prior > 0.0) {
+        const f64 drift = std::fabs(r.modelledGBps - prior) / prior;
+        if (drift > kTolerance) {
+          std::printf("WARN %s: modelled throughput drifted %.1f%% "
+                      "(%.2f -> %.2f GB/s)\n",
+                      r.name.c_str(), drift * 100.0, prior, r.modelledGBps);
+          ++warns;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+
+    // cluster/failover: the same workload over a 3-shard cluster with a
+    // shard killed mid-load. Both the modelled metrics AND the failover
+    // count must match between passes — the paused kill drill is
+    // deterministic, so any divergence is a routing/failover regression.
+    {
+      u64 fo1 = 0;
+      u64 fo2 = 0;
+      const Modelled pass1 = modelClusterFailoverOnce(jobs, fields, &fo1);
+      const Modelled pass2 = modelClusterFailoverOnce(jobs, fields, &fo2);
+      if (!(pass1 == pass2) || fo1 != fo2) {
+        std::fprintf(stderr,
+                     "FAIL cluster/failover: runs differ (%.17g vs %.17g "
+                     "GB/s, %llu vs %llu failovers)\n",
+                     pass1.gbps, pass2.gbps,
+                     static_cast<unsigned long long>(fo1),
+                     static_cast<unsigned long long>(fo2));
+        deterministic = false;
+      }
+      if (fo1 == 0) {
+        std::fprintf(stderr,
+                     "FAIL cluster/failover: the killed shard produced no "
+                     "failovers — the drill is not exercising recovery\n");
+        deterministic = false;
+      }
+      const bench::RepeatStats wall = bench::measureRepeated(
+          3, [&] { modelClusterFailoverOnce(jobs, fields, nullptr); });
+
+      CaseResult r;
+      r.name = "cluster/failover";
+      r.elems = totalElems;
+      r.ratio = pass1.ratio;
+      r.modelledSeconds = pass1.seconds;
+      r.modelledGBps = pass1.gbps;
+      r.wallMsMedian = wall.medianSeconds * 1e3;
+      r.recoveries = fo1;
+      std::printf("%-24s %8.2f GB/s modelled  ratio %6.2f  wall %7.2f ms"
+                  "  (%zu jobs, %llu failovers)\n",
+                  r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian,
+                  jobs.size(), static_cast<unsigned long long>(fo1));
 
       f64 prior = 0.0;
       if (!previous.empty() && previousGbps(previous, r.name, &prior) &&

@@ -1,0 +1,67 @@
+// Consistent-hash ring with virtual nodes.
+//
+// Tenants (and archive blob keys) hash onto a 64-bit ring; each shard
+// owns `vnodesPerShard` points on it, and a key routes to the shard
+// owning the first point clockwise from the key's hash. Virtual nodes
+// smooth the per-shard key share toward 1/N, and — the property the
+// cluster's failover leans on — membership changes move only the keys
+// whose owning arc changed hands:
+//
+//   * removeShard(s): exactly the keys whose primary was s move (to the
+//     next point clockwise); every other key keeps its primary.
+//   * addShard(s): only the ~1/N of keys that land on s's new arcs move;
+//     the rest keep their primary.
+//
+// tests/test_cluster.cpp asserts both invariants. All hashing is seeded
+// SplitMix64 (common/rng.hpp), so placement is deterministic across
+// runs and platforms.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::cluster {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(u32 vnodesPerShard = 64,
+                              u64 seed = 0xC1A57E12u);
+
+  /// Adds a shard's virtual nodes (no-op when already present).
+  void addShard(u32 shard);
+
+  /// Removes a shard's virtual nodes (no-op when absent).
+  void removeShard(u32 shard);
+
+  bool contains(u32 shard) const;
+  usize shardCount() const { return shards_.size(); }
+  const std::vector<u32>& shards() const { return shards_; }
+
+  /// The shard owning `key` (first virtual node clockwise from the
+  /// key's hash). Requires a non-empty ring.
+  u32 primaryFor(std::string_view key) const;
+
+  /// Up to `count` distinct shards in ring order starting at the key's
+  /// primary: the replica set for an archive write, and the failover
+  /// order for reads and requeues. Fewer than `count` entries when the
+  /// ring holds fewer shards.
+  std::vector<u32> replicasFor(std::string_view key, u32 count) const;
+
+ private:
+  struct VNode {
+    u64 point;
+    u32 shard;
+  };
+
+  u64 hashKey(std::string_view key) const;
+  usize firstAt(u64 point) const;
+
+  u32 vnodes_;
+  u64 seed_;
+  std::vector<VNode> points_;  // sorted by (point, shard)
+  std::vector<u32> shards_;    // sorted member ids
+};
+
+}  // namespace cuszp2::cluster

@@ -1,0 +1,120 @@
+// Internal shared state of a CompressionCluster (cluster.cpp and
+// supervisor.cpp compile against this; nothing here is public API).
+//
+// Locking protocol: `mutex` guards every field below plus every
+// ClusterJob routing field (shard/inner/tried/failovers/steals/
+// clientCanceled). Each ClusterJob additionally owns a leaf mutex for
+// its completion channel (finished/result/cv). Lock order is ALWAYS
+// state mutex -> job mutex; no code holds a job mutex while acquiring
+// the state mutex, and no code holds the state mutex while blocking on
+// a job cv. Shard-service calls made under the state mutex (submit,
+// shutdown) are safe: services never call back into the cluster.
+#pragma once
+
+#include "cluster/cluster.hpp"
+
+namespace cuszp2::cluster::detail {
+
+/// One cluster-level job: the routing envelope around a chain of shard
+/// submissions (initial placement, failovers, steals) that resolves
+/// exactly once.
+struct ClusterJob {
+  u64 id = 0;
+  std::string tenant;
+  service::JobKind kind = service::JobKind::Compress;
+  Precision precision = Precision::F32;
+  core::Config config;
+  u8 priority = 0;
+  /// Retained for cross-shard resubmission (the shard service holds its
+  /// own copy).
+  std::vector<std::byte> input;
+
+  // Routing fields — guarded by ClusterState::mutex.
+  u32 shard = 0;
+  service::Ticket inner;  ///< current shard attempt
+  std::vector<u32> tried; ///< shards whose execution already failed
+  u32 failovers = 0;
+  u32 steals = 0;
+  bool clientCanceled = false;
+
+  // Completion channel — guarded by `mutex` below (leaf lock).
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool finished = false;
+  ClusterJobResult result;
+};
+
+struct ClusterState {
+  explicit ClusterState(ClusterConfig cfg);
+
+  ClusterConfig config;
+
+  mutable std::mutex mutex;
+
+  struct Shard {
+    u32 id = 0;
+    ShardState state = ShardState::Up;
+    /// Consecutive Degrade verdicts while Degraded (ladder escalation).
+    u32 degradedProbes = 0;
+    gpusim::DeviceSpec device;
+    std::unique_ptr<service::CompressionService> svc;
+    /// Replicated archive copies (sealed bytes), keyed by blob key.
+    std::map<std::string, std::vector<std::byte>> blobs;
+  };
+  std::vector<Shard> shards;
+
+  ConsistentHashRing ring;
+  /// Every accepted, not-yet-resolved job by cluster job id (std::map:
+  /// kill-time requeues iterate in submission order, deterministically).
+  std::map<u64, std::shared_ptr<ClusterJob>> outstanding;
+  /// Blob key -> CRC-32 of the sealed copy (all replicas are identical
+  /// bytes, so one digest arbitrates which copies are intact).
+  std::map<std::string, u32> catalog;
+
+  u64 nextJobId = 1;
+  u64 heartbeats = 0;
+  bool paused = false;
+  bool shuttingDown = false;
+  ClusterStats stats;
+
+  // ---- helpers (cluster.cpp); *Locked requires `mutex` held ----
+
+  /// Builds one shard service from the template on `device`.
+  std::unique_ptr<service::CompressionService> makeService(
+      const gpusim::DeviceSpec& device) const;
+
+  u32 liveCount() const;  // Up + Degraded, under mutex (callers hold it)
+
+  /// Live shards on `key`'s ring walk, Up shards ordered before
+  /// Degraded ones (both keep ring order internally).
+  std::vector<u32> routeCandidatesLocked(std::string_view key) const;
+
+  /// The first min(replicas, live) live shards on the blob's ring walk.
+  std::vector<u32> replicaTargetsLocked(const std::string& key) const;
+
+  service::SubmitResult submitToShardLocked(Shard& sh,
+                                            const ClusterJob& job);
+
+  /// Thread-safe snapshot of the job's current shard ticket.
+  service::Ticket snapshotInner(const std::shared_ptr<ClusterJob>& job);
+
+  /// Drives a job toward resolution: commits a finished shard result,
+  /// or — when the shard died under it — resubmits to the next live
+  /// replica. Exactly-once; safe to call from any thread at any time.
+  void settle(const std::shared_ptr<ClusterJob>& job);
+  void settleLocked(const std::shared_ptr<ClusterJob>& job);
+
+  /// True when the resubmission succeeded (the job stays outstanding).
+  bool failoverLocked(const std::shared_ptr<ClusterJob>& job);
+
+  void commitLocked(const std::shared_ptr<ClusterJob>& job,
+                    const service::JobResult& inner);
+
+  /// Modelled seconds of queued-but-unstarted work per shard (the
+  /// placement cost work stealing ranks shards by).
+  std::vector<f64> backlogSecondsLocked() const;
+
+  void bump(const char* name, u64 delta = 1) const;
+};
+
+}  // namespace cuszp2::cluster::detail

@@ -1,0 +1,276 @@
+#include <algorithm>
+
+#include "cluster/state.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace cuszp2::cluster {
+
+ShardSupervisor::ShardSupervisor(
+    std::shared_ptr<detail::ClusterState> state, u32 heartbeatMillis)
+    : state_(std::move(state)) {
+  if (heartbeatMillis > 0) {
+    prober_ = std::thread([this, heartbeatMillis] {
+      std::unique_lock<std::mutex> lock(proberMutex_);
+      for (;;) {
+        if (proberCv_.wait_for(lock,
+                               std::chrono::milliseconds(heartbeatMillis),
+                               [&] { return proberStop_; })) {
+          return;
+        }
+        lock.unlock();
+        heartbeat();
+        lock.lock();
+      }
+    });
+  }
+}
+
+ShardSupervisor::~ShardSupervisor() { stop(); }
+
+void ShardSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(proberMutex_);
+    proberStop_ = true;
+  }
+  proberCv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+u64 ShardSupervisor::heartbeat() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->shuttingDown) return state_->heartbeats;
+  const u64 hb = ++state_->heartbeats;
+  state_->stats.heartbeats += 1;
+  state_->bump("cluster.heartbeats");
+  for (u32 i = 0; i < state_->shards.size(); ++i) {
+    probeShardLocked(i, hb);
+  }
+  stealLocked();
+  refreshGaugesLocked();
+  return hb;
+}
+
+void ShardSupervisor::probeShardLocked(u32 shard, u64 heartbeatOrdinal) {
+  detail::ClusterState::Shard& sh = state_->shards[shard];
+  if (sh.state == ShardState::Down) return;
+
+  ShardFault fault;
+  if (state_->config.shardChaos) {
+    fault = state_->config.shardChaos(
+        ShardProbeInfo{shard, heartbeatOrdinal});
+  }
+
+  const auto maybeKill = [&] {
+    // The floor keeps a chaos schedule from taking the whole fleet
+    // down: a kill is honored only while survivors remain.
+    if (state_->liveCount() > state_->config.minShardsUp) {
+      killShardLocked(shard);
+    } else {
+      state_->stats.killsVetoed += 1;
+      state_->bump("cluster.kills_vetoed");
+    }
+  };
+
+  switch (fault.mode) {
+    case ShardFault::Mode::None:
+      if (sh.state == ShardState::Degraded) {
+        sh.state = ShardState::Up;
+        sh.degradedProbes = 0;
+        state_->stats.shardRecoveries += 1;
+        state_->bump("cluster.shard_recoveries");
+      }
+      break;
+    case ShardFault::Mode::Degrade:
+      state_->stats.probeFaults += 1;
+      state_->bump("cluster.probe_faults");
+      if (sh.state == ShardState::Up) {
+        sh.state = ShardState::Degraded;
+        sh.degradedProbes = 1;
+        state_->stats.shardDegrades += 1;
+        state_->bump("cluster.shard_degrades");
+      } else if (++sh.degradedProbes >=
+                 state_->config.degradedProbesToDown) {
+        maybeKill();  // ladder escalation: Degraded -> Down
+      }
+      break;
+    case ShardFault::Mode::Kill:
+      state_->stats.probeFaults += 1;
+      state_->bump("cluster.probe_faults");
+      maybeKill();
+      break;
+  }
+}
+
+void ShardSupervisor::killShard(u32 shard) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  require(shard < state_->shards.size(), "killShard: bad shard");
+  killShardLocked(shard);
+}
+
+void ShardSupervisor::killShardLocked(u32 shard) {
+  detail::ClusterState::Shard& sh = state_->shards[shard];
+  if (sh.state == ShardState::Down) return;
+  sh.state = ShardState::Down;
+  sh.degradedProbes = 0;
+  // Membership change first: new submissions and failover targets must
+  // never route at the dead shard. Only tenants whose arcs the shard
+  // owned move — the rebalance invariant tests/test_cluster.cpp asserts.
+  state_->ring.removeShard(shard);
+  state_->stats.shardKills += 1;
+  state_->bump("cluster.shard_kills");
+  if (telemetry::TraceSession* trace = telemetry::activeTrace()) {
+    trace->instant("cluster.shard.kill",
+                   {telemetry::TraceArg::num(
+                       "shard", static_cast<f64>(shard))});
+  }
+
+  // Victims in submission order (outstanding is an ordered map).
+  std::vector<std::shared_ptr<detail::ClusterJob>> victims;
+  for (auto& [id, job] : state_->outstanding) {
+    if (job->shard == shard) victims.push_back(job);
+  }
+
+  // Cancel-first: the queued/running partition is decided by the cancel
+  // CAS *before* shutdown wakes any worker, so on a paused shard every
+  // queued job deterministically cancels (and fails over below) instead
+  // of racing the drain sweep. Jobs already executing lose the CAS, run
+  // to completion under the shutdown drain, and keep their results —
+  // the exactly-once commit makes both ends safe.
+  for (auto& job : victims) job->inner.cancel();
+  sh.svc->shutdown(state_->config.shardDrainDeadline);
+
+  // Every inner ticket is resolved once shutdown returns, so settle
+  // either commits a completed execution or fails the job over.
+  for (auto& job : victims) state_->settleLocked(job);
+}
+
+void ShardSupervisor::reviveShard(u32 shard) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  require(shard < state_->shards.size(), "reviveShard: bad shard");
+  detail::ClusterState::Shard& sh = state_->shards[shard];
+  if (sh.state != ShardState::Down) return;
+  sh.svc = state_->makeService(sh.device);
+  sh.state = ShardState::Up;
+  sh.degradedProbes = 0;
+  state_->ring.addShard(shard);
+  state_->stats.shardRevives += 1;
+  state_->bump("cluster.shard_revives");
+
+  // Re-replicate: any blob whose replica set now includes this shard is
+  // copied back from an intact survivor, bit-exactly (digest-checked).
+  for (const auto& [key, digest] : state_->catalog) {
+    const std::vector<u32> targets = state_->replicaTargetsLocked(key);
+    if (std::find(targets.begin(), targets.end(), shard) ==
+            targets.end() ||
+        sh.blobs.count(key) != 0) {
+      continue;
+    }
+    for (u32 s : state_->routeCandidatesLocked(key)) {
+      if (s == shard) continue;
+      auto it = state_->shards[s].blobs.find(key);
+      if (it != state_->shards[s].blobs.end() &&
+          crc32(ConstByteSpan(it->second)) == digest) {
+        sh.blobs[key] = it->second;
+        state_->stats.archiveRepairs += 1;
+        state_->bump("cluster.archive.repairs");
+        break;
+      }
+    }
+  }
+}
+
+void ShardSupervisor::stealLocked() {
+  if (!state_->config.workStealing) return;
+  for (u32 moves = 0; moves < state_->config.maxStealsPerHeartbeat;
+       ++moves) {
+    const std::vector<f64> backlog = state_->backlogSecondsLocked();
+    i64 src = -1;
+    i64 dst = -1;
+    for (u32 i = 0; i < state_->shards.size(); ++i) {
+      const ShardState st = state_->shards[i].state;
+      if (st == ShardState::Down) continue;
+      if (src < 0 || backlog[i] > backlog[static_cast<usize>(src)]) {
+        src = i;
+      }
+      // Steal targets must be fully healthy — pushing work onto a
+      // Degraded shard would trade one backlog for a riskier one.
+      if (st == ShardState::Up &&
+          (dst < 0 || backlog[i] < backlog[static_cast<usize>(dst)])) {
+        dst = i;
+      }
+    }
+    if (src < 0 || dst < 0 || src == dst) return;
+    const u32 from = static_cast<u32>(src);
+    const u32 to = static_cast<u32>(dst);
+
+    // Newest queued job first (tail steal): the head of the lane is
+    // closest to dispatch, and moving it would reorder a tenant's FIFO
+    // more than necessary.
+    bool stole = false;
+    for (auto it = state_->outstanding.rbegin();
+         it != state_->outstanding.rend() && !stole; ++it) {
+      const std::shared_ptr<detail::ClusterJob>& job = it->second;
+      if (job->shard != from || job->clientCanceled) continue;
+      {
+        std::lock_guard<std::mutex> jobLock(job->mutex);
+        if (job->finished) continue;
+      }
+      const f64 costDst = gpusim::modelledPassSeconds(
+          job->input.size(), state_->shards[to].device);
+      // Placement cost: the move must strictly beat the job's current
+      // modelled finish time (the backlog it sits behind on `from`).
+      if (backlog[to] + costDst + state_->config.stealMarginSeconds >=
+          backlog[from]) {
+        continue;
+      }
+      if (!job->inner.cancel()) continue;  // already executing — skip
+      service::SubmitResult sub =
+          state_->submitToShardLocked(state_->shards[to], *job);
+      if (!sub.accepted()) {
+        // Target refused after we canceled: put the job back where it
+        // was (the cancel released its slot, so this admits) rather
+        // than strand it.
+        sub = state_->submitToShardLocked(state_->shards[from], *job);
+        if (!sub.accepted()) {
+          service::JobResult r;
+          r.outcome = service::Outcome::Failed;
+          r.error = "work-steal stranded: no shard re-accepted the job";
+          r.tenant = job->tenant;
+          r.kind = job->kind;
+          r.jobId = job->id;
+          state_->commitLocked(job, r);
+          continue;
+        }
+        job->inner = sub.ticket;
+        continue;
+      }
+      job->inner = sub.ticket;
+      job->shard = to;
+      job->steals += 1;
+      state_->stats.steals += 1;
+      state_->bump("cluster.steals");
+      stole = true;
+    }
+    if (!stole) return;
+  }
+}
+
+void ShardSupervisor::refreshGaugesLocked() {
+  telemetry::MetricsRegistry& reg = telemetry::registry();
+  if (!reg.enabled()) return;
+  for (const auto& sh : state_->shards) {
+    const std::string prefix =
+        "cluster.shard." + std::to_string(sh.id);
+    reg.gauge(prefix + ".state")
+        .set(static_cast<f64>(static_cast<u8>(sh.state)));
+    reg.gauge(prefix + ".queue_depth")
+        .set(sh.state == ShardState::Down
+                 ? 0.0
+                 : static_cast<f64>(sh.svc->queueDepth()));
+  }
+}
+
+}  // namespace cuszp2::cluster

@@ -64,4 +64,21 @@ std::vector<DeviceSpec> homogeneousFleet(const DeviceSpec& base, u32 count) {
   return fleet;
 }
 
+std::vector<DeviceSpec> heterogeneousFleet(u32 count) {
+  const DeviceSpec parts[3] = {a100_40gb(), rtx3090(), rtx3080()};
+  std::vector<DeviceSpec> fleet;
+  fleet.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    DeviceSpec s = parts[i % 3];
+    s.name += " [shard" + std::to_string(i) + "]";
+    fleet.push_back(std::move(s));
+  }
+  return fleet;
+}
+
+f64 modelledPassSeconds(u64 bytes, const DeviceSpec& dev, f64 sweeps) {
+  return dev.launchOverheadUs * 1e-6 +
+         sweeps * static_cast<f64>(bytes) / (dev.memBandwidthGBps * 1e9);
+}
+
 }  // namespace cuszp2::gpusim

@@ -85,4 +85,17 @@ DeviceSpec rtx3080();
 /// service::CompressionService places its device-affine workers onto.
 std::vector<DeviceSpec> homogeneousFleet(const DeviceSpec& base, u32 count);
 
+/// `count` devices cycling through the paper's evaluation parts (A100
+/// 40 GB, RTX 3090, RTX 3080) with ordinal-suffixed names: the mixed
+/// fleet a cluster::CompressionCluster shards across. Output bytes are
+/// device-independent — only the modelled timing differs per shard.
+std::vector<DeviceSpec> heterogeneousFleet(u32 count);
+
+/// First-order modelled wall estimate for one codec pass over `bytes` of
+/// input on `dev`: launch overhead plus `sweeps` full traversals of the
+/// input at modelled DRAM bandwidth. Deliberately coarse — the service
+/// watchdog sizes deadlines from it and the cluster placement/steal
+/// heuristics rank shards with it, and both only need relative order.
+f64 modelledPassSeconds(u64 bytes, const DeviceSpec& dev, f64 sweeps = 3.0);
+
 }  // namespace cuszp2::gpusim

@@ -299,12 +299,16 @@ std::vector<std::byte> ArchiveWriter::finalize() const {
 
 std::vector<std::byte> ArchiveWriter::finalize(
     const ParityOptions& parity) const {
-  require(parity.chunkBytes >= 16,
-          "ArchiveWriter: parity chunkBytes must be at least 16");
-  require(parity.groupSize >= 2,
-          "ArchiveWriter: parity groupSize must be at least 2");
+  return withParityTrailer(finalize(), parity);
+}
 
-  std::vector<std::byte> out = finalize();
+std::vector<std::byte> withParityTrailer(std::vector<std::byte> out,
+                                         const ParityOptions& parity) {
+  require(parity.chunkBytes >= 16,
+          "withParityTrailer: parity chunkBytes must be at least 16");
+  require(parity.groupSize >= 2,
+          "withParityTrailer: parity groupSize must be at least 2");
+
   const u64 protectedBytes = out.size();
   const u64 chunkCount =
       (protectedBytes + parity.chunkBytes - 1) / parity.chunkBytes;

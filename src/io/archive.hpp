@@ -86,6 +86,15 @@ RepairReport verifyParity(ConstByteSpan archive);
 /// byte is written back.
 RepairReport repairParity(std::span<std::byte> archive);
 
+/// Appends a self-healing parity trailer (see ParityOptions) covering
+/// `bytes` and returns the sealed result. ArchiveWriter::finalize(parity)
+/// is this applied to finalize(); the cluster's replicated archive store
+/// seals every stored copy the same way, so cross-shard replicas verify
+/// and self-repair with the file-level verifyParity/repairParity
+/// machinery.
+std::vector<std::byte> withParityTrailer(std::vector<std::byte> bytes,
+                                         const ParityOptions& parity);
+
 class ArchiveWriter {
  public:
   /// Adds a field; names must be unique and non-empty.

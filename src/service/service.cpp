@@ -256,6 +256,10 @@ bool CompressionService::shutdownImpl(
     std::vector<std::shared_ptr<detail::Job>> abandoned;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // Raised before the sweep so a watchdog twin or a retry waking
+      // from backoff cannot requeue into lanes the drain has already
+      // emptied — such jobs resolve as Abandoned (requeueOrAbandon).
+      requeuesAbandon_ = true;
       abandoned = lanes_.drain();
     }
     for (std::shared_ptr<detail::Job>& job : abandoned) {
@@ -760,12 +764,32 @@ void CompressionService::requeueSolo(std::shared_ptr<detail::Job> job) {
     // or the twin finished and published — either way nothing to do.
     return;
   }
+  requeueOrAbandon(std::move(job));
+}
+
+void CompressionService::requeueOrAbandon(
+    std::shared_ptr<detail::Job> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job->soloOnly = true;
-    lanes_.push(std::move(job));
+    if (!requeuesAbandon_) {
+      job->soloOnly = true;
+      lanes_.push(std::move(job));
+      workCv_.notify_one();
+      return;
+    }
   }
-  workCv_.notify_one();
+  // The shutdown drain already swept the lanes; a late requeue must not
+  // re-enter them (it would either hang past the deadline contract or
+  // silently re-run abandoned work). Resolve it like the drain would
+  // have — commit() still arbitrates against a concurrently-finishing
+  // twin, so nothing double-publishes.
+  JobResult r;
+  r.outcome = Outcome::Abandoned;
+  r.error = "abandoned: requeued after the shutdown drain";
+  r.tenant = job->tenant;
+  r.kind = job->kind;
+  r.jobId = job->id;
+  finishJob(*job, std::move(r), /*abandoned=*/true);
 }
 
 void CompressionService::backoffSleep(u64 jobId, u32 attempt) const {
@@ -787,11 +811,10 @@ std::chrono::milliseconds CompressionService::jobTimeout(
     const detail::Job& job, const gpusim::DeviceSpec& device) const {
   // Modelled execution estimate: launch overhead plus ~3 sweeps of the
   // input over modelled DRAM bandwidth (read + quantize/write + pack).
-  // The multiplier absorbs the host-simulation slowdown.
+  // The multiplier absorbs the host-simulation slowdown. The cluster's
+  // placement/steal heuristics rank shards with the same estimate.
   const f64 modelledSeconds =
-      device.launchOverheadUs * 1e-6 +
-      3.0 * static_cast<f64>(job.input.size()) /
-          (device.memBandwidthGBps * 1e9);
+      gpusim::modelledPassSeconds(job.input.size(), device);
   const f64 millis =
       std::max(static_cast<f64>(config_.watchdog.minTimeoutMillis),
                modelledSeconds * 1e3 * config_.watchdog.modelledMultiplier);
@@ -862,12 +885,7 @@ void CompressionService::watchdogLoop() {
              telemetry::TraceArg::num("job_id",
                                       static_cast<f64>(job->id))});
       }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job->soloOnly = true;
-        lanes_.push(std::move(job));
-      }
-      workCv_.notify_one();
+      requeueOrAbandon(std::move(job));
     }
   }
 }

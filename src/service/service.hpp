@@ -354,6 +354,10 @@ class CompressionService {
   void armChaosFault(core::CompressorStream& stream,
                      const ChaosFault& fault);
   void requeueSolo(std::shared_ptr<detail::Job> job);
+  /// Requeues a job whose phase the caller already moved back to Queued,
+  /// or — once the shutdown drain has abandoned the lanes — resolves it
+  /// as Outcome::Abandoned instead of re-entering the queue.
+  void requeueOrAbandon(std::shared_ptr<detail::Job> job);
   void backoffSleep(u64 jobId, u32 attempt) const;
   void watchdogLoop();
   void watchdogWatch(const std::vector<std::shared_ptr<detail::Job>>& batch,
@@ -381,6 +385,11 @@ class CompressionService {
   /// under mutex_.
   std::atomic<bool> accepting_{true};
   bool stopping_ = false;
+  /// Set (under mutex_) the moment the shutdown-deadline drain empties
+  /// the lanes: any requeue that lands afterwards (a watchdog twin or a
+  /// retry waking from backoff) must resolve its job as Abandoned rather
+  /// than slip back into a queue the drain already swept.
+  bool requeuesAbandon_ = false;
   u64 nextJobId_ = 1;
   u64 dispatchSeq_ = 0;
 

@@ -315,6 +315,47 @@ TEST_F(CliTest, ServeChaosSeedDrillResolvesEveryJob) {
   EXPECT_NE(lastLog().find("chaos injections 0"), std::string::npos);
 }
 
+TEST_F(CliTest, ServeClusterShardsManifestAcrossHeterogeneousFleet) {
+  io::writeBytes(file("jobs.txt"), [] {
+    const std::string text =
+        "climate cesm_atm 2048 4 1e-3\n"
+        "physics hacc     4096 3 1e-3\n"
+        "fluids  jetin    1024 3 1e-3\n"
+        "tiny    cesm_atm 512  2 1e-2\n";
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+  }());
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") +
+                " --shards 4 --replicas 2"),
+            0)
+      << lastLog();
+  const std::string log = lastLog();
+  EXPECT_NE(log.find("served 12 jobs from 4 tenants on 4 shards"),
+            std::string::npos);
+  EXPECT_NE(log.find("per-tenant summary:"), std::string::npos);
+  EXPECT_NE(log.find("per-shard summary:"), std::string::npos);
+  // The cluster health line tallies every typed outcome plus the
+  // failover counters.
+  EXPECT_NE(log.find("health: 12 completed, 0 failed, 0 degraded, "
+                     "0 abandoned, 0 canceled"),
+            std::string::npos);
+  EXPECT_NE(log.find("failovers 0"), std::string::npos);
+  EXPECT_NE(log.find("shard kills 0"), std::string::npos);
+  // The heterogeneous fleet shows up in the per-shard table.
+  EXPECT_NE(log.find("A100"), std::string::npos);
+  EXPECT_NE(log.find("up"), std::string::npos);
+
+  // The seeded service-level fault drill also resolves under sharding.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") +
+                " --shards 2 --chaos-seed 7"),
+            0)
+      << lastLog();
+  EXPECT_NE(lastLog().find("served 12 jobs from 4 tenants on 2 shards"),
+            std::string::npos);
+  EXPECT_EQ(lastLog().find("FAILED"), std::string::npos);
+}
+
 TEST_F(CliTest, TraceIsFlushedOnErrorAndUsagePaths) {
   // Operational error mid-run: the trace file must still be complete JSON.
   EXPECT_EQ(run("--trace " + file("err.json") + " compress " +

@@ -844,6 +844,63 @@ TEST(ServiceTest, RetriesExhaustedFailsCompressJob) {
   svc.shutdown();
 }
 
+// Satellite regression: a retry waking from its backoff sleep after the
+// shutdown drain already swept the lanes must resolve Abandoned — it used
+// to silently re-enter the queue and run past the caller's deadline.
+TEST(ServiceTest, RetryRequeueAfterDrainResolvesAbandoned) {
+  const core::Config cfg = faultTolerantConfig();
+  const std::vector<f32> data = datagen::generateF32("hacc", 0, 4096);
+
+  // Pick a jitter seed whose (job 1, attempt 1) draw sleeps >= 400 ms —
+  // same formula as CompressionService::backoffSleep, so the chosen seed
+  // deterministically gives shutdown time to sweep the lanes first.
+  u64 jitterSeed = 0;
+  for (u64 s = 0;; ++s) {
+    Rng rng(SplitMix64(s ^ (u64{1} * 0x9E3779B97F4A7C15ull) ^ u64{1})
+                .next());
+    if (1 + rng.uniformInt(500) >= 400) {
+      jitterSeed = s;
+      break;
+    }
+  }
+
+  service::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.watchdog.enabled = false;  // isolate the retry-requeue path
+  scfg.retry.maxAttempts = 2;
+  scfg.retry.backoffBaseMillis = 500;
+  scfg.retry.backoffCapMillis = 500;
+  scfg.retry.jitterSeed = jitterSeed;
+  service::ChaosFault fault;
+  fault.mode = service::ChaosFault::Mode::ArenaExhaust;
+  fault.arenaBudgetBytes = 1;
+  scfg.chaosHook = faultJobOnce(1, fault);
+  service::CompressionService svc(scfg);
+
+  service::Ticket t =
+      svc.submitCompress<f32>("t", std::span<const f32>(data), cfg).ticket;
+
+  // Wait for the failed first attempt to enter its backoff sleep...
+  while (svc.stats().retries == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...then shut down with a deadline far shorter than the backoff. The
+  // drain sweep finds the lanes empty (the job is asleep on the worker);
+  // when its requeue lands it must resolve, not re-run to completion.
+  EXPECT_FALSE(svc.shutdown(std::chrono::milliseconds(10)));
+
+  ASSERT_TRUE(t.poll()) << "shutdown returned with the ticket unresolved";
+  const service::JobResult& r = t.result();
+  EXPECT_EQ(r.outcome, service::Outcome::Abandoned);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("after the shutdown drain"), std::string::npos)
+      << r.error;
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
 // Tentpole: a decompress job whose stream is corrupt exhausts its strict
 // attempts, then degrades to decompressResilient — typed Degraded outcome,
 // salvage report attached, intact blocks delivered.

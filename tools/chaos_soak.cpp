@@ -19,10 +19,26 @@
 //     (replayed analytically from the seed), and the whole recovery
 //     counter tuple is identical across two runs of the same seed.
 //
-//   usage: chaos_soak [--seed N] [--jobs N] [--fast]
+// With --cluster the drill runs the shard-level analogue instead: an
+// 8-tenant mix over a 4-shard CompressionCluster under a seeded
+// ShardChaosSchedule. Kills land while every shard is paused (the
+// deterministic drill recipe), so the queued/running partition is exact
+// and the run asserts:
+//
+//   * every ticket resolves with a typed Outcome within the timeout;
+//   * every job completes and its output is byte-identical to the
+//     fault-free serial run — failover resumed the work on a survivor,
+//     it did not re-derive different bytes;
+//   * a replicated archive self-heals single-chunk damage, fails a read
+//     over past an unrepairable copy, and read-repairs the set;
+//   * the full ClusterStats snapshot — kills, failovers, steals, archive
+//     counters — is identical across two runs of the same seed.
+//
+//   usage: chaos_soak [--seed N] [--jobs N] [--fast] [--cluster]
 //
 // Exit 0 when every invariant held; 1 otherwise, printing the seed
 // needed to replay the failure.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,8 +46,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
+#include "io/archive.hpp"
 #include "service/chaos.hpp"
 #include "service/service.hpp"
 
@@ -320,6 +338,195 @@ RunCounters runOnce(u64 seed, const std::vector<JobSpec>& specs) {
   return c;
 }
 
+// ---------------------------------------------------------------------
+// --cluster mode
+
+/// 8 healthy tenants, alternating compress/decompress, with fault-free
+/// serial reference outputs. No poison tenant: in the cluster drill the
+/// chaos is shard kills, not kernel faults.
+std::vector<JobSpec> buildClusterSpecs(u32 jobsPerTenant) {
+  struct Tenant {
+    const char* name;
+    const char* dataset;
+  };
+  const Tenant tenants[] = {
+      {"climate", "cesm_atm"}, {"cosmo", "hacc"},  {"fusion", "jetin"},
+      {"seismic", "scale"},    {"weather", "cesm_atm"}, {"astro", "hacc"},
+      {"plasma", "jetin"},     {"geo", "scale"}};
+  core::CompressorStream ref(jobConfig());
+  std::vector<JobSpec> specs;
+  for (u32 j = 0; j < jobsPerTenant; ++j) {
+    for (const Tenant& t : tenants) {
+      const u32 fields = datagen::datasetInfo(t.dataset).numFields;
+      JobSpec spec;
+      spec.tenant = t.name;
+      spec.field = datagen::generateF32(t.dataset, j % fields,
+                                        2048 + 1024 * (j % 3));
+      const core::Compressed ref32 = ref.compress<f32>(spec.field);
+      if (j % 2 == 0) {
+        spec.kind = service::JobKind::Compress;
+        spec.expected = ref32.stream;
+      } else {
+        spec.kind = service::JobKind::Decompress;
+        spec.stream = ref32.stream;
+        spec.expected = toBytes(ref.decompress<f32>(ref32.stream).data);
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+struct ClusterRun {
+  cluster::ClusterStats stats;
+  std::vector<service::Outcome> outcomes;
+  std::vector<u32> shards;
+  std::vector<std::vector<std::byte>> outputs;
+
+  bool operator==(const ClusterRun&) const = default;
+};
+
+ClusterRun runClusterOnce(u64 seed, const std::vector<JobSpec>& specs) {
+  cluster::ClusterConfig cfg;
+  cfg.shards = 4;
+  cfg.replicas = 2;
+  cfg.minShardsUp = 2;
+  cfg.shard.workers = 1;
+  cfg.shard.maxBatchJobs = 1;  // deterministic: 1 job = 1 dispatch
+  cfg.startPaused = true;
+  cluster::ShardChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.killRate = 0.5;
+  chaos.degradeRate = 0.2;
+  cfg.shardChaos = cluster::ShardChaosSchedule(chaos).hook();
+  cluster::CompressionCluster cl(cfg);
+  const core::Config jobCfg = jobConfig();
+
+  std::vector<cluster::ClusterTicket> tickets;
+  tickets.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    cluster::ClusterSubmitResult submitted =
+        spec.kind == service::JobKind::Compress
+            ? cl.submitCompress<f32>(
+                  spec.tenant, std::span<const f32>(spec.field), jobCfg)
+            : cl.submitDecompress(spec.tenant, ConstByteSpan(spec.stream),
+                                  jobCfg);
+    check(submitted.accepted(), "cluster submission accepted");
+    tickets.push_back(submitted.ticket);
+  }
+
+  // Seeded kill schedule while paused: the deterministic drill recipe.
+  for (int beat = 0; beat < 5; ++beat) cl.heartbeat();
+  cl.resume();
+
+  ClusterRun run;
+  for (usize i = 0; i < tickets.size(); ++i) {
+    check(tickets[i].waitFor(std::chrono::seconds(120)),
+          "cluster ticket " + std::to_string(i + 1) + " resolves");
+  }
+  for (usize i = 0; i < tickets.size(); ++i) {
+    if (!tickets[i].poll()) {
+      run.outcomes.push_back(service::Outcome::Failed);
+      run.shards.push_back(0);
+      run.outputs.emplace_back();
+      continue;  // already reported above
+    }
+    const cluster::ClusterJobResult& r = tickets[i].result();
+    const JobSpec& spec = specs[i];
+    const std::string tag =
+        spec.tenant + " job " + std::to_string(i + 1);
+    check(r.job.outcome == service::Outcome::Completed,
+          tag + " completes across the kills (got " +
+              std::string(toString(r.job.outcome)) +
+              (r.job.error.empty() ? "" : ": " + r.job.error) + ")");
+    const std::vector<std::byte>& got =
+        spec.kind == service::JobKind::Compress ? r.job.compressed.stream
+                                                : r.job.decompressed;
+    check(got == spec.expected,
+          tag + " output byte-identical to the fault-free serial run");
+    run.outcomes.push_back(r.job.outcome);
+    run.shards.push_back(r.shard);
+    run.outputs.push_back(got);
+  }
+
+  // Archive drill over the post-kill membership (deterministic): a
+  // single damaged chunk self-heals in place; two damaged chunks in one
+  // parity group defeat XOR parity and force a replica failover plus
+  // read-repair.
+  std::vector<std::byte> raw(3 * cfg.replicaParity.chunkBytes);
+  for (usize i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::byte>((i * 131 + 17) & 0xFF);
+  }
+  const std::vector<std::byte> sealed =
+      io::withParityTrailer(raw, cfg.replicaParity);
+  cl.putArchive("climate", "soak", ConstByteSpan(raw));
+  const u32 primary = cl.primaryShardFor("climate/soak");
+
+  cl.corruptArchiveCopy(primary, "climate", "soak", 33);
+  check(cl.getArchive("climate", "soak").archive == sealed,
+        "archive self-heals one damaged chunk bit-exactly");
+
+  cl.corruptArchiveCopy(primary, "climate", "soak", 5);
+  cl.corruptArchiveCopy(primary, "climate", "soak",
+                        cfg.replicaParity.chunkBytes + 5);
+  const cluster::CompressionCluster::ArchiveFetch fetched =
+      cl.getArchive("climate", "soak");
+  check(fetched.archive == sealed,
+        "archive read fails over to an intact replica bit-exactly");
+  check(fetched.shard != primary, "the failover read left the primary");
+  check(cl.getArchive("climate", "soak").shard == primary,
+        "read-repair restored the primary copy");
+
+  cl.shutdown();
+  run.stats = cl.stats();
+  check(run.stats.archiveReadFailovers >= 1,
+        "the archive drill recorded a read failover");
+  check(run.stats.archiveRepairs >= 2,
+        "the archive drill recorded self-heal + read-repair");
+  return run;
+}
+
+int clusterMain(u64 seed, u32 jobsPerTenant) {
+  const std::vector<JobSpec> specs = buildClusterSpecs(jobsPerTenant);
+  std::printf("chaos_soak(cluster): seed=%llu jobs=%zu tenants=8 shards=4\n",
+              static_cast<unsigned long long>(seed), specs.size());
+
+  const ClusterRun first = runClusterOnce(seed, specs);
+  const ClusterRun second = runClusterOnce(seed, specs);
+  check(first.stats == second.stats,
+        "cluster counters reproduce across two runs of the same seed");
+  check(first.outcomes == second.outcomes &&
+            first.shards == second.shards &&
+            first.outputs == second.outputs,
+        "cluster placements and bytes reproduce across runs");
+  check(first.stats.shardKills > 0, "the drill killed at least one shard");
+  check(first.stats.failovers > 0, "at least one job failed over");
+  check(first.stats.abandoned == 0 && first.stats.failed == 0,
+        "no ticket was lost to the kills");
+
+  std::printf(
+      "run: completed=%llu failovers=%llu steals=%llu kills=%llu "
+      "vetoed=%llu degrades=%llu archive_failovers=%llu "
+      "archive_repairs=%llu\n",
+      static_cast<unsigned long long>(first.stats.completed),
+      static_cast<unsigned long long>(first.stats.failovers),
+      static_cast<unsigned long long>(first.stats.steals),
+      static_cast<unsigned long long>(first.stats.shardKills),
+      static_cast<unsigned long long>(first.stats.killsVetoed),
+      static_cast<unsigned long long>(first.stats.shardDegrades),
+      static_cast<unsigned long long>(first.stats.archiveReadFailovers),
+      static_cast<unsigned long long>(first.stats.archiveRepairs));
+  if (failures == 0) {
+    std::printf("chaos_soak(cluster): OK\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "chaos_soak(cluster): %d failure(s); replay with --cluster "
+               "--seed %llu\n",
+               failures, static_cast<unsigned long long>(seed));
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,6 +538,8 @@ int main(int argc, char** argv) {
   u64 seed = 20260805;
   u32 jobsPerTenant = 6;
   u32 poisonJobs = 6;
+  bool clusterMode = false;
+  bool fast = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -338,12 +547,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobsPerTenant = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--fast") {
+      fast = true;
       jobsPerTenant = 4;
       poisonJobs = 5;
+    } else if (arg == "--cluster") {
+      clusterMode = true;
     } else {
-      std::fprintf(stderr, "usage: chaos_soak [--seed N] [--jobs N] [--fast]\n");
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--seed N] [--jobs N] [--fast] "
+                   "[--cluster]\n");
       return 2;
     }
+  }
+
+  if (clusterMode) {
+    return clusterMain(seed, fast ? 2 : std::min(jobsPerTenant, 4u));
   }
 
   const std::vector<JobSpec> specs = buildSpecs(jobsPerTenant, poisonJobs);

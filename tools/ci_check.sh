@@ -68,6 +68,20 @@ echo "==== [release] chaos soak (seed 20260805) ===="
 echo "==== [asan] chaos soak (seed 20260805, fast) ===="
 "${repo_root}/build-ci-asan/tools/chaos_soak" --seed 20260805 --fast
 
+# Cluster failover soak: 4 shards x 8 tenants under a seeded shard-kill
+# schedule. The drill hard-fails unless every ticket resolves within its
+# timeout, every completed job is byte-identical to the fault-free serial
+# run, the replicated archive repairs a lost primary bit-exactly, and the
+# full ClusterStats snapshot matches across two same-seed runs. Release
+# runs two seeds to vary the kill pattern; the sanitizer leg runs the
+# trimmed schedule.
+echo "==== [release] cluster soak (seed 20260805) ===="
+"${repo_root}/build-ci-release/tools/chaos_soak" --cluster --seed 20260805
+echo "==== [release] cluster soak (seed 777) ===="
+"${repo_root}/build-ci-release/tools/chaos_soak" --cluster --seed 777
+echo "==== [asan] cluster soak (seed 20260805, fast) ===="
+"${repo_root}/build-ci-asan/tools/chaos_soak" --cluster --seed 20260805 --fast
+
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \
   "${repo_root}/BENCH_perf.json")

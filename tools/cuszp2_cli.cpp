@@ -12,7 +12,7 @@
 //   cuszp2 profile    <in.raw> [compress options]
 //   cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]
 //                     [--depth N] [--quota BYTES] [--unbatched]
-//                     [--chaos-seed N]
+//                     [--chaos-seed N] [--shards N] [--replicas R]
 //
 // `--trace <out.json>` before any subcommand's options writes a
 // chrome://tracing / Perfetto-compatible trace of every simulated kernel
@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/compressor.hpp"
 #include "core/quantizer.hpp"
 #include "datagen/fields.hpp"
@@ -92,9 +93,12 @@ bool flushTrace() {
       "  cuszp2 profile    <in.raw> [compress options]\n"
       "  cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]\n"
       "                    [--depth N] [--quota BYTES] [--unbatched]\n"
-      "                    [--chaos-seed N]\n"
+      "                    [--chaos-seed N] [--shards N] [--replicas R]\n"
       "\n"
       "  serve manifest lines: <tenant> <dataset> <elems> <jobs> [rel]\n"
+      "  --shards N      route tenants across N in-process shards on a\n"
+      "                  consistent-hash ring (heterogeneous fleet);\n"
+      "                  --workers is then workers per shard\n"
       "  --chaos-seed N  seeded fault drill: injects bit flips, aborted\n"
       "                  blocks, stalls, wedged workers and arena\n"
       "                  exhaustion; every job must still resolve via\n"
@@ -534,6 +538,27 @@ std::vector<ManifestEntry> parseManifest(const std::string& path) {
   return out;
 }
 
+/// Per-outcome job tally behind the `health:` line. A serve run succeeds
+/// only when at least one job was actually served (Completed or Degraded).
+struct OutcomeTally {
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 degraded = 0;
+  u64 abandoned = 0;
+  u64 canceled = 0;
+
+  void count(service::Outcome outcome) {
+    switch (outcome) {
+      case service::Outcome::Completed: ++completed; break;
+      case service::Outcome::Degraded: ++degraded; break;
+      case service::Outcome::Canceled: ++canceled; break;
+      case service::Outcome::Abandoned: ++abandoned; break;
+      default: ++failed; break;
+    }
+  }
+  bool served() const { return completed + degraded > 0; }
+};
+
 /// Runs a multi-tenant workload from a manifest through a
 /// CompressionService and prints per-tenant and scheduler summaries. Job
 /// inputs are deterministic synthetic fields (datagen), so two runs of the
@@ -636,11 +661,15 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
     return tenants.back().second;
   };
   int rc = 0;
+  OutcomeTally tally;
   for (const Pending& p : pending) {
     const service::JobResult& r = p.ticket.wait();
     TenantSummary& s = summaryFor(p.entry->tenant);
     s.jobs += 1;
-    if (!r.ok) {
+    tally.count(r.outcome);
+    // Degraded is an acceptable end state (salvaged output, typed
+    // report); only hard losses fail the run.
+    if (!r.ok && r.outcome != service::Outcome::Degraded) {
       s.failed += 1;
       std::fprintf(stderr, "serve: tenant %s job %llu failed: %s\n",
                    p.entry->tenant.c_str(),
@@ -654,6 +683,9 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
     s.waitUs += r.waitUs;
     s.serviceUs += r.serviceUs;
   }
+  // A run that served nothing is a failure even when nothing hard-failed
+  // (e.g. every job was abandoned or canceled before dispatch).
+  if (!tally.served()) rc = 1;
 
   std::printf("served %zu jobs from %zu tenants on %u workers "
               "(batching %s)\n",
@@ -688,18 +720,184 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.launchesSaved()));
   std::printf("health: %llu completed, %llu failed, %llu degraded, "
-              "%llu abandoned; watchdog recoveries %llu, retries %llu, "
-              "stream relaunches %llu, breaker opens %llu, "
+              "%llu abandoned, %llu canceled; watchdog recoveries %llu, "
+              "retries %llu, stream relaunches %llu, breaker opens %llu, "
               "chaos injections %llu\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.failed),
-              static_cast<unsigned long long>(stats.degraded),
-              static_cast<unsigned long long>(stats.abandoned),
+              static_cast<unsigned long long>(tally.completed),
+              static_cast<unsigned long long>(tally.failed),
+              static_cast<unsigned long long>(tally.degraded),
+              static_cast<unsigned long long>(tally.abandoned),
+              static_cast<unsigned long long>(tally.canceled),
               static_cast<unsigned long long>(stats.watchdogRecoveries),
               static_cast<unsigned long long>(stats.retries),
               static_cast<unsigned long long>(stats.streamFaultRelaunches),
               static_cast<unsigned long long>(stats.breakerOpens),
               static_cast<unsigned long long>(stats.chaosInjected));
+  printKernelTable();
+  return rc;
+}
+
+/// serve --shards N: the same manifest through a sharded
+/// CompressionCluster — consistent-hash tenant routing over a
+/// heterogeneous fleet, with a per-shard summary and a cluster-level
+/// health line on top of the per-tenant table.
+int doServeCluster(const std::string& manifestPath, u32 shards,
+                   u32 replicas, u32 workers, u32 maxBatch, usize depth,
+                   u64 quota, bool unbatched, bool chaos, u64 chaosSeed) {
+  const auto entries = parseManifest(manifestPath);
+  telemetry::registry().setEnabled(true);
+  telemetry::registry().reset();
+
+  cluster::ClusterConfig cfg;
+  cfg.shards = shards;
+  cfg.replicas = replicas;
+  cfg.shard.workers = workers;
+  cfg.shard.maxQueueDepth = depth;
+  cfg.shard.tenantQuotaBytes = quota;
+  if (unbatched) cfg.shard.maxBatchJobs = 1;
+  else if (maxBatch > 0) cfg.shard.maxBatchJobs = maxBatch;
+  cfg.startPaused = true;
+  if (chaos) {
+    service::ChaosConfig ccfg;
+    ccfg.seed = chaosSeed;
+    ccfg.stallTicks = 150;
+    ccfg.wedgeTicks = 150;
+    cfg.shard.chaosHook = service::SeededChaosSchedule(ccfg).hook();
+    cfg.shard.watchdog.minTimeoutMillis = 100;
+    cfg.shard.breaker.threshold = 4;
+  }
+  cluster::CompressionCluster cl(cfg);
+
+  struct Pending {
+    const ManifestEntry* entry;
+    cluster::ClusterTicket ticket;
+  };
+  std::vector<Pending> pending;
+
+  u32 maxJobs = 0;
+  for (const auto& e : entries) maxJobs = std::max(maxJobs, e.jobs);
+  u64 rejections = 0;
+  for (u32 j = 0; j < maxJobs; ++j) {
+    for (const auto& e : entries) {
+      if (j >= e.jobs) continue;
+      const auto& info = datagen::datasetInfo(e.dataset);
+      const auto field =
+          datagen::generateF32(e.dataset, j % info.numFields, e.elems);
+      core::Config jobCfg;
+      jobCfg.relErrorBound = e.rel;
+      if (chaos) {
+        jobCfg.checksum = true;
+        jobCfg.blockChecksums = true;
+        jobCfg.faultRetries = 2;
+      }
+      for (;;) {
+        auto submitted = cl.submitCompress<f32>(
+            e.tenant, std::span<const f32>(field), jobCfg);
+        if (submitted.accepted()) {
+          pending.push_back(Pending{&e, std::move(submitted.ticket)});
+          break;
+        }
+        require(submitted.reason == service::RejectReason::QueueFull ||
+                    submitted.reason ==
+                        service::RejectReason::QuotaExceeded ||
+                    submitted.reason == service::RejectReason::CircuitOpen,
+                "serve: submission rejected: " + submitted.detail);
+        ++rejections;
+        cl.resume();  // start draining so a retried slot can free up
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  cl.resume();
+  cl.shutdown();
+
+  struct TenantSummary {
+    u32 jobs = 0;
+    u32 failed = 0;
+    u32 shard = 0;
+    u64 bytesIn = 0;
+    u64 bytesOut = 0;
+  };
+  std::vector<std::pair<std::string, TenantSummary>> tenants;
+  auto summaryFor = [&](const std::string& t) -> TenantSummary& {
+    for (auto& [name, s] : tenants) {
+      if (name == t) return s;
+    }
+    tenants.emplace_back(t, TenantSummary{});
+    return tenants.back().second;
+  };
+
+  int rc = 0;
+  OutcomeTally tally;
+  for (const Pending& p : pending) {
+    const cluster::ClusterJobResult& r = p.ticket.wait();
+    TenantSummary& s = summaryFor(p.entry->tenant);
+    s.jobs += 1;
+    s.shard = r.shard;
+    tally.count(r.job.outcome);
+    if (!r.job.ok && r.job.outcome != service::Outcome::Degraded) {
+      s.failed += 1;
+      std::fprintf(stderr, "serve: tenant %s job %llu failed: %s\n",
+                   p.entry->tenant.c_str(),
+                   static_cast<unsigned long long>(p.ticket.id()),
+                   r.job.error.c_str());
+      rc = 1;
+      continue;
+    }
+    s.bytesIn += r.job.compressed.originalBytes;
+    s.bytesOut += r.job.compressed.stream.size();
+  }
+  if (!tally.served()) rc = 1;
+
+  std::printf("served %zu jobs from %zu tenants on %u shards "
+              "(replicas %u, batching %s)\n",
+              pending.size(), tenants.size(), cl.shardCount(),
+              cfg.replicas, unbatched ? "off" : "on");
+  if (rejections > 0) {
+    std::printf("backpressure: %llu submissions retried\n",
+                static_cast<unsigned long long>(rejections));
+  }
+  std::printf("per-tenant summary:\n");
+  std::printf("  %-12s %6s %6s %12s %12s %8s\n", "tenant", "jobs",
+              "shard", "bytes in", "bytes out", "ratio");
+  for (const auto& [name, s] : tenants) {
+    std::printf("  %-12s %6u %6u %12llu %12llu %8.3f\n", name.c_str(),
+                s.jobs, s.shard,
+                static_cast<unsigned long long>(s.bytesIn),
+                static_cast<unsigned long long>(s.bytesOut),
+                s.bytesOut > 0 ? static_cast<f64>(s.bytesIn) /
+                                     static_cast<f64>(s.bytesOut)
+                               : 0.0);
+    if (s.failed > 0) {
+      std::printf("  %-12s %6u jobs FAILED\n", name.c_str(), s.failed);
+    }
+  }
+  std::printf("per-shard summary:\n");
+  std::printf("  %-6s %-28s %-10s %10s %10s %10s\n", "shard", "device",
+              "state", "completed", "batches", "saved");
+  for (const cluster::ShardInfo& info : cl.shardInfos()) {
+    std::printf("  %-6u %-28s %-10s %10llu %10llu %10llu\n", info.id,
+                info.device.c_str(), cluster::toString(info.state),
+                static_cast<unsigned long long>(info.stats.completed),
+                static_cast<unsigned long long>(info.stats.batches),
+                static_cast<unsigned long long>(
+                    info.stats.launchesSaved()));
+  }
+  const cluster::ClusterStats cstats = cl.stats();
+  std::printf("health: %llu completed, %llu failed, %llu degraded, "
+              "%llu abandoned, %llu canceled; failovers %llu, "
+              "steals %llu, spills %llu, shard kills %llu, "
+              "kills vetoed %llu\n",
+              static_cast<unsigned long long>(tally.completed),
+              static_cast<unsigned long long>(tally.failed),
+              static_cast<unsigned long long>(tally.degraded),
+              static_cast<unsigned long long>(tally.abandoned),
+              static_cast<unsigned long long>(tally.canceled),
+              static_cast<unsigned long long>(cstats.failovers),
+              static_cast<unsigned long long>(cstats.steals),
+              static_cast<unsigned long long>(cstats.spills),
+              static_cast<unsigned long long>(cstats.shardKills),
+              static_cast<unsigned long long>(cstats.killsVetoed));
   printKernelTable();
   return rc;
 }
@@ -783,6 +981,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve") {
       std::string manifest;
+      u32 shards = 0;
+      u32 replicas = 2;
       u32 workers = 2;
       u32 batch = 0;
       usize depth = 256;
@@ -797,6 +997,8 @@ int main(int argc, char** argv) {
           return argv[++i];
         };
         if (arg == "--jobs") manifest = next();
+        else if (arg == "--shards") shards = static_cast<u32>(std::stoul(next()));
+        else if (arg == "--replicas") replicas = static_cast<u32>(std::stoul(next()));
         else if (arg == "--workers") workers = static_cast<u32>(std::stoul(next()));
         else if (arg == "--batch") batch = static_cast<u32>(std::stoul(next()));
         else if (arg == "--depth") depth = static_cast<usize>(std::stoull(next()));
@@ -806,6 +1008,10 @@ int main(int argc, char** argv) {
         else usage();
       }
       if (manifest.empty()) usage();
+      if (shards > 0) {
+        return doServeCluster(manifest, shards, replicas, workers, batch,
+                              depth, quota, unbatched, chaos, chaosSeed);
+      }
       return doServe(manifest, workers, batch, depth, quota, unbatched,
                      chaos, chaosSeed);
     }

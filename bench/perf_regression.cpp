@@ -70,6 +70,7 @@ constexpr WallBudget kWallBudgets[] = {
     {"jetin/round_trip", 17.0},      {"service/batched", 42.0},
     {"service/unbatched", 45.0},     {"service/batched_decompress", 20.0},
     {"service/chaos", 80.0},         {"cluster/failover", 90.0},
+    {"ratio/v3", 60.0},
 };
 
 f64 wallBudgetMs(const std::string& name) {
@@ -753,6 +754,70 @@ int main(int argc, char** argv) {
       }
       results.push_back(std::move(r));
     }
+  }
+
+  // ratio/v3 scenario: the jetin field under the Auto pipeline (format
+  // v3) against the same field through the v2 FLE writer (same per-block
+  // CRC footer v3 always carries). The selector's per-block Huffman/RLE
+  // wins are the point of format v3, so this case hard-fails the run —
+  // not a warning — if the v3 stream stops being smaller than the v2 one.
+  {
+    const std::vector<f32> field = datagen::generateF32("jetin", 0, elems);
+    core::Config v2cfg;
+    v2cfg.relErrorBound = 1e-3;
+    v2cfg.blockChecksums = true;
+    core::Config v3cfg = v2cfg;
+    v3cfg.pipeline = core::PipelineMode::Auto;
+
+    const auto onePass = [&](const core::Config& cfg) {
+      core::CompressorStream codec(cfg);
+      const auto c = codec.compress<f32>(std::span<const f32>(field));
+      return Modelled{c.ratio, c.profile.endToEndSeconds,
+                      c.profile.endToEndGBps};
+    };
+    const Modelled v2a = onePass(v2cfg);
+    const Modelled v3a = onePass(v3cfg);
+    if (!(v2a == onePass(v2cfg)) || !(v3a == onePass(v3cfg))) {
+      std::fprintf(stderr, "FAIL ratio/v3: modelled metrics differ "
+                           "between runs\n");
+      deterministic = false;
+    }
+    if (!(v3a.ratio > v2a.ratio)) {
+      std::fprintf(stderr,
+                   "FAIL ratio/v3: v3 auto ratio %.4f does not improve on "
+                   "the v2 FLE ratio %.4f\n",
+                   v3a.ratio, v2a.ratio);
+      deterministic = false;
+    }
+
+    core::CompressorStream codec(v3cfg);
+    const bench::RepeatStats wall = bench::measureRepeated(
+        5, [&] { codec.compress<f32>(std::span<const f32>(field)); });
+
+    CaseResult r;
+    r.name = "ratio/v3";
+    r.elems = field.size();
+    r.ratio = v3a.ratio;
+    r.modelledSeconds = v3a.seconds;
+    r.modelledGBps = v3a.gbps;
+    r.wallMsMedian = wall.medianSeconds * 1e3;
+    std::printf("%-24s %8.2f GB/s modelled  ratio %6.2f  wall %7.2f ms"
+                "  (v2 fle ratio %.2f, +%.1f%%)\n",
+                r.name.c_str(), r.modelledGBps, r.ratio, r.wallMsMedian,
+                v2a.ratio, 100.0 * (v3a.ratio / v2a.ratio - 1.0));
+
+    f64 prior = 0.0;
+    if (!previous.empty() && previousGbps(previous, r.name, &prior) &&
+        prior > 0.0) {
+      const f64 drift = std::fabs(r.modelledGBps - prior) / prior;
+      if (drift > kTolerance) {
+        std::printf("WARN %s: modelled throughput drifted %.1f%% "
+                    "(%.2f -> %.2f GB/s)\n",
+                    r.name.c_str(), drift * 100.0, prior, r.modelledGBps);
+        ++warns;
+      }
+    }
+    results.push_back(std::move(r));
   }
 
   // Soft wall-clock budget check: advisory WARN lines, never a failure

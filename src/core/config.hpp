@@ -3,6 +3,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/pipeline.hpp"
 #include "core/quantizer.hpp"
 #include "scan/device_scan.hpp"
 
@@ -74,6 +75,14 @@ struct Config {
   /// Recorded in the stream header, so decompression is self-describing.
   Predictor predictor = Predictor::FirstOrder;
 
+  /// Per-block encoding pipeline policy (core/pipeline.hpp). Legacy emits
+  /// the v1/v2 FLE wire format bit-exactly; any other value emits format
+  /// v3, where each block records its pipeline id — Auto selects the
+  /// smallest candidate per block, the remaining values pin one pipeline.
+  /// Part of operator==, so the service batcher never fuses jobs across
+  /// pipeline policies.
+  PipelineMode pipeline = PipelineMode::Legacy;
+
   /// Memberwise equality. The service-layer batching scheduler coalesces
   /// only requests with identical configs (same error bound, mode, layout
   /// and integrity settings), so one fused launch serves them all without
@@ -91,6 +100,10 @@ struct Config {
             "Config: blockSize must be a multiple of 8 in [8, 256]");
     require(blocksPerTile >= 1 && blocksPerTile <= 4096,
             "Config: blocksPerTile must be in [1, 4096]");
+    require(pipeline == PipelineMode::Legacy ||
+                predictor == Predictor::FirstOrder,
+            "Config: pipeline modes compose their own per-block predictors "
+            "and require predictor == FirstOrder");
   }
 };
 

@@ -31,6 +31,11 @@ u16 blockDigest(std::byte offsetByte, ConstByteSpan payload) {
   return static_cast<u16>(crc32(payload, seeded) & 0xFFFFu);
 }
 
+u16 blockDigestV3(ConstByteSpan descriptor, ConstByteSpan payload) {
+  const u32 seeded = crc32(descriptor);
+  return static_cast<u16>(crc32(payload, seeded) & 0xFFFFu);
+}
+
 void StreamHeader::serialize(std::byte* out) const {
   put64(out + 0, kMagic);
   u64 meta = 0;
@@ -42,7 +47,11 @@ void StreamHeader::serialize(std::byte* out) const {
   put64(out + 8, meta);
   put64(out + 16, numElements);
   put64(out + 24, bitCast<u64>(absErrorBound));
-  put64(out + 32, static_cast<u64>(checksum));  // upper 4 bytes reserved
+  // Bytes [36, 40) carry the version-3 dictionary size; versions 1/2 keep
+  // dictBytes == 0, so their serialized bytes are exactly the historical
+  // reserved zeros.
+  put64(out + 32, static_cast<u64>(checksum) |
+                      (static_cast<u64>(dictBytes) << 32));
 }
 
 StreamHeader StreamHeader::parse(ConstByteSpan stream) {
@@ -51,7 +60,8 @@ StreamHeader StreamHeader::parse(ConstByteSpan stream) {
           "StreamHeader: bad magic (not a cuSZp2 stream)");
   const u64 meta = get64(stream.data() + 8);
   const u32 version = static_cast<u32>(meta & 0xFFu);
-  require(version == kFormatVersion || version == kFormatVersionV2,
+  require(version == kFormatVersion || version == kFormatVersionV2 ||
+              version == kFormatVersionV3,
           "StreamHeader: unsupported format version");
 
   StreamHeader h;
@@ -71,7 +81,21 @@ StreamHeader StreamHeader::parse(ConstByteSpan stream) {
   h.numElements = get64(stream.data() + 16);
   h.absErrorBound = bitCast<f64>(get64(stream.data() + 24));
   require(h.absErrorBound > 0.0, "StreamHeader: invalid error bound");
-  h.checksum = static_cast<u32>(get64(stream.data() + 32));
+  const u64 tail = get64(stream.data() + 32);
+  h.checksum = static_cast<u32>(tail);
+  h.dictBytes = static_cast<u32>(tail >> 32);
+  if (version < kFormatVersionV3) {
+    require(h.dictBytes == 0,
+            "StreamHeader: reserved bytes are nonzero in a pre-v3 stream");
+  } else {
+    // A v3 block costs at least 1 descriptor + 2 footer bytes; bounding
+    // the block count by the stream size (division, no multiply) keeps
+    // the size arithmetic below overflow-free on hostile headers.
+    require(h.numBlocks() <= (stream.size() - kBytes) / 3,
+            "StreamHeader: block count exceeds the stream size");
+    require(h.numBlocks() == 0 ? h.dictBytes == 0 : h.dictBytes >= 8,
+            "StreamHeader: invalid dictionary section size");
+  }
   require(stream.size() >= h.payloadBegin() + h.footerBytes(),
           "StreamHeader: stream shorter than its offset array and footer");
   return h;

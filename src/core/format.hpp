@@ -26,12 +26,23 @@ namespace cuszp2::core {
 inline constexpr u64 kMagic = 0x325A5053'32505A43ull;  // "CZP2SPZ2"
 inline constexpr u32 kFormatVersion = 1;
 inline constexpr u32 kFormatVersionV2 = 2;  // adds the per-block CRC footer
+/// Version 3: per-block pipeline selection packed into the descriptor
+/// byte's unused 0x20-0x7F range, a stream-level dictionary section (see
+/// core/pipeline.hpp and docs/FORMAT.md), and the v2 CRC footer
+/// unconditionally.
+inline constexpr u32 kFormatVersionV3 = 3;
 
 /// 16-bit per-block integrity digest: CRC-32 chained over the block's
 /// offset byte and payload bytes, truncated to its low 16 bits. Including
 /// the offset byte means a corrupted offset byte fails its own block's
 /// digest even when the payload bytes survive.
 u16 blockDigest(std::byte offsetByte, ConstByteSpan payload);
+
+/// Version-3 digest: chained over the block's descriptor byte and its
+/// payload (including any entropy size prefix), so pipeline-id or framing
+/// corruption fails the block's own digest exactly like offset-byte
+/// corruption does in version 2.
+u16 blockDigestV3(ConstByteSpan descriptor, ConstByteSpan payload);
 
 struct StreamHeader {
   u32 version = kFormatVersion;
@@ -47,6 +58,12 @@ struct StreamHeader {
   /// (Config::checksum enables it at compression time).
   u32 checksum = 0;
 
+  /// Version 3 only: total bytes of the dictionary section (its 8-byte
+  /// section header plus the serialized table). Stored in the header's
+  /// formerly reserved bytes [36, 40), which versions 1/2 keep at zero —
+  /// their serialized bytes are unchanged.
+  u32 dictBytes = 0;
+
   static constexpr usize kBytes = 40;
 
   u64 numBlocks() const {
@@ -58,15 +75,31 @@ struct StreamHeader {
     return numElements * byteWidth(precision);
   }
 
-  /// Byte offset of the offset-byte array within the stream.
+  /// Byte offset of the per-block descriptor array (versions 1/2: the
+  /// offset bytes; version 3: the 1-byte pipeline descriptors).
   static constexpr usize offsetsBegin() { return kBytes; }
+
+  /// Bytes per block in the descriptor array. Every format version packs
+  /// one descriptor byte per block (v3 folds the pipeline id into the
+  /// unused 0x20-0x7F range of the legacy offset byte).
+  usize descriptorStride() const { return 1; }
+
+  /// Size of the descriptor array.
+  usize descriptorBytes() const {
+    return static_cast<usize>(numBlocks()) * descriptorStride();
+  }
+
+  /// Byte offset of the version-3 dictionary section (== payloadBegin()
+  /// for versions 1/2, whose dictBytes is 0).
+  usize dictBegin() const { return kBytes + descriptorBytes(); }
 
   /// Byte offset of the payload region within the stream.
   usize payloadBegin() const {
-    return kBytes + static_cast<usize>(numBlocks());
+    return kBytes + descriptorBytes() + dictBytes;
   }
 
-  /// True when the stream carries the version-2 per-block CRC footer.
+  /// True when the stream carries the per-block CRC footer (version 2
+  /// optional-on-request, version 3 always).
   bool hasBlockChecksums() const { return version >= kFormatVersionV2; }
 
   /// Size of the per-block CRC footer (trailing bytes of the stream);

@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "core/block_codec.hpp"
 #include "core/quantizer.hpp"
+#include "core/stream_internal.hpp"
 #include "metrics/error_stats.hpp"
 #include "scan/chained.hpp"
 #include "scan/lookback.hpp"
@@ -54,94 +55,14 @@ class TileSync {
   scan::ChainedScanState chained_;
 };
 
-/// Records the traffic of the kernel's input/output streams under the
-/// configured access pattern (vectorized + coalesced vs scalar strided,
-/// Sec. IV-B).
-struct AccessRecorder {
-  bool vectorized;
-  u32 transactionBytes;
-
-  void read(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
-    if (vectorized) {
-      mem.noteVectorRead(bytes, transactionBytes);
-    } else {
-      mem.noteStridedRead(bytes, elemBytes);
-    }
-  }
-
-  void write(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
-    if (vectorized) {
-      mem.noteVectorWrite(bytes, transactionBytes);
-    } else {
-      mem.noteStridedWrite(bytes, elemBytes);
-    }
-  }
-};
-
-/// Second-difference pass of the SecondOrder predictor, applied on top of
-/// first-order residuals. The block head stays out of the chain: d_0 = q_0
-/// is the (often huge) block-independence outlier and chaining d_1 against
-/// it would poison every second-order block.
-void secondOrderDiff(std::span<i32> res) {
-  i32 prevD = 0;
-  for (usize i = 1; i < res.size(); ++i) {
-    const i32 d = res[i];
-    const i64 r2 = static_cast<i64>(d) - static_cast<i64>(prevD);
-    require(r2 >= std::numeric_limits<i32>::min() &&
-                r2 <= std::numeric_limits<i32>::max(),
-            "Compressor: error bound too small for the second-order "
-            "predictor's residual range");
-    res[i] = static_cast<i32>(r2);
-    prevD = d;
-  }
-}
-
-/// Inverse of the prediction (prefix sums, once or twice).
-void residualsToQuants(std::span<const i32> res, std::span<i32> quants,
-                       Predictor predictor) {
-  if (predictor == Predictor::SecondOrder) {
-    if (res.empty()) return;
-    quants[0] = res[0];
-    i32 d = 0;
-    i32 q = res[0];
-    for (usize i = 1; i < res.size(); ++i) {
-      d += res[i];
-      q += d;
-      quants[i] = q;
-    }
-  } else {
-    if (simd::prefixSumI32(res, quants.data())) return;
-    i32 q = 0;
-    for (usize i = 0; i < res.size(); ++i) {
-      q += res[i];
-      quants[i] = q;
-    }
-  }
-}
-
-/// Reconstruction loop: out[i] = q[i] * 2eb, SIMD when active (the vector
-/// path performs the identical f64 multiply + narrowing convert).
-template <FloatingPoint T>
-void dequantizeSpan(const Quantizer& quantizer, std::span<const i32> q,
-                    T* out) {
-  if (simd::dequantize(q, quantizer.twoEb(), out)) return;
-  for (usize i = 0; i < q.size(); ++i) {
-    out[i] = quantizer.dequantize<T>(q[i]);
-  }
-}
-
-KernelProfile makeProfile(const gpusim::LaunchResult& launch,
-                          const gpusim::TimingModel& timing,
-                          u64 originalBytes, f64 extraSeconds = 0.0) {
-  KernelProfile p;
-  p.mem = launch.mem;
-  p.sync = launch.sync;
-  p.timing = timing.kernel(launch.mem, launch.sync);
-  p.endToEndSeconds = p.timing.totalSeconds + extraSeconds;
-  p.endToEndGBps = gpusim::gbps(originalBytes, p.endToEndSeconds);
-  p.wallSeconds = launch.wallSeconds;
-  return p;
-}
+// Stage helpers shared with the format-v3 pipeline (stream_v3.cpp):
+// access-pattern recording, prediction inverses, dequantization, and
+// profile assembly all live in stream_internal.hpp now.
+using detail::AccessRecorder;
+using detail::dequantizeSpan;
+using detail::makeProfile;
+using detail::residualsToQuants;
+using detail::secondOrderDiff;
 
 /// Tile-local compression scratch, pre-partitioned into one slot per pool
 /// worker. A worker runs exactly one task at a time and each kernel-body
@@ -609,6 +530,7 @@ std::span<std::byte> compressFaultTarget(const FieldJob& job) {
 
 template <FloatingPoint T>
 Compressed CompressorStream::compress(std::span<const T> data) {
+  if (config_.pipeline != PipelineMode::Legacy) return compressV3<T>(data);
   arena_.reset();
   applyInjectedArenaBudget();
   const usize workers = launcher_.workerCount();
@@ -638,6 +560,17 @@ Compressed CompressorStream::compress(std::span<const T> data) {
 template <FloatingPoint T>
 std::vector<Compressed> CompressorStream::compressBatch(
     std::span<const std::span<const T>> fields) {
+  // Format-v3 compression is a two-kernel pass with a host selection stage
+  // between them, which cannot interleave inside one fused launch; each
+  // field compresses on its own (byte-identical to compress(fields[i])).
+  if (config_.pipeline != PipelineMode::Legacy) {
+    std::vector<Compressed> out;
+    out.reserve(fields.size());
+    for (const std::span<const T>& field : fields) {
+      out.push_back(compressV3<T>(field));
+    }
+    return out;
+  }
   arena_.reset();
   applyInjectedArenaBudget();
   const usize workers = launcher_.workerCount();
@@ -700,6 +633,9 @@ Decompressed<T> CompressorStream::decompress(ConstByteSpan stream) {
   const StreamHeader header = StreamHeader::parse(stream);
   require(header.precision == precisionOf<T>(),
           "decompress: stream precision does not match the requested type");
+  if (header.version >= kFormatVersionV3) {
+    return decompressV3<T>(stream, header);
+  }
 
   // Integrity check when the stream carries a checksum.
   f64 checksumSeconds = 0.0;
@@ -974,8 +910,17 @@ std::vector<DecompressedRaw> CompressorStream::decompressBatchRaw(
 
   // Per-stream write-digest verification cannot isolate one member of a
   // fused launch, so fault-injection configurations keep the serial
-  // detect-and-retry semantics of decompress().
-  if (config_.faultRetries > 0) {
+  // detect-and-retry semantics of decompress(). Version-3 streams decode
+  // through their own pipeline-aware pass (host-side block positioning,
+  // shared dictionary), which likewise runs one launch per stream.
+  bool anyV3 = false;
+  for (const ConstByteSpan s : streams) {
+    if (StreamHeader::parse(s).version >= kFormatVersionV3) {
+      anyV3 = true;
+      break;
+    }
+  }
+  if (config_.faultRetries > 0 || anyV3) {
     for (usize i = 0; i < streams.size(); ++i) {
       const StreamHeader header = StreamHeader::parse(streams[i]);
       if (header.precision == Precision::F32) {
@@ -1075,6 +1020,9 @@ BlockRange<T> CompressorStream::decompressBlocks(ConstByteSpan stream,
   require(firstBlock < numBlocks && blockCount > 0 &&
               firstBlock + blockCount <= numBlocks,
           "decompressBlocks: block range out of bounds");
+  if (header.version >= kFormatVersionV3) {
+    return decompressBlocksV3<T>(stream, header, firstBlock, blockCount);
+  }
 
   // The whole prefix-summed layout is validated before any payload read
   // (a corrupt offset byte anywhere shifts every later block); version-2
@@ -1169,6 +1117,9 @@ Compressed CompressorStream::replaceBlocks(ConstByteSpan stream,
   require(header.precision == precisionOf<T>(),
           "replaceBlocks: stream precision mismatch");
   require(!values.empty(), "replaceBlocks: values must be non-empty");
+  if (header.version >= kFormatVersionV3) {
+    return replaceBlocksV3<T>(stream, header, firstBlock, values);
+  }
 
   const u32 L = header.blockSize;
   const u64 n = header.numElements;
@@ -1330,6 +1281,11 @@ Salvaged<T> CompressorStream::decompressResilient(ConstByteSpan stream,
   }
   rep.headerOk = true;
   rep.blockChecksums = header.hasBlockChecksums();
+  if (header.version >= kFormatVersionV3) {
+    salvageV3<T>(stream, header, fillValue, out);
+    instruments_.salvageBadBlocks->add(rep.badBlocks);
+    return out;
+  }
 
   // Whole-stream CRC verdict is informational in salvage mode: a
   // mismatch localizes nothing, the per-block pass below decides.

@@ -115,9 +115,15 @@ struct DecodeReport {
   /// Whole-stream CRC-32 verdict; true when the stream carries none.
   bool streamChecksumOk = true;
 
-  /// True when the stream is version 2 (per-block digests available, so
+  /// True when the stream is version 2+ (per-block digests available, so
   /// quarantine decisions are per-block exact).
   bool blockChecksums = false;
+
+  /// Version-3 dictionary section verdict: false when the section header
+  /// or the shared Huffman table failed its CRC or parse. Blocks of
+  /// Huffman pipelines are then quarantined (DecodeError) while blocks of
+  /// table-free pipelines still decode. Always true for v1/v2 streams.
+  bool dictionaryOk = true;
 
   /// True for version-2 streams whose offset-byte prefix sum + footer do
   /// not land exactly on the end of the stream (truncation or offset-byte
@@ -136,7 +142,8 @@ struct DecodeReport {
   std::vector<BlockVerdict> verdicts;
 
   bool clean() const {
-    return headerOk && streamChecksumOk && !framingDamaged && badBlocks == 0;
+    return headerOk && streamChecksumOk && dictionaryOk && !framingDamaged &&
+           badBlocks == 0;
   }
 };
 
@@ -229,6 +236,27 @@ class CompressorStream {
   gpusim::Launcher& launcher() { return launcher_; }
 
  private:
+  // Format-v3 pipeline paths (stream_v3.cpp). compress() and the decode
+  // entry points branch here when Config::pipeline != Legacy or the
+  // stream header says version 3; the legacy paths in stream.cpp stay
+  // byte-for-byte untouched.
+  template <FloatingPoint T>
+  Compressed compressV3(std::span<const T> data);
+  template <FloatingPoint T>
+  Decompressed<T> decompressV3(ConstByteSpan stream,
+                               const StreamHeader& header);
+  template <FloatingPoint T>
+  void salvageV3(ConstByteSpan stream, const StreamHeader& header,
+                 T fillValue, Salvaged<T>& out);
+  template <FloatingPoint T>
+  BlockRange<T> decompressBlocksV3(ConstByteSpan stream,
+                                   const StreamHeader& header,
+                                   u64 firstBlock, u64 blockCount);
+  template <FloatingPoint T>
+  Compressed replaceBlocksV3(ConstByteSpan stream,
+                             const StreamHeader& header, u64 firstBlock,
+                             std::span<const T> values);
+
   /// Runs a kernel under the detect-and-retry policy: relaunches up to
   /// Config::faultRetries times while `verify` reports corrupt output or
   /// the launch aborts; `rearm` reinitializes scan state between attempts.

@@ -1,0 +1,106 @@
+// Internal helpers shared by the legacy (v1/v2) stream pipeline in
+// stream.cpp and the format-v3 pipeline in stream_v3.cpp. Not part of the
+// public API — include only from core/ translation units.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+#include "core/quantizer.hpp"
+#include "core/stream.hpp"
+#include "gpusim/launcher.hpp"
+
+namespace cuszp2::core::detail {
+
+/// Records the traffic of the kernel's input/output streams under the
+/// configured access pattern (vectorized + coalesced vs scalar strided,
+/// Sec. IV-B).
+struct AccessRecorder {
+  bool vectorized;
+  u32 transactionBytes;
+
+  void read(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
+    if (vectorized) {
+      mem.noteVectorRead(bytes, transactionBytes);
+    } else {
+      mem.noteStridedRead(bytes, elemBytes);
+    }
+  }
+
+  void write(gpusim::MemCounters& mem, u64 bytes, u32 elemBytes) const {
+    if (vectorized) {
+      mem.noteVectorWrite(bytes, transactionBytes);
+    } else {
+      mem.noteStridedWrite(bytes, elemBytes);
+    }
+  }
+};
+
+/// Second-difference pass of the SecondOrder predictor, applied on top of
+/// first-order residuals. The block head stays out of the chain: d_0 = q_0
+/// is the (often huge) block-independence outlier and chaining d_1 against
+/// it would poison every second-order block.
+inline void secondOrderDiff(std::span<i32> res) {
+  i32 prevD = 0;
+  for (usize i = 1; i < res.size(); ++i) {
+    const i32 d = res[i];
+    const i64 r2 = static_cast<i64>(d) - static_cast<i64>(prevD);
+    require(r2 >= std::numeric_limits<i32>::min() &&
+                r2 <= std::numeric_limits<i32>::max(),
+            "Compressor: error bound too small for the second-order "
+            "predictor's residual range");
+    res[i] = static_cast<i32>(r2);
+    prevD = d;
+  }
+}
+
+/// Inverse of the prediction (prefix sums, once or twice).
+inline void residualsToQuants(std::span<const i32> res, std::span<i32> quants,
+                              Predictor predictor) {
+  if (predictor == Predictor::SecondOrder) {
+    if (res.empty()) return;
+    quants[0] = res[0];
+    i32 d = 0;
+    i32 q = res[0];
+    for (usize i = 1; i < res.size(); ++i) {
+      d += res[i];
+      q += d;
+      quants[i] = q;
+    }
+  } else {
+    if (simd::prefixSumI32(res, quants.data())) return;
+    i32 q = 0;
+    for (usize i = 0; i < res.size(); ++i) {
+      q += res[i];
+      quants[i] = q;
+    }
+  }
+}
+
+/// Reconstruction loop: out[i] = q[i] * 2eb, SIMD when active (the vector
+/// path performs the identical f64 multiply + narrowing convert).
+template <FloatingPoint T>
+void dequantizeSpan(const Quantizer& quantizer, std::span<const i32> q,
+                    T* out) {
+  if (simd::dequantize(q, quantizer.twoEb(), out)) return;
+  for (usize i = 0; i < q.size(); ++i) {
+    out[i] = quantizer.dequantize<T>(q[i]);
+  }
+}
+
+inline KernelProfile makeProfile(const gpusim::LaunchResult& launch,
+                                 const gpusim::TimingModel& timing,
+                                 u64 originalBytes, f64 extraSeconds = 0.0) {
+  KernelProfile p;
+  p.mem = launch.mem;
+  p.sync = launch.sync;
+  p.timing = timing.kernel(launch.mem, launch.sync);
+  p.endToEndSeconds = p.timing.totalSeconds + extraSeconds;
+  p.endToEndGBps = gpusim::gbps(originalBytes, p.endToEndSeconds);
+  p.wallSeconds = launch.wallSeconds;
+  return p;
+}
+
+}  // namespace cuszp2::core::detail

@@ -72,6 +72,11 @@ std::vector<u8> buildCodeLengths(std::span<const u64> freq) {
 
 }  // namespace
 
+std::vector<u8> HuffmanCodec::codeLengthsFromFrequencies(
+    std::span<const u64> freq) {
+  return buildCodeLengths(freq);
+}
+
 std::vector<u32> HuffmanCodec::canonicalCodes(std::span<const u8> lengths) {
   // Kraft-ordered canonical assignment: codes sorted by (length, symbol).
   std::vector<u32> codes(lengths.size(), 0);

@@ -46,6 +46,12 @@ class HuffmanCodec {
 
   /// Canonical code assignment from code lengths (exposed for tests).
   static std::vector<u32> canonicalCodes(std::span<const u8> lengths);
+
+  /// Code lengths from a frequency histogram (0 = unused symbol). Exposed
+  /// so stream-level dictionaries (format v3's shared per-stream table)
+  /// can reuse the tree build without re-encoding through this codec.
+  static std::vector<u8> codeLengthsFromFrequencies(
+      std::span<const u64> freq);
 };
 
 }  // namespace cuszp2::entropy

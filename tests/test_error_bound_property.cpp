@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "metrics/error_stats.hpp"
@@ -135,6 +138,110 @@ TEST(ErrorBoundProperty, HaccF32) { sweepDataset<f32>("hacc", 1, 8191); }
 TEST(ErrorBoundProperty, JetinF32) { sweepDataset<f32>("jetin", 0, 8191); }
 TEST(ErrorBoundProperty, NyxF32) { sweepDataset<f32>("nyx", 0, 8191); }
 TEST(ErrorBoundProperty, S3dF64) { sweepDataset<f64>("s3d", 0, 8191); }
+
+/// Format-v3 pipeline matrix: for every pipeline mode (Auto plus each
+/// pinned pipeline), under a REL and an ABS bound, the stream must
+/// (a) declare format v3,
+/// (b) respect the element-wise error bound,
+/// (c) round-trip the quantized representation exactly — recompressing
+///     the decoded data under the resolved ABS bound decodes bit-identical
+///     (lossless once past the quantizer, whatever the encoder), and
+/// (d) in Auto never exceed the smallest pinned pipeline's stream size
+///     (the selector's admission rule for the shared Huffman table).
+template <FloatingPoint T>
+void sweepPipelineMatrix(const std::string& dataset, u32 fieldIndex,
+                         usize elems) {
+  using core::PipelineMode;
+
+  const std::vector<T> field = [&] {
+    if constexpr (std::is_same_v<T, f32>) {
+      return datagen::generateF32(dataset, fieldIndex, elems);
+    } else {
+      return datagen::generateF64(dataset, fieldIndex, elems);
+    }
+  }();
+  const std::span<const T> data(field);
+  const f64 range = metrics::valueRange<T>(data);
+
+  const BoundCase bounds[] = {{true, 1e-3}, {false, range * 1e-4}};
+  const PipelineMode modes[] = {PipelineMode::Auto, PipelineMode::Fle,
+                                PipelineMode::Huffman, PipelineMode::Rle,
+                                PipelineMode::LorenzoFle};
+
+  for (const BoundCase& bc : bounds) {
+    usize autoSize = 0;
+    usize bestPinned = std::numeric_limits<usize>::max();
+
+    for (const PipelineMode mode : modes) {
+      Config cfg;
+      if (bc.relative) {
+        cfg.relErrorBound = bc.bound;
+        cfg.absErrorBound = 0.0;
+      } else {
+        cfg.absErrorBound = bc.bound;
+      }
+      cfg.pipeline = mode;
+      const std::string label =
+          dataset + (bc.relative ? "/rel=" : "/abs=") +
+          std::to_string(bc.bound) + "/pipeline=" + core::toString(mode);
+
+      CompressorStream codec(cfg);
+      const auto c = codec.compress<T>(data);
+      const auto header = core::StreamHeader::parse(c.stream);
+      EXPECT_EQ(header.version, core::kFormatVersionV3) << label;
+
+      const auto d = codec.decompress<T>(c.stream);
+      const f64 absEb = header.absErrorBound;
+      expectWithinBound<T>(data, d.data, absEb, label);
+
+      // Quantized-stream round trip: the decoded values are exactly the
+      // dequantized integers, so recompressing them under the *resolved*
+      // ABS bound (REL would re-derive a different range) and decoding
+      // again must reproduce them bit for bit regardless of the encoder.
+      Config cfg2 = cfg;
+      cfg2.relErrorBound = 0.0;
+      cfg2.absErrorBound = absEb;
+      CompressorStream codec2(cfg2);
+      const auto c2 = codec2.compress<T>(std::span<const T>(d.data));
+      const auto d2 = codec2.decompress<T>(c2.stream);
+      ASSERT_EQ(d2.data.size(), d.data.size()) << label;
+      EXPECT_EQ(std::memcmp(d2.data.data(), d.data.data(),
+                            d.data.size() * sizeof(T)),
+                0)
+          << label << ": quantized round trip not exact";
+
+      if (mode == PipelineMode::Auto) {
+        autoSize = c.stream.size();
+      } else {
+        bestPinned = std::min(bestPinned, c.stream.size());
+      }
+    }
+
+    EXPECT_LE(autoSize, bestPinned)
+        << dataset << (bc.relative ? "/rel=" : "/abs=") << bc.bound
+        << ": auto selection produced a larger stream than the best "
+           "pinned pipeline";
+  }
+}
+
+TEST(PipelineMatrixProperty, CesmAtmF32) {
+  sweepPipelineMatrix<f32>("cesm_atm", 0, 8191);
+}
+TEST(PipelineMatrixProperty, HaccF32) {
+  sweepPipelineMatrix<f32>("hacc", 1, 8191);
+}
+TEST(PipelineMatrixProperty, JetinF32) {
+  sweepPipelineMatrix<f32>("jetin", 0, 8191);
+}
+TEST(PipelineMatrixProperty, NyxF32) {
+  sweepPipelineMatrix<f32>("nyx", 0, 8191);
+}
+// s3d is the repo's double-precision dataset; the others are f32-native
+// (datagen rejects cross-precision generation), so together the five
+// datasets cover the full pipeline matrix in both element types.
+TEST(PipelineMatrixProperty, S3dF64) {
+  sweepPipelineMatrix<f64>("s3d", 0, 8191);
+}
 
 }  // namespace
 }  // namespace cuszp2

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "core/pipeline.hpp"
 #include "core/stream.hpp"
 
 namespace cuszp2 {
@@ -33,6 +34,49 @@ constexpr const char* kGoldenV2 =
     "000000000000000004a400000000aaaaaaaa00000000fefffffffeffffff0000"
     "00009001aa00000000000000fe000000fe0000004d7cbc81";
 
+// Format-v3 fixtures: the same 40-value input under each pinned pipeline
+// (cuszp2 compress gold.f32 out.czp2 --abs 0.01 --pipeline <id>), plus a
+// mixed-selection stream. They pin the v3 layout of docs/FORMAT.md: 1-byte
+// descriptors (pipeline id folded into the 0x20-0x7F hole of the legacy
+// offset byte), the u16 size prefix in front of entropy payloads, the
+// dictionary section (8-byte header, Huffman table only when admitted) and
+// the unconditional per-block digest footer.
+
+// --pipeline fle (96 bytes)
+constexpr const char* kGoldenV3Fle =
+    "435a503253505a32030001002000000028000000000000007b14ae47e17a843f"
+    "000000000800000004a4000000000000000000000000aaaaaaaa00000000feff"
+    "fffffeffffff000000009001aa00000000000000fe000000fe0000004d7cbc81";
+
+// --pipeline huffman (92 bytes; dictBytes = 22 carries the shared table)
+constexpr const char* kGoldenV3Huffman =
+    "435a503253505a32030001002000000028000000000000007b14ae47e17a843f"
+    "000000001600000020200e000000f9ca088304000000011800031a0002200303"
+    "0c004e005ad6b5ad6b5ad6b5ad6808002c00f6b5a00000006655b36d";
+
+// --pipeline rle (185 bytes)
+constexpr const char* kGoldenV3Rle =
+    "435a503253505a32030001002000000028000000000000007b14ae47e17a843f"
+    "000000000800000040400000000000000000620020000000001a00001800001a"
+    "00001800001a00001800001a00001800001a00001800001a00001800001a0000"
+    "1800001a00001800001a00001800001a00001800001a00001800001a00001800"
+    "001a00001800001a00001800001a00001800001a00001d0009002003001a0000"
+    "1800001a00001800001a00001800001a00000000178e5757d6";
+
+// --pipeline lorenzo-fle (126 bytes)
+constexpr const char* kGoldenV3Lorenzo =
+    "435a503253505a32030001002000000028000000000000007b14ae47e17a843f"
+    "00000000080000006769000000000000000000000000aa00000000000000fe01"
+    "0101fe00000000000000000101010001010100fe0000aaaa000000000000fefe"
+    "0000feff00000101000000000000000100000100000001000000476bbdf7";
+
+// --pipeline auto on mixedInput() below: the selector picks FLE for the
+// all-zero blocks and RLE for the constant-slope blocks (74 bytes).
+constexpr const char* kGoldenV3Mixed =
+    "435a503253505a32030001002000000080000000000000007b14ae47e17a843f"
+    "00000000080000000040004000000000000000000500010004001f0500010001"
+    "001f8defbabe8def517c";
+
 std::vector<std::byte> fromHex(const std::string& hex) {
   std::vector<std::byte> out(hex.size() / 2);
   for (usize i = 0; i < out.size(); ++i) {
@@ -45,6 +89,24 @@ std::vector<std::byte> fromHex(const std::string& hex) {
 std::vector<f32> goldenInput() {
   std::vector<f32> v(40);
   for (usize i = 0; i < v.size(); ++i) v[i] = static_cast<f32>(i) * 0.25f;
+  return v;
+}
+
+/// 4 blocks of 32 shaped so Auto selection genuinely mixes pipelines:
+/// all-zero blocks (FLE encodes them in 0 payload bytes) alternate with
+/// constant-slope ramps (one RLE run beats any fixed-length encoding).
+/// Values are exact multiples of the 0.02 quantization step, produced the
+/// way the decoder dequantizes, so the round trip is bit-identical.
+std::vector<f32> mixedInput() {
+  std::vector<f32> v;
+  for (usize blk = 0; blk < 4; ++blk) {
+    i32 q = 0;
+    for (usize i = 0; i < 32; ++i) {
+      if (blk == 1) q += 2;
+      if (blk == 3) q -= 1;
+      v.push_back(static_cast<f32>(static_cast<f64>(q) * 0.02));
+    }
+  }
   return v;
 }
 
@@ -125,6 +187,107 @@ TEST(FormatGolden, V2FixtureParsesAndDecodes) {
 
   core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
   expectDecodesGoldenInput(codec.decompress<f32>(fixture).data);
+}
+
+/// Pipeline ids recorded in a v3 stream's descriptor array.
+std::vector<core::PipelineId> fixturePipelines(
+    const std::vector<std::byte>& s) {
+  const auto header = core::StreamHeader::parse(s);
+  std::vector<core::PipelineId> ids;
+  for (u64 blk = 0; blk < header.numBlocks(); ++blk) {
+    ids.push_back(core::V3BlockDesc::unpack(
+                      s.data() + core::StreamHeader::offsetsBegin() +
+                      blk * core::kV3DescBytes)
+                      .pipeline);
+  }
+  return ids;
+}
+
+struct V3Fixture {
+  const char* hex;
+  core::PipelineMode mode;
+  core::PipelineId id;
+  u32 dictBytes;
+};
+
+const V3Fixture kV3Fixtures[] = {
+    {kGoldenV3Fle, core::PipelineMode::Fle, core::PipelineId::Fle, 8},
+    {kGoldenV3Huffman, core::PipelineMode::Huffman,
+     core::PipelineId::Huffman, 22},
+    {kGoldenV3Rle, core::PipelineMode::Rle, core::PipelineId::Rle, 8},
+    {kGoldenV3Lorenzo, core::PipelineMode::LorenzoFle,
+     core::PipelineId::LorenzoFle, 8},
+};
+
+TEST(FormatGolden, V3FixturesParseAndDecodePerPipeline) {
+  for (const V3Fixture& fx : kV3Fixtures) {
+    const auto fixture = fromHex(fx.hex);
+    const auto header = core::StreamHeader::parse(fixture);
+    EXPECT_EQ(header.version, core::kFormatVersionV3) << fx.hex;
+    EXPECT_EQ(header.numElements, 40u);
+    EXPECT_EQ(header.numBlocks(), 2u);
+    EXPECT_EQ(header.dictBytes, fx.dictBytes);
+    EXPECT_EQ(header.descriptorStride(), 1u);
+    EXPECT_TRUE(header.hasBlockChecksums());  // v3 footer is unconditional
+    EXPECT_EQ(header.footerBytes(), 4u);
+    for (const core::PipelineId id : fixturePipelines(fixture)) {
+      EXPECT_EQ(id, fx.id) << core::toString(fx.mode);
+    }
+
+    core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
+    expectDecodesGoldenInput(codec.decompress<f32>(fixture).data);
+  }
+}
+
+TEST(FormatGolden, V3MixedFixtureRecordsTwoPipelines) {
+  const auto fixture = fromHex(kGoldenV3Mixed);
+  const auto header = core::StreamHeader::parse(fixture);
+  EXPECT_EQ(header.version, core::kFormatVersionV3);
+  EXPECT_EQ(header.numBlocks(), 4u);
+  EXPECT_EQ(header.dictBytes, 8u);  // Huffman not admitted: empty table
+
+  const auto ids = fixturePipelines(fixture);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], core::PipelineId::Fle);
+  EXPECT_EQ(ids[1], core::PipelineId::Rle);
+  EXPECT_EQ(ids[2], core::PipelineId::Fle);
+  EXPECT_EQ(ids[3], core::PipelineId::Rle);
+
+  // The input's values are exact quantization-grid points, so the decode
+  // is bit-identical to the input.
+  core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
+  const auto d = codec.decompress<f32>(fixture);
+  const auto input = mixedInput();
+  ASSERT_EQ(d.data.size(), input.size());
+  EXPECT_EQ(std::memcmp(d.data.data(), input.data(),
+                        input.size() * sizeof(f32)),
+            0);
+}
+
+TEST(FormatGolden, V3WriterStillProducesTheFixtureBytes) {
+  const auto input = goldenInput();
+  core::CompressorStream codec(core::Config{.absErrorBound = 0.01});
+  for (const V3Fixture& fx : kV3Fixtures) {
+    core::Config cfg;
+    cfg.absErrorBound = 0.01;
+    cfg.pipeline = fx.mode;
+    codec.reconfigure(cfg);
+    const auto c = codec.compress<f32>(std::span<const f32>(input));
+    EXPECT_EQ(c.stream, fromHex(fx.hex))
+        << core::toString(fx.mode)
+        << ": v3 wire format changed — bump the format version and update "
+           "docs/FORMAT.md before touching this fixture";
+  }
+
+  core::Config cfg;
+  cfg.absErrorBound = 0.01;
+  cfg.pipeline = core::PipelineMode::Auto;
+  codec.reconfigure(cfg);
+  const auto mixed = mixedInput();
+  const auto c = codec.compress<f32>(std::span<const f32>(mixed));
+  EXPECT_EQ(c.stream, fromHex(kGoldenV3Mixed))
+      << "v3 mixed-selection output changed — the selector or the wire "
+         "format moved; update docs/FORMAT.md and this fixture together";
 }
 
 TEST(FormatGolden, WriterStillProducesTheFixtureBytes) {

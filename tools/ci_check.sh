@@ -42,13 +42,50 @@ echo "==== [release] ctest -L fast, CUSZP2_SIMD=native ===="
 (cd "${repo_root}/build-ci-release" &&
   CUSZP2_SIMD=native ctest --output-on-failure -j "${jobs}" -L fast)
 
+# Format-v3 CLI smoke: a shaped field through the auto and pinned-huffman
+# pipelines end to end (compress, info, verify) in the shipped binary.
+# Guards the --pipeline plumbing and the v3 wire paths as users reach
+# them, not only as the unit suites do.
+echo "==== [release] cuszp2 --pipeline auto/huffman smoke ===="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+python3 - "${smoke_dir}/in.f32" <<'PYEOF'
+import struct, sys
+# Alternating zero / skewed-noise-with-spikes blocks: shaped so the auto
+# selector mixes pipelines and pinned huffman has residuals worth coding.
+vals, q = [], 0
+for b in range(64):
+    for i in range(32):
+        if b % 2:
+            q += (i * 7919) % 3 - 1 + (37 if i == 10 else 0) \
+                 - (53 if i == 20 else 0)
+        vals.append(q * 0.02)
+open(sys.argv[1], "wb").write(struct.pack("<%df" % len(vals), *vals))
+PYEOF
+for p in auto huffman; do
+  "${repo_root}/build-ci-release/tools/cuszp2" compress \
+    "${smoke_dir}/in.f32" "${smoke_dir}/out-${p}.czp2" \
+    --abs 0.01 --pipeline "${p}"
+  "${repo_root}/build-ci-release/tools/cuszp2" info \
+    "${smoke_dir}/out-${p}.czp2"
+  "${repo_root}/build-ci-release/tools/cuszp2" verify \
+    "${smoke_dir}/in.f32" "${smoke_dir}/out-${p}.czp2"
+done
+
 # The ASan leg pins scalar: the sanitizer instruments the scalar loops
 # (the semantic reference), and the vector intrinsics would only slow the
 # already-expensive pass without adding coverage ASan can act on.
 CUSZP2_SIMD=scalar \
   run_config asan "-L fast" -DCMAKE_BUILD_TYPE=Debug -DCUSZP2_SANITIZE=ON
 
-echo "==== [asan] fuzz_decode (500 structured mutants) ===="
+# The pipeline label (selector, per-block wire framing, mixed-stream
+# salvage) is cheap and touches fresh v3 decode paths — run it under the
+# sanitizer too, not only in the release pass above.
+echo "==== [asan] ctest -L pipeline ===="
+(cd "${repo_root}/build-ci-asan" &&
+  ctest --output-on-failure -j "${jobs}" -L pipeline)
+
+echo "==== [asan] fuzz_decode (500 structured mutants, v1/v2/v3 pool) ===="
 "${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
 
 # The soak already runs inside the asan ctest pass (test_service carries

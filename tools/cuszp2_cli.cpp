@@ -33,6 +33,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/compressor.hpp"
+#include "core/pipeline.hpp"
 #include "core/quantizer.hpp"
 #include "datagen/fields.hpp"
 #include "io/archive.hpp"
@@ -56,6 +57,7 @@ struct Options {
   Predictor predictor = Predictor::FirstOrder;
   bool checksum = false;
   bool blockChecksums = false;
+  core::PipelineMode pipeline = core::PipelineMode::Legacy;
 };
 
 // --trace session state lives at file scope so every exit path — the
@@ -85,6 +87,8 @@ bool flushTrace() {
       "                    [--mode outlier|plain] [--precision f32|f64]\n"
       "                    [--block N] [--predictor first|second]\n"
       "                    [--checksum] [--block-checksum]\n"
+      "                    [--pipeline legacy|auto|fle|huffman|rle|\n"
+      "                                lorenzo-fle]\n"
       "  cuszp2 decompress <in.czp2> <out.raw> [--salvage] [--fill X]\n"
       "  cuszp2 info       <in.czp2>\n"
       "  cuszp2 verify     <original.raw> <in.czp2>\n"
@@ -156,6 +160,12 @@ Options parseOptions(int argc, char** argv, int first) {
       opt.checksum = true;
     } else if (arg == "--block-checksum") {
       opt.blockChecksums = true;
+    } else if (arg == "--pipeline") {
+      try {
+        opt.pipeline = core::parsePipelineMode(next());
+      } catch (const Error&) {
+        usage();
+      }
     } else {
       usage();
     }
@@ -174,6 +184,7 @@ int doCompress(const std::string& in, const std::string& out,
   cfg.predictor = opt.predictor;
   cfg.checksum = opt.checksum;
   cfg.blockChecksums = opt.blockChecksums;
+  cfg.pipeline = opt.pipeline;
   cfg.absErrorBound =
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(
@@ -183,8 +194,10 @@ int doCompress(const std::string& in, const std::string& out,
   io::writeBytes(out, c.stream);
   std::printf("compressed %zu values (%zu bytes) -> %zu bytes\n",
               data.size(), data.size() * sizeof(T), c.stream.size());
-  std::printf("ratio: %.4f | mode: %s | abs error bound: %g\n", c.ratio,
-              toString(cfg.mode), cfg.absErrorBound);
+  std::printf("ratio: %.4f | mode: %s | pipeline: %s | "
+              "abs error bound: %g\n",
+              c.ratio, toString(cfg.mode), core::toString(cfg.pipeline),
+              cfg.absErrorBound);
   std::printf("modelled end-to-end: %.2f GB/s on %s\n",
               c.profile.endToEndGBps, codec.device().name.c_str());
   return 0;
@@ -277,6 +290,25 @@ int doInfo(const std::string& in) {
   std::printf("  blocks:          %llu\n",
               static_cast<unsigned long long>(header.numBlocks()));
   std::printf("  abs error bound: %g\n", header.absErrorBound);
+  if (header.version >= core::kFormatVersionV3) {
+    // Per-pipeline block tally from the 4-byte descriptor array.
+    u64 counts[core::kPipelineCount] = {};
+    for (u64 blk = 0; blk < header.numBlocks(); ++blk) {
+      const auto desc = core::V3BlockDesc::unpack(
+          stream.data() + core::StreamHeader::offsetsBegin() +
+          blk * core::kV3DescBytes);
+      require(desc.knownPipeline(), "info: unknown pipeline id in stream");
+      counts[static_cast<u8>(desc.pipeline)] += 1;
+    }
+    std::printf("  pipeline blocks:");
+    for (u32 p = 0; p < core::kPipelineCount; ++p) {
+      if (counts[p] == 0) continue;
+      std::printf(" %s=%llu", core::toString(static_cast<core::PipelineId>(p)),
+                  static_cast<unsigned long long>(counts[p]));
+    }
+    std::printf("\n");
+    std::printf("  dict bytes:      %u\n", header.dictBytes);
+  }
   std::printf("  stream bytes:    %zu\n", stream.size());
   std::printf("  ratio:           %.4f\n",
               static_cast<f64>(header.originalBytes()) /
@@ -350,6 +382,7 @@ int doProfileTyped(const std::string& in, const Options& opt) {
   cfg.mode = opt.mode;
   cfg.blockSize = opt.blockSize;
   cfg.predictor = opt.predictor;
+  cfg.pipeline = opt.pipeline;
   cfg.absErrorBound =
       opt.abs > 0.0 ? opt.abs
                     : core::Quantizer::absFromRel(

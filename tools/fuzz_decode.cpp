@@ -68,6 +68,22 @@ std::vector<BaseStream> makeBasePool(core::CompressorStream& codec) {
                         Precision::F64});
       }
     }
+    // Format-v3 bases: mixed per-block selection (Auto) and a pinned
+    // Huffman stream, so mutants cover 4-byte descriptors, the shared
+    // dictionary section and every pipeline's payload structure.
+    for (const core::PipelineMode mode :
+         {core::PipelineMode::Auto, core::PipelineMode::Huffman}) {
+      core::Config cfg;
+      cfg.absErrorBound = 1e-2;
+      cfg.pipeline = mode;
+      codec.reconfigure(cfg);
+      const auto f32Field = makeField<f32>(rng, n);
+      pool.push_back({codec.compress<f32>(f32Field).stream,
+                      Precision::F32});
+      const auto f64Field = makeField<f64>(rng, n);
+      pool.push_back({codec.compress<f64>(f64Field).stream,
+                      Precision::F64});
+    }
   }
   return pool;
 }
@@ -91,13 +107,19 @@ std::string mutate(Rng& rng, std::vector<std::byte>& s) {
   usize offsetsBegin = 0;
   usize payloadBegin = 0;
   usize footerBegin = s.size();
+  usize dictBegin = 0;
+  u64 numBlocks = 0;
+  bool isV3 = false;
   if (const auto h = core::StreamHeader::tryParse(s)) {
     offsetsBegin = core::StreamHeader::offsetsBegin();
     payloadBegin = h->payloadBegin();
     footerBegin = s.size() - h->footerBytes();
+    dictBegin = h->dictBegin();
+    numBlocks = h->numBlocks();
+    isV3 = h->version >= core::kFormatVersionV3;
   }
 
-  switch (rng.uniformInt(8)) {
+  switch (rng.uniformInt(11)) {
     case 0: {  // truncate at a uniformly random point
       const usize keep = rng.uniformInt(s.size() + 1);
       s.resize(keep);
@@ -127,12 +149,48 @@ std::string mutate(Rng& rng, std::vector<std::byte>& s) {
       }
       return "burst rewrite at " + std::to_string(pos);
     }
-    default: {  // append garbage (framing damage for v2)
+    case 7: {  // append garbage (framing damage for v2/v3)
       const usize extra = 1 + rng.uniformInt(64);
       for (usize i = 0; i < extra; ++i) {
         s.push_back(static_cast<std::byte>(rng.uniformInt(256)));
       }
       return "append " + std::to_string(extra) + " bytes";
+    }
+    case 8: {  // v3: corrupt one descriptor's pipeline-id byte
+      if (!isV3 || numBlocks == 0) {
+        return flipIn(offsetsBegin, payloadBegin, "offset array");
+      }
+      const usize blk = rng.uniformInt(static_cast<usize>(numBlocks));
+      const usize pos = offsetsBegin + blk * core::kV3DescBytes;
+      s[pos] = static_cast<std::byte>(rng.uniformInt(256));
+      return "pipeline id rewrite in descriptor " + std::to_string(blk);
+    }
+    case 9: {  // v3: damage or truncate the dictionary section
+      if (!isV3 || dictBegin >= payloadBegin) {
+        return flipIn(0, offsetsBegin, "header");
+      }
+      if (rng.uniformInt(2) == 0) {
+        const usize keep =
+            dictBegin + rng.uniformInt(payloadBegin - dictBegin);
+        s.resize(keep);
+        return "truncate inside dictionary to " + std::to_string(keep);
+      }
+      return flipIn(dictBegin, payloadBegin, "dictionary");
+    }
+    default: {  // v3: cross-pipeline splice — copy one descriptor over
+                // another, so its payload bytes are parsed as the wrong
+                // pipeline at the wrong size
+      if (!isV3 || numBlocks < 2) {
+        return flipIn(payloadBegin, footerBegin, "payload");
+      }
+      const usize src = rng.uniformInt(static_cast<usize>(numBlocks));
+      const usize dst = rng.uniformInt(static_cast<usize>(numBlocks));
+      for (usize b = 0; b < core::kV3DescBytes; ++b) {
+        s[offsetsBegin + dst * core::kV3DescBytes + b] =
+            s[offsetsBegin + src * core::kV3DescBytes + b];
+      }
+      return "descriptor splice " + std::to_string(src) + " -> " +
+             std::to_string(dst);
     }
   }
 }

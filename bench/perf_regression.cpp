@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cas/block_store.hpp"
 #include "cluster/cluster.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
@@ -70,7 +71,7 @@ constexpr WallBudget kWallBudgets[] = {
     {"jetin/round_trip", 17.0},      {"service/batched", 42.0},
     {"service/unbatched", 45.0},     {"service/batched_decompress", 20.0},
     {"service/chaos", 80.0},         {"cluster/failover", 90.0},
-    {"ratio/v3", 60.0},
+    {"ratio/v3", 60.0},              {"cas/dedup", 25.0},
 };
 
 f64 wallBudgetMs(const std::string& name) {
@@ -817,6 +818,74 @@ int main(int argc, char** argv) {
         ++warns;
       }
     }
+    results.push_back(std::move(r));
+  }
+
+  // cas/dedup scenario: a repeated-timestep corpus — two tenants each put
+  // eight timesteps that cycle through two unique compressed fields — so
+  // the content-addressed store should collapse 16 logical objects onto 2
+  // physical copies. The row hard-fails (not a warning) if the store's
+  // physical-bytes reduction drops below the pinned 1.8x floor, or if the
+  // occupancy/counter snapshot differs between two identical passes.
+  {
+    const usize casElems = elems / 4;
+    core::Config cfg;
+    cfg.relErrorBound = 1e-3;
+    cfg.pipeline = core::PipelineMode::Auto;
+    core::CompressorStream codec(cfg);
+    std::vector<std::vector<std::byte>> unique;
+    for (u32 i = 0; i < 2; ++i) {
+      const std::vector<f32> field = datagen::generateF32("cesm_atm", i,
+                                                          casElems);
+      unique.push_back(
+          codec.compress<f32>(std::span<const f32>(field)).stream);
+    }
+
+    u64 logicalBytes = 0;
+    const auto onePass = [&]() {
+      cas::BlockStore store({.chunkBytes = 16 * 1024});
+      for (u32 t = 0; t < 8; ++t) {
+        for (const char* tenant : {"climate", "mirror"}) {
+          const std::vector<std::byte>& body = unique[t % 2];
+          store.put(tenant, "step-" + std::to_string(t),
+                    ConstByteSpan(body.data(), body.size()));
+        }
+      }
+      const cas::StoreStats s = store.stats();
+      logicalBytes = s.logicalBytes;
+      return s;
+    };
+    const cas::StoreStats pass1 = onePass();
+    if (!(pass1 == onePass())) {
+      std::fprintf(stderr, "FAIL cas/dedup: store stats differ between "
+                           "identical passes\n");
+      deterministic = false;
+    }
+    const f64 dedup = pass1.dedupRatio();
+    if (!(dedup >= 1.8)) {
+      std::fprintf(stderr,
+                   "FAIL cas/dedup: dedup ratio %.4f below the pinned 1.8x "
+                   "floor on the repeated-timestep dataset\n",
+                   dedup);
+      deterministic = false;
+    }
+
+    const bench::RepeatStats wall = bench::measureRepeated(5, [&] {
+      onePass();
+    });
+
+    CaseResult r;
+    r.name = "cas/dedup";
+    r.elems = casElems;
+    r.ratio = dedup;
+    r.modelledSeconds = 0.0;
+    r.modelledGBps = 0.0;
+    r.wallMsMedian = wall.medianSeconds * 1e3;
+    std::printf("%-24s %8s           ratio %6.2f  wall %7.2f ms"
+                "  (%llu logical -> %llu physical bytes)\n",
+                r.name.c_str(), "-", r.ratio, r.wallMsMedian,
+                static_cast<unsigned long long>(logicalBytes),
+                static_cast<unsigned long long>(pass1.physicalBytes));
     results.push_back(std::move(r));
   }
 

@@ -1,0 +1,669 @@
+#include "cas/block_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/crc32.hpp"
+#include "core/format.hpp"
+
+namespace cuszp2::cas {
+
+namespace {
+
+// ---- index serialization helpers (little-endian, bounds-checked) ------
+
+constexpr u32 kIndexMagic = 0x31534143u;  // "CAS1"
+constexpr u32 kIndexVersion = 1;
+constexpr const char* kIndexField = "cas.index";
+constexpr const char* kDataField = "cas.data";
+
+void putU32(std::vector<std::byte>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void putU64(std::vector<std::byte>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void putString(std::vector<std::byte>& out, const std::string& s) {
+  putU32(out, static_cast<u32>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(ConstByteSpan bytes) : bytes_(bytes) {}
+
+  u32 takeU32() {
+    need(4);
+    u32 v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | std::to_integer<u32>(bytes_[off_ + static_cast<usize>(i)]);
+    }
+    off_ += 4;
+    return v;
+  }
+
+  u64 takeU64() {
+    need(8);
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | std::to_integer<u64>(bytes_[off_ + static_cast<usize>(i)]);
+    }
+    off_ += 8;
+    return v;
+  }
+
+  std::string takeString() {
+    const u32 len = takeU32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + off_), len);
+    off_ += len;
+    return s;
+  }
+
+  usize offset() const { return off_; }
+  usize remaining() const { return bytes_.size() - off_; }
+
+ private:
+  void need(usize n) const {
+    require(bytes_.size() - off_ >= n, "cas: truncated index section");
+  }
+
+  ConstByteSpan bytes_;
+  usize off_ = 0;
+};
+
+}  // namespace
+
+std::string BlockStore::keyOf(const std::string& tenant,
+                              const std::string& name) {
+  return tenant + "/" + name;
+}
+
+BlockStore::BlockStore(StoreConfig config) : config_(config) {
+  require(config_.chunkBytes > 0, "cas: chunkBytes must be positive");
+  auto& reg = telemetry::registry();
+  instruments_.puts = &reg.counter("cas.puts");
+  instruments_.gets = &reg.counter("cas.gets");
+  instruments_.erases = &reg.counter("cas.erases");
+  instruments_.chunkHits = &reg.counter("cas.chunk_hits");
+  instruments_.chunkMisses = &reg.counter("cas.chunk_misses");
+  instruments_.refIncs = &reg.counter("cas.ref_incs");
+  instruments_.refDecs = &reg.counter("cas.ref_decs");
+  instruments_.gcChunks = &reg.counter("cas.gc_chunks");
+  instruments_.resurrections = &reg.counter("cas.resurrections");
+  instruments_.compactionMigrations = &reg.counter("cas.compaction.migrations");
+  instruments_.compactionBytes =
+      &reg.counter("cas.compaction.bytes_reclaimed");
+  instruments_.objects = &reg.gauge("cas.objects");
+  instruments_.uniqueChunks = &reg.gauge("cas.chunks_unique");
+  instruments_.bytesLogical = &reg.gauge("cas.bytes_logical");
+  instruments_.bytesPhysical = &reg.gauge("cas.bytes_physical");
+  instruments_.bytesSaved = &reg.gauge("cas.bytes_saved");
+  instruments_.dedupRatio = &reg.gauge("cas.dedup_ratio");
+}
+
+u32 BlockStore::parseFormatVersion(ConstByteSpan bytes) {
+  const auto header = core::StreamHeader::tryParse(bytes);
+  return header ? header->version : 0;
+}
+
+std::vector<Hash128> BlockStore::referenceChunksLocked(ConstByteSpan bytes,
+                                                       PutResult& result) {
+  std::vector<Hash128> refs;
+  refs.reserve((bytes.size() + config_.chunkBytes - 1) / config_.chunkBytes);
+  for (usize off = 0; off < bytes.size(); off += config_.chunkBytes) {
+    const usize len = std::min(config_.chunkBytes, bytes.size() - off);
+    const ConstByteSpan slice = bytes.subspan(off, len);
+    const Hash128 h = hash128(slice, config_.hashSeed);
+    auto [it, inserted] = chunks_.try_emplace(h);
+    Chunk& chunk = it->second;
+    if (inserted) {
+      chunk.refs = 1;
+      chunk.bytes = len;
+      chunk.owned.assign(slice.begin(), slice.end());
+      ++result.newChunks;
+      result.physicalBytesAdded += len;
+      ++stats_.chunkMisses;
+      ++stats_.uniqueChunks;
+      stats_.physicalBytes += len;
+      instruments_.chunkMisses->add();
+    } else if (chunk.refs == 0) {
+      // Parked zero-refcount entry (deferGc): resurrect instead of
+      // re-storing — the bytes are already here.
+      chunk.refs = 1;
+      ++result.dedupChunks;
+      ++stats_.chunkHits;
+      ++stats_.resurrections;
+      --stats_.parkedChunks;
+      ++stats_.uniqueChunks;
+      stats_.physicalBytes += chunk.bytes;
+      instruments_.chunkHits->add();
+      instruments_.resurrections->add();
+    } else {
+      ++chunk.refs;
+      ++result.dedupChunks;
+      ++stats_.chunkHits;
+      instruments_.chunkHits->add();
+    }
+    ++stats_.refIncs;
+    instruments_.refIncs->add();
+    ++stats_.logicalChunks;
+    refs.push_back(h);
+  }
+  return refs;
+}
+
+void BlockStore::releaseChunksLocked(const std::vector<Hash128>& chunks) {
+  for (const Hash128& h : chunks) {
+    auto it = chunks_.find(h);
+    require(it != chunks_.end() && it->second.refs > 0,
+            "cas: internal error — releasing an unreferenced chunk");
+    Chunk& chunk = it->second;
+    --chunk.refs;
+    ++stats_.refDecs;
+    instruments_.refDecs->add();
+    --stats_.logicalChunks;
+    if (chunk.refs == 0) {
+      --stats_.uniqueChunks;
+      stats_.physicalBytes -= chunk.bytes;
+      if (config_.deferGc) {
+        ++stats_.parkedChunks;  // payload retained until gc()
+      } else {
+        ++stats_.gcFreedChunks;
+        stats_.gcFreedBytes += chunk.bytes;
+        instruments_.gcChunks->add();
+        chunks_.erase(it);
+      }
+    }
+  }
+}
+
+PutResult BlockStore::rewriteLocked(Object& obj, ConstByteSpan bytes) {
+  PutResult result;
+  result.logicalBytes = bytes.size();
+  result.replaced = true;
+  // Reference the new content before releasing the old so shared chunks
+  // never dip to refcount zero mid-rewrite (no free/re-store churn when
+  // the two versions overlap).
+  std::vector<Hash128> fresh = referenceChunksLocked(bytes, result);
+  releaseChunksLocked(obj.chunks);
+  obj.chunks = std::move(fresh);
+  stats_.logicalBytes -= obj.bytes;
+  stats_.logicalBytes += bytes.size();
+  obj.bytes = bytes.size();
+  obj.formatVersion = parseFormatVersion(bytes);
+  ++obj.generation;
+  obj.lastTouch = tick_;
+  return result;
+}
+
+PutResult BlockStore::put(const std::string& tenant, const std::string& name,
+                          ConstByteSpan bytes) {
+  require(!tenant.empty() && tenant.find('/') == std::string::npos,
+          "cas: tenant must be non-empty and free of '/'");
+  require(!name.empty(), "cas: object name must be non-empty");
+  std::lock_guard lock(mutex_);
+  ++tick_;
+  PutResult result;
+  const std::string key = keyOf(tenant, name);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    result = rewriteLocked(it->second, bytes);
+  } else {
+    Object obj;
+    obj.tenant = tenant;
+    obj.name = name;
+    result.logicalBytes = bytes.size();
+    obj.chunks = referenceChunksLocked(bytes, result);
+    obj.bytes = bytes.size();
+    obj.formatVersion = parseFormatVersion(bytes);
+    obj.generation = 1;
+    obj.lastTouch = tick_;
+    objects_.emplace(key, std::move(obj));
+    ++stats_.objects;
+    stats_.logicalBytes += bytes.size();
+  }
+  ++stats_.puts;
+  instruments_.puts->add();
+  refreshGaugesLocked();
+  return result;
+}
+
+std::vector<std::byte> BlockStore::assembleLocked(const Object& obj,
+                                                  bool verifyHashes) const {
+  std::vector<std::byte> out;
+  out.reserve(obj.bytes);
+  for (const Hash128& h : obj.chunks) {
+    auto it = chunks_.find(h);
+    require(it != chunks_.end(),
+            "cas: object references a missing chunk (store damaged)");
+    const ConstByteSpan payload = it->second.payload();
+    if (verifyHashes) {
+      require(hash128(payload, config_.hashSeed) == h,
+              "cas: chunk failed content-hash verification (corrupt chunk " +
+                  h.hex() + ")");
+    }
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  require(out.size() == obj.bytes,
+          "cas: assembled size disagrees with the object's byte count");
+  return out;
+}
+
+std::vector<std::byte> BlockStore::get(const std::string& tenant,
+                                       const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(keyOf(tenant, name));
+  require(it != objects_.end(), "cas: unknown object " + keyOf(tenant, name));
+  ++tick_;
+  it->second.lastTouch = tick_;
+  ++stats_.gets;
+  instruments_.gets->add();
+  return assembleLocked(it->second, /*verifyHashes=*/true);
+}
+
+bool BlockStore::contains(const std::string& tenant,
+                          const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return objects_.find(keyOf(tenant, name)) != objects_.end();
+}
+
+bool BlockStore::erase(const std::string& tenant, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(keyOf(tenant, name));
+  if (it == objects_.end()) return false;
+  ++tick_;
+  releaseChunksLocked(it->second.chunks);
+  stats_.logicalBytes -= it->second.bytes;
+  --stats_.objects;
+  objects_.erase(it);
+  ++stats_.erases;
+  instruments_.erases->add();
+  refreshGaugesLocked();
+  return true;
+}
+
+u64 BlockStore::gc() {
+  std::lock_guard lock(mutex_);
+  u64 freed = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.refs == 0) {
+      ++freed;
+      --stats_.parkedChunks;
+      ++stats_.gcFreedChunks;
+      stats_.gcFreedBytes += it->second.bytes;
+      instruments_.gcChunks->add();
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  refreshGaugesLocked();
+  return freed;
+}
+
+u32 BlockStore::crcOf(const std::string& tenant,
+                      const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(keyOf(tenant, name));
+  require(it != objects_.end(), "cas: unknown object " + keyOf(tenant, name));
+  u32 crc = 0;
+  for (const Hash128& h : it->second.chunks) {
+    auto cit = chunks_.find(h);
+    require(cit != chunks_.end(),
+            "cas: object references a missing chunk (store damaged)");
+    crc = crc32(cit->second.payload(), crc);
+  }
+  return crc;
+}
+
+bool BlockStore::verifyAll(std::string* error) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [hash, chunk] : chunks_) {
+    if (hash128(chunk.payload(), config_.hashSeed) != hash) {
+      if (error) *error = "chunk " + hash.hex() + " fails its content hash";
+      return false;
+    }
+  }
+  for (const auto& [key, obj] : objects_) {
+    u64 total = 0;
+    for (const Hash128& h : obj.chunks) {
+      auto it = chunks_.find(h);
+      if (it == chunks_.end()) {
+        if (error) *error = "object " + key + " references a missing chunk";
+        return false;
+      }
+      total += it->second.bytes;
+    }
+    if (total != obj.bytes) {
+      if (error) {
+        *error = "object " + key + " chunk sizes disagree with its byte count";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void BlockStore::checkInvariants() const {
+  std::lock_guard lock(mutex_);
+  std::map<Hash128, u32> expected;
+  u64 objects = 0;
+  u64 logicalChunks = 0;
+  u64 logicalBytes = 0;
+  for (const auto& [key, obj] : objects_) {
+    ++objects;
+    logicalBytes += obj.bytes;
+    logicalChunks += obj.chunks.size();
+    for (const Hash128& h : obj.chunks) ++expected[h];
+  }
+  u64 uniqueChunks = 0;
+  u64 parkedChunks = 0;
+  u64 physicalBytes = 0;
+  for (const auto& [hash, chunk] : chunks_) {
+    auto it = expected.find(hash);
+    const u32 want = it == expected.end() ? 0 : it->second;
+    require(chunk.refs == want,
+            "cas invariant: chunk " + hash.hex() + " refcount disagrees with "
+            "its referencing objects");
+    if (chunk.refs == 0) {
+      ++parkedChunks;
+    } else {
+      ++uniqueChunks;
+      physicalBytes += chunk.bytes;
+    }
+  }
+  for (const auto& [hash, want] : expected) {
+    require(chunks_.count(hash) != 0,
+            "cas invariant: referenced chunk " + hash.hex() + " is missing");
+    (void)want;
+  }
+  require(parkedChunks == 0 || config_.deferGc,
+          "cas invariant: parked chunks present without deferGc");
+  require(stats_.objects == objects, "cas invariant: object tally drifted");
+  require(stats_.logicalChunks == logicalChunks,
+          "cas invariant: logical chunk tally drifted");
+  require(stats_.logicalBytes == logicalBytes,
+          "cas invariant: logical byte tally drifted");
+  require(stats_.uniqueChunks == uniqueChunks,
+          "cas invariant: unique chunk tally drifted");
+  require(stats_.parkedChunks == parkedChunks,
+          "cas invariant: parked chunk tally drifted");
+  require(stats_.physicalBytes == physicalBytes,
+          "cas invariant: physical byte tally drifted");
+}
+
+StoreStats BlockStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<ObjectInfo> BlockStore::objects(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  std::vector<ObjectInfo> out;
+  for (const auto& [key, obj] : objects_) {
+    if (!tenant.empty() && obj.tenant != tenant) continue;
+    ObjectInfo info;
+    info.tenant = obj.tenant;
+    info.name = obj.name;
+    info.bytes = obj.bytes;
+    info.formatVersion = obj.formatVersion;
+    info.idleTicks = tick_ - obj.lastTouch;
+    info.generation = obj.generation;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::string> BlockStore::names(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, obj] : objects_) {
+    if (obj.tenant == tenant) out.push_back(obj.name);
+  }
+  return out;
+}
+
+std::vector<BlockStore::Candidate> BlockStore::compactionCandidates(
+    u64 coldTicks, usize limit) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Candidate> out;
+  for (const auto& [key, obj] : objects_) {
+    if (out.size() >= limit) break;
+    const bool hotEncoded = obj.formatVersion == core::kFormatVersion ||
+                            obj.formatVersion == core::kFormatVersionV2;
+    if (!hotEncoded) continue;
+    if (tick_ - obj.lastTouch < coldTicks) continue;
+    Candidate c;
+    c.tenant = obj.tenant;
+    c.name = obj.name;
+    c.bytes = assembleLocked(obj, /*verifyHashes=*/true);
+    c.generation = obj.generation;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool BlockStore::commitCompaction(const std::string& tenant,
+                                  const std::string& name,
+                                  ConstByteSpan newBytes,
+                                  u64 scannedGeneration) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(keyOf(tenant, name));
+  if (it == objects_.end()) return false;  // deleted while compacting
+  Object& obj = it->second;
+  if (obj.generation != scannedGeneration) {
+    return false;  // rewritten while compacting — the scan is stale
+  }
+  ++tick_;
+  const u64 oldBytes = obj.bytes;
+  rewriteLocked(obj, newBytes);
+  ++stats_.compactionMigrations;
+  instruments_.compactionMigrations->add();
+  if (oldBytes > obj.bytes) {
+    stats_.compactionBytesReclaimed += oldBytes - obj.bytes;
+    instruments_.compactionBytes->add(oldBytes - obj.bytes);
+  }
+  refreshGaugesLocked();
+  return true;
+}
+
+void BlockStore::corruptForDrill(const std::string& tenant,
+                                 const std::string& name, usize byteOffset) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(keyOf(tenant, name));
+  require(it != objects_.end(), "cas: unknown object " + keyOf(tenant, name));
+  Object& obj = it->second;
+  require(obj.bytes > 0, "cas: cannot corrupt an empty object");
+  std::vector<std::byte> bytes =
+      assembleLocked(obj, /*verifyHashes=*/false);
+  bytes[byteOffset % bytes.size()] ^= std::byte{0x40};
+  ++tick_;
+  rewriteLocked(obj, bytes);
+  refreshGaugesLocked();
+}
+
+void BlockStore::refreshGaugesLocked() const {
+  instruments_.objects->set(static_cast<f64>(stats_.objects));
+  instruments_.uniqueChunks->set(static_cast<f64>(stats_.uniqueChunks));
+  instruments_.bytesLogical->set(static_cast<f64>(stats_.logicalBytes));
+  instruments_.bytesPhysical->set(static_cast<f64>(stats_.physicalBytes));
+  instruments_.bytesSaved->set(static_cast<f64>(stats_.bytesSaved()));
+  instruments_.dedupRatio->set(stats_.dedupRatio());
+}
+
+// ---- persistence ------------------------------------------------------
+
+void BlockStore::save(const std::string& path,
+                      const io::ParityOptions* parity) const {
+  std::lock_guard lock(mutex_);
+
+  // Chunk table in map (= hash-ascending) order: deterministic bytes for
+  // identical store content.
+  std::vector<std::byte> index;
+  std::vector<std::byte> data;
+  putU32(index, kIndexMagic);
+  putU32(index, kIndexVersion);
+  putU64(index, config_.hashSeed);
+  putU64(index, static_cast<u64>(config_.chunkBytes));
+  putU64(index, tick_);
+  putU64(index, static_cast<u64>(chunks_.size()));
+  putU64(index, static_cast<u64>(objects_.size()));
+
+  std::map<Hash128, u64> tableIndex;
+  u64 next = 0;
+  for (const auto& [hash, chunk] : chunks_) {
+    putU64(index, hash.hi);
+    putU64(index, hash.lo);
+    putU64(index, chunk.bytes);
+    putU32(index, chunk.refs);
+    const ConstByteSpan payload = chunk.payload();
+    data.insert(data.end(), payload.begin(), payload.end());
+    tableIndex.emplace(hash, next++);
+  }
+
+  for (const auto& [key, obj] : objects_) {
+    putString(index, obj.tenant);
+    putString(index, obj.name);
+    putU32(index, obj.formatVersion);
+    putU64(index, obj.bytes);
+    putU64(index, obj.generation);
+    putU64(index, obj.lastTouch);
+    putU64(index, static_cast<u64>(obj.chunks.size()));
+    for (const Hash128& h : obj.chunks) {
+      putU64(index, tableIndex.at(h));
+    }
+  }
+  putU32(index, crc32(index));
+  putU32(data, crc32(data));
+
+  io::ArchiveWriter writer;
+  writer.addField(kIndexField, index);
+  writer.addField(kDataField, data);
+  io::writeBytes(path, parity ? writer.finalize(*parity) : writer.finalize());
+}
+
+std::unique_ptr<BlockStore> BlockStore::load(const std::string& path,
+                                             StoreConfig config) {
+  auto store = std::unique_ptr<BlockStore>(new BlockStore(config));
+  store->backing_ = io::MappedBytes(path);
+  const ConstByteSpan file = store->backing_.bytes();
+  require(io::isArchive(file), "cas: not an archive file: " + path);
+  io::ArchiveReader reader(file);
+  require(reader.hasField(kIndexField) && reader.hasField(kDataField),
+          "cas: archive has no CAS index: " + path);
+
+  const ConstByteSpan index = reader.field(kIndexField);
+  require(index.size() >= 4, "cas: truncated index section");
+  const ConstByteSpan body = index.subspan(0, index.size() - 4);
+  Cursor trailer(index.subspan(index.size() - 4));
+  require(trailer.takeU32() == crc32(body),
+          "cas: index section fails its CRC guard");
+
+  Cursor cur(body);
+  require(cur.takeU32() == kIndexMagic, "cas: bad index magic");
+  require(cur.takeU32() == kIndexVersion, "cas: unsupported index version");
+  // The hash seed and chunk size are properties of the serialized chunks;
+  // adopt them (the caller's config supplies policy: deferGc).
+  store->config_.hashSeed = cur.takeU64();
+  const u64 chunkBytes = cur.takeU64();
+  require(chunkBytes > 0, "cas: serialized chunkBytes must be positive");
+  store->config_.chunkBytes = static_cast<usize>(chunkBytes);
+  store->tick_ = cur.takeU64();
+  const u64 chunkCount = cur.takeU64();
+  const u64 objectCount = cur.takeU64();
+
+  const ConstByteSpan data = reader.field(kDataField);
+  require(data.size() >= 4, "cas: truncated data section");
+  const ConstByteSpan payloads = data.subspan(0, data.size() - 4);
+
+  std::vector<Hash128> table;
+  table.reserve(static_cast<usize>(chunkCount));
+  u64 offset = 0;
+  for (u64 i = 0; i < chunkCount; ++i) {
+    Hash128 h;
+    h.hi = cur.takeU64();
+    h.lo = cur.takeU64();
+    const u64 bytes = cur.takeU64();
+    const u32 refs = cur.takeU32();
+    require(offset + bytes <= payloads.size(),
+            "cas: chunk table overruns the data section");
+    Chunk chunk;
+    chunk.refs = refs;
+    chunk.bytes = bytes;
+    chunk.view = payloads.subspan(static_cast<usize>(offset),
+                                  static_cast<usize>(bytes));
+    offset += bytes;
+    const bool inserted = store->chunks_.emplace(h, std::move(chunk)).second;
+    require(inserted, "cas: duplicate chunk hash in index");
+    table.push_back(h);
+  }
+  require(offset == payloads.size(),
+          "cas: data section size disagrees with the chunk table");
+
+  for (u64 i = 0; i < objectCount; ++i) {
+    Object obj;
+    obj.tenant = cur.takeString();
+    obj.name = cur.takeString();
+    obj.formatVersion = cur.takeU32();
+    obj.bytes = cur.takeU64();
+    obj.generation = cur.takeU64();
+    obj.lastTouch = cur.takeU64();
+    const u64 refs = cur.takeU64();
+    obj.chunks.reserve(static_cast<usize>(refs));
+    for (u64 j = 0; j < refs; ++j) {
+      const u64 idx = cur.takeU64();
+      require(idx < table.size(), "cas: object references an out-of-range "
+                                  "chunk table slot");
+      obj.chunks.push_back(table[static_cast<usize>(idx)]);
+    }
+    require(!obj.tenant.empty() && !obj.name.empty(),
+            "cas: serialized object with an empty key");
+    const std::string key = keyOf(obj.tenant, obj.name);
+    const bool inserted =
+        store->objects_.emplace(key, std::move(obj)).second;
+    require(inserted, "cas: duplicate object key in index");
+  }
+  require(cur.remaining() == 0, "cas: trailing bytes in index section");
+
+  // Rebuild occupancy from the loaded maps; monotonic activity counters
+  // start fresh (they describe this process's activity, not history).
+  for (const auto& [key, obj] : store->objects_) {
+    ++store->stats_.objects;
+    store->stats_.logicalBytes += obj.bytes;
+    store->stats_.logicalChunks += obj.chunks.size();
+  }
+  for (const auto& [hash, chunk] : store->chunks_) {
+    if (chunk.refs == 0) {
+      ++store->stats_.parkedChunks;
+    } else {
+      ++store->stats_.uniqueChunks;
+      store->stats_.physicalBytes += chunk.bytes;
+    }
+  }
+  require(store->stats_.parkedChunks == 0 || store->config_.deferGc,
+          "cas: store was saved with parked chunks; load it with deferGc "
+          "(or gc() before saving)");
+  store->checkInvariants();
+  store->refreshGaugesLocked();
+  return store;
+}
+
+bool BlockStore::isStoreFile(ConstByteSpan bytes) {
+  if (!io::isArchive(bytes)) return false;
+  try {
+    return io::ArchiveReader(bytes).hasField(kIndexField);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace cuszp2::cas

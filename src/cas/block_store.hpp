@@ -1,0 +1,321 @@
+// Content-addressed block store with cross-tenant dedup (ROADMAP item 4).
+//
+// A BlockStore holds named byte objects (compressed cuSZp2 streams,
+// sealed archives, anything) for many tenants. Each object is split into
+// fixed-size chunks; a chunk is keyed by its seeded 128-bit content hash
+// (common/hash128.hpp) and stored ONCE no matter how many objects — or
+// tenants — reference it. Every object keeps a per-tenant logical view
+// (its own name, byte count and chunk list) while physically sharing
+// chunk entries through refcounts:
+//
+//   * put() walks the object's chunks: a hash already present bumps its
+//     refcount (a dedup hit — zero new bytes); a new hash inserts the
+//     payload. Re-putting an existing key releases the old chunk list
+//     first (copy-on-write rewrite).
+//   * erase() decrements refcounts. A chunk reaching zero is freed
+//     immediately, or — with StoreConfig::deferGc — parked at refcount 0
+//     until gc() sweeps it, which lets an identical put() "resurrect" the
+//     entry (refcount 0 -> 1, no byte copied) instead of re-storing it.
+//   * get() reassembles the object and re-hashes every chunk on the way
+//     out, so silent corruption of shared storage is detected at read
+//     time rather than served to a tenant.
+//
+// On-disk form (save()/load(), docs/CAS.md): the store serializes as a
+// standard io::ArchiveWriter container with two fields — "cas.index"
+// (chunk table + object table, CRC-32-guarded) and "cas.data" (unique
+// chunk payloads, CRC-32-trailed) — so io::MappedBytes + io::ArchiveReader
+// give zero-copy reads: a loaded store serves chunk payloads as views
+// into the mapped file and only the pages an object actually touches
+// fault in. Being a real archive, a saved store can also be sealed with
+// the XOR-parity trailer and checked/healed by the existing
+// verify/repair machinery.
+//
+// All methods are thread-safe (one store mutex). Telemetry: every store
+// feeds the cas.* counters/gauges (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash128.hpp"
+#include "common/types.hpp"
+#include "io/archive.hpp"
+#include "io/raw.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cuszp2::cas {
+
+struct StoreConfig {
+  /// Perturbs every chunk hash; two stores with different seeds address
+  /// the same content differently (no cross-store chunk replay).
+  u64 hashSeed = 0xCA5B10C5ull;
+
+  /// Fixed chunking granularity. Smaller chunks dedup partial overlap at
+  /// more index overhead; whole-object dedup works at any setting.
+  usize chunkBytes = 64 * 1024;
+
+  /// false: a chunk is freed the moment its refcount hits zero.
+  /// true: zero-refcount chunks are parked until gc() sweeps them, so a
+  /// re-put of identical content resurrects the entry for free.
+  bool deferGc = false;
+};
+
+/// What one put() did (accounting for the dedup satellite assertions).
+struct PutResult {
+  u64 logicalBytes = 0;        ///< bytes of the object as the tenant sees it
+  u64 physicalBytesAdded = 0;  ///< bytes actually stored (new chunks only)
+  u64 newChunks = 0;
+  u64 dedupChunks = 0;  ///< chunks served by an existing (or parked) entry
+  bool replaced = false;  ///< the key existed; its old chunks were released
+};
+
+/// Point-in-time store accounting. Monotonic counters plus current
+/// occupancy; value-comparable so chaos drills can assert two same-seed
+/// runs produce identical snapshots.
+struct StoreStats {
+  // Occupancy (current).
+  u64 objects = 0;
+  u64 logicalChunks = 0;   ///< sum of object chunk-list lengths
+  u64 uniqueChunks = 0;    ///< live chunk entries (refcount > 0)
+  u64 parkedChunks = 0;    ///< zero-refcount entries awaiting gc()
+  u64 logicalBytes = 0;    ///< sum of object sizes
+  u64 physicalBytes = 0;   ///< sum of live unique chunk sizes
+
+  // Monotonic activity counters.
+  u64 puts = 0;
+  u64 gets = 0;
+  u64 erases = 0;
+  u64 chunkHits = 0;    ///< dedup hits (incl. resurrections)
+  u64 chunkMisses = 0;  ///< chunks that had to be stored
+  u64 refIncs = 0;      ///< refcount churn, up
+  u64 refDecs = 0;      ///< refcount churn, down
+  u64 gcFreedChunks = 0;
+  u64 gcFreedBytes = 0;
+  u64 resurrections = 0;  ///< parked chunk re-referenced before its sweep
+  u64 compactionMigrations = 0;     ///< objects rewritten by a compactor
+  u64 compactionBytesReclaimed = 0; ///< size delta those rewrites won
+
+  bool operator==(const StoreStats&) const = default;
+
+  u64 bytesSaved() const {
+    return logicalBytes >= physicalBytes ? logicalBytes - physicalBytes : 0;
+  }
+  /// Logical over physical bytes — the dedup headline (1.0 = no sharing).
+  f64 dedupRatio() const {
+    return physicalBytes > 0
+               ? static_cast<f64>(logicalBytes) /
+                     static_cast<f64>(physicalBytes)
+               : 0.0;
+  }
+};
+
+/// Public view of one stored object (objects(), compaction scans).
+struct ObjectInfo {
+  std::string tenant;
+  std::string name;
+  u64 bytes = 0;
+  /// cuSZp2 stream format version of the content (parsed at put time);
+  /// 0 when the object is not a parseable stream. Versions 1/2 are the
+  /// hot FLE encodings the compaction worker migrates to v3.
+  u32 formatVersion = 0;
+  /// Store ticks (put/get operations) since this object was last touched.
+  u64 idleTicks = 0;
+  /// Bumped on every rewrite of the key; compaction commits only against
+  /// the generation they scanned (delete/overwrite-while-compacting safety).
+  u64 generation = 0;
+};
+
+class BlockStore {
+ public:
+  explicit BlockStore(StoreConfig config = {});
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+  BlockStore(BlockStore&&) = delete;
+  BlockStore& operator=(BlockStore&&) = delete;
+
+  const StoreConfig& config() const { return config_; }
+
+  /// Stores (or rewrites) `tenant`'s object `name`. Tenant and name must
+  /// be non-empty and free of '/' in the tenant (the key separator).
+  PutResult put(const std::string& tenant, const std::string& name,
+                ConstByteSpan bytes);
+
+  /// Reassembles an object, verifying every chunk's content hash on the
+  /// way out. Throws cuszp2::Error when the key is unknown or a chunk
+  /// fails verification.
+  std::vector<std::byte> get(const std::string& tenant,
+                             const std::string& name) const;
+
+  bool contains(const std::string& tenant, const std::string& name) const;
+
+  /// Releases the object's chunk references. Returns false when the key
+  /// is unknown. Zero-refcount chunks are freed here unless deferGc.
+  bool erase(const std::string& tenant, const std::string& name);
+
+  /// Sweeps parked zero-refcount chunks (deferGc mode; a no-op
+  /// otherwise). Returns the number of chunks freed.
+  u64 gc();
+
+  /// Chained CRC-32 over the object's chunk views in order — equals
+  /// crc32() of the assembled bytes, computed without assembling (the
+  /// zero-copy verification path the cluster read-path uses). Throws on
+  /// an unknown key.
+  u32 crcOf(const std::string& tenant, const std::string& name) const;
+
+  /// Full integrity pass: every chunk re-hashed, every object's byte
+  /// count checked against its chunk list. Returns false (with a first
+  /// failure description in `error`) instead of throwing.
+  bool verifyAll(std::string* error = nullptr) const;
+
+  /// Internal-consistency audit for tests and drills: refcounts equal
+  /// the number of referencing chunk-list slots, occupancy tallies match
+  /// the maps. Throws cuszp2::Error naming the first violated invariant.
+  void checkInvariants() const;
+
+  StoreStats stats() const;
+
+  /// Deterministic (key-sorted) object listing; empty tenant = all.
+  std::vector<ObjectInfo> objects(const std::string& tenant = {}) const;
+
+  /// The names `tenant` stored (its logical view), key-sorted.
+  std::vector<std::string> names(const std::string& tenant) const;
+
+  // ---- compaction protocol (cas/compaction.hpp drives this) ----------
+
+  /// One scanned compaction candidate: the object's assembled bytes plus
+  /// the generation the rewrite must commit against.
+  struct Candidate {
+    std::string tenant;
+    std::string name;
+    std::vector<std::byte> bytes;
+    u64 generation = 0;
+  };
+
+  /// Cold (idleTicks >= coldTicks), hot-encoded (stream version 1/2)
+  /// objects, oldest-key-first, at most `limit`. Does NOT touch the
+  /// objects' idle clocks (a scan must not keep its own targets warm).
+  std::vector<Candidate> compactionCandidates(u64 coldTicks,
+                                              usize limit) const;
+
+  /// Atomically replaces the object's content iff its generation still
+  /// matches the scanned one (false = the object was deleted or
+  /// rewritten while the compactor worked — nothing changes). Counts a
+  /// compaction migration and the bytes reclaimed.
+  bool commitCompaction(const std::string& tenant, const std::string& name,
+                        ConstByteSpan newBytes, u64 scannedGeneration);
+
+  // ---- persistence ----------------------------------------------------
+
+  /// Serializes the store to `path` as an io archive ("cas.index" +
+  /// "cas.data" fields); with `parity`, seals it with the XOR-parity
+  /// trailer so `cuszp2 verify`/`repair` can check and heal the file.
+  void save(const std::string& path,
+            const io::ParityOptions* parity = nullptr) const;
+
+  /// Loads a saved store. The returned store keeps the file mapped
+  /// (io::MappedBytes) and serves loaded chunk payloads as zero-copy
+  /// views into it; chunks written after the load are heap-owned. The
+  /// index section's CRC is verified eagerly; chunk payloads are
+  /// verified by content hash on get() (use verifyAll() for an eager
+  /// full pass). The serialized hashSeed and chunkBytes are adopted (they
+  /// are properties of the stored chunks); `config` supplies policy only
+  /// (deferGc).
+  static std::unique_ptr<BlockStore> load(const std::string& path,
+                                          StoreConfig config = {});
+
+  /// True when `path` holds a saved BlockStore (archive with the CAS
+  /// index field) — cheap sniff for the CLI.
+  static bool isStoreFile(ConstByteSpan bytes);
+
+  // ---- drills ---------------------------------------------------------
+
+  /// Chaos-drill hook: flips one byte of the object's content, as a
+  /// copy-on-write rewrite of that object only (shared chunks stay
+  /// intact for every other referent — corrupting one replica must not
+  /// damage its dedup peers).
+  void corruptForDrill(const std::string& tenant, const std::string& name,
+                       usize byteOffset);
+
+ private:
+  struct Chunk {
+    u32 refs = 0;
+    u64 bytes = 0;
+    /// Heap payload (owning) — empty when `view` points into backing_.
+    std::vector<std::byte> owned;
+    ConstByteSpan view;  ///< zero-copy view into the mapped file
+
+    ConstByteSpan payload() const {
+      return owned.empty() ? view : ConstByteSpan(owned);
+    }
+  };
+
+  struct Object {
+    std::string tenant;
+    std::string name;
+    u64 bytes = 0;
+    u32 formatVersion = 0;
+    u64 generation = 0;
+    u64 lastTouch = 0;
+    std::vector<Hash128> chunks;
+  };
+
+  struct Instruments {
+    telemetry::Counter* puts;
+    telemetry::Counter* gets;
+    telemetry::Counter* erases;
+    telemetry::Counter* chunkHits;
+    telemetry::Counter* chunkMisses;
+    telemetry::Counter* refIncs;
+    telemetry::Counter* refDecs;
+    telemetry::Counter* gcChunks;
+    telemetry::Counter* resurrections;
+    telemetry::Counter* compactionMigrations;
+    telemetry::Counter* compactionBytes;
+    telemetry::Gauge* objects;
+    telemetry::Gauge* uniqueChunks;
+    telemetry::Gauge* bytesLogical;
+    telemetry::Gauge* bytesPhysical;
+    telemetry::Gauge* bytesSaved;
+    telemetry::Gauge* dedupRatio;
+  };
+
+  static std::string keyOf(const std::string& tenant,
+                           const std::string& name);
+
+  /// Chunk-reference acquisition for one object's bytes; fills refs/hit
+  /// accounting into `result`. Requires mutex_ held.
+  std::vector<Hash128> referenceChunksLocked(ConstByteSpan bytes,
+                                             PutResult& result);
+  /// Drops one object's chunk references (erase / rewrite). Requires
+  /// mutex_ held.
+  void releaseChunksLocked(const std::vector<Hash128>& chunks);
+  /// Rewrites `obj` in place with `bytes` (put-over / compaction / drill
+  /// corruption). Requires mutex_ held.
+  PutResult rewriteLocked(Object& obj, ConstByteSpan bytes);
+  void refreshGaugesLocked() const;
+  std::vector<std::byte> assembleLocked(const Object& obj,
+                                        bool verifyHashes) const;
+  static u32 parseFormatVersion(ConstByteSpan bytes);
+
+  StoreConfig config_;
+  Instruments instruments_;
+
+  mutable std::mutex mutex_;
+  // objects_/tick_/stats_ are mutable because const reads still advance
+  // the logical clock and activity counters (get() warms its object).
+  mutable std::map<std::string, Object> objects_;
+  std::map<Hash128, Chunk> chunks_;
+  /// Logical operation clock: put/get/erase each advance it; object
+  /// coldness is measured in these ticks (deterministic, no wall clock).
+  mutable u64 tick_ = 0;
+  mutable StoreStats stats_;
+  /// Keeps a loaded store's file mapped for the lifetime of its views.
+  io::MappedBytes backing_;
+};
+
+}  // namespace cuszp2::cas

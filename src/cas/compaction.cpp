@@ -1,0 +1,175 @@
+#include "cas/compaction.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace cuszp2::cas {
+
+CompactionWorker::CompactionWorker(BlockStore& store, CompactionConfig config)
+    : store_(store), config_(std::move(config)) {
+  require(config_.pipeline != core::PipelineMode::Legacy,
+          "cas: compaction target pipeline must be a v3 mode (not Legacy)");
+  require(config_.maxPerSweep > 0, "cas: maxPerSweep must be positive");
+}
+
+CompactionWorker::~CompactionWorker() { stop(); }
+
+template <FloatingPoint T>
+std::optional<std::vector<std::byte>> CompactionWorker::reencodeTyped(
+    const BlockStore::Candidate& candidate,
+    const core::StreamHeader& header) {
+  // Re-encode with exactly the parameters the old stream records: same
+  // resolved absolute bound, block size and encoding mode — only the
+  // wire pipeline changes.
+  core::Config cfg;
+  cfg.absErrorBound = header.absErrorBound;
+  cfg.mode = header.mode;
+  cfg.blockSize = header.blockSize;
+  cfg.checksum = header.checksum != 0;
+  cfg.blockChecksums = true;
+  cfg.pipeline = config_.pipeline;
+  stream_.reconfigure(cfg);
+
+  std::vector<std::byte> encoded;
+  try {
+    const auto before = stream_.decompress<T>(candidate.bytes);
+    const ConstByteSpan beforeBytes{
+        reinterpret_cast<const std::byte*>(before.data.data()),
+        before.data.size() * sizeof(T)};
+    const Hash128 want = hash128(beforeBytes);
+
+    auto compressed =
+        stream_.compress<T>(std::span<const T>(before.data));
+    const auto after = stream_.decompress<T>(compressed.stream);
+    const ConstByteSpan afterBytes{
+        reinterpret_cast<const std::byte*>(after.data.data()),
+        after.data.size() * sizeof(T)};
+
+    // The byte-exact proof: migration happens only when the v3 stream
+    // reconstructs the identical element bytes the old stream did.
+    if (after.data.size() != before.data.size() ||
+        hash128(afterBytes) != want) {
+      std::lock_guard lock(mutex_);
+      ++stats_.roundTripRejects;
+      return std::nullopt;
+    }
+    encoded = std::move(compressed.stream);
+  } catch (const Error&) {
+    // Undecodable candidate (corrupt replica, foreign bytes): never
+    // migrated, never fatal to the sweep.
+    std::lock_guard lock(mutex_);
+    ++stats_.unsupportedSkips;
+    return std::nullopt;
+  }
+
+  if (config_.requireSmaller && encoded.size() >= candidate.bytes.size()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.notSmallerSkips;
+    return std::nullopt;
+  }
+  return encoded;
+}
+
+bool CompactionWorker::processCandidate(const BlockStore::Candidate& candidate,
+                                        u64 sweepIndex,
+                                        usize candidateIndex) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.scanned;
+  }
+  const auto header = core::StreamHeader::tryParse(candidate.bytes);
+  if (!header || header->predictor != Predictor::FirstOrder ||
+      header->absErrorBound <= 0.0) {
+    std::lock_guard lock(mutex_);
+    ++stats_.unsupportedSkips;
+    return true;
+  }
+
+  std::optional<std::vector<std::byte>> encoded =
+      header->precision == Precision::F32
+          ? reencodeTyped<f32>(candidate, *header)
+          : reencodeTyped<f64>(candidate, *header);
+  if (!encoded) return true;
+
+  // Kill window for chaos drills: the re-encode is done, the commit has
+  // not happened. Aborting here must leave the old object fully intact.
+  if (config_.chaosAbort && config_.chaosAbort(sweepIndex, candidateIndex)) {
+    std::lock_guard lock(mutex_);
+    ++stats_.chaosAborts;
+    return false;
+  }
+
+  const bool committed = store_.commitCompaction(
+      candidate.tenant, candidate.name, *encoded, candidate.generation);
+  std::lock_guard lock(mutex_);
+  if (committed) {
+    ++stats_.migrated;
+    if (candidate.bytes.size() > encoded->size()) {
+      stats_.bytesReclaimed += candidate.bytes.size() - encoded->size();
+    }
+  } else {
+    ++stats_.staleDrops;  // deleted or rewritten while we re-encoded
+  }
+  return true;
+}
+
+u64 CompactionWorker::runOnce() {
+  u64 sweepIndex;
+  u64 migratedBefore;
+  {
+    std::lock_guard lock(mutex_);
+    sweepIndex = stats_.sweeps++;
+    migratedBefore = stats_.migrated;
+  }
+  const auto candidates =
+      store_.compactionCandidates(config_.coldTicks, config_.maxPerSweep);
+  for (usize i = 0; i < candidates.size(); ++i) {
+    if (!processCandidate(candidates[i], sweepIndex, i)) break;
+  }
+  std::lock_guard lock(mutex_);
+  return stats_.migrated - migratedBefore;
+}
+
+void CompactionWorker::start() {
+  if (config_.pollMillis == 0) return;
+  std::lock_guard lock(wakeMutex_);
+  if (threadRunning_) return;
+  stopRequested_ = false;
+  threadRunning_ = true;
+  thread_ = std::thread([this] { threadMain(); });
+}
+
+void CompactionWorker::threadMain() {
+  for (;;) {
+    runOnce();
+    std::unique_lock lock(wakeMutex_);
+    wake_.wait_for(lock, std::chrono::milliseconds(config_.pollMillis),
+                   [this] { return stopRequested_; });
+    if (stopRequested_) return;
+  }
+}
+
+void CompactionWorker::stop() {
+  {
+    std::lock_guard lock(wakeMutex_);
+    if (!threadRunning_) return;
+    stopRequested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(wakeMutex_);
+  threadRunning_ = false;
+}
+
+bool CompactionWorker::running() const {
+  std::lock_guard lock(wakeMutex_);
+  return threadRunning_;
+}
+
+CompactionStats CompactionWorker::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cuszp2::cas

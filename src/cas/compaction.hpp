@@ -1,0 +1,149 @@
+// Background cold-tier re-encode worker for the block store.
+//
+// Objects land in the CAS in whatever encoding the hot path produced —
+// format v1/v2 FLE streams tuned for throughput. A CompactionWorker
+// migrates the cold ones to the format-v3 ratio pipelines (Auto/Huffman,
+// PR 8) off the foreground path, the same tiering cuSZ-i argues for
+// (ratio-over-speed once data stops being touched; PAPERS.md):
+//
+//   scan    BlockStore::compactionCandidates — cold (idleTicks >=
+//           coldTicks), hot-encoded (stream version 1/2) objects, with
+//           the generation each was scanned at.
+//   prove   decompress the old stream, re-encode through the v3 pipeline
+//           (same error bound, block size and mode the header records),
+//           decompress THAT, and require the two reconstructions to be
+//           byte-identical (hash128 over the raw element bytes). A
+//           candidate that cannot prove the byte-exact round trip is
+//           skipped, never migrated.
+//   commit  BlockStore::commitCompaction, which refuses when the object's
+//           generation moved (deleted or rewritten while the worker was
+//           re-encoding) — foreground always wins; the worker's work is
+//           simply dropped.
+//
+// All heavy work (decode, re-encode, verification) happens on the
+// worker's own CompressorStream outside the store lock; the store is only
+// touched to scan and to commit, so foreground puts/gets never block on
+// compaction. The worker runs as a background thread (service
+// worker/watchdog idiom: start/stop + condition-variable pacing) or
+// fully deterministically via runOnce() when pollMillis == 0.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cas/block_store.hpp"
+#include "core/format.hpp"
+#include "core/pipeline.hpp"
+#include "core/stream.hpp"
+
+namespace cuszp2::cas {
+
+struct CompactionConfig {
+  /// An object is cold when it has been idle for at least this many store
+  /// ticks (logical put/get operations, not wall time — deterministic).
+  u64 coldTicks = 16;
+
+  /// Candidates re-encoded per sweep (bounds one sweep's work).
+  usize maxPerSweep = 8;
+
+  /// Target encoding for migrated objects. Must not be Legacy (that is
+  /// the hot format compaction migrates away from).
+  core::PipelineMode pipeline = core::PipelineMode::Auto;
+
+  /// Skip migrations that do not shrink the object (Auto usually wins,
+  /// but a pinned pipeline can lose on some fields; false keeps such
+  /// migrations anyway, e.g. to retire a deprecated format).
+  bool requireSmaller = true;
+
+  /// Background pacing: sweep every this many milliseconds. 0 = no
+  /// thread; the owner drives sweeps via runOnce() (deterministic tests
+  /// and drills).
+  u64 pollMillis = 0;
+
+  /// Chaos hook for kill drills: called before each candidate's commit
+  /// with (sweep index, candidate index); returning true aborts the sweep
+  /// right there — the re-encoded bytes are dropped, the store keeps the
+  /// old object (a compaction kill must never lose data). nullptr = off.
+  std::function<bool(u64 sweep, usize candidate)> chaosAbort;
+};
+
+/// Monotonic worker accounting; value-comparable so two same-seed chaos
+/// runs can assert identical histories.
+struct CompactionStats {
+  u64 sweeps = 0;
+  u64 scanned = 0;     ///< candidates pulled from the store
+  u64 migrated = 0;    ///< commits accepted by the store
+  u64 staleDrops = 0;  ///< commits refused (object moved under the worker)
+  u64 roundTripRejects = 0;  ///< re-encode failed the byte-exact proof
+  u64 notSmallerSkips = 0;   ///< requireSmaller filtered the migration
+  u64 unsupportedSkips = 0;  ///< header unparseable / non-migratable config
+  u64 chaosAborts = 0;       ///< sweeps cut short by the chaos hook
+  u64 bytesReclaimed = 0;    ///< old size minus new size, summed
+
+  bool operator==(const CompactionStats&) const = default;
+};
+
+class CompactionWorker {
+ public:
+  /// The store must outlive the worker. Throws on an invalid config
+  /// (Legacy pipeline, zero maxPerSweep).
+  CompactionWorker(BlockStore& store, CompactionConfig config = {});
+  ~CompactionWorker();
+
+  CompactionWorker(const CompactionWorker&) = delete;
+  CompactionWorker& operator=(const CompactionWorker&) = delete;
+
+  const CompactionConfig& config() const { return config_; }
+
+  /// One synchronous sweep: scan, prove, commit. Safe to call whether or
+  /// not the background thread runs (the store arbitrates via
+  /// generations). Returns the number of objects migrated this sweep.
+  u64 runOnce();
+
+  /// Starts the background thread (no-op when pollMillis == 0 or already
+  /// running).
+  void start();
+
+  /// Stops and joins the background thread (idempotent; the destructor
+  /// calls it). A sweep in flight finishes its current candidate first.
+  void stop();
+
+  bool running() const;
+
+  CompactionStats stats() const;
+
+ private:
+  /// Re-encodes one candidate; returns true to continue the sweep, false
+  /// to abort it (chaos kill).
+  bool processCandidate(const BlockStore::Candidate& candidate,
+                        u64 sweepIndex, usize candidateIndex);
+
+  /// Decode -> v3 re-encode -> decode -> byte-exact proof. nullopt when
+  /// the candidate must be skipped (stats already updated).
+  template <FloatingPoint T>
+  std::optional<std::vector<std::byte>> reencodeTyped(
+      const BlockStore::Candidate& candidate,
+      const core::StreamHeader& header);
+
+  void threadMain();
+
+  BlockStore& store_;
+  CompactionConfig config_;
+  core::CompressorStream stream_;  ///< worker-owned warm codec
+
+  mutable std::mutex mutex_;  // guards stats_ and sweep counter
+  CompactionStats stats_;
+
+  // Background-thread machinery (watchdog idiom from src/service/).
+  std::thread thread_;
+  mutable std::mutex wakeMutex_;
+  std::condition_variable wake_;
+  bool stopRequested_ = false;
+  bool threadRunning_ = false;
+};
+
+}  // namespace cuszp2::cas

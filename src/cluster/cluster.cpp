@@ -52,6 +52,7 @@ ClusterState::ClusterState(ClusterConfig cfg)
     sh.id = i;
     sh.device = config.devices[i];
     sh.svc = makeService(sh.device);
+    sh.store = std::make_unique<cas::BlockStore>(config.replicaStore);
     shards.push_back(std::move(sh));
     ring.addShard(i);
   }
@@ -477,7 +478,7 @@ void CompressionCluster::putArchive(const std::string& tenant,
   const std::vector<u32> targets = state_->replicaTargetsLocked(key);
   require(!targets.empty(), "putArchive: no live shard to store on");
   for (u32 s : targets) {
-    state_->shards[s].blobs[key] = sealed;
+    state_->shards[s].store->put(tenant, name, sealed);
     state_->stats.archiveCopies += 1;
   }
   state_->stats.archivePuts += 1;
@@ -499,27 +500,42 @@ CompressionCluster::ArchiveFetch CompressionCluster::getArchive(
   state_->bump("cluster.archive.reads");
 
   // Walk every live shard in ring order; the first copy that is intact
-  // (or self-heals via its parity trailer) serves the read.
+  // (or self-heals via its parity trailer) serves the read. Candidate
+  // verification is zero-copy: crcOf chains CRC-32 over the store's
+  // chunk views (mirroring the CLI's MappedBytes read sites), so losing
+  // candidates are never reassembled — bytes are materialized on the
+  // heap only for the winning copy and where repair must mutate.
   const std::vector<u32> walk = state_->routeCandidatesLocked(key);
   bool found = false;
   for (u32 s : walk) {
-    auto it = state_->shards[s].blobs.find(key);
-    if (it != state_->shards[s].blobs.end()) {
-      std::vector<std::byte>& copy = it->second;
-      bool good = crc32(ConstByteSpan(copy)) == digest;
-      if (!good) {
-        // Single damaged chunks are the parity trailer's job; anything
-        // it can't rebuild (or damage inside the trailer itself) makes
-        // this copy a failover.
-        io::repairParity(copy);
-        good = crc32(ConstByteSpan(copy)) == digest;
-        if (good) fetch.repairs += 1;
-      }
-      if (good) {
-        fetch.archive = copy;
+    cas::BlockStore& store = *state_->shards[s].store;
+    if (store.contains(tenant, name)) {
+      if (store.crcOf(tenant, name) == digest) {
+        fetch.archive = store.get(tenant, name);
         fetch.shard = s;
         found = true;
         break;
+      }
+      // Single damaged chunks are the parity trailer's job; anything it
+      // can't rebuild (or damage inside the trailer itself) makes this
+      // copy a failover. Repair mutates, so this path assembles a heap
+      // copy (hash verification off: the chunks are known damaged).
+      std::vector<std::byte> copy;
+      try {
+        copy = store.get(tenant, name);
+      } catch (const Error&) {
+        copy.clear();  // chunk-level damage: nothing to repair in place
+      }
+      if (!copy.empty()) {
+        io::repairParity(copy);
+        if (crc32(ConstByteSpan(copy)) == digest) {
+          store.put(tenant, name, copy);  // write the healed copy back
+          fetch.repairs += 1;
+          fetch.archive = std::move(copy);
+          fetch.shard = s;
+          found = true;
+          break;
+        }
       }
     }
     fetch.failovers += 1;
@@ -529,14 +545,15 @@ CompressionCluster::ArchiveFetch CompressionCluster::getArchive(
   require(found, "getArchive: no intact replica of " + key);
 
   // Read-repair: restore the replica set to `replicas` intact copies so
-  // the next failure starts from full redundancy again.
+  // the next failure starts from full redundancy again (verification
+  // again by chained chunk CRC, no reassembly of intact copies).
   for (u32 s : state_->replicaTargetsLocked(key)) {
-    auto it = state_->shards[s].blobs.find(key);
-    if (it != state_->shards[s].blobs.end() &&
-        crc32(ConstByteSpan(it->second)) == digest) {
+    cas::BlockStore& store = *state_->shards[s].store;
+    if (store.contains(tenant, name) &&
+        store.crcOf(tenant, name) == digest) {
       continue;
     }
-    state_->shards[s].blobs[key] = fetch.archive;
+    store.put(tenant, name, fetch.archive);
     fetch.repairs += 1;
   }
   if (fetch.repairs > 0) {
@@ -546,17 +563,65 @@ CompressionCluster::ArchiveFetch CompressionCluster::getArchive(
   return fetch;
 }
 
+bool CompressionCluster::deleteArchive(const std::string& tenant,
+                                       const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const std::string key = tenant + "/" + name;
+  auto cat = state_->catalog.find(key);
+  if (cat == state_->catalog.end()) return false;
+  state_->catalog.erase(cat);
+  // Every shard's copy goes — Down shards' too, so a revive that runs
+  // after this delete finds neither a catalog entry nor a stale object
+  // to resurrect. The stores do the refcount GC.
+  u64 copies = 0;
+  for (auto& sh : state_->shards) {
+    if (sh.store->erase(tenant, name)) ++copies;
+  }
+  state_->stats.archiveDeletes += 1;
+  state_->stats.archiveDeleteCopies += copies;
+  state_->bump("cluster.archive.deletes");
+  state_->bump("cluster.archive.delete_copies", copies);
+  return true;
+}
+
+cas::StoreStats CompressionCluster::casTotals() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  cas::StoreStats total;
+  for (const auto& sh : state_->shards) {
+    const cas::StoreStats s = sh.store->stats();
+    total.objects += s.objects;
+    total.logicalChunks += s.logicalChunks;
+    total.uniqueChunks += s.uniqueChunks;
+    total.parkedChunks += s.parkedChunks;
+    total.logicalBytes += s.logicalBytes;
+    total.physicalBytes += s.physicalBytes;
+    total.puts += s.puts;
+    total.gets += s.gets;
+    total.erases += s.erases;
+    total.chunkHits += s.chunkHits;
+    total.chunkMisses += s.chunkMisses;
+    total.refIncs += s.refIncs;
+    total.refDecs += s.refDecs;
+    total.gcFreedChunks += s.gcFreedChunks;
+    total.gcFreedBytes += s.gcFreedBytes;
+    total.resurrections += s.resurrections;
+    total.compactionMigrations += s.compactionMigrations;
+    total.compactionBytesReclaimed += s.compactionBytesReclaimed;
+  }
+  return total;
+}
+
 void CompressionCluster::corruptArchiveCopy(u32 shard,
                                             const std::string& tenant,
                                             const std::string& name,
                                             usize byteOffset) {
   std::lock_guard<std::mutex> lock(state_->mutex);
   require(shard < state_->shards.size(), "corruptArchiveCopy: bad shard");
-  auto it = state_->shards[shard].blobs.find(tenant + "/" + name);
-  require(it != state_->shards[shard].blobs.end(),
+  require(state_->shards[shard].store->contains(tenant, name),
           "corruptArchiveCopy: shard holds no such copy");
-  std::vector<std::byte>& copy = it->second;
-  copy[byteOffset % copy.size()] ^= std::byte{0x40};
+  // The store rewrites the object copy-on-write, so a shared chunk is
+  // never damaged for the other replicas referencing it.
+  state_->shards[shard].store->corruptForDrill(tenant, name, byteOffset);
 }
 
 ClusterStats CompressionCluster::stats() const {

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "cas/block_store.hpp"
 #include "cluster/ring.hpp"
 #include "io/archive.hpp"
 #include "service/service.hpp"
@@ -163,6 +164,14 @@ struct ClusterConfig {
   /// Parity geometry for sealed archive replicas.
   io::ParityOptions replicaParity{};
 
+  /// Per-shard replica stores: every shard holds its archive copies in a
+  /// cas::BlockStore, so replicas of the same sealed bytes — and replicas
+  /// of different tenants' identical archives — share physical chunks on
+  /// that shard, and reads verify copies by chained CRC over the chunk
+  /// views without reassembling them (docs/CAS.md). deferGc here makes
+  /// deleteArchive park chunks until a store gc() (resurrection drills).
+  cas::StoreConfig replicaStore{};
+
   /// Drain budget granted to a dying shard's queue before its queued
   /// jobs are abandoned (and failed over). Keep at 0 for deterministic
   /// drills: running jobs still always complete.
@@ -200,6 +209,8 @@ struct ClusterStats {
   u64 archiveReads = 0;
   u64 archiveReadFailovers = 0;  ///< bad/missing copies skipped by reads
   u64 archiveRepairs = 0;        ///< copies rebuilt (read-repair/revive)
+  u64 archiveDeletes = 0;        ///< deleteArchive calls that found the key
+  u64 archiveDeleteCopies = 0;   ///< shard copies released by deletes
 
   bool operator==(const ClusterStats&) const = default;
 };
@@ -348,6 +359,18 @@ class CompressionCluster {
   };
   ArchiveFetch getArchive(const std::string& tenant,
                           const std::string& name);
+
+  /// Removes a replicated archive cluster-wide: the catalog entry plus
+  /// every shard's copy — Down shards' included, so a later reviveShard
+  /// re-replication cannot resurrect deleted data. The shard stores
+  /// release the copies' chunk refcounts (refcount GC; chunks still
+  /// shared by other archives survive). Returns false for an unknown key.
+  bool deleteArchive(const std::string& tenant, const std::string& name);
+
+  /// Sum of every shard store's CAS accounting (dedup hit rate, logical
+  /// vs. physical bytes across the whole replica fleet) — what the CLI
+  /// cluster health line prints.
+  cas::StoreStats casTotals() const;
 
   /// Chaos-drill hook: flips one byte of a stored replica in place (the
   /// cluster-level analogue of gpusim::FaultPlan bit flips).

@@ -58,8 +58,11 @@ struct ClusterState {
     u32 degradedProbes = 0;
     gpusim::DeviceSpec device;
     std::unique_ptr<service::CompressionService> svc;
-    /// Replicated archive copies (sealed bytes), keyed by blob key.
-    std::map<std::string, std::vector<std::byte>> blobs;
+    /// Replicated archive copies (sealed bytes) in a content-addressed
+    /// store: tenant = archive tenant, name = archive name, so identical
+    /// bytes across replicas/tenants share chunks. Survives Down state
+    /// (revive only re-replicates what the catalog still lists).
+    std::unique_ptr<cas::BlockStore> store;
   };
   std::vector<Shard> shards;
 

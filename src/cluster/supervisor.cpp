@@ -161,19 +161,26 @@ void ShardSupervisor::reviveShard(u32 shard) {
 
   // Re-replicate: any blob whose replica set now includes this shard is
   // copied back from an intact survivor, bit-exactly (digest-checked).
+  // Survivor verification is the zero-copy chained-CRC path over the
+  // store's chunk views; only the chosen survivor is reassembled. The
+  // catalog is the source of truth — an archive deleted while this shard
+  // was Down has no catalog entry and is never resurrected here.
   for (const auto& [key, digest] : state_->catalog) {
+    const auto slash = key.find('/');
+    const std::string tenant = key.substr(0, slash);
+    const std::string name = key.substr(slash + 1);
     const std::vector<u32> targets = state_->replicaTargetsLocked(key);
     if (std::find(targets.begin(), targets.end(), shard) ==
             targets.end() ||
-        sh.blobs.count(key) != 0) {
+        sh.store->contains(tenant, name)) {
       continue;
     }
     for (u32 s : state_->routeCandidatesLocked(key)) {
       if (s == shard) continue;
-      auto it = state_->shards[s].blobs.find(key);
-      if (it != state_->shards[s].blobs.end() &&
-          crc32(ConstByteSpan(it->second)) == digest) {
-        sh.blobs[key] = it->second;
+      const cas::BlockStore& donor = *state_->shards[s].store;
+      if (donor.contains(tenant, name) &&
+          donor.crcOf(tenant, name) == digest) {
+        sh.store->put(tenant, name, donor.get(tenant, name));
         state_->stats.archiveRepairs += 1;
         state_->bump("cluster.archive.repairs");
         break;

@@ -1,0 +1,44 @@
+// Seeded 128-bit content hash for the content-addressed block store.
+//
+// The CRC-16/CRC-32 machinery (crc32.hpp, core::blockDigest) answers "did
+// these bytes change in flight?" — a transport-integrity question where 16
+// or 32 bits of state suffice. A content-addressed store asks a stronger
+// question: "are these two blocks THE SAME bytes?", and answers it by
+// comparing digests alone, so collisions silently alias one tenant's data
+// to another's. hash128 layers a 128-bit mixing function over the same
+// byte-walk so accidental collisions are out of reach (2^-64 birthday
+// bound at 2^32 chunks), while every serialized CAS section stays
+// CRC-32-guarded on disk exactly like the stream formats (the hash names
+// content; the CRC still detects wire damage — see docs/CAS.md).
+//
+// Properties:
+//   * deterministic across platforms (byte-wise little-endian reads, no
+//     alignment or endianness dependence);
+//   * seeded: a store's hashSeed perturbs every digest, so two stores
+//     cannot be spliced together by replaying hash-indexed chunks;
+//   * NOT cryptographic — this defends against accidents, not attackers
+//     (same stance as the paper artifact's checksum use).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cuszp2 {
+
+/// 128-bit digest value. Ordered + hashable so it can key maps directly.
+struct Hash128 {
+  u64 hi = 0;
+  u64 lo = 0;
+
+  bool operator==(const Hash128&) const = default;
+  auto operator<=>(const Hash128&) const = default;
+
+  /// 32 lowercase hex digits, hi half first (stable CLI/log form).
+  std::string hex() const;
+};
+
+/// Seeded 128-bit hash of `data` (murmur3-x64-128-style mixing).
+Hash128 hash128(ConstByteSpan data, u64 seed = 0);
+
+}  // namespace cuszp2

@@ -342,6 +342,29 @@ u64 CompressionService::tenantOutstandingBytes(
   return it == ledger_->tenantBytes.end() ? 0 : it->second;
 }
 
+cas::PutResult CompressionService::putObject(const std::string& tenant,
+                                             const std::string& name,
+                                             ConstByteSpan bytes) {
+  require(config_.store != nullptr,
+          "service: putObject requires an attached CAS (ServiceConfig::store)");
+  return config_.store->put(tenant, name, bytes);
+}
+
+std::vector<std::byte> CompressionService::getObject(
+    const std::string& tenant, const std::string& name) const {
+  require(config_.store != nullptr,
+          "service: getObject requires an attached CAS (ServiceConfig::store)");
+  return config_.store->get(tenant, name);
+}
+
+bool CompressionService::eraseObject(const std::string& tenant,
+                                     const std::string& name) {
+  require(config_.store != nullptr,
+          "service: eraseObject requires an attached CAS "
+          "(ServiceConfig::store)");
+  return config_.store->erase(tenant, name);
+}
+
 void CompressionService::workerLoop(u32 worker) {
   // Each worker owns one warm stream pinned to its device; reconfigure()
   // per batch re-targets the codec without dropping the scratch arena.

@@ -44,6 +44,7 @@
 #include <string_view>
 #include <thread>
 
+#include "cas/block_store.hpp"
 #include "gpusim/device_spec.hpp"
 #include "service/job.hpp"
 #include "service/queue.hpp"
@@ -185,6 +186,13 @@ struct ServiceConfig {
 
   /// Optional seeded fault injection per dispatch attempt (chaos drills).
   ChaosHook chaosHook;
+
+  /// Optional content-addressed store. When set, putObject/getObject/
+  /// eraseObject route tenants' named objects through it: each tenant
+  /// keeps its own logical namespace while identical bytes across
+  /// tenants share physical chunks (docs/CAS.md). Shared so the CLI and
+  /// a CompactionWorker can hold the same store.
+  std::shared_ptr<cas::BlockStore> store;
 };
 
 /// Point-in-time counters snapshot (monotonic except queueDepth).
@@ -285,6 +293,26 @@ class CompressionService {
 
   /// The tenant's outstanding (admitted-but-unfinished) input bytes.
   u64 tenantOutstandingBytes(const std::string& tenant) const;
+
+  // ---- content-addressed object path (ServiceConfig::store) ----------
+
+  /// The attached CAS, or nullptr when the service runs without one.
+  const std::shared_ptr<cas::BlockStore>& store() const {
+    return config_.store;
+  }
+
+  /// Stores a tenant's named object through the CAS (cross-tenant dedup;
+  /// see cas::BlockStore::put). Throws when no store is attached.
+  cas::PutResult putObject(const std::string& tenant,
+                           const std::string& name, ConstByteSpan bytes);
+
+  /// Fetches a tenant's named object from the CAS, chunk hashes verified.
+  std::vector<std::byte> getObject(const std::string& tenant,
+                                   const std::string& name) const;
+
+  /// Drops a tenant's named object (refcount GC in the store). Returns
+  /// false when the tenant never stored that name.
+  bool eraseObject(const std::string& tenant, const std::string& name);
 
  private:
   struct Instruments {

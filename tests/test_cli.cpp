@@ -396,5 +396,93 @@ TEST_F(CliTest, ServeWithTraceEmitsPerJobSpans) {
   EXPECT_NE(json.find("\"tenant\""), std::string::npos);
 }
 
+TEST_F(CliTest, StoreSubcommandDedupsAcrossTenantsAndCompacts) {
+  // put the same compressed stream under two tenants: the second put is
+  // pure dedup (zero physical bytes added).
+  ASSERT_EQ(run("compress " + file("in.f32") + " " + file("s.czp2") +
+                " --rel 1e-3"),
+            0);
+  ASSERT_EQ(run("store put " + file("st.cas") + " climate run1 " +
+                file("s.czp2")),
+            0)
+      << lastLog();
+  ASSERT_EQ(run("store put " + file("st.cas") + " physics run1 " +
+                file("s.czp2")),
+            0)
+      << lastLog();
+  EXPECT_NE(lastLog().find("0 new +"), std::string::npos);
+  EXPECT_NE(lastLog().find("(0 physical bytes added)"), std::string::npos);
+
+  // `info` on a store file prints the dedup health line, not stream
+  // fields.
+  ASSERT_EQ(run("info " + file("st.cas")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("cuSZp2 CAS store:"), std::string::npos);
+  EXPECT_NE(lastLog().find("cas: 2 objects"), std::string::npos);
+  EXPECT_NE(lastLog().find("bytes saved"), std::string::npos);
+
+  // get returns the exact stored bytes; decompress proves it end-to-end.
+  ASSERT_EQ(run("store get " + file("st.cas") + " climate run1 " +
+                file("back.czp2")),
+            0)
+      << lastLog();
+  EXPECT_EQ(io::readBytes(file("back.czp2")), io::readBytes(file("s.czp2")));
+  ASSERT_EQ(run("verify " + file("in.f32") + " " + file("back.czp2")), 0);
+
+  // compact migrates cold v1 objects to v3 when it wins; either way the
+  // stream must still verify against the original after the sweep.
+  ASSERT_EQ(run("store compact " + file("st.cas")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("compact: scanned"), std::string::npos);
+  ASSERT_EQ(run("store get " + file("st.cas") + " climate run1 " +
+                file("after.czp2")),
+            0);
+  ASSERT_EQ(run("verify " + file("in.f32") + " " + file("after.czp2")), 0);
+
+  // rm + gc drop the last reference and sweep the parked chunks.
+  ASSERT_EQ(run("store rm " + file("st.cas") + " climate run1"), 0);
+  ASSERT_EQ(run("store rm " + file("st.cas") + " physics run1"), 0);
+  ASSERT_EQ(run("store gc " + file("st.cas")), 0) << lastLog();
+  ASSERT_EQ(run("store stat " + file("st.cas")), 0) << lastLog();
+  EXPECT_NE(lastLog().find("objects:         0"), std::string::npos);
+
+  // Error paths: unknown object, unknown verb.
+  EXPECT_NE(run("store get " + file("st.cas") + " nosuch x " +
+                file("y.bin")),
+            0);
+  EXPECT_NE(run("store frobnicate " + file("st.cas")), 0);
+}
+
+TEST_F(CliTest, ServeCasPrintsDedupHealthLine) {
+  io::writeBytes(file("jobs.txt"), [] {
+    // Two tenants compressing the SAME dataset fields: their compressed
+    // streams are identical, so the CAS dedups across tenants.
+    const std::string text =
+        "climate cesm_atm 2048 3 1e-3\n"
+        "mirror  cesm_atm 2048 3 1e-3\n";
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+  }());
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") + " --cas"), 0)
+      << lastLog();
+  std::string log = lastLog();
+  EXPECT_NE(log.find("cas: 6 objects"), std::string::npos);
+  EXPECT_NE(log.find("bytes saved"), std::string::npos);
+  // Identical per-tenant streams: half the logical blocks are shared.
+  EXPECT_NE(log.find("dedup)"), std::string::npos);
+  EXPECT_EQ(log.find("(1.00x dedup)"), std::string::npos);
+
+  // Cluster mode: the health line sums every shard's replica store.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt") +
+                " --shards 2 --replicas 2 --cas"),
+            0)
+      << lastLog();
+  log = lastLog();
+  EXPECT_NE(log.find("cas: 12 objects"), std::string::npos);
+
+  // Without --cas no dedup line is printed.
+  ASSERT_EQ(run("serve --jobs " + file("jobs.txt")), 0);
+  EXPECT_EQ(lastLog().find("cas:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cuszp2

@@ -34,7 +34,27 @@
 //   * the full ClusterStats snapshot — kills, failovers, steals, archive
 //     counters — is identical across two runs of the same seed.
 //
-//   usage: chaos_soak [--seed N] [--jobs N] [--fast] [--cluster]
+// With --cas the drill soaks the content-addressed block store instead:
+// a seeded schedule of foreground puts/gets/erases/gc over dedup-heavy
+// content (repeated timesteps across tenants) interleaved with
+// CompactionWorker sweeps whose chaosAbort hook kills sweeps between the
+// re-encode and the commit (the mid-compaction kill window), plus
+// deliberate stale-commit races (scan, foreground delete, commit). The
+// run asserts:
+//
+//   * no lost blocks: after every round each live object reads back with
+//     the content the shadow model expects (raw bytes for blobs, the
+//     decompressed element hash for streams — migration may change the
+//     wire bytes but never the content), erased keys stay gone, and
+//     BlockStore::checkInvariants holds;
+//   * a compaction kill never mutates the store (old object intact);
+//   * a stale commit (object deleted/rewritten after the scan) is
+//     refused;
+//   * the final StoreStats + CompactionStats tuples, and a save/load
+//     round trip of the final store, are identical across two runs of
+//     the same seed.
+//
+//   usage: chaos_soak [--seed N] [--jobs N] [--fast] [--cluster] [--cas]
 //
 // Exit 0 when every invariant held; 1 otherwise, printing the seed
 // needed to replay the failure.
@@ -46,7 +66,14 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+#include <map>
+
+#include "cas/block_store.hpp"
+#include "cas/compaction.hpp"
 #include "cluster/cluster.hpp"
+#include "common/hash128.hpp"
+#include "common/rng.hpp"
 #include "core/stream.hpp"
 #include "datagen/fields.hpp"
 #include "io/archive.hpp"
@@ -527,6 +554,245 @@ int clusterMain(u64 seed, u32 jobsPerTenant) {
   return 1;
 }
 
+// ---------------------------------------------------------------------
+// --cas mode
+
+/// What the drill believes one live object holds. Blobs must read back
+/// byte-identical; streams must DECODE identical (compaction may rewrite
+/// the wire bytes, never the content).
+struct ShadowEntry {
+  bool isStream = false;
+  std::vector<std::byte> raw;  ///< blob: exact expected bytes
+  Hash128 elements;            ///< stream: hash of decompressed bytes
+};
+
+struct CasRun {
+  cas::StoreStats store;
+  cas::CompactionStats compaction;
+  u64 staleRefusals = 0;
+  u64 liveObjects = 0;
+  std::vector<u32> finalCrcs;  ///< crcOf every live key, key-sorted
+
+  bool operator==(const CasRun&) const = default;
+};
+
+Hash128 elementsOf(core::CompressorStream& codec, ConstByteSpan stream) {
+  const auto decoded = codec.decompress<f32>(stream);
+  return hash128(ConstByteSpan{
+      reinterpret_cast<const std::byte*>(decoded.data.data()),
+      decoded.data.size() * sizeof(f32)});
+}
+
+CasRun runCasOnce(u64 seed, u32 rounds) {
+  // Dedup-heavy corpus: a handful of unique payloads that the schedule
+  // re-puts under many tenant/name keys (repeated simulation timesteps).
+  core::CompressorStream codec(jobConfig());
+  std::vector<std::vector<std::byte>> streams;
+  for (u32 i = 0; i < 4; ++i) {
+    const auto field = datagen::generateF32("cesm_atm", i, 4096);
+    streams.push_back(codec.compress<f32>(field).stream);
+  }
+  std::vector<std::vector<std::byte>> blobs;
+  for (u32 i = 0; i < 3; ++i) {
+    std::vector<std::byte> b(40000 + 1000 * i);
+    SplitMix64 mix(seed + i);
+    for (auto& x : b) x = static_cast<std::byte>(mix.next() & 0xFF);
+    blobs.push_back(std::move(b));
+  }
+  const char* tenants[] = {"climate", "cosmo", "fusion", "seismic"};
+
+  cas::BlockStore store({.chunkBytes = 4096, .deferGc = true});
+  cas::CompactionConfig ccfg;
+  ccfg.coldTicks = 2;
+  ccfg.maxPerSweep = 4;
+  ccfg.requireSmaller = false;  // drill migrations deterministically
+  // Seeded mid-compaction kill: pure in (seed, sweep, candidate), so two
+  // same-seed runs abort the same sweeps at the same candidate.
+  ccfg.chaosAbort = [seed](u64 sweep, usize candidate) {
+    SplitMix64 mix(seed ^ (sweep * 0x9E3779B9ull + candidate));
+    return mix.next() % 4 == 0;
+  };
+  cas::CompactionWorker worker(store, ccfg);
+
+  std::map<std::string, ShadowEntry> shadow;  // key -> expected content
+  std::vector<std::string> erased;
+  Rng rng(seed);
+  u64 staleRefusals = 0;
+
+  const auto verifyAllLive = [&] {
+    store.checkInvariants();
+    for (const auto& [key, want] : shadow) {
+      const auto slash = key.find('/');
+      const std::string tenant = key.substr(0, slash);
+      const std::string name = key.substr(slash + 1);
+      check(store.contains(tenant, name), "live object present: " + key);
+      const std::vector<std::byte> got = store.get(tenant, name);
+      if (want.isStream) {
+        check(elementsOf(codec, got) == want.elements,
+              "stream content identical after churn: " + key);
+      } else {
+        check(got == want.raw, "blob bytes identical after churn: " + key);
+      }
+    }
+    for (const std::string& key : erased) {
+      if (shadow.count(key)) continue;  // re-put after the erase
+      const auto slash = key.find('/');
+      check(!store.contains(key.substr(0, slash), key.substr(slash + 1)),
+            "erased object stays gone: " + key);
+    }
+  };
+
+  for (u32 round = 0; round < rounds; ++round) {
+    // A seeded burst of foreground traffic.
+    for (u32 op = 0; op < 8; ++op) {
+      const std::string tenant = tenants[rng.uniformInt(4)];
+      const u64 roll = rng.uniformInt(100);
+      if (roll < 50) {  // put (dedup-heavy: few payloads, many keys)
+        const bool putStream = rng.uniformInt(2) == 0;
+        const std::string name =
+            (putStream ? "step-" : "blob-") +
+            std::to_string(rng.uniformInt(6));
+        const std::string key = tenant + "/" + name;
+        ShadowEntry entry;
+        if (putStream) {
+          const auto& s = streams[rng.uniformInt(streams.size())];
+          store.put(tenant, name, ConstByteSpan(s));
+          entry.isStream = true;
+          entry.elements = elementsOf(codec, s);
+        } else {
+          const auto& b = blobs[rng.uniformInt(blobs.size())];
+          store.put(tenant, name, ConstByteSpan(b));
+          entry.raw = b;
+        }
+        shadow[key] = std::move(entry);
+      } else if (roll < 75) {  // get (warms the object)
+        if (shadow.empty()) continue;
+        auto it = shadow.begin();
+        std::advance(it, static_cast<long>(
+                             rng.uniformInt(shadow.size())));
+        const auto slash = it->first.find('/');
+        store.get(it->first.substr(0, slash),
+                  it->first.substr(slash + 1));
+      } else if (roll < 90) {  // erase
+        if (shadow.empty()) continue;
+        auto it = shadow.begin();
+        std::advance(it, static_cast<long>(
+                             rng.uniformInt(shadow.size())));
+        const auto slash = it->first.find('/');
+        check(store.erase(it->first.substr(0, slash),
+                          it->first.substr(slash + 1)),
+              "erase of a live key succeeds");
+        erased.push_back(it->first);
+        shadow.erase(it);
+      } else {  // gc sweep of parked chunks
+        store.gc();
+      }
+    }
+
+    // Deliberate stale-commit race every third round: scan, let the
+    // foreground delete the candidate, then try to commit it.
+    if (round % 3 == 2) {
+      const auto candidates = store.compactionCandidates(0, 1);
+      if (!candidates.empty()) {
+        const auto& c = candidates.front();
+        store.erase(c.tenant, c.name);
+        erased.push_back(c.tenant + "/" + c.name);
+        shadow.erase(c.tenant + "/" + c.name);
+        check(!store.commitCompaction(c.tenant, c.name,
+                                      ConstByteSpan(c.bytes),
+                                      c.generation),
+              "stale commit after foreground delete is refused");
+        ++staleRefusals;
+      }
+    }
+
+    // One compaction sweep, possibly killed mid-way by the seeded hook.
+    worker.runOnce();
+    verifyAllLive();
+  }
+
+  store.gc();
+  verifyAllLive();
+
+  // Determinism snapshot + save/load round trip of the final store.
+  CasRun run;
+  run.store = store.stats();
+  run.compaction = worker.stats();
+  run.staleRefusals = staleRefusals;
+  run.liveObjects = shadow.size();
+  for (const auto& [key, want] : shadow) {
+    const auto slash = key.find('/');
+    run.finalCrcs.push_back(
+        store.crcOf(key.substr(0, slash), key.substr(slash + 1)));
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("chaos_soak_cas_" + std::to_string(::getpid()) + ".cas"))
+          .string();
+  const io::ParityOptions parity;
+  store.save(path, &parity);
+  const auto loaded = cas::BlockStore::load(path, {.deferGc = true});
+  std::string error;
+  check(loaded->verifyAll(&error), "reloaded store verifies: " + error);
+  loaded->checkInvariants();
+  for (const auto& [key, want] : shadow) {
+    const auto slash = key.find('/');
+    const std::string tenant = key.substr(0, slash);
+    const std::string name = key.substr(slash + 1);
+    check(loaded->get(tenant, name) == store.get(tenant, name),
+          "reloaded object byte-identical: " + key);
+  }
+  std::filesystem::remove(path);
+  return run;
+}
+
+int casMain(u64 seed, u32 rounds) {
+  std::printf("chaos_soak(cas): seed=%llu rounds=%u\n",
+              static_cast<unsigned long long>(seed), rounds);
+
+  const CasRun first = runCasOnce(seed, rounds);
+  const CasRun second = runCasOnce(seed, rounds);
+  check(first == second,
+        "store + compaction stats reproduce across two runs of the seed");
+  check(first.compaction.sweeps == rounds, "every round swept once");
+  check(first.compaction.migrated > 0,
+        "the drill migrated at least one object to v3");
+  check(first.compaction.chaosAborts > 0,
+        "the seeded hook killed at least one sweep mid-compaction");
+  check(first.staleRefusals > 0,
+        "the drill exercised the stale-commit race");
+  check(first.compaction.roundTripRejects == 0,
+        "no migration failed its byte-exact proof");
+  check(first.store.dedupRatio() > 1.5,
+        "the repeated-timestep corpus dedups (ratio " +
+            std::to_string(first.store.dedupRatio()) + ")");
+
+  std::printf(
+      "run: objects=%llu unique=%llu parked=%llu dedup=%.2fx "
+      "migrated=%llu aborts=%llu stale_drops=%llu stale_refused=%llu "
+      "resurrections=%llu gc_freed=%llu\n",
+      static_cast<unsigned long long>(first.store.objects),
+      static_cast<unsigned long long>(first.store.uniqueChunks),
+      static_cast<unsigned long long>(first.store.parkedChunks),
+      first.store.dedupRatio(),
+      static_cast<unsigned long long>(first.compaction.migrated),
+      static_cast<unsigned long long>(first.compaction.chaosAborts),
+      static_cast<unsigned long long>(first.compaction.staleDrops),
+      static_cast<unsigned long long>(first.staleRefusals),
+      static_cast<unsigned long long>(first.store.resurrections),
+      static_cast<unsigned long long>(first.store.gcFreedChunks));
+  if (failures == 0) {
+    std::printf("chaos_soak(cas): OK\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "chaos_soak(cas): %d failure(s); replay with --cas --seed "
+               "%llu\n",
+               failures, static_cast<unsigned long long>(seed));
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -539,6 +805,7 @@ int main(int argc, char** argv) {
   u32 jobsPerTenant = 6;
   u32 poisonJobs = 6;
   bool clusterMode = false;
+  bool casMode = false;
   bool fast = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -552,14 +819,19 @@ int main(int argc, char** argv) {
       poisonJobs = 5;
     } else if (arg == "--cluster") {
       clusterMode = true;
+    } else if (arg == "--cas") {
+      casMode = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seed N] [--jobs N] [--fast] "
-                   "[--cluster]\n");
+                   "[--cluster] [--cas]\n");
       return 2;
     }
   }
 
+  if (casMode) {
+    return casMain(seed, fast ? 12 : 30);
+  }
   if (clusterMode) {
     return clusterMain(seed, fast ? 2 : std::min(jobsPerTenant, 4u));
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, twice:
 #   1. Release         — the configuration the figures and perf numbers use.
-#      Runs the full suite (fast + property + bench labels), then the
+#      Runs the full suite (fast + property + bench + cas labels), then the
 #      perf-regression harness, which refreshes BENCH_perf.json at the
 #      repo root and soft-fails (warns) on modelled-throughput drift.
 #   2. Debug + ASan/UBSan — catches lifetime bugs in the arena / stream
@@ -85,6 +85,18 @@ echo "==== [asan] ctest -L pipeline ===="
 (cd "${repo_root}/build-ci-asan" &&
   ctest --output-on-failure -j "${jobs}" -L pipeline)
 
+# The cas label (content-addressed store: dedup refcounts, GC races,
+# compaction round-trip proofs, chaos drill) runs in the release full
+# pass above; repeat it explicitly there so a red cas build is named in
+# the log, and run it under the sanitizer — the refcount/GC paths are
+# exactly where lifetime bugs hide from a Release run.
+echo "==== [release] ctest -L cas ===="
+(cd "${repo_root}/build-ci-release" &&
+  ctest --output-on-failure -j "${jobs}" -L cas)
+echo "==== [asan] ctest -L cas ===="
+(cd "${repo_root}/build-ci-asan" &&
+  ctest --output-on-failure -j "${jobs}" -L cas)
+
 echo "==== [asan] fuzz_decode (500 structured mutants, v1/v2/v3 pool) ===="
 "${repo_root}/build-ci-asan/tools/fuzz_decode" 500 1
 
@@ -118,6 +130,20 @@ echo "==== [release] cluster soak (seed 777) ===="
 "${repo_root}/build-ci-release/tools/chaos_soak" --cluster --seed 777
 echo "==== [asan] cluster soak (seed 20260805, fast) ===="
 "${repo_root}/build-ci-asan/tools/chaos_soak" --cluster --seed 20260805 --fast
+
+# CAS soak: seeded put/get/erase/gc churn against the content-addressed
+# store with compaction sweeps that abort mid-migration on a seeded
+# schedule. The drill hard-fails unless every live object decodes back
+# byte- (or element-) exactly, no stale compaction commit lands, the
+# sealed save/load round trip serves identical bytes, and the full
+# StoreStats + CompactionStats snapshot matches across two same-seed
+# runs. Two seeds in release vary the kill pattern; ASan runs trimmed.
+echo "==== [release] cas soak (seed 20260805) ===="
+"${repo_root}/build-ci-release/tools/chaos_soak" --cas --seed 20260805
+echo "==== [release] cas soak (seed 777) ===="
+"${repo_root}/build-ci-release/tools/chaos_soak" --cas --seed 777
+echo "==== [asan] cas soak (seed 20260805, fast) ===="
+"${repo_root}/build-ci-asan/tools/chaos_soak" --cas --seed 20260805 --fast
 
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \

@@ -13,6 +13,9 @@
 //   cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]
 //                     [--depth N] [--quota BYTES] [--unbatched]
 //                     [--chaos-seed N] [--shards N] [--replicas R]
+//                     [--cas]
+//   cuszp2 store      put|get|rm|gc|compact|stat against an on-disk
+//                     content-addressed block store (docs/CAS.md)
 //
 // `--trace <out.json>` before any subcommand's options writes a
 // chrome://tracing / Perfetto-compatible trace of every simulated kernel
@@ -22,8 +25,10 @@
 //
 // Exit codes: 0 on success; 1 on operational errors and error-bound
 // violations; 2 on integrity failures (corrupt stream, failed parity).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -31,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "cas/block_store.hpp"
+#include "cas/compaction.hpp"
 #include "cluster/cluster.hpp"
 #include "core/compressor.hpp"
 #include "core/pipeline.hpp"
@@ -98,8 +105,19 @@ bool flushTrace() {
       "  cuszp2 serve      --jobs <manifest> [--workers N] [--batch N]\n"
       "                    [--depth N] [--quota BYTES] [--unbatched]\n"
       "                    [--chaos-seed N] [--shards N] [--replicas R]\n"
+      "                    [--cas]\n"
+      "  cuszp2 store put     <store.cas> <tenant> <name> <file>\n"
+      "  cuszp2 store get     <store.cas> <tenant> <name> <out-file>\n"
+      "  cuszp2 store rm      <store.cas> <tenant> <name>\n"
+      "  cuszp2 store gc      <store.cas>\n"
+      "  cuszp2 store compact <store.cas> [--cold-ticks N] [--max N]\n"
+      "                       [--pipeline auto|huffman|rle|lorenzo-fle]\n"
+      "  cuszp2 store stat    <store.cas>\n"
       "\n"
       "  serve manifest lines: <tenant> <dataset> <elems> <jobs> [rel]\n"
+      "  --cas           route each completed job's compressed stream\n"
+      "                  through a content-addressed store and print the\n"
+      "                  dedup health line (docs/CAS.md)\n"
       "  --shards N      route tenants across N in-process shards on a\n"
       "                  consistent-hash ring (heterogeneous fleet);\n"
       "                  --workers is then workers per shard\n"
@@ -271,9 +289,60 @@ int doSalvageDecompress(const std::string& in, const std::string& out,
   return rep.clean() ? 0 : 2;
 }
 
+/// Shared dedup health line: unique vs. logical blocks and the bytes the
+/// content-addressed sharing saved (printed by `info` on a store file and
+/// by `serve --cas`).
+void printCasLine(const cas::StoreStats& s) {
+  std::printf("cas: %llu objects, %llu unique / %llu logical blocks, "
+              "%llu bytes saved (%.2fx dedup)\n",
+              static_cast<unsigned long long>(s.objects),
+              static_cast<unsigned long long>(s.uniqueChunks),
+              static_cast<unsigned long long>(s.logicalChunks),
+              static_cast<unsigned long long>(s.bytesSaved()),
+              s.dedupRatio());
+}
+
+/// `info` on a saved BlockStore file: dedup stats instead of stream
+/// fields (a store is an archive, not a cuSZp2 stream).
+int doInfoStore(const std::string& in) {
+  const auto store = cas::BlockStore::load(in, {.deferGc = true});
+  const cas::StoreStats s = store->stats();
+  std::printf("cuSZp2 CAS store: %s\n", in.c_str());
+  std::printf("  chunk bytes:     %zu\n", store->config().chunkBytes);
+  std::printf("  objects:         %llu\n",
+              static_cast<unsigned long long>(s.objects));
+  std::printf("  logical blocks:  %llu\n",
+              static_cast<unsigned long long>(s.logicalChunks));
+  std::printf("  unique blocks:   %llu (%llu parked for gc)\n",
+              static_cast<unsigned long long>(s.uniqueChunks),
+              static_cast<unsigned long long>(s.parkedChunks));
+  std::printf("  logical bytes:   %llu\n",
+              static_cast<unsigned long long>(s.logicalBytes));
+  std::printf("  physical bytes:  %llu\n",
+              static_cast<unsigned long long>(s.physicalBytes));
+  std::printf("  bytes saved:     %llu\n",
+              static_cast<unsigned long long>(s.bytesSaved()));
+  std::printf("  dedup ratio:     %.4f\n", s.dedupRatio());
+  u64 hot = 0;
+  u64 v3 = 0;
+  u64 opaque = 0;
+  for (const auto& obj : store->objects()) {
+    if (obj.formatVersion == core::kFormatVersionV3) ++v3;
+    else if (obj.formatVersion != 0) ++hot;
+    else ++opaque;
+  }
+  std::printf("  encodings:       %llu hot (v1/v2), %llu v3, %llu opaque\n",
+              static_cast<unsigned long long>(hot),
+              static_cast<unsigned long long>(v3),
+              static_cast<unsigned long long>(opaque));
+  printCasLine(s);
+  return 0;
+}
+
 int doInfo(const std::string& in) {
   const io::MappedBytes mapped(in);
   const ConstByteSpan stream = mapped.bytes();
+  if (cas::BlockStore::isStoreFile(stream)) return doInfoStore(in);
   const auto header = core::StreamHeader::parse(stream);
   std::printf("cuSZp2 stream: %s\n", in.c_str());
   std::printf("  format version:  %u\n", header.version);
@@ -598,12 +667,15 @@ struct OutcomeTally {
 /// same manifest produce identical compressed bytes.
 int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
             usize depth, u64 quota, bool unbatched, bool chaos,
-            u64 chaosSeed) {
+            u64 chaosSeed, bool useCas) {
   const auto entries = parseManifest(manifestPath);
   telemetry::registry().setEnabled(true);
   telemetry::registry().reset();
 
+  std::shared_ptr<cas::BlockStore> store;
+  if (useCas) store = std::make_shared<cas::BlockStore>();
   service::ServiceConfig cfg;
+  cfg.store = store;
   cfg.workers = workers;
   cfg.maxQueueDepth = depth;
   cfg.tenantQuotaBytes = quota;
@@ -715,6 +787,14 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
     s.bytesOut += r.compressed.stream.size();
     s.waitUs += r.waitUs;
     s.serviceUs += r.serviceUs;
+    // Route each completed stream through the tenant's logical CAS
+    // namespace: jobs from different tenants compressing the same field
+    // land on the same physical chunks (the dedup line below shows it).
+    if (store && !r.compressed.stream.empty()) {
+      svc.putObject(p.entry->tenant,
+                    "job-" + std::to_string(r.jobId),
+                    ConstByteSpan(r.compressed.stream));
+    }
   }
   // A run that served nothing is a failure even when nothing hard-failed
   // (e.g. every job was abandoned or canceled before dispatch).
@@ -766,6 +846,7 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
               static_cast<unsigned long long>(stats.streamFaultRelaunches),
               static_cast<unsigned long long>(stats.breakerOpens),
               static_cast<unsigned long long>(stats.chaosInjected));
+  if (store) printCasLine(store->stats());
   printKernelTable();
   return rc;
 }
@@ -776,7 +857,8 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
 /// health line on top of the per-tenant table.
 int doServeCluster(const std::string& manifestPath, u32 shards,
                    u32 replicas, u32 workers, u32 maxBatch, usize depth,
-                   u64 quota, bool unbatched, bool chaos, u64 chaosSeed) {
+                   u64 quota, bool unbatched, bool chaos, u64 chaosSeed,
+                   bool useCas) {
   const auto entries = parseManifest(manifestPath);
   telemetry::registry().setEnabled(true);
   telemetry::registry().reset();
@@ -879,6 +961,14 @@ int doServeCluster(const std::string& manifestPath, u32 shards,
     }
     s.bytesIn += r.job.compressed.originalBytes;
     s.bytesOut += r.job.compressed.stream.size();
+    // Replicate each completed stream as a sealed archive: identical
+    // streams from different tenants dedup inside every shard's replica
+    // store, and casTotals() below sums the fleet-wide saving.
+    if (useCas && !r.job.compressed.stream.empty()) {
+      cl.putArchive(p.entry->tenant,
+                    "job-" + std::to_string(p.ticket.id()),
+                    ConstByteSpan(r.job.compressed.stream));
+    }
   }
   if (!tally.served()) rc = 1;
 
@@ -931,8 +1021,145 @@ int doServeCluster(const std::string& manifestPath, u32 shards,
               static_cast<unsigned long long>(cstats.spills),
               static_cast<unsigned long long>(cstats.shardKills),
               static_cast<unsigned long long>(cstats.killsVetoed));
+  if (useCas) printCasLine(cl.casTotals());
   printKernelTable();
   return rc;
+}
+
+/// `cuszp2 store <verb> <store.cas> ...` — an on-disk content-addressed
+/// block store (docs/CAS.md). Every mutating verb re-saves the store
+/// sealed with the XOR-parity trailer, so `cuszp2 verify`/`repair` work
+/// on store files too. The CLI opens stores with deferGc so `rm` parks
+/// chunks and `store gc` is an observable, separate sweep.
+int doStore(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string verb = argv[2];
+  const std::string path = argv[3];
+
+  const auto open = [&]() -> std::unique_ptr<cas::BlockStore> {
+    return cas::BlockStore::load(path, {.deferGc = true});
+  };
+  const auto openOrCreate = [&]() -> std::unique_ptr<cas::BlockStore> {
+    if (std::filesystem::exists(path)) return open();
+    cas::StoreConfig cfg;
+    cfg.deferGc = true;
+    return std::make_unique<cas::BlockStore>(cfg);
+  };
+  const auto seal = [&](cas::BlockStore& store) {
+    const io::ParityOptions parity;
+    store.save(path, &parity);
+  };
+
+  if (verb == "put") {
+    if (argc != 7) usage();
+    const std::string tenant = argv[4];
+    const std::string name = argv[5];
+    const io::MappedBytes mapped(argv[6]);
+    auto store = openOrCreate();
+    const cas::PutResult r = store->put(tenant, name, mapped.bytes());
+    seal(*store);
+    std::printf("put %s/%s: %llu bytes, %llu new + %llu dedup chunks "
+                "(%llu physical bytes added)%s\n",
+                tenant.c_str(), name.c_str(),
+                static_cast<unsigned long long>(r.logicalBytes),
+                static_cast<unsigned long long>(r.newChunks),
+                static_cast<unsigned long long>(r.dedupChunks),
+                static_cast<unsigned long long>(r.physicalBytesAdded),
+                r.replaced ? " (replaced)" : "");
+    printCasLine(store->stats());
+    return 0;
+  }
+  if (verb == "get") {
+    if (argc != 7) usage();
+    const std::string tenant = argv[4];
+    const std::string name = argv[5];
+    auto store = open();
+    const std::vector<std::byte> bytes = store->get(tenant, name);
+    io::writeBytes(argv[6], ConstByteSpan(bytes));
+    std::printf("get %s/%s: %zu bytes -> %s\n", tenant.c_str(),
+                name.c_str(), bytes.size(), argv[6]);
+    return 0;
+  }
+  if (verb == "rm") {
+    if (argc != 6) usage();
+    const std::string tenant = argv[4];
+    const std::string name = argv[5];
+    auto store = open();
+    if (!store->erase(tenant, name)) {
+      std::fprintf(stderr, "store rm: no such object %s/%s\n",
+                   tenant.c_str(), name.c_str());
+      return 1;
+    }
+    seal(*store);
+    const cas::StoreStats s = store->stats();
+    std::printf("rm %s/%s: ok (%llu chunks parked for gc)\n",
+                tenant.c_str(), name.c_str(),
+                static_cast<unsigned long long>(s.parkedChunks));
+    return 0;
+  }
+  if (verb == "gc") {
+    if (argc != 4) usage();
+    auto store = open();
+    const cas::StoreStats before = store->stats();
+    const u64 freed = store->gc();
+    seal(*store);
+    std::printf("gc: freed %llu chunks, %llu bytes\n",
+                static_cast<unsigned long long>(freed),
+                static_cast<unsigned long long>(
+                    store->stats().gcFreedBytes - before.gcFreedBytes));
+    printCasLine(store->stats());
+    return 0;
+  }
+  if (verb == "compact") {
+    u64 coldTicks = 0;  // CLI compaction is explicit: default everything
+    usize maxPerSweep = 0;
+    core::PipelineMode pipeline = core::PipelineMode::Auto;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+      };
+      if (arg == "--cold-ticks") coldTicks = std::stoull(next());
+      else if (arg == "--max") maxPerSweep = std::stoull(next());
+      else if (arg == "--pipeline") {
+        const std::string p = next();
+        if (p == "auto") pipeline = core::PipelineMode::Auto;
+        else if (p == "huffman") pipeline = core::PipelineMode::Huffman;
+        else if (p == "rle") pipeline = core::PipelineMode::Rle;
+        else if (p == "lorenzo-fle") pipeline = core::PipelineMode::LorenzoFle;
+        else usage();
+      } else {
+        usage();
+      }
+    }
+    auto store = open();
+    cas::CompactionConfig ccfg;
+    ccfg.coldTicks = coldTicks;
+    ccfg.maxPerSweep =
+        maxPerSweep > 0 ? maxPerSweep : std::max<usize>(1, store->objects().size());
+    ccfg.pipeline = pipeline;
+    cas::CompactionWorker worker(*store, ccfg);
+    const usize migrated = worker.runOnce();
+    seal(*store);
+    const cas::CompactionStats cs = worker.stats();
+    std::printf("compact: scanned %llu, migrated %zu to v3, "
+                "%llu bytes reclaimed (%llu round-trip rejects, "
+                "%llu not-smaller, %llu unsupported, %llu stale)\n",
+                static_cast<unsigned long long>(cs.scanned), migrated,
+                static_cast<unsigned long long>(cs.bytesReclaimed),
+                static_cast<unsigned long long>(cs.roundTripRejects),
+                static_cast<unsigned long long>(cs.notSmallerSkips),
+                static_cast<unsigned long long>(cs.unsupportedSkips),
+                static_cast<unsigned long long>(cs.staleDrops));
+    printCasLine(store->stats());
+    return 0;
+  }
+  if (verb == "stat") {
+    if (argc != 4) usage();
+    return doInfoStore(path);
+  }
+  usage();
 }
 
 }  // namespace
@@ -1023,6 +1250,7 @@ int main(int argc, char** argv) {
       bool unbatched = false;
       bool chaos = false;
       u64 chaosSeed = 0;
+      bool useCas = false;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -1038,16 +1266,19 @@ int main(int argc, char** argv) {
         else if (arg == "--quota") quota = std::stoull(next());
         else if (arg == "--unbatched") unbatched = true;
         else if (arg == "--chaos-seed") { chaos = true; chaosSeed = std::stoull(next()); }
+        else if (arg == "--cas") useCas = true;
         else usage();
       }
       if (manifest.empty()) usage();
       if (shards > 0) {
         return doServeCluster(manifest, shards, replicas, workers, batch,
-                              depth, quota, unbatched, chaos, chaosSeed);
+                              depth, quota, unbatched, chaos, chaosSeed,
+                              useCas);
       }
       return doServe(manifest, workers, batch, depth, quota, unbatched,
-                     chaos, chaosSeed);
+                     chaos, chaosSeed, useCas);
     }
+    if (cmd == "store") return doStore(argc, argv);
     usage();
   };
 

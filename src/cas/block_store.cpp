@@ -200,7 +200,11 @@ PutResult BlockStore::rewriteLocked(Object& obj, ConstByteSpan bytes) {
   stats_.logicalBytes += bytes.size();
   obj.bytes = bytes.size();
   obj.formatVersion = parseFormatVersion(bytes);
-  ++obj.generation;
+  // Generations come from the store-global tick clock, not a per-object
+  // counter: every mutator advances tick_ (under mutex_) before rewriting,
+  // so a deleted-and-recreated key can never replay a generation a
+  // compaction scan captured earlier (ABA on stale commits).
+  obj.generation = tick_;
   obj.lastTouch = tick_;
   return result;
 }
@@ -225,7 +229,7 @@ PutResult BlockStore::put(const std::string& tenant, const std::string& name,
     obj.chunks = referenceChunksLocked(bytes, result);
     obj.bytes = bytes.size();
     obj.formatVersion = parseFormatVersion(bytes);
-    obj.generation = 1;
+    obj.generation = tick_;  // globally unique (see rewriteLocked)
     obj.lastTouch = tick_;
     objects_.emplace(key, std::move(obj));
     ++stats_.objects;
@@ -548,7 +552,12 @@ void BlockStore::save(const std::string& path,
   io::ArchiveWriter writer;
   writer.addField(kIndexField, index);
   writer.addField(kDataField, data);
-  io::writeBytes(path, parity ? writer.finalize(*parity) : writer.finalize());
+  // Atomic temp+rename: a crash mid-save never destroys the previous
+  // file, and saving over the very path this store was load()ed from is
+  // safe — backing_ keeps mapping the old inode, so view-backed chunks
+  // stay valid after the rename.
+  io::writeBytesAtomic(path,
+                       parity ? writer.finalize(*parity) : writer.finalize());
 }
 
 std::unique_ptr<BlockStore> BlockStore::load(const std::string& path,
@@ -584,6 +593,12 @@ std::unique_ptr<BlockStore> BlockStore::load(const std::string& path,
   const ConstByteSpan data = reader.field(kDataField);
   require(data.size() >= 4, "cas: truncated data section");
   const ConstByteSpan payloads = data.subspan(0, data.size() - 4);
+  // Eager whole-section guard: hash-bypassing reads (crcOf, re-save)
+  // must never see corrupt payloads. get() still re-hashes each chunk,
+  // which also covers damage that postdates this pass.
+  Cursor dataTrailer(data.subspan(data.size() - 4));
+  require(dataTrailer.takeU32() == crc32(payloads),
+          "cas: data section fails its CRC trailer");
 
   std::vector<Hash128> table;
   table.reserve(static_cast<usize>(chunkCount));

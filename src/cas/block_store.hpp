@@ -124,8 +124,11 @@ struct ObjectInfo {
   u32 formatVersion = 0;
   /// Store ticks (put/get operations) since this object was last touched.
   u64 idleTicks = 0;
-  /// Bumped on every rewrite of the key; compaction commits only against
-  /// the generation they scanned (delete/overwrite-while-compacting safety).
+  /// Assigned from the store-global tick clock on every create/rewrite of
+  /// the key — globally unique, so even a delete-then-recreate of the same
+  /// key yields a fresh value. Compaction commits only against the
+  /// generation they scanned (delete/overwrite/recreate-while-compacting
+  /// safety).
   u64 generation = 0;
 };
 
@@ -214,17 +217,21 @@ class BlockStore {
   /// Serializes the store to `path` as an io archive ("cas.index" +
   /// "cas.data" fields); with `parity`, seals it with the XOR-parity
   /// trailer so `cuszp2 verify`/`repair` can check and heal the file.
+  /// The write is atomic (temp file + rename), so a crash mid-save keeps
+  /// the previous file and saving over the path this store was load()ed
+  /// from leaves the live mapping — and its view-backed chunks — intact.
   void save(const std::string& path,
             const io::ParityOptions* parity = nullptr) const;
 
   /// Loads a saved store. The returned store keeps the file mapped
   /// (io::MappedBytes) and serves loaded chunk payloads as zero-copy
-  /// views into it; chunks written after the load are heap-owned. The
-  /// index section's CRC is verified eagerly; chunk payloads are
+  /// views into it; chunks written after the load are heap-owned. Both
+  /// section guards are verified eagerly — the index CRC and the data
+  /// section's payload CRC trailer — and chunk payloads are additionally
   /// verified by content hash on get() (use verifyAll() for an eager
-  /// full pass). The serialized hashSeed and chunkBytes are adopted (they
-  /// are properties of the stored chunks); `config` supplies policy only
-  /// (deferGc).
+  /// per-chunk pass). The serialized hashSeed and chunkBytes are adopted
+  /// (they are properties of the stored chunks); `config` supplies policy
+  /// only (deferGc).
   static std::unique_ptr<BlockStore> load(const std::string& path,
                                           StoreConfig config = {});
 

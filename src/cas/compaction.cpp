@@ -115,6 +115,9 @@ bool CompactionWorker::processCandidate(const BlockStore::Candidate& candidate,
 }
 
 u64 CompactionWorker::runOnce() {
+  // One sweep at a time: reencodeTyped drives the shared stream_ codec,
+  // so an owner-driven sweep must wait out a background sweep in flight.
+  std::lock_guard sweepLock(sweepMutex_);
   u64 sweepIndex;
   u64 migratedBefore;
   {

@@ -100,8 +100,10 @@ class CompactionWorker {
   const CompactionConfig& config() const { return config_; }
 
   /// One synchronous sweep: scan, prove, commit. Safe to call whether or
-  /// not the background thread runs (the store arbitrates via
-  /// generations). Returns the number of objects migrated this sweep.
+  /// not the background thread runs: sweeps serialize on a sweep-level
+  /// mutex (the worker's codec is shared state), and the store arbitrates
+  /// commits via generations. Returns the number of objects migrated this
+  /// sweep.
   u64 runOnce();
 
   /// Starts the background thread (no-op when pollMillis == 0 or already
@@ -135,6 +137,9 @@ class CompactionWorker {
   CompactionConfig config_;
   core::CompressorStream stream_;  ///< worker-owned warm codec
 
+  /// Serializes whole sweeps: runOnce() from the owner must not share
+  /// stream_ with a background-thread sweep in flight.
+  std::mutex sweepMutex_;
   mutable std::mutex mutex_;  // guards stats_ and sweep counter
   CompactionStats stats_;
 

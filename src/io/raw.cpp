@@ -83,6 +83,15 @@ void writeBytes(const std::string& path, ConstByteSpan bytes) {
   }
 }
 
+void writeBytesAtomic(const std::string& path, ConstByteSpan bytes) {
+  const std::string tmp = path + ".tmp";
+  writeBytes(tmp, bytes);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    require(false, "io: cannot rename " + tmp + " over " + path);
+  }
+}
+
 MappedBytes::MappedBytes(const std::string& path) {
 #if defined(CUSZP2_IO_HAS_MMAP)
   const int fd = ::open(path.c_str(), O_RDONLY);

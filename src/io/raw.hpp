@@ -25,6 +25,14 @@ void writeRaw(const std::string& path, std::span<const T> values);
 std::vector<std::byte> readBytes(const std::string& path);
 void writeBytes(const std::string& path, ConstByteSpan bytes);
 
+/// Crash-safe writeBytes: the bytes land in "<path>.tmp" and are renamed
+/// over `path` only once fully written, so a crash mid-write never
+/// destroys an existing file at `path`. On POSIX the rename also means an
+/// io::MappedBytes still mapping the old file keeps reading the old
+/// (unchanged) inode — overwriting a file that is currently mapped is
+/// safe.
+void writeBytesAtomic(const std::string& path, ConstByteSpan bytes);
+
 /// Read-only zero-copy view of a file. Prefers mmap — no read copy, pages
 /// fault in on demand, so reading a multi-GB archive to decode one field
 /// touches only that field's pages. Falls back to a pread-filled heap

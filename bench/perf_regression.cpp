@@ -17,10 +17,13 @@
 // modelled throughput within a tolerance band: drift prints a WARN line
 // (CI surfaces it) but does not fail the run — regenerating the file is
 // the fix when the model intentionally changed.
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,9 @@ constexpr WallBudget kWallBudgets[] = {
     {"service/unbatched", 45.0},     {"service/batched_decompress", 20.0},
     {"service/chaos", 80.0},         {"cluster/failover", 90.0},
     {"ratio/v3", 60.0},              {"cas/dedup", 25.0},
+    // fsync-barrier bound, not CPU bound: budget leaves room for a slow
+    // or contended disk (two passes x (10 journal syncs + 10 snapshots)).
+    {"cas/journal", 90.0},
 };
 
 f64 wallBudgetMs(const std::string& name) {
@@ -886,6 +892,138 @@ int main(int argc, char** argv) {
                 r.name.c_str(), "-", r.ratio, r.wallMsMedian,
                 static_cast<unsigned long long>(logicalBytes),
                 static_cast<unsigned long long>(pass1.physicalBytes));
+    results.push_back(std::move(r));
+  }
+
+  // cas/journal scenario: the cost of incremental durability. One pass
+  // journals ten distinct puts (each acked behind a sync barrier), kills
+  // the store, and recovers from the snapshot-less journal; the baseline
+  // rewrites a full snapshot after every put — the pre-journal way to get
+  // the same crash safety. The row hard-fails (not a warning) if recovery
+  // loses or corrupts any acked object, if the journal's disk cost fails
+  // to amortize at least 2x under the snapshot-per-put baseline, or if
+  // two identical passes disagree on bytes written or recovered stats.
+  {
+    constexpr u32 kOps = 10;
+    constexpr usize kBlobBytes = 48 * 1024;
+    std::vector<std::vector<std::byte>> blobs;
+    u64 x = 0x243F6A8885A308D3ull;
+    for (u32 i = 0; i < kOps; ++i) {
+      std::vector<std::byte> blob(kBlobBytes);
+      for (usize j = 0; j < kBlobBytes; ++j) {
+        x += 0x9E3779B97F4A7C15ull;
+        u64 z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        blob[j] = static_cast<std::byte>((z ^ (z >> 31)) & 0xFF);
+      }
+      blobs.push_back(std::move(blob));
+    }
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("cuszp2-bench-journal-" + std::to_string(::getpid())))
+            .string();
+    const cas::StoreConfig storeCfg{.chunkBytes = 16 * 1024};
+
+    struct JournalPass {
+      u64 journalBytes = 0;     // disk cost of the journaled run
+      u64 savePerPutBytes = 0;  // disk cost of the snapshot-per-put run
+      u64 replayed = 0;
+      cas::StoreStats recovered;
+      bool intact = true;
+    };
+    const auto onePass = [&] {
+      JournalPass ps;
+      std::filesystem::remove_all(dir);
+      std::filesystem::create_directories(dir);
+      const std::string index = dir + "/store.cas";
+      const std::string jnl = index + ".jnl";
+      {
+        cas::BlockStore store(storeCfg);
+        store.attachJournal(jnl);
+        for (u32 i = 0; i < kOps; ++i) {
+          store.put("bench", "blob-" + std::to_string(i),
+                    ConstByteSpan(blobs[i]));
+        }
+        ps.journalBytes =
+            static_cast<u64>(std::filesystem::file_size(jnl));
+      }  // process death: nothing was ever snapshotted
+      cas::RecoveryReport rep;
+      auto store = cas::BlockStore::recover(index, jnl, storeCfg, &rep);
+      ps.replayed = rep.replayedRecords;
+      ps.recovered = store->stats();
+      std::string err;
+      if (!store->verifyAll(&err)) ps.intact = false;
+      for (u32 i = 0; i < kOps; ++i) {
+        if (store->get("bench", "blob-" + std::to_string(i)) != blobs[i]) {
+          ps.intact = false;
+        }
+      }
+      store.reset();
+
+      const std::string base = dir + "/baseline.cas";
+      cas::BlockStore baseline(storeCfg);
+      for (u32 i = 0; i < kOps; ++i) {
+        baseline.put("bench", "blob-" + std::to_string(i),
+                     ConstByteSpan(blobs[i]));
+        baseline.save(base);
+        ps.savePerPutBytes +=
+            static_cast<u64>(std::filesystem::file_size(base));
+      }
+      return ps;
+    };
+
+    const JournalPass pass1 = onePass();
+    const JournalPass pass2 = onePass();
+    if (!pass1.intact || !pass2.intact) {
+      std::fprintf(stderr, "FAIL cas/journal: recovery lost or corrupted "
+                           "an acknowledged put\n");
+      deterministic = false;
+    }
+    if (pass1.journalBytes != pass2.journalBytes ||
+        pass1.savePerPutBytes != pass2.savePerPutBytes ||
+        pass1.replayed != pass2.replayed ||
+        !(pass1.recovered == pass2.recovered)) {
+      std::fprintf(stderr, "FAIL cas/journal: disk cost or recovered stats "
+                           "differ between identical passes\n");
+      deterministic = false;
+    }
+    const f64 amortize =
+        pass1.journalBytes > 0
+            ? static_cast<f64>(pass1.savePerPutBytes) /
+                  static_cast<f64>(pass1.journalBytes)
+            : 0.0;
+    if (!(amortize >= 2.0)) {
+      std::fprintf(stderr,
+                   "FAIL cas/journal: journal amortization %.2fx below the "
+                   "pinned 2x floor (journal %llu B vs snapshot-per-put "
+                   "%llu B)\n",
+                   amortize,
+                   static_cast<unsigned long long>(pass1.journalBytes),
+                   static_cast<unsigned long long>(pass1.savePerPutBytes));
+      deterministic = false;
+    }
+
+    const bench::RepeatStats wall = bench::measureRepeated(5, [&] {
+      onePass();
+    });
+    std::filesystem::remove_all(dir);
+
+    CaseResult r;
+    r.name = "cas/journal";
+    r.elems = kOps * kBlobBytes;
+    r.ratio = amortize;  // snapshot-per-put bytes / journaled bytes
+    r.modelledSeconds = 0.0;
+    r.modelledGBps = 0.0;
+    r.wallMsMedian = wall.medianSeconds * 1e3;
+    std::printf("%-24s %8s           ratio %6.2f  wall %7.2f ms"
+                "  (%llu journal B vs %llu snapshot-per-put B, "
+                "%llu replayed)\n",
+                r.name.c_str(), "-", r.ratio, r.wallMsMedian,
+                static_cast<unsigned long long>(pass1.journalBytes),
+                static_cast<unsigned long long>(pass1.savePerPutBytes),
+                static_cast<unsigned long long>(pass1.replayed));
     results.push_back(std::move(r));
   }
 

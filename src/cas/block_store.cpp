@@ -18,6 +18,15 @@ constexpr u32 kIndexVersion = 1;
 constexpr const char* kIndexField = "cas.index";
 constexpr const char* kDataField = "cas.data";
 
+// WAL record kinds (docs/DURABILITY.md). Every payload starts with the
+// u64 store tick the mutator ran at, so recovery can tell which records
+// a snapshot already covers.
+constexpr u32 kRecPut = 1;      // tick, tenant, name, size, bytes
+constexpr u32 kRecErase = 2;    // tick, tenant, name
+constexpr u32 kRecGc = 3;       // tick
+constexpr u32 kRecCompact = 4;  // tick, tenant, name, size, bytes
+constexpr u32 kRecCorrupt = 5;  // tick, tenant, name, size, bytes
+
 void putU32(std::vector<std::byte>& out, u32 v) {
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
@@ -238,6 +247,7 @@ PutResult BlockStore::put(const std::string& tenant, const std::string& name,
   ++stats_.puts;
   instruments_.puts->add();
   refreshGaugesLocked();
+  journalOpLocked(kRecPut, tenant, name, bytes);
   return result;
 }
 
@@ -292,6 +302,7 @@ bool BlockStore::erase(const std::string& tenant, const std::string& name) {
   ++stats_.erases;
   instruments_.erases->add();
   refreshGaugesLocked();
+  journalOpLocked(kRecErase, tenant, name, {});
   return true;
 }
 
@@ -311,6 +322,7 @@ u64 BlockStore::gc() {
     }
   }
   refreshGaugesLocked();
+  journalOpLocked(kRecGc, {}, {}, {});
   return freed;
 }
 
@@ -477,6 +489,9 @@ bool BlockStore::commitCompaction(const std::string& tenant,
     instruments_.compactionBytes->add(oldBytes - obj.bytes);
   }
   refreshGaugesLocked();
+  // The commit window is the trickiest crash point: the record makes the
+  // rewrite durable the instant the commit is acknowledged.
+  journalOpLocked(kRecCompact, tenant, name, newBytes);
   return true;
 }
 
@@ -493,6 +508,7 @@ void BlockStore::corruptForDrill(const std::string& tenant,
   ++tick_;
   rewriteLocked(obj, bytes);
   refreshGaugesLocked();
+  journalOpLocked(kRecCorrupt, tenant, name, bytes);
 }
 
 void BlockStore::refreshGaugesLocked() const {
@@ -558,6 +574,12 @@ void BlockStore::save(const std::string& path,
   // stay valid after the rename.
   io::writeBytesAtomic(path,
                        parity ? writer.finalize(*parity) : writer.finalize());
+  // The snapshot supersedes every journaled record: reset the journal so
+  // replay work stays proportional to activity since the last save. A
+  // crash between the rename above and this reset leaves a snapshot
+  // *newer* than the journal — recover() skips the covered records by
+  // tick, so the window is safe.
+  if (journal_) journal_->reset(tick_);
 }
 
 std::unique_ptr<BlockStore> BlockStore::load(const std::string& path,
@@ -679,6 +701,173 @@ bool BlockStore::isStoreFile(ConstByteSpan bytes) {
   } catch (const Error&) {
     return false;
   }
+}
+
+// ---- incremental durability -------------------------------------------
+
+void BlockStore::journalOpLocked(u32 type, const std::string& tenant,
+                                 const std::string& name,
+                                 ConstByteSpan bytes) const {
+  if (!journal_) return;
+  std::vector<std::byte> payload;
+  putU64(payload, tick_);
+  if (type != kRecGc) {
+    putString(payload, tenant);
+    putString(payload, name);
+  }
+  if (type == kRecPut || type == kRecCompact || type == kRecCorrupt) {
+    putU64(payload, static_cast<u64>(bytes.size()));
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  journal_->append(type, payload);
+  // The durability barrier: the mutator only returns — only *acks* —
+  // once the record is synced. A crash here (injected or real) leaves
+  // the op un-acknowledged, which recovery is allowed to lose.
+  journal_->sync();
+}
+
+void BlockStore::attachJournal(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  journal_ =
+      std::make_unique<io::JournalWriter>(path, config_.hashSeed, tick_);
+}
+
+JournalStatus BlockStore::journalStatus() const {
+  std::lock_guard lock(mutex_);
+  JournalStatus st;
+  if (!journal_) return st;
+  st.attached = true;
+  st.path = journal_->path();
+  st.baseTick = journal_->baseTick();
+  st.recordsAppended = journal_->recordsAppended();
+  st.recordsSynced = journal_->recordsSynced();
+  return st;
+}
+
+void BlockStore::applyJournalRecord(const io::JournalRecord& rec) {
+  Cursor cur(ConstByteSpan(rec.payload));
+  const u64 tick = cur.takeU64();
+  switch (rec.type) {
+    case kRecPut: {
+      const std::string tenant = cur.takeString();
+      const std::string name = cur.takeString();
+      const u64 size = cur.takeU64();
+      require(cur.remaining() == size, "cas: malformed put record payload");
+      const ConstByteSpan bytes(rec.payload.data() + cur.offset(),
+                                static_cast<usize>(size));
+      // Re-run the public mutator with the recorded tick so generations
+      // and stats come out exactly as they did live.
+      tick_ = tick - 1;
+      put(tenant, name, bytes);
+      break;
+    }
+    case kRecErase: {
+      const std::string tenant = cur.takeString();
+      const std::string name = cur.takeString();
+      tick_ = tick - 1;
+      require(erase(tenant, name),
+              "cas: erase record names an object the snapshot+replay state "
+              "does not hold");
+      break;
+    }
+    case kRecGc: {
+      // gc() does not advance the store clock; replay at the recorded one.
+      tick_ = tick;
+      gc();
+      break;
+    }
+    case kRecCompact:
+    case kRecCorrupt: {
+      const std::string tenant = cur.takeString();
+      const std::string name = cur.takeString();
+      const u64 size = cur.takeU64();
+      require(cur.remaining() == size,
+              "cas: malformed rewrite record payload");
+      const ConstByteSpan bytes(rec.payload.data() + cur.offset(),
+                                static_cast<usize>(size));
+      std::lock_guard lock(mutex_);
+      auto it = objects_.find(keyOf(tenant, name));
+      require(it != objects_.end(),
+              "cas: rewrite record names an object the snapshot+replay "
+              "state does not hold");
+      tick_ = tick - 1;
+      ++tick_;
+      const u64 oldBytes = it->second.bytes;
+      rewriteLocked(it->second, bytes);
+      if (rec.type == kRecCompact) {
+        // The commit succeeded live (it was journaled), so replay applies
+        // it unconditionally and restores the compaction accounting.
+        ++stats_.compactionMigrations;
+        instruments_.compactionMigrations->add();
+        if (oldBytes > it->second.bytes) {
+          stats_.compactionBytesReclaimed += oldBytes - it->second.bytes;
+          instruments_.compactionBytes->add(oldBytes - it->second.bytes);
+        }
+      }
+      refreshGaugesLocked();
+      break;
+    }
+    default:
+      require(false, "cas: unknown journal record type " +
+                         std::to_string(rec.type));
+  }
+}
+
+std::unique_ptr<BlockStore> BlockStore::recover(const std::string& indexPath,
+                                                const std::string& journalPath,
+                                                StoreConfig config,
+                                                RecoveryReport* report) {
+  // A damaged journal header throws here — the unrecoverable case.
+  const io::ReplayResult replay = io::replayJournal(journalPath);
+
+  std::unique_ptr<BlockStore> store;
+  RecoveryReport rep;
+  if (std::FILE* probe = std::fopen(indexPath.c_str(), "rb")) {
+    std::fclose(probe);
+    store = load(indexPath, config);
+    rep.snapshotLoaded = true;
+  } else {
+    // The store crashed before its first completed save(): every durable
+    // op lives in the journal alone.
+    store = std::unique_ptr<BlockStore>(new BlockStore(config));
+  }
+  rep.snapshotTick = store->tick_;
+  rep.journalRecords = replay.records.size();
+  rep.tornTail = replay.torn;
+  rep.discardedBytes = replay.discardedBytes;
+
+  require(replay.ownerTag == store->config_.hashSeed,
+          "cas: journal " + journalPath + " belongs to a different store "
+          "(ownerTag mismatch)");
+
+  // baseTick >= snapshotTick means the journal was reset at (or after)
+  // the snapshot — everything in it postdates the snapshot. An older
+  // baseTick means the process died between the snapshot rename and the
+  // journal reset: skip the records the snapshot already covers.
+  const bool replayAll = replay.baseTick >= rep.snapshotTick;
+  for (const io::JournalRecord& rec : replay.records) {
+    require(rec.payload.size() >= 8, "cas: journal record missing its tick");
+    u64 tick = 0;
+    for (int i = 7; i >= 0; --i) {
+      tick = (tick << 8) |
+             std::to_integer<u64>(rec.payload[static_cast<usize>(i)]);
+    }
+    if (!replayAll && tick <= rep.snapshotTick) {
+      ++rep.skippedRecords;
+      continue;
+    }
+    store->applyJournalRecord(rec);
+    ++rep.replayedRecords;
+  }
+
+  store->checkInvariants();
+  // Resume the journal in place (truncating any torn tail) so the
+  // recovered store keeps journaling where the dead process stopped.
+  store->journal_ = io::JournalWriter::resume(
+      journalPath, store->config_.hashSeed, replay.baseTick,
+      replay.validBytes);
+  if (report) *report = rep;
+  return store;
 }
 
 }  // namespace cuszp2::cas

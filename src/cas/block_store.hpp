@@ -44,6 +44,7 @@
 #include "common/hash128.hpp"
 #include "common/types.hpp"
 #include "io/archive.hpp"
+#include "io/journal.hpp"
 #include "io/raw.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -111,6 +112,21 @@ struct StoreStats {
                      static_cast<f64>(physicalBytes)
                : 0.0;
   }
+};
+
+/// Live journal accounting for the CLI/serve health line (io-layer
+/// struct; the store's baseTick is the tick of its last snapshot).
+using JournalStatus = io::JournalStatus;
+
+/// What BlockStore::recover() did (docs/DURABILITY.md).
+struct RecoveryReport {
+  bool snapshotLoaded = false;  ///< false: no index file — replayed onto fresh
+  u64 snapshotTick = 0;         ///< store clock of the loaded snapshot
+  u64 journalRecords = 0;       ///< intact records found in the journal
+  u64 replayedRecords = 0;      ///< applied (tick after the snapshot)
+  u64 skippedRecords = 0;       ///< already covered by the snapshot
+  bool tornTail = false;        ///< a damaged suffix was discarded
+  u64 discardedBytes = 0;
 };
 
 /// Public view of one stored object (objects(), compaction scans).
@@ -239,6 +255,32 @@ class BlockStore {
   /// index field) — cheap sniff for the CLI.
   static bool isStoreFile(ConstByteSpan bytes);
 
+  // ---- incremental durability (docs/DURABILITY.md) --------------------
+
+  /// Attaches a fresh write-ahead journal at `path` (ownerTag = the
+  /// store's hashSeed, baseTick = the current store clock). From here on
+  /// every acknowledged mutation — put/erase/gc/compaction-commit/drill
+  /// corruption — appends a CRC-framed record and syncs it *before* the
+  /// mutator returns, so an acknowledged op survives any later crash.
+  /// save() resets the journal (the snapshot supersedes its records).
+  void attachJournal(const std::string& path);
+
+  JournalStatus journalStatus() const;
+
+  /// Crash recovery: loads the last good snapshot from `indexPath` (a
+  /// missing file means the store never completed a save — recovery
+  /// starts from an empty store), replays the journal's intact records
+  /// on top, discards any torn tail, and resumes the journal for
+  /// appending. Records the snapshot already covers (a crash between the
+  /// snapshot rename and the journal reset) are skipped by store tick.
+  /// Throws cuszp2::Error when the journal header is damaged or its
+  /// ownerTag disagrees with the store's hashSeed — the unrecoverable
+  /// case (CLI exit 2). The recovered store passes checkInvariants().
+  static std::unique_ptr<BlockStore> recover(const std::string& indexPath,
+                                             const std::string& journalPath,
+                                             StoreConfig config = {},
+                                             RecoveryReport* report = nullptr);
+
   // ---- drills ---------------------------------------------------------
 
   /// Chaos-drill hook: flips one byte of the object's content, as a
@@ -304,6 +346,13 @@ class BlockStore {
   /// Rewrites `obj` in place with `bytes` (put-over / compaction / drill
   /// corruption). Requires mutex_ held.
   PutResult rewriteLocked(Object& obj, ConstByteSpan bytes);
+  /// Appends one WAL record and syncs it (the durability barrier every
+  /// acknowledged mutator crosses before returning). No-op when no
+  /// journal is attached. Requires mutex_ held.
+  void journalOpLocked(u32 type, const std::string& tenant,
+                       const std::string& name, ConstByteSpan bytes) const;
+  /// Applies one replayed record (recover() only; no journal attached).
+  void applyJournalRecord(const io::JournalRecord& rec);
   void refreshGaugesLocked() const;
   std::vector<std::byte> assembleLocked(const Object& obj,
                                         bool verifyHashes) const;
@@ -323,6 +372,9 @@ class BlockStore {
   mutable StoreStats stats_;
   /// Keeps a loaded store's file mapped for the lifetime of its views.
   io::MappedBytes backing_;
+  /// Write-ahead journal (attachJournal). Mutable: save() is const yet
+  /// must reset the journal once the snapshot is durable.
+  mutable std::unique_ptr<io::JournalWriter> journal_;
 };
 
 }  // namespace cuszp2::cas

@@ -51,7 +51,7 @@ ClusterState::ClusterState(ClusterConfig cfg)
     Shard sh;
     sh.id = i;
     sh.device = config.devices[i];
-    sh.svc = makeService(sh.device);
+    sh.svc = makeService(i, sh.device);
     sh.store = std::make_unique<cas::BlockStore>(config.replicaStore);
     shards.push_back(std::move(sh));
     ring.addShard(i);
@@ -59,12 +59,16 @@ ClusterState::ClusterState(ClusterConfig cfg)
 }
 
 std::unique_ptr<service::CompressionService> ClusterState::makeService(
-    const gpusim::DeviceSpec& device) const {
+    u32 shardId, const gpusim::DeviceSpec& device) const {
   service::ServiceConfig sc = config.shard;
   // Every worker of a shard sits on that shard's one device; placement
   // across devices is the cluster's job, not the shard's.
   sc.devices.assign(std::max<u32>(1, sc.workers), device);
   sc.startPaused = paused;
+  if (!config.journalDir.empty()) {
+    sc.jobJournalPath =
+        config.journalDir + "/shard-" + std::to_string(shardId) + ".jobs.jnl";
+  }
   return std::make_unique<service::CompressionService>(std::move(sc));
 }
 
@@ -649,6 +653,7 @@ std::vector<ShardInfo> CompressionCluster::shardInfos() const {
     info.state = sh.state;
     info.device = sh.device.name;
     info.queueDepth = sh.svc->queueDepth();
+    info.replayedJobs = sh.svc->replayedJobs().size();
     info.stats = sh.svc->stats();
     out.push_back(std::move(info));
   }

@@ -181,6 +181,14 @@ struct ClusterConfig {
   /// 0 (default): heartbeats happen only via explicit heartbeat() calls,
   /// which is what deterministic tests and soaks want.
   u32 heartbeatMillis = 0;
+
+  /// Non-empty: durable shard intake (docs/DURABILITY.md). Each shard's
+  /// service journals accepted jobs at
+  /// `<journalDir>/shard-<id>.jobs.jnl`; a revived shard replays its
+  /// accepted-but-unresolved jobs (exactly-once) inside makeService —
+  /// i.e. BEFORE it re-joins the ring and before the archive re-sync.
+  /// The directory must exist.
+  std::string journalDir;
 };
 
 /// Monotonic cluster counters. Value-comparable so chaos drills can
@@ -287,6 +295,7 @@ struct ShardInfo {
   ShardState state = ShardState::Up;
   std::string device;
   usize queueDepth = 0;        ///< admitted-but-unfinished at the shard
+  u64 replayedJobs = 0;        ///< jobs replayed from the shard journal
   service::ServiceStats stats; ///< the shard service's own counters
 };
 

@@ -82,9 +82,12 @@ struct ClusterState {
 
   // ---- helpers (cluster.cpp); *Locked requires `mutex` held ----
 
-  /// Builds one shard service from the template on `device`.
+  /// Builds one shard service from the template on `device`. When
+  /// config.journalDir is set the service gets its per-shard job
+  /// journal, so construction replays any accepted-but-unresolved jobs
+  /// before the shard is visible to the ring.
   std::unique_ptr<service::CompressionService> makeService(
-      const gpusim::DeviceSpec& device) const;
+      u32 shardId, const gpusim::DeviceSpec& device) const;
 
   u32 liveCount() const;  // Up + Degraded, under mutex (callers hold it)
 

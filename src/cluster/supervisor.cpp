@@ -152,7 +152,9 @@ void ShardSupervisor::reviveShard(u32 shard) {
   require(shard < state_->shards.size(), "reviveShard: bad shard");
   detail::ClusterState::Shard& sh = state_->shards[shard];
   if (sh.state != ShardState::Down) return;
-  sh.svc = state_->makeService(sh.device);
+  // makeService replays the shard's job journal (when configured) before
+  // the shard is marked Up, so replayed jobs run ahead of new intake.
+  sh.svc = state_->makeService(sh.id, sh.device);
   sh.state = ShardState::Up;
   sh.degradedProbes = 0;
   state_->ring.addShard(shard);

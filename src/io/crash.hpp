@@ -1,0 +1,124 @@
+// Seeded crash injection for the persistence boundary (durability drills).
+//
+// Every write that matters for crash consistency — journal flushes,
+// atomic-rename saves, their sync barriers — funnels through a named
+// *crash site*. A CrashPlan arms one simulated process death: the Nth
+// matching operation tears, truncates, or drops its bytes and then throws
+// CrashError, modelling a machine that died mid-write. The plan is a pure
+// function of (seed, site, count): the torn prefix length and the garbage
+// bytes it leaves behind are derived only from the seed and the
+// operation ordinal, never from addresses, clocks, or scheduling — so a
+// drill that crashes at (site, N) is replayable bit-for-bit, and
+// tools/crash_drill can enumerate every crash point of a scripted
+// workload and prove recovery at each one.
+//
+// Mirrors gpusim::FaultPlan (the compute-fault analogue): seeded,
+// deterministic, armed process-globally, and consumed by the layer under
+// test rather than by the test poking internals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cuszp2::io {
+
+/// Simulated process death at an injected crash point. Derives from
+/// cuszp2::Error so unaware code treats it as a fatal I/O error; drills
+/// catch it specifically to proceed to the recovery phase.
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& what) : Error(what) {}
+};
+
+/// Operation classes a CrashPlan can target. Each persistence primitive
+/// announces the sites it passes through (the crash-point catalogue in
+/// docs/DURABILITY.md):
+///   * Write   — payload bytes hitting a file (journal flush, temp-file
+///               body of an atomic save). Tear/Truncate/Drop meaningful.
+///   * Sync    — an fsync barrier (journal sync, temp-file sync). The
+///               process dies before the barrier completes.
+///   * Rename  — the atomic rename publishing a temp file. The process
+///               dies with the temp file written but never published.
+///   * DirSync — the directory sync after a rename. The process dies
+///               with the rename applied but its durability unconfirmed.
+enum class CrashSite : u8 { Write = 0, Sync = 1, Rename = 2, DirSync = 3 };
+
+constexpr const char* toString(CrashSite s) {
+  switch (s) {
+    case CrashSite::Write: return "write";
+    case CrashSite::Sync: return "sync";
+    case CrashSite::Rename: return "rename";
+    default: return "dirsync";
+  }
+}
+
+/// What the dying write leaves on disk (Write site only; barrier sites
+/// write nothing by definition):
+///   * Tear     — a seeded-length prefix of the payload plus a seeded
+///                garbage tail (half the seeds leave zeros — the
+///                zero-filled-tail case — the other half random bytes).
+///   * Truncate — a seeded-length prefix, nothing after it.
+///   * Drop     — none of the payload reaches the file.
+enum class CrashMode : u8 { Tear = 0, Truncate = 1, Drop = 2 };
+
+constexpr const char* toString(CrashMode m) {
+  switch (m) {
+    case CrashMode::Tear: return "tear";
+    case CrashMode::Truncate: return "truncate";
+    default: return "drop";
+  }
+}
+
+/// One armed simulated crash. Fires on the `triggerOp`-th (0-based)
+/// operation whose site matches `site` and whose target path contains
+/// `pathPattern` (empty pattern matches every path).
+struct CrashPlan {
+  u64 seed = 1;
+  std::string pathPattern;
+  CrashSite site = CrashSite::Write;
+  CrashMode mode = CrashMode::Truncate;
+  u64 triggerOp = 0;
+};
+
+/// Arms `plan` process-globally (replacing any armed plan) and resets the
+/// plan's matching-operation counter.
+void installCrashPlan(const CrashPlan& plan);
+
+/// Disarms any armed plan.
+void clearCrashPlan();
+
+bool crashPlanArmed();
+
+/// Crash-point enumeration: counts operations matching (site, pattern)
+/// without crashing, so a drill can run its workload once and learn how
+/// many crash points exist. Counting and an armed plan are independent.
+void startCrashCounting(CrashSite site, const std::string& pathPattern);
+
+/// Stops counting and returns the operations observed since start.
+u64 stopCrashCounting();
+
+/// What an announced crash point must do before dying (Write site).
+/// keepBytes/garbage are pure in (seed, site ordinal): replaying the same
+/// plan against the same workload tears identically.
+struct CrashAction {
+  bool fire = false;
+  CrashMode mode = CrashMode::Truncate;
+  usize keepBytes = 0;              ///< payload prefix to persist
+  std::vector<std::byte> garbage;   ///< trailing bytes after the prefix (Tear)
+};
+
+/// Announces one operation at a crash site. Returns the action the armed
+/// plan demands: `fire == false` means proceed normally. When it fires,
+/// the caller persists keepBytes of its payload plus `garbage`, then
+/// calls throwCrash() — barrier sites (pendingBytes == 0) fire with
+/// keepBytes == 0 and empty garbage.
+CrashAction crashCheckpoint(CrashSite site, const std::string& path,
+                            usize pendingBytes);
+
+/// Throws CrashError naming the site and path (the simulated death).
+[[noreturn]] void throwCrash(CrashSite site, const std::string& path);
+
+}  // namespace cuszp2::io

@@ -1,0 +1,140 @@
+// Append-only write-ahead journal with CRC-framed records and explicit
+// sync barriers.
+//
+// Wire format (all integers little-endian):
+//
+//   header  : u32 magic "JNL1" | u32 version | u64 ownerTag |
+//             u64 baseTick | u32 reserved(0) | u32 crc32(header bytes)
+//   record  : u32 recordMagic   (kRecordMagic, never zero)
+//             u32 type          (owner-defined record kind)
+//             u32 payloadBytes
+//             u32 crc32(payload)
+//             payloadBytes of payload
+//   ...records repeat until end of file.
+//
+// Durability contract: append() only buffers in memory. sync() flushes
+// the buffered records and issues an fsync — *only after sync() returns
+// may the caller acknowledge the operation as durable*. A crash between
+// append() and sync() loses exactly the unsynced suffix, which is the
+// honest write-back semantics the recovery drills exercise.
+//
+// Torn tails: a crash mid-flush can leave a truncated, zero-filled, or
+// garbage suffix. replayJournal() stops at the first frame whose magic,
+// length, or payload CRC fails and reports the suffix as discarded —
+// torn tails are *tolerated*, never fatal. Only a bad header (wrong
+// magic/version, header CRC mismatch) is unrecoverable and throws.
+//
+// Both the flush and the fsync pass through the crash-injection
+// checkpoints (crash.hpp), so drills can kill the process at either
+// barrier with a seeded tear.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cuszp2::io {
+
+constexpr u32 kJournalMagic = 0x314c4e4a;  // "JNL1"
+constexpr u32 kJournalVersion = 1;
+constexpr u32 kRecordMagic = 0x4352454a;   // "JREC" — nonzero, so a
+                                           // zero-filled tail can't frame
+constexpr usize kJournalHeaderBytes = 4 + 4 + 8 + 8 + 4 + 4;
+constexpr usize kRecordFrameBytes = 4 * 4;
+
+/// Live accounting of an attached journal, for health lines and tests.
+struct JournalStatus {
+  bool attached = false;
+  std::string path;
+  u64 baseTick = 0;         ///< owner's logical clock at the last reset
+  u64 recordsAppended = 0;  ///< records since the last reset
+  u64 recordsSynced = 0;    ///< of those, records covered by a sync barrier
+};
+
+/// One replayed record.
+struct JournalRecord {
+  u32 type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Result of replayJournal(). `torn` reports whether a damaged suffix was
+/// discarded (informational — the records before it are all intact).
+struct ReplayResult {
+  u64 ownerTag = 0;        ///< identity stamp from the header
+  u64 baseTick = 0;        ///< owner's logical clock when the journal began
+  std::vector<JournalRecord> records;
+  bool torn = false;
+  usize validBytes = 0;    ///< header + intact records
+  usize discardedBytes = 0;
+};
+
+/// Parses `path`, returning every intact record and truncation info for
+/// any torn tail. Throws cuszp2::Error if the file is missing or the
+/// header itself is damaged (the unrecoverable case — exit 2 in the CLI).
+ReplayResult replayJournal(const std::string& path);
+
+/// Appender over a journal file. Thread-safe: append()/sync() may be
+/// called from concurrent workers (the service journals from its worker
+/// pool). Not copyable or movable — hold it behind a unique_ptr.
+class JournalWriter {
+ public:
+  /// Creates a fresh journal at `path` (atomically replacing any previous
+  /// file) with the given identity header, then opens it for appending.
+  JournalWriter(const std::string& path, u64 ownerTag, u64 baseTick);
+
+  /// Reopens an existing journal for appending after replay, first
+  /// truncating it to `validBytes` so a torn tail never precedes new
+  /// records.
+  static std::unique_ptr<JournalWriter> resume(const std::string& path,
+                                               u64 ownerTag, u64 baseTick,
+                                               usize validBytes);
+
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Buffers one record. Cheap; no I/O. The record is NOT durable until
+  /// the next sync() returns.
+  void append(u32 type, ConstByteSpan payload);
+
+  /// Flushes buffered records through the Write crash checkpoint, then
+  /// fsyncs through the Sync checkpoint. After this returns, every
+  /// appended record is durable.
+  void sync();
+
+  /// Atomically replaces the journal with a fresh empty one stamped
+  /// `newBaseTick` (called after the owner writes a full snapshot). A
+  /// crash mid-reset leaves either the old or the new journal intact.
+  void reset(u64 newBaseTick);
+
+  const std::string& path() const { return path_; }
+  u64 baseTick() const { return baseTick_; }
+
+  /// Records appended since construction/reset (including unsynced ones).
+  u64 recordsAppended() const;
+  /// Records known durable (covered by a completed sync()).
+  u64 recordsSynced() const;
+
+ private:
+  JournalWriter(std::string path, u64 ownerTag, u64 baseTick, bool fresh,
+                usize resumeValidBytes);
+  void openForAppend(usize truncateTo);
+  void flushLocked();  // requires mu_ held
+
+  std::string path_;
+  u64 ownerTag_ = 0;
+  u64 baseTick_ = 0;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::byte> pending_;  // framed records not yet flushed
+  u64 appended_ = 0;
+  u64 synced_ = 0;
+};
+
+}  // namespace cuszp2::io

@@ -1,9 +1,11 @@
 #include "io/raw.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 
 #include "common/error.hpp"
+#include "io/crash.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CUSZP2_IO_HAS_MMAP 1
@@ -83,13 +85,83 @@ void writeBytes(const std::string& path, ConstByteSpan bytes) {
   }
 }
 
+namespace {
+
+/// Unique temp-file suffix: pid + a process-wide counter, so two stores
+/// saving to sibling paths (or two threads saving the same path) never
+/// collide on the temp name the way a fixed ".tmp" suffix would.
+std::string uniqueTempName(const std::string& path) {
+  static std::atomic<u64> counter{0};
+#if defined(CUSZP2_IO_HAS_MMAP)
+  const u64 pid = static_cast<u64>(::getpid());
+#else
+  const u64 pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable
+/// (a crash after rename but before the directory sync can otherwise lose
+/// the new directory entry).
+void syncParentDir(const std::string& path) {
+#if defined(CUSZP2_IO_HAS_MMAP)
+  const usize slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  require(fd >= 0, "io: cannot open directory " + dir + " for sync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  require(rc == 0, "io: directory sync failed for " + dir);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
 void writeBytesAtomic(const std::string& path, ConstByteSpan bytes) {
-  const std::string tmp = path + ".tmp";
-  writeBytes(tmp, bytes);
+  const std::string tmp = uniqueTempName(path);
+
+  // Crash checkpoints key on the *destination* path so drills target the
+  // logical file, not the ephemeral temp name.
+  {
+    const CrashAction act = crashCheckpoint(CrashSite::Write, path, bytes.size());
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    require(f != nullptr, "io: cannot open " + tmp + " for writing");
+    if (act.fire) {
+      if (act.keepBytes > 0) std::fwrite(bytes.data(), 1, act.keepBytes, f.get());
+      if (!act.garbage.empty()) {
+        std::fwrite(act.garbage.data(), 1, act.garbage.size(), f.get());
+      }
+      std::fflush(f.get());
+      throwCrash(CrashSite::Write, path);  // stray temp file left behind
+    }
+    if (!bytes.empty()) {
+      require(std::fwrite(bytes.data(), 1, bytes.size(), f.get()) ==
+                  bytes.size(),
+              "io: short write to " + tmp);
+    }
+    require(std::fflush(f.get()) == 0, "io: flush failed for " + tmp);
+    if (crashCheckpoint(CrashSite::Sync, path, 0).fire) {
+      throwCrash(CrashSite::Sync, path);
+    }
+#if defined(CUSZP2_IO_HAS_MMAP)
+    require(::fsync(::fileno(f.get())) == 0, "io: fsync failed for " + tmp);
+#endif
+  }
+
+  if (crashCheckpoint(CrashSite::Rename, path, 0).fire) {
+    throwCrash(CrashSite::Rename, path);  // temp written, never published
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     require(false, "io: cannot rename " + tmp + " over " + path);
   }
+  if (crashCheckpoint(CrashSite::DirSync, path, 0).fire) {
+    throwCrash(CrashSite::DirSync, path);  // rename applied, not yet durable
+  }
+  syncParentDir(path);
 }
 
 MappedBytes::MappedBytes(const std::string& path) {

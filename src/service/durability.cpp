@@ -1,0 +1,202 @@
+#include "service/durability.hpp"
+
+#include <bit>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace cuszp2::service {
+
+namespace {
+
+void putU8(std::vector<std::byte>& out, u8 v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void putU32(std::vector<std::byte>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void putU64(std::vector<std::byte>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void putF64(std::vector<std::byte>& out, f64 v) {
+  putU64(out, std::bit_cast<u64>(v));
+}
+
+void putString(std::vector<std::byte>& out, const std::string& s) {
+  putU32(out, static_cast<u32>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(ConstByteSpan bytes) : bytes_(bytes) {}
+
+  u8 takeU8() {
+    need(1);
+    return std::to_integer<u8>(bytes_[off_++]);
+  }
+
+  u32 takeU32() {
+    need(4);
+    u32 v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | std::to_integer<u32>(bytes_[off_ + static_cast<usize>(i)]);
+    }
+    off_ += 4;
+    return v;
+  }
+
+  u64 takeU64() {
+    need(8);
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | std::to_integer<u64>(bytes_[off_ + static_cast<usize>(i)]);
+    }
+    off_ += 8;
+    return v;
+  }
+
+  f64 takeF64() { return std::bit_cast<f64>(takeU64()); }
+
+  std::string takeString() {
+    const u32 len = takeU32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + off_), len);
+    off_ += len;
+    return s;
+  }
+
+  std::vector<std::byte> takeBytes(usize n) {
+    need(n);
+    std::vector<std::byte> out(bytes_.data() + off_, bytes_.data() + off_ + n);
+    off_ += n;
+    return out;
+  }
+
+  usize remaining() const { return bytes_.size() - off_; }
+
+ private:
+  void need(usize n) const {
+    require(bytes_.size() - off_ >= n,
+            "service: truncated job journal record");
+  }
+
+  ConstByteSpan bytes_;
+  usize off_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encodeJobAccept(const JobAcceptRecord& rec) {
+  std::vector<std::byte> out;
+  out.reserve(64 + rec.tenant.size() + rec.input.size());
+  putU64(out, rec.jobId);
+  putU64(out, rec.supersedesId);
+  putString(out, rec.tenant);
+  putU8(out, static_cast<u8>(rec.kind));
+  putU8(out, static_cast<u8>(rec.precision));
+  putU8(out, rec.priority);
+  // core::Config, field by field (f64s bit-cast so the replayed Config
+  // compares == to the submitted one).
+  putF64(out, rec.config.relErrorBound);
+  putF64(out, rec.config.absErrorBound);
+  putU8(out, static_cast<u8>(rec.config.mode));
+  putU32(out, rec.config.blockSize);
+  putU32(out, rec.config.blocksPerTile);
+  putU8(out, static_cast<u8>(rec.config.syncAlgorithm));
+  putU8(out, rec.config.vectorizedAccess ? 1 : 0);
+  putU8(out, rec.config.checksum ? 1 : 0);
+  putU8(out, rec.config.blockChecksums ? 1 : 0);
+  putU32(out, rec.config.faultRetries);
+  putU8(out, static_cast<u8>(rec.config.roundingMode));
+  putU8(out, static_cast<u8>(rec.config.predictor));
+  putU8(out, static_cast<u8>(rec.config.pipeline));
+  putU64(out, static_cast<u64>(rec.input.size()));
+  out.insert(out.end(), rec.input.begin(), rec.input.end());
+  return out;
+}
+
+JobAcceptRecord decodeJobAccept(ConstByteSpan payload) {
+  Cursor cur(payload);
+  JobAcceptRecord rec;
+  rec.jobId = cur.takeU64();
+  rec.supersedesId = cur.takeU64();
+  rec.tenant = cur.takeString();
+  rec.kind = static_cast<JobKind>(cur.takeU8());
+  rec.precision = static_cast<Precision>(cur.takeU8());
+  rec.priority = cur.takeU8();
+  rec.config.relErrorBound = cur.takeF64();
+  rec.config.absErrorBound = cur.takeF64();
+  rec.config.mode = static_cast<EncodingMode>(cur.takeU8());
+  rec.config.blockSize = cur.takeU32();
+  rec.config.blocksPerTile = cur.takeU32();
+  rec.config.syncAlgorithm = static_cast<scan::Algorithm>(cur.takeU8());
+  rec.config.vectorizedAccess = cur.takeU8() != 0;
+  rec.config.checksum = cur.takeU8() != 0;
+  rec.config.blockChecksums = cur.takeU8() != 0;
+  rec.config.faultRetries = cur.takeU32();
+  rec.config.roundingMode = static_cast<core::RoundingMode>(cur.takeU8());
+  rec.config.predictor = static_cast<Predictor>(cur.takeU8());
+  rec.config.pipeline = static_cast<core::PipelineMode>(cur.takeU8());
+  const u64 inputBytes = cur.takeU64();
+  require(cur.remaining() == inputBytes,
+          "service: accept record input length disagrees with its payload");
+  rec.input = cur.takeBytes(static_cast<usize>(inputBytes));
+  return rec;
+}
+
+std::vector<std::byte> encodeJobResolve(u64 jobId, Outcome outcome) {
+  std::vector<std::byte> out;
+  out.reserve(9);
+  putU64(out, jobId);
+  putU8(out, static_cast<u8>(outcome));
+  return out;
+}
+
+JobResolveRecord decodeJobResolve(ConstByteSpan payload) {
+  Cursor cur(payload);
+  JobResolveRecord rec;
+  rec.jobId = cur.takeU64();
+  rec.outcome = static_cast<Outcome>(cur.takeU8());
+  require(static_cast<u8>(rec.outcome) <= static_cast<u8>(Outcome::Degraded),
+          "service: resolve record carries an unknown outcome");
+  return rec;
+}
+
+JobJournalSummary summarizeJobJournal(const io::ReplayResult& replay) {
+  JobJournalSummary out;
+  // std::map: pending jobs come out in original id order, and a
+  // duplicate accept of the same id (impossible from one process life,
+  // conceivable from a crafted journal) dedups to one entry.
+  std::map<u64, JobAcceptRecord> pending;
+  for (const io::JournalRecord& rec : replay.records) {
+    if (rec.type == kJobRecordAccept) {
+      JobAcceptRecord acc = decodeJobAccept(ConstByteSpan(rec.payload));
+      ++out.accepts;
+      if (acc.supersedesId != 0) pending.erase(acc.supersedesId);
+      pending.insert_or_assign(acc.jobId, std::move(acc));
+    } else if (rec.type == kJobRecordResolve) {
+      const JobResolveRecord res =
+          decodeJobResolve(ConstByteSpan(rec.payload));
+      ++out.resolves;
+      ++out.outcomes[static_cast<usize>(res.outcome)];
+      pending.erase(res.jobId);
+    } else {
+      require(false, "service: unknown job journal record type " +
+                         std::to_string(rec.type));
+    }
+  }
+  out.pending.reserve(pending.size());
+  for (auto& [id, acc] : pending) out.pending.push_back(std::move(acc));
+  return out;
+}
+
+}  // namespace cuszp2::service

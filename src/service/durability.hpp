@@ -1,0 +1,74 @@
+// Durable service intake: the job-journal wire records that let a
+// restarted CompressionService replay accepted-but-incomplete jobs
+// exactly-once (docs/DURABILITY.md).
+//
+// Record kinds (io::JournalWriter framing carries the type + CRC):
+//   * Accept  — the full submission (id, tenant, kind, precision,
+//     priority, core::Config, input bytes). Appended + synced BEFORE
+//     submit() returns its ticket, so an accepted ticket implies a
+//     durable record. `supersedesId` links a replayed resubmission to
+//     the job it replaces: the new accept retires the old id in the
+//     same record, so a crash can never leave both pending (the
+//     double-replay hazard).
+//   * Resolve — (id, Outcome). Appended when the job's result commits —
+//     any Outcome, so the taxonomy survives a restart. Best-effort: a
+//     lost resolve only causes one benign re-execution at the next
+//     recovery.
+//
+// Recovery = accepts minus resolves (deduped by id, supersede links
+// honored), resubmitted in original id order.
+#pragma once
+
+#include <vector>
+
+#include "io/journal.hpp"
+#include "service/job.hpp"
+
+namespace cuszp2::service {
+
+constexpr u32 kJobRecordAccept = 1;
+constexpr u32 kJobRecordResolve = 2;
+
+/// Stamped into the journal header; a mismatch means the file is not a
+/// service job journal (unrecoverable — same contract as the CAS tag).
+constexpr u64 kJobJournalOwnerTag = 0x53424f4a32505a43ull;  // "CZP2JOBS"
+
+struct JobAcceptRecord {
+  u64 jobId = 0;
+  /// Previous-life job id this resubmission replaces (0 = none). Marks
+  /// that id resolved even when its Resolve record never made it out.
+  u64 supersedesId = 0;
+  std::string tenant;
+  JobKind kind = JobKind::Compress;
+  Precision precision = Precision::F32;
+  u8 priority = 0;
+  core::Config config;
+  std::vector<std::byte> input;
+};
+
+struct JobResolveRecord {
+  u64 jobId = 0;
+  Outcome outcome = Outcome::Failed;
+};
+
+std::vector<std::byte> encodeJobAccept(const JobAcceptRecord& rec);
+JobAcceptRecord decodeJobAccept(ConstByteSpan payload);
+
+std::vector<std::byte> encodeJobResolve(u64 jobId, Outcome outcome);
+JobResolveRecord decodeJobResolve(ConstByteSpan payload);
+
+/// Digest of one replayed job journal: the accepted-but-unresolved jobs
+/// in original id order, plus accounting for the health line.
+struct JobJournalSummary {
+  std::vector<JobAcceptRecord> pending;
+  u64 accepts = 0;
+  u64 resolves = 0;
+  /// Resolved-outcome tally, indexed by static_cast<usize>(Outcome).
+  u64 outcomes[5] = {0, 0, 0, 0, 0};
+};
+
+/// Folds a replayed journal into its pending set. Throws cuszp2::Error
+/// on a malformed record or an unknown record type.
+JobJournalSummary summarizeJobJournal(const io::ReplayResult& replay);
+
+}  // namespace cuszp2::service

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -205,6 +206,13 @@ struct Job {
   bool finished = false;  // under mutex; result is valid once true
   JobResult result;
 
+  /// Durable-intake hook (set by a journaled service at accept time):
+  /// the commit winner — finishJob OR a winning Ticket::cancel — calls
+  /// it exactly once to append the job's Resolve record. Best-effort by
+  /// contract (the hook swallows journal errors): a lost resolve only
+  /// re-executes the job at the next recovery.
+  std::function<void(u64 jobId, Outcome outcome)> durableResolve;
+
   /// True when two jobs can share one fused launch (compressBatch or
   /// decompressBatchRaw): same operation, element type, and codec
   /// configuration. Per-field error bounds, headers and payloads are
@@ -305,6 +313,12 @@ class Ticket {
     // whoever wins owns the ledger release — done before waking waiters
     // so the freed quota is visible as soon as the cancel is observable.
     if (!job_->commit(std::move(r))) return false;
+    // A canceled job is resolved: record it so a restart won't replay
+    // it. Safe lifetime-wise — a cancel can only win while the service
+    // is alive (shutdown commits every job before returning).
+    if (job_->durableResolve) {
+      job_->durableResolve(job_->id, Outcome::Canceled);
+    }
     job_->ledger->release(job_->tenant, job_->input.size());
     job_->notifyWaiters();
     return true;

@@ -1,7 +1,10 @@
 #include "service/service.hpp"
 
+#include <cstdio>
+
 #include "common/rng.hpp"
 #include "core/format.hpp"
+#include "service/durability.hpp"
 #include "telemetry/trace.hpp"
 
 namespace cuszp2::service {
@@ -73,6 +76,11 @@ CompressionService::CompressionService(ServiceConfig config)
   ledger_->depthGauge = &reg.gauge("service.queue_depth");
 
   paused_ = config_.startPaused;
+
+  // Durable intake: recover (and re-queue) the previous life's pending
+  // jobs before any worker can race the lanes — replayed work runs first.
+  if (!config_.jobJournalPath.empty()) recoverJobJournal();
+
   workers_.reserve(config_.workers);
   for (u32 i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -80,6 +88,55 @@ CompressionService::CompressionService(ServiceConfig config)
   if (config_.watchdog.enabled) {
     watchdog_ = std::thread([this] { watchdogLoop(); });
   }
+}
+
+void CompressionService::recoverJobJournal() {
+  const std::string& path = config_.jobJournalPath;
+  JobJournalSummary summary;
+  bool resumed = false;
+  usize resumeBytes = 0;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    std::fclose(probe);
+    // An unrecoverable journal (bad header / foreign ownerTag) throws —
+    // construction fails rather than silently dropping accepted work.
+    const io::ReplayResult replay = io::replayJournal(path);
+    require(replay.ownerTag == kJobJournalOwnerTag,
+            "service: " + path + " is not a job journal (ownerTag mismatch)");
+    summary = summarizeJobJournal(replay);
+    resumed = !summary.pending.empty();
+    resumeBytes = replay.validBytes;
+  }
+  if (resumed) {
+    // Keep the old journal (torn tail truncated): the resubmissions
+    // below supersede their old ids record-by-record, so a crash at any
+    // point leaves every pending job recoverable exactly once.
+    jobJournal_ = io::JournalWriter::resume(path, kJobJournalOwnerTag, 0,
+                                            resumeBytes);
+  } else {
+    // Nothing pending: start a fresh journal (atomic replacement).
+    jobJournal_ = std::make_unique<io::JournalWriter>(path,
+                                                      kJobJournalOwnerTag, 0);
+  }
+  for (JobAcceptRecord& acc : summary.pending) {
+    SubmitResult res = submit(acc.tenant, acc.kind, acc.precision,
+                              std::move(acc.input), acc.config, acc.priority,
+                              /*supersedesId=*/acc.jobId);
+    require(res.accepted(),
+            "service: journal replay resubmission rejected (" + res.detail +
+                ")");
+    replayedJobs_.push_back(ReplayedJob{acc.jobId, std::move(res.ticket)});
+  }
+}
+
+io::JournalStatus CompressionService::jobJournalStatus() const {
+  io::JournalStatus st;
+  if (!jobJournal_) return st;
+  st.attached = true;
+  st.path = jobJournal_->path();
+  st.baseTick = jobJournal_->baseTick();
+  st.recordsAppended = jobJournal_->recordsAppended();
+  st.recordsSynced = jobJournal_->recordsSynced();
+  return st;
 }
 
 CompressionService::~CompressionService() {
@@ -121,7 +178,7 @@ SubmitResult CompressionService::submit(const std::string& tenant,
                                         JobKind kind, Precision precision,
                                         std::vector<std::byte> input,
                                         const core::Config& config,
-                                        u8 priority) {
+                                        u8 priority, u64 supersedesId) {
   require(!tenant.empty(), "CompressionService::submit: empty tenant id");
   config.validate();
   instruments_.submitted->add(1);
@@ -182,6 +239,8 @@ SubmitResult CompressionService::submit(const std::string& tenant,
   job->submitted = std::chrono::steady_clock::now();
   job->ledger = ledger_;
 
+  // Phase 1: reserve the job id (the journal record needs it) without
+  // exposing the job to the scheduler yet.
   bool lostToShutdown = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -189,10 +248,67 @@ SubmitResult CompressionService::submit(const std::string& tenant,
       lostToShutdown = true;
     } else {
       job->id = nextJobId_++;
+    }
+  }
+  if (lostToShutdown) {
+    ledger_->release(tenant, job->input.size());
+    return reject(RejectReason::ShuttingDown, "service is shutting down",
+                  tenant);
+  }
+
+  // Phase 2 (durable intake): append + sync the Accept record BEFORE the
+  // job becomes runnable. If the sync dies (a crash drill, a full disk),
+  // the error propagates and the job was never queued — an un-acked
+  // submission recovery is allowed to lose. The ack a caller gets by
+  // this returning implies a durable record.
+  if (jobJournal_) {
+    JobAcceptRecord acc;
+    acc.jobId = job->id;
+    acc.supersedesId = supersedesId;
+    acc.tenant = tenant;
+    acc.kind = kind;
+    acc.precision = precision;
+    acc.priority = priority;
+    acc.config = config;
+    acc.input = job->input;  // job holds the canonical copy
+    try {
+      jobJournal_->append(kJobRecordAccept, encodeJobAccept(acc));
+      jobJournal_->sync();
+    } catch (...) {
+      // No ack happens: un-charge the admission so the job is not a
+      // phantom ledger entry (a drain would otherwise wait on it
+      // forever — the crash drills die exactly here).
+      ledger_->release(tenant, job->input.size());
+      throw;
+    }
+    job->durableResolve = [this](u64 jobId, Outcome outcome) {
+      try {
+        jobJournal_->append(kJobRecordResolve,
+                            encodeJobResolve(jobId, outcome));
+        jobJournal_->sync();
+      } catch (const Error&) {
+        // Best-effort: a lost resolve re-executes the job at the next
+        // recovery; it must never kill the resolving thread.
+      }
+    };
+  }
+
+  // Phase 3: publish to the scheduler (re-checking intake — shutdown may
+  // have flipped while we journaled).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_.load(std::memory_order_relaxed)) {
+      lostToShutdown = true;
+    } else {
       lanes_.push(job);
     }
   }
   if (lostToShutdown) {
+    // The Accept record is already durable; retire it so a restart does
+    // not replay a job whose submission we are about to refuse.
+    if (job->durableResolve) {
+      job->durableResolve(job->id, Outcome::Abandoned);
+    }
     ledger_->release(tenant, job->input.size());
     return reject(RejectReason::ShuttingDown, "service is shutting down",
                   tenant);
@@ -699,6 +815,10 @@ void CompressionService::finishJob(detail::Job& job, JobResult result,
   if (!job.commit(std::move(result))) return;
   job.phase.store(detail::Phase::Done, std::memory_order_release);
   if (config_.watchdog.enabled) watchdogForget(job.id);
+  // Durable intake: retire the Accept record (with the full Outcome
+  // taxonomy) before waking waiters, so an observed completion is never
+  // replayed by a restart.
+  if (job.durableResolve) job.durableResolve(job.id, outcome);
 
   if (abandoned) {
     instruments_.abandoned->add(1);

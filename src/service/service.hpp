@@ -193,6 +193,21 @@ struct ServiceConfig {
   /// tenants share physical chunks (docs/CAS.md). Shared so the CLI and
   /// a CompactionWorker can hold the same store.
   std::shared_ptr<cas::BlockStore> store;
+
+  /// Non-empty: durable intake (docs/DURABILITY.md). Every accepted
+  /// submission is journaled (and synced) at this path before its
+  /// ticket is returned, and resolved jobs append their Outcome; a
+  /// restarted service replays accepted-but-unresolved jobs exactly-once
+  /// (replayedJobs()) before taking new work. A damaged journal header
+  /// throws from the constructor (unrecoverable).
+  std::string jobJournalPath;
+};
+
+/// One job the constructor replayed from the job journal: the id it had
+/// in its previous life, plus the live ticket of its resubmission.
+struct ReplayedJob {
+  u64 originalJobId = 0;
+  Ticket ticket;
 };
 
 /// Point-in-time counters snapshot (monotonic except queueDepth).
@@ -294,6 +309,19 @@ class CompressionService {
   /// The tenant's outstanding (admitted-but-unfinished) input bytes.
   u64 tenantOutstandingBytes(const std::string& tenant) const;
 
+  // ---- durable intake (ServiceConfig::jobJournalPath) -----------------
+
+  /// Jobs the constructor found accepted-but-unresolved in the journal
+  /// and resubmitted (exactly-once, original id order). Empty when the
+  /// journal was clean or durable intake is off. Stable for the
+  /// service's lifetime.
+  const std::vector<ReplayedJob>& replayedJobs() const {
+    return replayedJobs_;
+  }
+
+  /// Live job-journal accounting (attached == false without durability).
+  io::JournalStatus jobJournalStatus() const;
+
   // ---- content-addressed object path (ServiceConfig::store) ----------
 
   /// The attached CAS, or nullptr when the service runs without one.
@@ -358,9 +386,15 @@ class CompressionService {
 
   SubmitResult submit(const std::string& tenant, JobKind kind,
                       Precision precision, std::vector<std::byte> input,
-                      const core::Config& config, u8 priority);
+                      const core::Config& config, u8 priority,
+                      u64 supersedesId = 0);
   SubmitResult reject(RejectReason reason, std::string detail,
                       const std::string& tenant);
+
+  /// Constructor-time job-journal recovery: replays accepted-unresolved
+  /// jobs, resubmits them (superseding their old ids), and leaves the
+  /// journal open for appending.
+  void recoverJobJournal();
 
   bool shutdownImpl(std::optional<std::chrono::milliseconds> deadline);
 
@@ -403,6 +437,12 @@ class CompressionService {
   std::vector<gpusim::DeviceSpec> devices_;
   std::shared_ptr<detail::Ledger> ledger_;
   Instruments instruments_;
+
+  /// Durable intake (nullptr without jobJournalPath). Created — and any
+  /// previous life's pending jobs replayed — before workers spawn, so
+  /// replayed work is first in line.
+  std::unique_ptr<io::JournalWriter> jobJournal_;
+  std::vector<ReplayedJob> replayedJobs_;
 
   mutable std::mutex mutex_;          // scheduler state below
   std::condition_variable workCv_;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification, twice:
 #   1. Release         — the configuration the figures and perf numbers use.
-#      Runs the full suite (fast + property + bench + cas labels), then the
+#      Runs the full suite (fast + property + bench + cas + durability
+#      labels), then the
 #      perf-regression harness, which refreshes BENCH_perf.json at the
 #      repo root and soft-fails (warns) on modelled-throughput drift.
 #   2. Debug + ASan/UBSan — catches lifetime bugs in the arena / stream
@@ -144,6 +145,31 @@ echo "==== [release] cas soak (seed 777) ===="
 "${repo_root}/build-ci-release/tools/chaos_soak" --cas --seed 777
 echo "==== [asan] cas soak (seed 20260805, fast) ===="
 "${repo_root}/build-ci-asan/tools/chaos_soak" --cas --seed 20260805 --fast
+
+# Durability label (journal wire format, torn tails, crash-plan purity,
+# store/service/cluster recovery units) runs in the release full pass
+# above; name it explicitly so a red durability build stands out, and
+# repeat it under the sanitizer — replay walks attacker-shaped (torn,
+# zero-filled, garbage) byte streams, exactly where ASan earns its keep.
+echo "==== [release] ctest -L durability ===="
+(cd "${repo_root}/build-ci-release" &&
+  ctest --output-on-failure -j "${jobs}" -L durability)
+echo "==== [asan] ctest -L durability ===="
+(cd "${repo_root}/build-ci-asan" &&
+  ctest --output-on-failure -j "${jobs}" -L durability)
+
+# Crash drill: enumerate EVERY injectable crash point (write/sync/rename/
+# dirsync on the store and job journals) over a scripted churn workload,
+# restart from the torn disk image, and hard-fail unless recovery passes
+# checkInvariants + verifyAll with every acknowledged op intact and the
+# run fingerprint bit-identical across two same-seed passes. Two seeds in
+# release vary the tear bytes; ASan runs the trimmed point set.
+echo "==== [release] crash drill (seed 20260809) ===="
+"${repo_root}/build-ci-release/tools/crash_drill" --seed 20260809
+echo "==== [release] crash drill (seed 4242) ===="
+"${repo_root}/build-ci-release/tools/crash_drill" --seed 4242
+echo "==== [asan] crash drill (seed 20260809, fast) ===="
+"${repo_root}/build-ci-asan/tools/crash_drill" --seed 20260809 --fast
 
 echo "==== [release] perf_regression -> BENCH_perf.json ===="
 (cd "${repo_root}" && "${repo_root}/build-ci-release/bench/perf_regression" \

@@ -113,6 +113,10 @@ bool flushTrace() {
       "  cuszp2 store compact <store.cas> [--cold-ticks N] [--max N]\n"
       "                       [--pipeline auto|huffman|rle|lorenzo-fle]\n"
       "  cuszp2 store stat    <store.cas>\n"
+      "  cuszp2 store recover <store.cas> [--journal <p>] [--dry-run]\n"
+      "                       (replay the write-ahead journal onto the\n"
+      "                        last good snapshot; default journal is\n"
+      "                        <store.cas>.jnl; exit 2 = unrecoverable)\n"
       "\n"
       "  serve manifest lines: <tenant> <dataset> <elems> <jobs> [rel]\n"
       "  --cas           route each completed job's compressed stream\n"
@@ -302,6 +306,21 @@ void printCasLine(const cas::StoreStats& s) {
               s.dedupRatio());
 }
 
+/// Journal status in one line (docs/DURABILITY.md). For a live store the
+/// status comes from the attached writer; for `store stat` the sibling
+/// journal file is probed read-only instead.
+void printJournalLine(const io::JournalStatus& js) {
+  if (!js.attached) {
+    std::printf("journal: detached\n");
+    return;
+  }
+  std::printf("journal: %s, baseTick %llu, %llu records appended "
+              "(%llu synced)\n",
+              js.path.c_str(), static_cast<unsigned long long>(js.baseTick),
+              static_cast<unsigned long long>(js.recordsAppended),
+              static_cast<unsigned long long>(js.recordsSynced));
+}
+
 /// `info` on a saved BlockStore file: dedup stats instead of stream
 /// fields (a store is an archive, not a cuSZp2 stream).
 int doInfoStore(const std::string& in) {
@@ -335,6 +354,27 @@ int doInfoStore(const std::string& in) {
               static_cast<unsigned long long>(hot),
               static_cast<unsigned long long>(v3),
               static_cast<unsigned long long>(opaque));
+  // Journal status: probe the sibling WAL read-only (docs/DURABILITY.md).
+  // A torn tail here is advisory — `store recover` is the repair verb.
+  const std::string jpath = in + ".jnl";
+  if (std::filesystem::exists(jpath)) {
+    try {
+      const io::ReplayResult rep = io::replayJournal(jpath);
+      std::printf("  journal:         %s: %zu records past tick %llu, %s\n",
+                  jpath.c_str(), rep.records.size(),
+                  static_cast<unsigned long long>(rep.baseTick),
+                  rep.torn
+                      ? ("TORN tail (" + std::to_string(rep.discardedBytes) +
+                         " bytes to discard)")
+                            .c_str()
+                      : "clean tail");
+    } catch (const Error& e) {
+      std::printf("  journal:         %s: UNRECOVERABLE (%s)\n",
+                  jpath.c_str(), e.what());
+    }
+  } else {
+    std::printf("  journal:         none\n");
+  }
   printCasLine(s);
   return 0;
 }
@@ -846,7 +886,10 @@ int doServe(const std::string& manifestPath, u32 workers, u32 maxBatch,
               static_cast<unsigned long long>(stats.streamFaultRelaunches),
               static_cast<unsigned long long>(stats.breakerOpens),
               static_cast<unsigned long long>(stats.chaosInjected));
-  if (store) printCasLine(store->stats());
+  if (store) {
+    printCasLine(store->stats());
+    printJournalLine(store->journalStatus());
+  }
   printKernelTable();
   return rc;
 }
@@ -1158,6 +1201,85 @@ int doStore(int argc, char** argv) {
   if (verb == "stat") {
     if (argc != 4) usage();
     return doInfoStore(path);
+  }
+  if (verb == "recover") {
+    std::string jpath = path + ".jnl";
+    bool dryRun = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--journal") {
+        if (i + 1 >= argc) usage();
+        jpath = argv[++i];
+      } else if (arg == "--dry-run") {
+        dryRun = true;
+      } else {
+        usage();
+      }
+    }
+    if (!std::filesystem::exists(jpath)) {
+      std::fprintf(stderr, "store recover: no journal at %s\n",
+                   jpath.c_str());
+      return 1;
+    }
+    // recover() resumes the journal for appending, which trims a torn
+    // tail in place — so a dry run replays a scratch copy and the real
+    // journal stays byte-identical.
+    std::string recoverJournal = jpath;
+    if (dryRun) {
+      recoverJournal = jpath + ".dry-run";
+      std::filesystem::copy_file(
+          jpath, recoverJournal,
+          std::filesystem::copy_options::overwrite_existing);
+    }
+    cas::RecoveryReport rep;
+    std::unique_ptr<cas::BlockStore> store;
+    try {
+      store = cas::BlockStore::recover(path, recoverJournal,
+                                       {.deferGc = true}, &rep);
+    } catch (const Error& e) {
+      // Damaged journal header / foreign ownerTag: the tail cannot be
+      // trusted, so recovery refuses rather than guessing. Exit 2 is the
+      // documented "operator intervention" code (docs/DURABILITY.md).
+      if (dryRun) std::filesystem::remove(recoverJournal);
+      std::fprintf(stderr, "store recover: unrecoverable: %s\n", e.what());
+      return 2;
+    }
+    std::printf("recover: snapshot %s (tick %llu), %llu journal records: "
+                "%llu replayed, %llu already in snapshot%s\n",
+                rep.snapshotLoaded ? path.c_str() : "absent (fresh store)",
+                static_cast<unsigned long long>(rep.snapshotTick),
+                static_cast<unsigned long long>(rep.journalRecords),
+                static_cast<unsigned long long>(rep.replayedRecords),
+                static_cast<unsigned long long>(rep.skippedRecords),
+                rep.tornTail
+                    ? (" (torn tail: " + std::to_string(rep.discardedBytes) +
+                       " bytes discarded)")
+                          .c_str()
+                    : "");
+    std::string verifyError;
+    if (!store->verifyAll(&verifyError)) {
+      if (dryRun) {
+        store.reset();
+        std::filesystem::remove(recoverJournal);
+      }
+      std::fprintf(stderr, "store recover: recovered store fails verify: "
+                           "%s\n",
+                   verifyError.c_str());
+      return 2;
+    }
+    printCasLine(store->stats());
+    if (dryRun) {
+      store.reset();  // drop the resumed writer before removing its file
+      std::filesystem::remove(recoverJournal);
+      std::printf("recover: dry-run, snapshot and journal left untouched\n");
+    } else {
+      // Seal a fresh snapshot; the attached journal resets behind it, so
+      // the next crash replays from this point.
+      seal(*store);
+      std::printf("recover: snapshot rewritten, journal reset\n");
+      printJournalLine(store->journalStatus());
+    }
+    return 0;
   }
   usage();
 }
